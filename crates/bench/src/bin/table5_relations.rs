@@ -1,0 +1,105 @@
+//! **Theorem 2 harness** — dynamic binary relations.
+//!
+//! Claims: reporting objects-of-label / labels-of-object in
+//! O(log log σl · log log n)-class time per datum, existence similar,
+//! counting O(log n), updates O(log^ε n); space dominated by `nH0(S)`.
+//! We measure against the hash-set reference and report space next to the
+//! entropy of the label sequence.
+
+use dyndex_bench::workloads::*;
+use dyndex_relations::{DynamicRelation, NaiveRelation};
+use dyndex_core::DynOptions;
+use dyndex_succinct::{entropy, SpaceUsage};
+
+fn main() {
+    println!("=== Theorem 2: dynamic binary relation (measured) ===\n");
+    for &pairs in &[20_000usize, 100_000] {
+        run(pairs);
+    }
+    println!("shape checks: report/existence ~flat in n; counting cheap;");
+    println!("updates polylog; space tracks nH0(S) + per-label overhead.");
+}
+
+fn run(pair_target: usize) {
+    let mut r = rng(0x7AB1E005 ^ pair_target as u64);
+    let nodes = (pair_target as u64 / 10).max(100);
+    let edges = edge_stream(&mut r, nodes, pair_target);
+
+    let mut dynr = DynamicRelation::new(DynOptions::default());
+    let mut naive = NaiveRelation::new();
+    for &(o, l) in &edges {
+        if dynr.insert(o, l) {
+            naive.insert(o, l);
+        }
+    }
+    let n = dynr.len();
+    // Entropy of the label multiset (the paper's H for S).
+    let labels: Vec<u64> = edges.iter().map(|&(_, l)| l).collect();
+    let h0 = entropy::h0(&labels);
+
+    // Probe sets.
+    let probes: Vec<u64> = (0..64).map(|_| zipf(&mut r, nodes)).collect();
+
+    let t_report_lab = measure_ns(7, || {
+        probes.iter().map(|&o| dynr.labels_of(o).len()).sum::<usize>()
+    });
+    let reported: usize = probes.iter().map(|&o| dynr.labels_of(o).len()).sum();
+    let t_report_obj = measure_ns(7, || {
+        probes.iter().map(|&l| dynr.objects_of(l).len()).sum::<usize>()
+    });
+    let t_exist = measure_ns(9, || {
+        probes
+            .iter()
+            .zip(probes.iter().rev())
+            .filter(|&(&o, &l)| dynr.related(o, l))
+            .count()
+    }) / probes.len() as f64;
+    let t_count = measure_ns(9, || {
+        probes.iter().map(|&o| dynr.count_labels(o)).sum::<usize>()
+    }) / probes.len() as f64;
+
+    // Update cost: fresh pairs in/out.
+    let fresh: Vec<(u64, u64)> = (0..2_000)
+        .map(|i| (nodes + 1 + i as u64, nodes + 1 + (i / 3) as u64))
+        .collect();
+    let t0 = std::time::Instant::now();
+    for &(o, l) in &fresh {
+        dynr.insert(o, l);
+    }
+    let ins = t0.elapsed().as_nanos() as f64 / fresh.len() as f64;
+    let t1 = std::time::Instant::now();
+    for &(o, l) in &fresh {
+        dynr.delete(o, l);
+    }
+    let del = t1.elapsed().as_nanos() as f64 / fresh.len() as f64;
+    dynr.check_invariants();
+
+    // Sanity vs reference.
+    for &o in probes.iter().take(8) {
+        assert_eq!(dynr.labels_of(o), naive.labels_of(o));
+        assert_eq!(dynr.count_objects(o), naive.count_objects(o));
+    }
+
+    println!(
+        "n = {n} pairs, {} objects, {} labels, H0(S) = {h0:.2} bits/pair",
+        dynr.num_objects(),
+        dynr.num_labels()
+    );
+    println!(
+        "  report labels-of  {:>10}/datum  ({} reported)",
+        fmt_ns(t_report_lab / reported.max(1) as f64),
+        reported
+    );
+    println!(
+        "  report objects-of {:>10}/datum",
+        fmt_ns(t_report_obj / reported.max(1) as f64)
+    );
+    println!("  existence         {:>10}/query", fmt_ns(t_exist));
+    println!("  count             {:>10}/query", fmt_ns(t_count));
+    println!("  insert            {:>10}/pair", fmt_ns(ins));
+    println!("  delete            {:>10}/pair", fmt_ns(del));
+    println!(
+        "  space             {:>10.2} bits/pair (entropy floor {h0:.2})\n",
+        dynr.heap_bytes() as f64 * 8.0 / n.max(1) as f64
+    );
+}

@@ -1,0 +1,86 @@
+//! **Theorem 3 harness** — dynamic directed graphs.
+//!
+//! A directed graph is the relation "u → v" between nodes. Claims mirror
+//! Theorem 2: adjacency O(log log σl · log log n)-class, neighbor /
+//! reverse-neighbor reporting per-datum, counting O(log n), updates
+//! O(log^ε n). Workload: a power-law digraph under edge churn (the RDF /
+//! web-graph regime the paper's introduction motivates).
+
+use dyndex_bench::workloads::*;
+use dyndex_core::DynOptions;
+use dyndex_relations::DynamicGraph;
+use dyndex_succinct::SpaceUsage;
+
+fn main() {
+    println!("=== Theorem 3: dynamic directed graph (measured) ===\n");
+    for &edges in &[20_000usize, 100_000] {
+        run(edges);
+    }
+    println!("shape checks: neighbor reporting ~flat per datum; adjacency and");
+    println!("degree queries cheap; edge updates polylog; reverse-neighbor cost");
+    println!("symmetric to forward (the point of the S+N encoding).");
+}
+
+fn run(edge_target: usize) {
+    let mut r = rng(0x7AB1E006 ^ edge_target as u64);
+    let nodes = (edge_target as u64 / 8).max(64);
+    let mut g = DynamicGraph::new(DynOptions::default());
+    let stream = edge_stream(&mut r, nodes, edge_target);
+    let t0 = std::time::Instant::now();
+    let mut inserted = 0usize;
+    for &(u, v) in &stream {
+        if g.add_edge(u, v) {
+            inserted += 1;
+        }
+    }
+    let ins = t0.elapsed().as_nanos() as f64 / inserted.max(1) as f64;
+
+    let probes: Vec<u64> = (0..64).map(|_| zipf(&mut r, nodes)).collect();
+    let out_total: usize = probes.iter().map(|&u| g.out_neighbors(u).len()).sum();
+    let t_out = measure_ns(7, || {
+        probes.iter().map(|&u| g.out_neighbors(u).len()).sum::<usize>()
+    });
+    let t_in = measure_ns(7, || {
+        probes.iter().map(|&v| g.in_neighbors(v).len()).sum::<usize>()
+    });
+    let t_adj = measure_ns(9, || {
+        probes
+            .iter()
+            .zip(probes.iter().rev())
+            .filter(|&(&u, &v)| g.has_edge(u, v))
+            .count()
+    }) / probes.len() as f64;
+    let t_deg = measure_ns(9, || probes.iter().map(|&u| g.out_degree(u)).sum::<usize>())
+        / probes.len() as f64;
+
+    // Churn: delete a slice of edges, re-insert.
+    let victims: Vec<(u64, u64)> = stream.iter().step_by(13).copied().collect();
+    let t1 = std::time::Instant::now();
+    let mut removed = 0usize;
+    for &(u, v) in &victims {
+        if g.remove_edge(u, v) {
+            removed += 1;
+        }
+    }
+    let del = t1.elapsed().as_nanos() as f64 / removed.max(1) as f64;
+    g.check_invariants();
+
+    println!("graph: {} nodes, {} edges after dedup", nodes, g.num_edges() + removed);
+    println!("  add-edge          {:>10}/edge", fmt_ns(ins));
+    println!("  remove-edge       {:>10}/edge", fmt_ns(del));
+    println!(
+        "  out-neighbors     {:>10}/datum  ({} reported)",
+        fmt_ns(t_out / out_total.max(1) as f64),
+        out_total
+    );
+    println!(
+        "  in-neighbors      {:>10}/datum",
+        fmt_ns(t_in / out_total.max(1) as f64)
+    );
+    println!("  adjacency         {:>10}/query", fmt_ns(t_adj));
+    println!("  out-degree        {:>10}/query", fmt_ns(t_deg));
+    println!(
+        "  space             {:>10.2} bits/edge\n",
+        g.heap_bytes() as f64 * 8.0 / g.num_edges().max(1) as f64
+    );
+}

@@ -1,0 +1,145 @@
+//! Shared configuration for the dynamizing transformations: the
+//! geometric sub-collection capacity schedule of §2–§3 and Appendix A.4.
+
+/// How sub-collection capacities grow with the level index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Growth {
+    /// Transformation 1/2 schedule: `max_i = (2n/log²n) · log^{εi} n`,
+    /// giving `r = O(1)` levels (for constant ε).
+    PolyLog {
+        /// The paper's ε (0 < ε ≤ 1).
+        eps: f64,
+    },
+    /// Transformation 3 schedule (Appendix A.4): `max_i = (2n/log²n)·2^i`,
+    /// giving `r = O(log log n)` levels and cheaper insertions at the cost
+    /// of a `log log n` factor on range-finding.
+    Doubling,
+}
+
+/// Tunables of a dynamized index.
+#[derive(Clone, Copy, Debug)]
+pub struct DynOptions {
+    /// The paper's τ: a structure is purged once a `1/τ` fraction of its
+    /// symbols belongs to deleted documents. Space overhead for deleted
+    /// data is `O(n/τ)`.
+    pub tau: usize,
+    /// Enable Theorem 1 counting support (costs `O(log n)`-ish per deleted
+    /// symbol on updates, buys `O(log n)` counting).
+    pub counting: bool,
+    /// Capacity growth schedule.
+    pub growth: Growth,
+    /// Floor for every capacity, so tiny collections behave (the paper's
+    /// asymptotics assume n is large).
+    pub min_capacity: usize,
+}
+
+impl Default for DynOptions {
+    fn default() -> Self {
+        DynOptions {
+            tau: 8,
+            counting: true,
+            growth: Growth::PolyLog { eps: 0.5 },
+            min_capacity: 64,
+        }
+    }
+}
+
+/// The capacity schedule derived from a reference size `nf` (the paper's
+/// `nf = Θ(n)`, refreshed by global rebuilds).
+#[derive(Clone, Debug)]
+pub struct CapacitySchedule {
+    /// `caps[i]` = maximum symbols of sub-collection `C_i` (`caps[0]` = C0).
+    pub caps: Vec<usize>,
+    /// The reference size the schedule was computed from.
+    pub nf: usize,
+}
+
+impl CapacitySchedule {
+    /// Computes the §2 schedule for reference size `nf`: levels grow until
+    /// the top one covers `2·nf` (Transformation 1/3 — no top collections).
+    pub fn new(nf: usize, options: &DynOptions) -> Self {
+        let base = nf.max(options.min_capacity);
+        Self::with_target(nf, options, 2 * base)
+    }
+
+    /// Computes the §3 schedule: levels stop at `2·nf/τ` — the paper picks
+    /// `r` such that `max_r = nf/τ`, so the sub-collections `C_i` hold only
+    /// an `O(1/τ)` fraction and the bulk lives in **top collections**
+    /// (which is what bounds the space wasted by locked copies).
+    pub fn new_truncated(nf: usize, options: &DynOptions) -> Self {
+        let base = nf.max(options.min_capacity);
+        Self::with_target(nf, options, (2 * base / options.tau.max(1)).max(options.min_capacity))
+    }
+
+    fn with_target(nf: usize, options: &DynOptions, target: usize) -> Self {
+        let base = nf.max(options.min_capacity) as f64;
+        let lg = base.log2().max(2.0);
+        let c0 = ((2.0 * base) / (lg * lg)).ceil() as usize;
+        let c0 = c0.max(options.min_capacity);
+        let mut caps = vec![c0];
+        let mut i = 1usize;
+        loop {
+            let cap = match options.growth {
+                Growth::PolyLog { eps } => {
+                    (c0 as f64 * lg.powf(eps * i as f64)).ceil() as usize
+                }
+                Growth::Doubling => c0.saturating_mul(1usize << i.min(48)),
+            };
+            let cap = cap.max(options.min_capacity);
+            caps.push(cap);
+            if cap >= target || i > 64 {
+                break;
+            }
+            i += 1;
+        }
+        CapacitySchedule { caps, nf }
+    }
+
+    /// Number of static levels (`r`): levels are `1..=r`, level 0 is `C0`.
+    pub fn r(&self) -> usize {
+        self.caps.len() - 1
+    }
+
+    /// Capacity of level `i`.
+    pub fn cap(&self, i: usize) -> usize {
+        self.caps[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polylog_schedule_is_geometric_and_covers() {
+        let opts = DynOptions::default();
+        for nf in [0usize, 100, 10_000, 1_000_000] {
+            let s = CapacitySchedule::new(nf, &opts);
+            assert!(s.caps.windows(2).all(|w| w[0] <= w[1]), "monotone {nf}");
+            assert!(
+                *s.caps.last().expect("non-empty") >= 2 * nf,
+                "top covers 2n for nf={nf}"
+            );
+            // O(1) levels for constant eps
+            assert!(s.r() <= 40, "r = {} too large", s.r());
+        }
+    }
+
+    #[test]
+    fn doubling_schedule_has_loglog_levels() {
+        let opts = DynOptions {
+            growth: Growth::Doubling,
+            ..DynOptions::default()
+        };
+        let s = CapacitySchedule::new(1_000_000, &opts);
+        // 2n / log²n doubling to 2n needs ~log(log² n) ≈ 9 levels.
+        assert!(s.r() <= 12, "r = {}", s.r());
+        assert!(*s.caps.last().expect("non-empty") >= 2_000_000);
+    }
+
+    #[test]
+    fn c0_is_small_fraction() {
+        let s = CapacitySchedule::new(1_000_000, &DynOptions::default());
+        assert!(s.cap(0) < 1_000_000 / 100, "C0 cap {} too big", s.cap(0));
+    }
+}

@@ -1,0 +1,270 @@
+//! The semi-dynamic, deletion-only index of §2 ("Supporting Document
+//! Deletions").
+//!
+//! Wraps any [`StaticIndex`] with:
+//! * the bit vector `B` over suffix-array rows (`B[j] = 0` iff row `j`
+//!   belongs to a deleted document), held in the Lemma 3 structure `V`
+//!   ([`OneBitReporter`]) so that a query range's *surviving* rows are
+//!   reported in O(1) each;
+//! * optionally (Theorem 1) a rank structure over `B` ([`FlipRank`]) so
+//!   occurrences can be *counted* without locating;
+//! * deleted-symbol accounting, so the owner can purge the index once a
+//!   `1/τ` fraction is dead.
+
+use crate::traits::StaticIndex;
+use dyndex_succinct::{FlipRank, OneBitReporter, SpaceUsage};
+use dyndex_text::Occurrence;
+use std::collections::HashMap;
+
+/// A static index plus lazy deletions.
+#[derive(Clone, Debug)]
+pub struct DeletionOnlyIndex<I: StaticIndex> {
+    index: I,
+    /// The paper's `B`/`V`: alive suffix rows.
+    alive: OneBitReporter,
+    /// Theorem 1: rank over `B` for counting (present iff counting enabled).
+    counts: Option<FlipRank>,
+    /// doc id → concatenation slot (for deletions).
+    slots: HashMap<u64, usize>,
+    /// Bytes belonging to deleted documents still encoded in the index.
+    dead_symbols: usize,
+    /// Bytes belonging to alive documents.
+    alive_symbols: usize,
+}
+
+impl<I: StaticIndex> DeletionOnlyIndex<I> {
+    /// Builds the wrapper around a fresh static index over `docs`.
+    pub fn build(docs: &[(u64, &[u8])], config: &I::Config, counting: bool) -> Self {
+        let index = I::build(docs, config);
+        Self::from_static(index, counting)
+    }
+
+    /// Wraps an already-built static index (all documents alive).
+    pub fn from_static(index: I, counting: bool) -> Self {
+        let rows = index.text_len();
+        let slots = index
+            .doc_ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| (id, slot))
+            .collect();
+        let alive_symbols = index.symbol_count();
+        DeletionOnlyIndex {
+            index,
+            alive: OneBitReporter::new_all_ones(rows),
+            counts: counting.then(|| FlipRank::new(rows, true)),
+            slots,
+            dead_symbols: 0,
+            alive_symbols,
+        }
+    }
+
+    /// The wrapped static index.
+    pub fn inner(&self) -> &I {
+        &self.index
+    }
+
+    /// Whether counting (Theorem 1) is enabled.
+    pub fn counting_enabled(&self) -> bool {
+        self.counts.is_some()
+    }
+
+    /// Bytes of alive documents.
+    pub fn alive_symbols(&self) -> usize {
+        self.alive_symbols
+    }
+
+    /// Bytes of deleted documents still physically present.
+    pub fn dead_symbols(&self) -> usize {
+        self.dead_symbols
+    }
+
+    /// Number of alive documents.
+    pub fn num_docs(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no documents remain alive.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `doc_id` is alive here.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.slots.contains_key(&doc_id)
+    }
+
+    /// Alive doc ids (arbitrary order).
+    pub fn doc_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.keys().copied()
+    }
+
+    /// Byte length of an alive document.
+    pub fn doc_len(&self, doc_id: u64) -> Option<usize> {
+        self.slots.get(&doc_id).map(|&s| self.index.doc_len(s))
+    }
+
+    /// Extracts bytes of an alive document.
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        self.slots
+            .get(&doc_id)
+            .map(|&s| self.index.extract(s, offset, len))
+    }
+
+    /// Lazily deletes a document: marks its suffix rows dead. Returns the
+    /// document's bytes, or `None` if absent. Cost: `tSA` once plus O(1)
+    /// amortized per symbol, plus `O(log n)` per symbol when counting is on.
+    pub fn delete(&mut self, doc_id: u64) -> Option<Vec<u8>> {
+        let slot = self.slots.remove(&doc_id)?;
+        let bytes = self.index.extract(slot, 0, self.index.doc_len(slot));
+        for row in self.index.doc_suffix_rows(slot) {
+            self.alive.zero(row);
+            if let Some(c) = self.counts.as_mut() {
+                c.set(row, false);
+            }
+        }
+        self.alive_symbols -= bytes.len();
+        self.dead_symbols += bytes.len();
+        Some(bytes)
+    }
+
+    /// All occurrences of `pattern` in *alive* documents.
+    ///
+    /// Range-finding once, then O(1) per surviving row (Lemma 3) plus the
+    /// static index's `tlocate` per reported occurrence.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        match self.index.find_range(pattern) {
+            None => Vec::new(),
+            Some((l, r)) => self
+                .alive
+                .report(l, r.saturating_sub(1))
+                .map(|row| self.index.locate_row(row).1)
+                .collect(),
+        }
+    }
+
+    /// Counts occurrences of `pattern` in alive documents.
+    ///
+    /// O(range-finding + log n) when counting is enabled (Theorem 1);
+    /// falls back to enumeration otherwise.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        match self.index.find_range(pattern) {
+            None => 0,
+            Some((l, r)) => match &self.counts {
+                Some(c) => c.count_ones_range(l, r),
+                None => self.alive.report(l, r.saturating_sub(1)).count(),
+            },
+        }
+    }
+
+    /// True iff at least `1/τ` of the stored symbols belong to deleted
+    /// documents — the §2 purge trigger.
+    pub fn needs_purge(&self, tau: usize) -> bool {
+        self.dead_symbols * tau >= (self.alive_symbols + self.dead_symbols).max(1)
+    }
+
+    /// Extracts all *alive* documents (purge/merge input).
+    pub fn export_alive_docs(&self) -> Vec<(u64, Vec<u8>)> {
+        self.index
+            .extract_all_docs()
+            .into_iter()
+            .filter(|(id, _)| self.slots.contains_key(id))
+            .collect()
+    }
+}
+
+impl<I: StaticIndex> SpaceUsage for DeletionOnlyIndex<I> {
+    fn heap_bytes(&self) -> usize {
+        self.index.heap_bytes()
+            + self.alive.heap_bytes()
+            + self.counts.heap_bytes()
+            + self.slots.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FmConfig;
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    type DelFm = DeletionOnlyIndex<FmIndex<HuffmanWavelet>>;
+
+    const DOCS: &[(u64, &[u8])] = &[
+        (1, b"abracadabra"),
+        (2, b"bazaar bazaar"),
+        (3, b"cadillac"),
+        (4, b"abra"),
+    ];
+
+    fn naive(docs: &[(u64, &[u8])], alive: &[u64], pattern: &[u8]) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        for (id, d) in docs {
+            if !alive.contains(id) || pattern.len() > d.len() || pattern.is_empty() {
+                continue;
+            }
+            for off in 0..=(d.len() - pattern.len()) {
+                if &d[off..off + pattern.len()] == pattern {
+                    out.push(Occurrence { doc: *id, offset: off });
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn check(del: &DelFm, alive: &[u64]) {
+        for p in [b"abra".as_slice(), b"a", b"za", b"cad", b"ac", b"qqq"] {
+            let want = naive(DOCS, alive, p);
+            let mut got = del.find(p);
+            got.sort();
+            assert_eq!(got, want, "find {:?}", String::from_utf8_lossy(p));
+            assert_eq!(del.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+        }
+    }
+
+    #[test]
+    fn delete_hides_occurrences() {
+        let mut del = DelFm::build(DOCS, &FmConfig { sample_rate: 4 }, true);
+        check(&del, &[1, 2, 3, 4]);
+        assert_eq!(del.delete(1).as_deref(), Some(b"abracadabra".as_slice()));
+        check(&del, &[2, 3, 4]);
+        assert_eq!(del.delete(4).as_deref(), Some(b"abra".as_slice()));
+        check(&del, &[2, 3]);
+        assert_eq!(del.delete(4), None);
+        assert_eq!(del.dead_symbols(), 11 + 4);
+        assert_eq!(del.alive_symbols(), 13 + 8);
+    }
+
+    #[test]
+    fn counting_disabled_falls_back() {
+        let mut del = DelFm::build(DOCS, &FmConfig { sample_rate: 4 }, false);
+        assert!(!del.counting_enabled());
+        del.delete(2);
+        check(&del, &[1, 3, 4]);
+    }
+
+    #[test]
+    fn purge_trigger() {
+        let mut del = DelFm::build(DOCS, &FmConfig { sample_rate: 4 }, false);
+        assert!(!del.needs_purge(4));
+        del.delete(2); // 13 of 36 bytes dead
+        assert!(del.needs_purge(3)); // 13*3 >= 36
+        assert!(!del.needs_purge(2)); // 13*2 < 36
+        let alive = del.export_alive_docs();
+        let ids: Vec<u64> = alive.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut del = DelFm::build(DOCS, &FmConfig { sample_rate: 2 }, true);
+        for (id, _) in DOCS {
+            del.delete(*id);
+        }
+        assert!(del.is_empty());
+        check(&del, &[]);
+        assert!(del.export_alive_docs().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! # dyndex-core
+//!
+//! The primary contribution of *Munro, Nekrich, Vitter: Dynamic Data
+//! Structures for Document Collections and Graphs* (PODS 2015): a general
+//! framework that turns **static** compressed full-text indexes into
+//! **dynamic** ones without paying the Fredman–Saks dynamic-rank lower
+//! bound on queries.
+//!
+//! * [`traits::StaticIndex`] — the interface any pluggable static index
+//!   satisfies (FM-index and classical suffix-array index provided).
+//! * [`deletion_only::DeletionOnlyIndex`] — §2's semi-dynamic wrapper:
+//!   lazy deletions via the Lemma 3 one-bit reporter, Theorem 1 counting.
+//! * [`transform1::Transform1Index`] — §2's fully-dynamic index with
+//!   amortized updates (geometric sub-collections + global rebuilds).
+//! * [`transform2::Transform2Index`] — §3's worst-case variant: locked
+//!   sub-collections, background rebuild jobs, temp indexes, top
+//!   collections with the Dietz–Sleator purge schedule.
+//! * [`transform3`] — Appendix A.4's `O(log log n)`-level schedule.
+//! * [`naive::NaiveIndex`] — brute-force ground truth.
+//!
+//! ```
+//! use dyndex_core::prelude::*;
+//!
+//! let mut index: Transform1Index<FmIndexCompressed> =
+//!     Transform1Index::new(FmConfig { sample_rate: 8 }, DynOptions::default());
+//! index.insert(1, b"the quick brown fox");
+//! index.insert(2, b"jumped over the lazy dog");
+//! assert_eq!(index.count(b"the"), 2);
+//! index.delete(1);
+//! assert_eq!(index.count(b"the"), 1);
+//! ```
+
+pub mod config;
+pub mod deletion_only;
+pub mod naive;
+pub mod stats;
+pub mod traits;
+pub mod transform1;
+pub mod transform2;
+pub mod transform3;
+
+pub use config::{CapacitySchedule, DynOptions, Growth};
+pub use deletion_only::DeletionOnlyIndex;
+pub use naive::NaiveIndex;
+pub use stats::{LevelStats, UpdateWork};
+pub use traits::{FmConfig, StaticIndex};
+pub use transform1::Transform1Index;
+pub use transform2::{RebuildMode, Transform2Index};
+pub use transform3::{new_transform3, transform3_options, Transform3Index};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::config::{DynOptions, Growth};
+    pub use crate::deletion_only::DeletionOnlyIndex;
+    pub use crate::naive::NaiveIndex;
+    pub use crate::traits::{FmConfig, StaticIndex};
+    pub use crate::transform1::Transform1Index;
+    pub use crate::transform2::{RebuildMode, Transform2Index};
+    pub use crate::transform3::{new_transform3, Transform3Index};
+    pub use dyndex_text::{FmIndexCompressed, FmIndexPlain, Occurrence, SaIndex};
+}

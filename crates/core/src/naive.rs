@@ -1,0 +1,106 @@
+//! A brute-force reference index: ground truth for every test in the
+//! repository, and the "no index" baseline in benchmarks.
+
+use dyndex_text::Occurrence;
+use std::collections::BTreeMap;
+
+/// Stores documents verbatim; answers queries by scanning.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveIndex {
+    docs: BTreeMap<u64, Vec<u8>>,
+    symbols: usize,
+}
+
+impl NaiveIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a document. Panics if the id is taken.
+    pub fn insert(&mut self, doc_id: u64, bytes: &[u8]) {
+        let prev = self.docs.insert(doc_id, bytes.to_vec());
+        assert!(prev.is_none(), "document {doc_id} already present");
+        self.symbols += bytes.len();
+    }
+
+    /// Deletes a document, returning its bytes.
+    pub fn delete(&mut self, doc_id: u64) -> Option<Vec<u8>> {
+        let bytes = self.docs.remove(&doc_id)?;
+        self.symbols -= bytes.len();
+        Some(bytes)
+    }
+
+    /// Whether `doc_id` is present.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.docs.contains_key(&doc_id)
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Total bytes.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols
+    }
+
+    /// All occurrences of `pattern`, sorted.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        if pattern.is_empty() {
+            return out;
+        }
+        for (&id, d) in &self.docs {
+            if pattern.len() > d.len() {
+                continue;
+            }
+            for off in 0..=(d.len() - pattern.len()) {
+                if &d[off..off + pattern.len()] == pattern {
+                    out.push(Occurrence { doc: id, offset: off });
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.find(pattern).len()
+    }
+
+    /// Bytes of a document.
+    pub fn doc_bytes(&self, doc_id: u64) -> Option<&[u8]> {
+        self.docs.get(&doc_id).map(|v| v.as_slice())
+    }
+
+    /// All `(id, bytes)` pairs, sorted by id.
+    pub fn export_docs(&self) -> Vec<(u64, Vec<u8>)> {
+        self.docs.iter().map(|(&id, d)| (id, d.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut n = NaiveIndex::new();
+        n.insert(1, b"abab");
+        n.insert(2, b"ba");
+        assert_eq!(n.count(b"ab"), 2);
+        assert_eq!(n.count(b"ba"), 2);
+        assert_eq!(
+            n.find(b"ab"),
+            vec![
+                Occurrence { doc: 1, offset: 0 },
+                Occurrence { doc: 1, offset: 2 }
+            ]
+        );
+        assert_eq!(n.delete(1).as_deref(), Some(b"abab".as_slice()));
+        assert_eq!(n.count(b"ab"), 0);
+        assert_eq!(n.symbol_count(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Instrumentation: per-level census and update-work accounting.
+//!
+//! These feed the Figure 1–3 harnesses: the paper's figures depict the
+//! sub-collection layout (Fig. 1–2) and the background-rebuild lifecycle
+//! (Fig. 3); our harnesses print the measured equivalents.
+
+/// Census of one sub-collection at a point in time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Display name (`C0`, `C3`, `L2`, `T1`, `Temp2`, …).
+    pub name: String,
+    /// Capacity bound (0 = unbounded, e.g. one-document tops).
+    pub capacity: usize,
+    /// Alive bytes.
+    pub alive_symbols: usize,
+    /// Deleted-but-retained bytes.
+    pub dead_symbols: usize,
+    /// Alive documents.
+    pub docs: usize,
+}
+
+/// Cumulative and per-operation update-work counters.
+///
+/// "Work" is measured in *symbols (re)built into static indexes* — the
+/// unit the paper's `O(|Tu| · u(n) · …)` bounds are stated in.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateWork {
+    /// Symbols built during the most recent update operation.
+    pub last_op_symbols: usize,
+    /// Largest single-operation build.
+    pub max_op_symbols: usize,
+    /// Total symbols built into static indexes over all time.
+    pub total_symbols: usize,
+    /// Level-rebuild events (insert cascades).
+    pub rebuilds: u64,
+    /// Purge events (deletion-triggered in-place rebuilds).
+    pub purges: u64,
+    /// Global rebuild events.
+    pub global_rebuilds: u64,
+    /// Background jobs started (Transformation 2 only).
+    pub jobs_started: u64,
+    /// Background jobs completed (Transformation 2 only).
+    pub jobs_completed: u64,
+    /// Times the foreground had to wait for a background job
+    /// (Transformation 2 only; the paper schedules these to zero).
+    pub forced_waits: u64,
+}
+
+impl UpdateWork {
+    /// Marks the start of an update operation.
+    pub fn begin_op(&mut self) {
+        self.last_op_symbols = 0;
+    }
+
+    /// Records `symbols` of foreground work in the current operation.
+    pub fn count_symbols(&mut self, symbols: usize) {
+        self.last_op_symbols += symbols;
+        self.max_op_symbols = self.max_op_symbols.max(self.last_op_symbols);
+        self.total_symbols += symbols;
+    }
+
+    /// Records a level rebuild of `symbols`.
+    pub fn count_rebuild(&mut self, symbols: usize) {
+        self.rebuilds += 1;
+        self.count_symbols(symbols);
+    }
+
+    /// Records a purge of `symbols`.
+    pub fn count_purge(&mut self, symbols: usize) {
+        self.purges += 1;
+        self.count_symbols(symbols);
+    }
+
+    /// Records a global rebuild of `symbols`.
+    pub fn count_global_rebuild(&mut self, symbols: usize) {
+        self.global_rebuilds += 1;
+        self.count_symbols(symbols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_accounting() {
+        let mut w = UpdateWork::default();
+        w.begin_op();
+        w.count_rebuild(100);
+        assert_eq!(w.last_op_symbols, 100);
+        w.begin_op();
+        w.count_symbols(5);
+        w.count_purge(50);
+        assert_eq!(w.last_op_symbols, 55);
+        assert_eq!(w.max_op_symbols, 100);
+        assert_eq!(w.total_symbols, 155);
+        assert_eq!(w.rebuilds, 1);
+        assert_eq!(w.purges, 1);
+    }
+}

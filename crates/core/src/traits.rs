@@ -1,0 +1,170 @@
+//! The static-index abstraction the transformations are generic over.
+//!
+//! The paper (§2) requires of `Is` only that it
+//! 1. is `(u(n), w(n))`-constructible (here: [`StaticIndex::build`]),
+//! 2. uses monotone space `|S|·φ(S)`,
+//! 3. answers queries by the two-step *range-finding* / *locating* method,
+//! 4. can compute the suffix-array rank of any suffix (`tSA`), and
+//! 5. can report suffix rows per document (needed by lazy deletion).
+//!
+//! Any index satisfying this interface — every compressed-suffix-array /
+//! BWT index, per the paper — can be plugged into Transformations 1–3.
+//! We provide two: the FM-index (compressed regime, Tables 1–2) and the
+//! classical suffix-array index (fast regime, Table 3).
+
+use dyndex_succinct::{Sequence, SpaceUsage};
+use dyndex_text::{FmIndex, Occurrence, SaIndex};
+
+/// A static full-text index over a document collection.
+pub trait StaticIndex: SpaceUsage + Send + Sized + 'static {
+    /// Build-time configuration (e.g. the locate sample rate `s`).
+    type Config: Clone + Send + Sync + 'static;
+
+    /// Constructs the index over `(doc_id, bytes)` pairs — the paper's
+    /// `O(n·u(n))`-time construction.
+    fn build(docs: &[(u64, &[u8])], config: &Self::Config) -> Self;
+
+    /// Range-finding: the suffix-array interval `[l, r)` of suffixes
+    /// starting with `pattern`, or `None`.
+    fn find_range(&self, pattern: &[u8]) -> Option<(usize, usize)>;
+
+    /// Locating: resolve suffix-array row `row` to an occurrence.
+    fn locate_row(&self, row: usize) -> (usize, Occurrence);
+
+    /// Length of the encoded text (= number of suffix-array rows).
+    fn text_len(&self) -> usize;
+
+    /// Total document bytes stored.
+    fn symbol_count(&self) -> usize;
+
+    /// Caller-assigned document ids, in concatenation order.
+    fn doc_ids(&self) -> &[u64];
+
+    /// Byte length of the document in concatenation slot `slot`.
+    fn doc_len(&self, slot: usize) -> usize;
+
+    /// Extracts up to `len` bytes of document `slot` starting at `offset`.
+    fn extract(&self, slot: usize, offset: usize, len: usize) -> Vec<u8>;
+
+    /// Suffix-array rows of all suffixes starting inside document `slot`
+    /// (the rows lazy deletion must mark dead). The paper's `tSA` budget.
+    fn doc_suffix_rows(&self, slot: usize) -> Vec<usize>;
+
+    /// Reconstructs every stored document.
+    fn extract_all_docs(&self) -> Vec<(u64, Vec<u8>)>;
+}
+
+/// Configuration for FM-indexes: the paper's space/time parameter `s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FmConfig {
+    /// Locate sample rate (`tlocate = O(s)`, space `O(n log n / s)`).
+    pub sample_rate: usize,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig { sample_rate: 8 }
+    }
+}
+
+impl<S: Sequence + Send + 'static> StaticIndex for FmIndex<S> {
+    type Config = FmConfig;
+
+    fn build(docs: &[(u64, &[u8])], config: &FmConfig) -> Self {
+        FmIndex::build(docs, config.sample_rate)
+    }
+    fn find_range(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        FmIndex::find_range(self, pattern)
+    }
+    fn locate_row(&self, row: usize) -> (usize, Occurrence) {
+        self.resolve(FmIndex::locate_row(self, row))
+    }
+    fn text_len(&self) -> usize {
+        FmIndex::text_len(self)
+    }
+    fn symbol_count(&self) -> usize {
+        FmIndex::symbol_count(self)
+    }
+    fn doc_ids(&self) -> &[u64] {
+        FmIndex::doc_ids(self)
+    }
+    fn doc_len(&self, slot: usize) -> usize {
+        FmIndex::doc_len(self, slot)
+    }
+    fn extract(&self, slot: usize, offset: usize, len: usize) -> Vec<u8> {
+        FmIndex::extract(self, slot, offset, len)
+    }
+    fn doc_suffix_rows(&self, slot: usize) -> Vec<usize> {
+        FmIndex::doc_suffix_rows(self, slot)
+    }
+    fn extract_all_docs(&self) -> Vec<(u64, Vec<u8>)> {
+        FmIndex::extract_all_docs(self)
+    }
+}
+
+impl StaticIndex for SaIndex {
+    type Config = ();
+
+    fn build(docs: &[(u64, &[u8])], _config: &()) -> Self {
+        SaIndex::build(docs)
+    }
+    fn find_range(&self, pattern: &[u8]) -> Option<(usize, usize)> {
+        SaIndex::find_range(self, pattern)
+    }
+    fn locate_row(&self, row: usize) -> (usize, Occurrence) {
+        self.resolve(SaIndex::locate_row(self, row))
+    }
+    fn text_len(&self) -> usize {
+        SaIndex::text_len(self)
+    }
+    fn symbol_count(&self) -> usize {
+        SaIndex::symbol_count(self)
+    }
+    fn doc_ids(&self) -> &[u64] {
+        SaIndex::doc_ids(self)
+    }
+    fn doc_len(&self, slot: usize) -> usize {
+        SaIndex::doc_len(self, slot)
+    }
+    fn extract(&self, slot: usize, offset: usize, len: usize) -> Vec<u8> {
+        SaIndex::extract(self, slot, offset, len)
+    }
+    fn doc_suffix_rows(&self, slot: usize) -> Vec<usize> {
+        SaIndex::doc_suffix_rows(self, slot)
+    }
+    fn extract_all_docs(&self) -> Vec<(u64, Vec<u8>)> {
+        SaIndex::extract_all_docs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_succinct::HuffmanWavelet;
+
+    fn exercise<I: StaticIndex>(config: &I::Config) {
+        let docs: &[(u64, &[u8])] = &[(1, b"abcabc"), (2, b"bca")];
+        let idx = I::build(docs, config);
+        assert_eq!(idx.doc_ids(), &[1, 2]);
+        assert_eq!(idx.symbol_count(), 9);
+        let (l, r) = idx.find_range(b"bc").expect("present");
+        assert_eq!(r - l, 3);
+        let mut occs: Vec<Occurrence> = (l..r).map(|row| idx.locate_row(row).1).collect();
+        occs.sort();
+        assert_eq!(
+            occs,
+            vec![
+                Occurrence { doc: 1, offset: 1 },
+                Occurrence { doc: 1, offset: 4 },
+                Occurrence { doc: 2, offset: 0 }
+            ]
+        );
+        assert_eq!(idx.extract(0, 3, 3), b"abc");
+    }
+
+    #[test]
+    fn fm_and_sa_satisfy_contract() {
+        exercise::<FmIndex<HuffmanWavelet>>(&FmConfig { sample_rate: 4 });
+        exercise::<SaIndex>(&());
+    }
+}

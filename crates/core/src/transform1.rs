@@ -1,0 +1,506 @@
+//! **Transformation 1** (§2): static compressed index → fully-dynamic
+//! index with amortized update cost.
+//!
+//! The collection is split into sub-collections `C0, C1, …, Cr` with
+//! geometrically growing capacities (`max_i = 2(n/log²n)·log^{εi} n`).
+//! `C0` is the uncompressed generalized suffix tree (Appendix A.2); every
+//! `C_i, i ≥ 1` is a [`DeletionOnlyIndex`] over the plugged-in static
+//! index. Insertions cascade: the smallest level that can absorb all
+//! smaller levels plus the new document is rebuilt; a *global rebuild*
+//! refreshes the schedule when `n` leaves `[nf/2, 2nf]`. Deletions are
+//! lazy, with per-level purges at deleted fraction `1/τ`.
+//!
+//! With `Growth::Doubling` this same type implements **Transformation 3**
+//! (Appendix A.4): `O(log log n)` levels, cheaper amortized insertion,
+//! `× log log n` on range-finding.
+
+use crate::config::{CapacitySchedule, DynOptions};
+use crate::deletion_only::DeletionOnlyIndex;
+use crate::stats::{LevelStats, UpdateWork};
+use crate::traits::StaticIndex;
+use dyndex_succinct::SpaceUsage;
+use dyndex_text::{Occurrence, SuffixTree};
+use std::collections::HashMap;
+
+/// Where a document currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Location {
+    C0,
+    Level(usize),
+}
+
+/// A fully-dynamic document index with amortized updates (Transformation 1;
+/// Transformation 3 with [`crate::config::Growth::Doubling`]).
+#[derive(Debug)]
+pub struct Transform1Index<I: StaticIndex> {
+    /// The uncompressed fully-dynamic sub-collection `C0`.
+    c0: SuffixTree,
+    /// Levels `1..=r` (index 0 unused).
+    levels: Vec<Option<DeletionOnlyIndex<I>>>,
+    schedule: CapacitySchedule,
+    config: I::Config,
+    options: DynOptions,
+    locations: HashMap<u64, Location>,
+    /// Alive symbols (bytes) across all structures.
+    n: usize,
+    work: UpdateWork,
+}
+
+impl<I: StaticIndex> Transform1Index<I> {
+    /// Creates an empty dynamic index.
+    pub fn new(config: I::Config, options: DynOptions) -> Self {
+        let schedule = CapacitySchedule::new(0, &options);
+        let levels = (0..schedule.caps.len()).map(|_| None).collect();
+        Transform1Index {
+            c0: SuffixTree::new(),
+            levels,
+            schedule,
+            config,
+            options,
+            locations: HashMap::new(),
+            n: 0,
+            work: UpdateWork::default(),
+        }
+    }
+
+    /// Builds an index preloaded with `docs` (one global rebuild).
+    pub fn with_docs(config: I::Config, options: DynOptions, docs: &[(u64, &[u8])]) -> Self {
+        let mut idx = Self::new(config, options);
+        for (id, bytes) in docs {
+            idx.insert(*id, bytes);
+        }
+        idx
+    }
+
+    /// Number of alive documents.
+    pub fn num_docs(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Total alive bytes.
+    pub fn symbol_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `doc_id` is present.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.locations.contains_key(&doc_id)
+    }
+
+    /// Cumulative update-work statistics (for the figure harnesses).
+    pub fn work(&self) -> &UpdateWork {
+        &self.work
+    }
+
+    /// Alive symbols at level `i` (0 = C0).
+    fn level_size(&self, i: usize) -> usize {
+        if i == 0 {
+            self.c0.symbol_count()
+        } else {
+            self.levels[i].as_ref().map_or(0, |l| l.alive_symbols())
+        }
+    }
+
+    /// Inserts a document.
+    ///
+    /// Amortized `O(u(n) · log^ε n)` per symbol (Transformation 1) or
+    /// `O(u(n) · log log n)` (Transformation 3).
+    ///
+    /// # Panics
+    /// Panics if `doc_id` is already present.
+    pub fn insert(&mut self, doc_id: u64, bytes: &[u8]) {
+        assert!(
+            !self.locations.contains_key(&doc_id),
+            "document {doc_id} already present"
+        );
+        self.work.begin_op();
+        self.n += bytes.len();
+        // Global rebuild when n outgrows the schedule (paper: "when the
+        // total number of elements is at least doubled").
+        if self.n > 2 * self.schedule.nf.max(self.options.min_capacity) {
+            self.global_rebuild(Some((doc_id, bytes)));
+            return;
+        }
+        self.insert_into_c0_or_cascade(doc_id, bytes);
+    }
+
+    fn insert_into_c0_or_cascade(&mut self, doc_id: u64, bytes: &[u8]) {
+        // Find the smallest j with  Σ_{i<=j} size(i) + |T| <= max_j.
+        let mut prefix = 0usize;
+        let mut target: Option<usize> = None;
+        for j in 0..self.levels.len() {
+            prefix += self.level_size(j);
+            if prefix + bytes.len() <= self.schedule.cap(j) {
+                target = Some(j);
+                break;
+            }
+        }
+        match target {
+            Some(0) => {
+                self.c0.insert(doc_id, bytes);
+                self.locations.insert(doc_id, Location::C0);
+                self.work.count_symbols(bytes.len());
+            }
+            Some(j) => self.rebuild_level_from_prefix(j, Some((doc_id, bytes))),
+            None => {
+                // Nothing fits: global rebuild absorbs everything.
+                self.global_rebuild(Some((doc_id, bytes)));
+            }
+        }
+    }
+
+    /// Rebuilds level `j` from `C0 ∪ C1 ∪ … ∪ Cj (∪ new doc)`.
+    fn rebuild_level_from_prefix(&mut self, j: usize, new_doc: Option<(u64, &[u8])>) {
+        let mut docs: Vec<(u64, Vec<u8>)> = self.c0.export_docs();
+        self.c0 = SuffixTree::new();
+        for level in self.levels[1..=j].iter_mut() {
+            if let Some(del) = level.take() {
+                docs.extend(del.export_alive_docs());
+            }
+        }
+        if let Some((id, bytes)) = new_doc {
+            docs.push((id, bytes.to_vec()));
+        }
+        let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+        debug_assert!(total <= self.schedule.cap(j), "level {j} overfull");
+        for (id, _) in &docs {
+            self.locations.insert(*id, Location::Level(j));
+        }
+        let doc_refs: Vec<(u64, &[u8])> =
+            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        self.levels[j] = Some(DeletionOnlyIndex::build(
+            &doc_refs,
+            &self.config,
+            self.options.counting,
+        ));
+        self.work.count_rebuild(total);
+    }
+
+    /// Moves everything into a fresh top level under a schedule computed
+    /// from the current size (the paper's global rebuild).
+    fn global_rebuild(&mut self, new_doc: Option<(u64, &[u8])>) {
+        let mut docs: Vec<(u64, Vec<u8>)> = self.c0.export_docs();
+        self.c0 = SuffixTree::new();
+        for level in self.levels.iter_mut().skip(1) {
+            if let Some(del) = level.take() {
+                docs.extend(del.export_alive_docs());
+            }
+        }
+        if let Some((id, bytes)) = new_doc {
+            docs.push((id, bytes.to_vec()));
+        }
+        self.schedule = CapacitySchedule::new(self.n, &self.options);
+        self.levels = (0..self.schedule.caps.len()).map(|_| None).collect();
+        let r = self.levels.len() - 1;
+        if !docs.is_empty() {
+            for (id, _) in &docs {
+                self.locations.insert(*id, Location::Level(r));
+            }
+            let doc_refs: Vec<(u64, &[u8])> =
+                docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            self.levels[r] = Some(DeletionOnlyIndex::build(
+                &doc_refs,
+                &self.config,
+                self.options.counting,
+            ));
+        }
+        let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+        self.work.count_global_rebuild(total);
+    }
+
+    /// Deletes a document, returning its bytes.
+    ///
+    /// Amortized `O(u(n)·τ + tSA + …)` per symbol (§2).
+    pub fn delete(&mut self, doc_id: u64) -> Option<Vec<u8>> {
+        let loc = self.locations.remove(&doc_id)?;
+        self.work.begin_op();
+        let bytes = match loc {
+            Location::C0 => self.c0.delete(doc_id).expect("location map out of sync"),
+            Location::Level(i) => {
+                let level = self.levels[i].as_mut().expect("location map out of sync");
+                let bytes = level.delete(doc_id).expect("location map out of sync");
+                if level.needs_purge(self.options.tau) {
+                    self.purge_level(i);
+                }
+                bytes
+            }
+        };
+        self.n -= bytes.len();
+        // Keep nf = Θ(n): shrink-triggered global rebuild.
+        if self.n * 2 < self.schedule.nf && self.schedule.nf > self.options.min_capacity {
+            self.global_rebuild(None);
+        }
+        Some(bytes)
+    }
+
+    /// Rebuilds level `i` in place without its deleted documents (§2's
+    /// purge of a semi-dynamic index).
+    fn purge_level(&mut self, i: usize) {
+        let Some(del) = self.levels[i].take() else {
+            return;
+        };
+        let docs = del.export_alive_docs();
+        if docs.is_empty() {
+            self.work.count_purge(0);
+            return;
+        }
+        let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+        let doc_refs: Vec<(u64, &[u8])> =
+            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        self.levels[i] = Some(DeletionOnlyIndex::build(
+            &doc_refs,
+            &self.config,
+            self.options.counting,
+        ));
+        self.work.count_purge(total);
+    }
+
+    /// All occurrences of `pattern` across alive documents. Queries all
+    /// `O(r)` sub-collections; costs the static index's range-finding plus
+    /// `tlocate` per occurrence.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        let mut out = self.c0.find(pattern);
+        for level in self.levels.iter().flatten() {
+            out.extend(level.find(pattern));
+        }
+        out
+    }
+
+    /// Counts occurrences of `pattern` (Theorem 1 when counting is enabled).
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.c0.count(pattern)
+            + self
+                .levels
+                .iter()
+                .flatten()
+                .map(|l| l.count(pattern))
+                .sum::<usize>()
+    }
+
+    /// Extracts up to `len` bytes of a document from `offset`.
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        match self.locations.get(&doc_id)? {
+            Location::C0 => {
+                let bytes = self.c0.doc_bytes(doc_id)?;
+                let a = offset.min(bytes.len());
+                let b = (offset + len).min(bytes.len());
+                Some(bytes[a..b].to_vec())
+            }
+            Location::Level(i) => self.levels[*i].as_ref()?.extract(doc_id, offset, len),
+        }
+    }
+
+    /// Per-level census (for the Figure 1 harness).
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        let mut out = vec![LevelStats {
+            name: "C0".to_string(),
+            capacity: self.schedule.cap(0),
+            alive_symbols: self.c0.symbol_count(),
+            dead_symbols: self.c0.retained_dead_symbols(),
+            docs: self.c0.num_docs(),
+        }];
+        for (i, level) in self.levels.iter().enumerate().skip(1) {
+            let (alive, dead, docs) = level
+                .as_ref()
+                .map_or((0, 0, 0), |l| (l.alive_symbols(), l.dead_symbols(), l.num_docs()));
+            out.push(LevelStats {
+                name: format!("C{i}"),
+                capacity: self.schedule.cap(i),
+                alive_symbols: alive,
+                dead_symbols: dead,
+                docs,
+            });
+        }
+        out
+    }
+
+    /// Validates the §2 invariants (used by tests and figure harnesses).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        // Capacity bounds.
+        assert!(
+            self.c0.symbol_count() <= self.schedule.cap(0),
+            "C0 over capacity"
+        );
+        for (i, level) in self.levels.iter().enumerate().skip(1) {
+            if let Some(l) = level.as_ref() {
+                assert!(
+                    l.alive_symbols() <= self.schedule.cap(i),
+                    "level {i} over capacity: {} > {}",
+                    l.alive_symbols(),
+                    self.schedule.cap(i)
+                );
+                // Deleted fraction bounded by 1/τ (checked post-purge).
+                assert!(
+                    !l.needs_purge(self.options.tau)
+                        || l.dead_symbols() * self.options.tau
+                            == (l.alive_symbols() + l.dead_symbols()),
+                    "level {i} holds too much deleted data"
+                );
+            }
+        }
+        // Location map consistency.
+        let mut total = 0usize;
+        for (&id, &loc) in &self.locations {
+            match loc {
+                Location::C0 => assert!(self.c0.contains_doc(id), "{id} missing from C0"),
+                Location::Level(i) => assert!(
+                    self.levels[i].as_ref().is_some_and(|l| l.contains(id)),
+                    "{id} missing from level {i}"
+                ),
+            }
+        }
+        total += self.c0.symbol_count();
+        for level in self.levels.iter().flatten() {
+            total += level.alive_symbols();
+        }
+        assert_eq!(total, self.n, "symbol accounting out of sync");
+    }
+}
+
+impl<I: StaticIndex> SpaceUsage for Transform1Index<I> {
+    fn heap_bytes(&self) -> usize {
+        self.c0.heap_bytes()
+            + self
+                .levels
+                .iter()
+                .flatten()
+                .map(|l| l.heap_bytes())
+                .sum::<usize>()
+            + self.locations.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIndex;
+    use crate::traits::FmConfig;
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    type DynFm = Transform1Index<FmIndex<HuffmanWavelet>>;
+
+    fn opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 32,
+            ..DynOptions::default()
+        }
+    }
+
+    fn assert_matches(idx: &DynFm, naive: &NaiveIndex, patterns: &[&[u8]]) {
+        for &p in patterns {
+            let mut got = idx.find(p);
+            got.sort();
+            let want = naive.find(p);
+            assert_eq!(got, want, "pattern {:?}", String::from_utf8_lossy(p));
+            assert_eq!(idx.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+        }
+    }
+
+    #[test]
+    fn insert_query_small() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
+        let mut naive = NaiveIndex::new();
+        for (id, d) in [(1u64, b"hello world".as_slice()), (2, b"world wide web"), (3, b"w")] {
+            idx.insert(id, d);
+            naive.insert(id, d);
+        }
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"world", b"w", b"web", b"ld", b"zzz"]);
+        assert_eq!(idx.num_docs(), 3);
+    }
+
+    #[test]
+    fn cascade_to_static_levels() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
+        let mut naive = NaiveIndex::new();
+        // Enough volume to overflow C0 (cap 32 at min schedule) repeatedly.
+        for i in 0..60u64 {
+            let doc = format!("document number {i} contains filler text {i}");
+            idx.insert(i, doc.as_bytes());
+            naive.insert(i, doc.as_bytes());
+            idx.check_invariants();
+        }
+        assert_matches(&idx, &naive, &[b"document", b"number 3", b"filler", b"text 59"]);
+        assert!(idx.work().rebuilds > 0, "cascades must have happened");
+    }
+
+    #[test]
+    fn delete_everywhere() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
+        let mut naive = NaiveIndex::new();
+        for i in 0..40u64 {
+            let doc = format!("shared corpus entry {i} with overlap overlap");
+            idx.insert(i, doc.as_bytes());
+            naive.insert(i, doc.as_bytes());
+        }
+        // Delete every third document (hits C0 and static levels).
+        for i in (0..40u64).step_by(3) {
+            let want = naive.delete(i);
+            assert_eq!(idx.delete(i), want, "delete {i}");
+            idx.check_invariants();
+        }
+        assert_matches(&idx, &naive, &[b"overlap", b"entry 1", b"entry 3", b"corpus"]);
+        assert_eq!(idx.delete(999), None);
+    }
+
+    #[test]
+    fn churn_matches_naive() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
+        let mut naive = NaiveIndex::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..200u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if r % 4 != 0 || live.is_empty() {
+                let id = 1000 + step;
+                let doc = format!("entry {step} {}", "abcab".repeat((r % 7) as usize));
+                idx.insert(id, doc.as_bytes());
+                naive.insert(id, doc.as_bytes());
+                live.push(id);
+            } else {
+                let pick = (r as usize / 4) % live.len();
+                let id = live.swap_remove(pick);
+                assert_eq!(idx.delete(id), naive.delete(id), "step {step}");
+            }
+            if step % 29 == 0 {
+                idx.check_invariants();
+                assert_matches(&idx, &naive, &[b"abcab", b"entry 1", b"bc", b"cabab"]);
+            }
+        }
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"abcab", b"entry", b"bca"]);
+    }
+
+    #[test]
+    fn huge_document_forces_global_rebuild() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 8 }, opts());
+        let mut naive = NaiveIndex::new();
+        idx.insert(1, b"tiny");
+        naive.insert(1, b"tiny");
+        let big = "leviathan ".repeat(500);
+        idx.insert(2, big.as_bytes());
+        naive.insert(2, big.as_bytes());
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"leviathan", b"tiny", b"an le"]);
+        assert!(idx.work().global_rebuilds >= 1);
+    }
+
+    #[test]
+    fn extraction() {
+        let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
+        idx.insert(5, b"extract me please");
+        assert_eq!(idx.extract(5, 8, 2).as_deref(), Some(b"me".as_slice()));
+        for i in 0..50u64 {
+            idx.insert(100 + i, format!("padding text {i}").as_bytes());
+        }
+        // Doc 5 has moved to a static level by now.
+        assert_eq!(idx.extract(5, 8, 2).as_deref(), Some(b"me".as_slice()));
+        assert_eq!(idx.extract(5, 11, 100).as_deref(), Some(b"please".as_slice()));
+        assert_eq!(idx.extract(12345, 0, 1), None);
+    }
+}

@@ -1,0 +1,1146 @@
+//! **Transformation 2** (§3): static compressed index → fully-dynamic
+//! index with **worst-case** update cost, via background rebuilding.
+//!
+//! Layout (paper Fig. 2): sub-collections `C0..Cr` as in Transformation 1,
+//! plus, per level, a **locked** copy `L_j` (an old `C_j` whose replacement
+//! `N_{j+1}` is being built in the background), a one-document **Temp**
+//! index holding the insertion that triggered the rebuild, **top
+//! collections** `T_1..T_g` holding the bulk of the data (each
+//! `Θ(nf/τ)` symbols, or a single huge document), and `L'_r` (an old `C_r`
+//! awaiting top-collection maintenance).
+//!
+//! Rebuild lifecycle (paper Fig. 3): when `C_{j+1}` must absorb `C_j` and a
+//! new document `T`, `C_j` is renamed `L_j`, `T` gets a temporary index
+//! `Temp_{j+1}`, and a background job starts building
+//! `N_{j+1} = L_j ∪ C_{j+1} ∪ T`. Queries keep hitting `L_j`, the old
+//! `C_{j+1}`, and `Temp_{j+1}`; when the job finishes, `N_{j+1}` replaces
+//! them atomically.
+//!
+//! Top collections are kept ≤ `O(1/τ)` deleted via the Lemma 1
+//! (Dietz–Sleator) schedule: after every `nf/(2τ log τ)` deleted symbols,
+//! the top with the most deletions is rebuilt (merging `L'_r` when
+//! present) — one top job at a time.
+//!
+//! Background execution uses real threads ([`RebuildMode::Background`]),
+//! matching the paper's "the cost of creating `N_{j+1}` is distributed
+//! among the next `max_j` updates": foreground operations never pay for a
+//! rebuild. [`RebuildMode::Inline`] computes each job synchronously at
+//! spawn (deterministic; used by tests) while still exercising the same
+//! lock/install state machine.
+
+use crate::config::{CapacitySchedule, DynOptions};
+use crate::deletion_only::DeletionOnlyIndex;
+use crate::stats::{LevelStats, UpdateWork};
+use crate::traits::StaticIndex;
+use dyndex_succinct::SpaceUsage;
+use dyndex_text::{Occurrence, SuffixTree};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// How background rebuild jobs execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildMode {
+    /// Jobs run on a spawned thread; the foreground never blocks unless a
+    /// scheduling conflict forces a join (counted in
+    /// [`UpdateWork::forced_waits`]).
+    Background,
+    /// Jobs are computed synchronously at spawn but installed at the next
+    /// operation — deterministic, same state machine.
+    Inline,
+}
+
+/// Where a document currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Loc {
+    C0,
+    Cur(usize),
+    Locked(usize),
+    /// Temp index at level `i` (holds one document).
+    Temp(usize),
+    TempTop,
+    Top(usize),
+    LrPrime,
+}
+
+/// A background (or inline-deferred) index build.
+struct Job<I: StaticIndex> {
+    handle: Option<JoinHandle<DeletionOnlyIndex<I>>>,
+    ready: Option<DeletionOnlyIndex<I>>,
+    /// Deletions requested while the job ran; applied on install.
+    pending_deletes: Vec<u64>,
+    symbols: usize,
+}
+
+impl<I: StaticIndex> Job<I> {
+    fn spawn(
+        docs: Vec<(u64, Vec<u8>)>,
+        config: &I::Config,
+        counting: bool,
+        mode: RebuildMode,
+    ) -> Self {
+        let symbols: usize = docs.iter().map(|(_, d)| d.len()).sum();
+        match mode {
+            RebuildMode::Inline => {
+                let refs: Vec<(u64, &[u8])> =
+                    docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+                Job {
+                    handle: None,
+                    ready: Some(DeletionOnlyIndex::build(&refs, config, counting)),
+                    pending_deletes: Vec::new(),
+                    symbols,
+                }
+            }
+            RebuildMode::Background => {
+                let config = config.clone();
+                let handle = std::thread::spawn(move || {
+                    let refs: Vec<(u64, &[u8])> =
+                        docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+                    DeletionOnlyIndex::build(&refs, &config, counting)
+                });
+                Job {
+                    handle: Some(handle),
+                    ready: None,
+                    pending_deletes: Vec::new(),
+                    symbols,
+                }
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        match &self.handle {
+            Some(h) => h.is_finished(),
+            None => true,
+        }
+    }
+
+    /// Takes the result, blocking if necessary.
+    fn join(mut self) -> (DeletionOnlyIndex<I>, Vec<u64>) {
+        let mut index = match self.handle.take() {
+            Some(h) => h.join().expect("rebuild thread panicked"),
+            None => self.ready.take().expect("inline job must hold a result"),
+        };
+        for id in &self.pending_deletes {
+            index.delete(*id);
+        }
+        (index, self.pending_deletes)
+    }
+}
+
+impl<I: StaticIndex> std::fmt::Debug for Job<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("symbols", &self.symbols)
+            .field("finished", &self.is_finished())
+            .field("pending_deletes", &self.pending_deletes.len())
+            .finish()
+    }
+}
+
+/// What a finished top-maintenance job installs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TopJobKind {
+    /// Replace top `t` (purge of its deleted symbols).
+    Replace(usize),
+    /// New top built from `L'_r` alone.
+    FromLrPrime,
+    /// `L'_r` merged with top `t` (single result ≤ 2nf/τ).
+    MergeLrPrime(usize),
+    /// Two smallest tops `a < b` merged (keeps `g = O(τ)`).
+    MergeTops(usize, usize),
+}
+
+/// One static level: current, locked, and temp structures.
+#[derive(Debug)]
+struct Level<I: StaticIndex> {
+    cur: Option<DeletionOnlyIndex<I>>,
+    locked: Option<DeletionOnlyIndex<I>>,
+    /// One-document index for the insertion that triggered the level's
+    /// in-flight rebuild (the paper's `Temp_i`).
+    temp: Option<DeletionOnlyIndex<I>>,
+}
+
+impl<I: StaticIndex> Default for Level<I> {
+    fn default() -> Self {
+        Level {
+            cur: None,
+            locked: None,
+            temp: None,
+        }
+    }
+}
+
+/// A fully-dynamic document index with worst-case update cost
+/// (Transformation 2).
+#[derive(Debug)]
+pub struct Transform2Index<I: StaticIndex> {
+    c0: SuffixTree,
+    /// Levels `1..=r` (index 0 unused).
+    levels: Vec<Level<I>>,
+    /// `jobs[j]` builds `N_{j+1}` from `L_j ∪ C_{j+1} ∪ Temp_{j+1}`
+    /// (for `j == r`: a new top from `L_r ∪ Temp_top`).
+    jobs: Vec<Option<Job<I>>>,
+    /// Top collections `T_1..T_g` (None = discarded slot).
+    tops: Vec<Option<DeletionOnlyIndex<I>>>,
+    /// Temp index for a top-bound insertion.
+    temp_top: Option<DeletionOnlyIndex<I>>,
+    /// `L'_r`: an old `C_r` awaiting top maintenance.
+    lr_prime: Option<DeletionOnlyIndex<I>>,
+    /// The single in-flight top-maintenance job.
+    top_job: Option<(TopJobKind, Job<I>)>,
+    schedule: CapacitySchedule,
+    config: I::Config,
+    options: DynOptions,
+    mode: RebuildMode,
+    locations: HashMap<u64, Loc>,
+    n: usize,
+    /// Deleted symbols since the last top-maintenance step (Lemma 1 pacing).
+    deleted_since_maintenance: usize,
+    work: UpdateWork,
+}
+
+impl<I: StaticIndex> Transform2Index<I> {
+    /// Creates an empty index.
+    pub fn new(config: I::Config, options: DynOptions, mode: RebuildMode) -> Self {
+        let schedule = CapacitySchedule::new_truncated(0, &options);
+        let levels = (0..schedule.caps.len()).map(|_| Level::default()).collect();
+        let jobs = (0..schedule.caps.len()).map(|_| None).collect();
+        Transform2Index {
+            c0: SuffixTree::new(),
+            levels,
+            jobs,
+            tops: Vec::new(),
+            temp_top: None,
+            lr_prime: None,
+            top_job: None,
+            schedule,
+            config,
+            options,
+            mode,
+            locations: HashMap::new(),
+            n: 0,
+            deleted_since_maintenance: 0,
+            work: UpdateWork::default(),
+        }
+    }
+
+    /// Number of alive documents.
+    pub fn num_docs(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Total alive bytes.
+    pub fn symbol_count(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `doc_id` is present.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.locations.contains_key(&doc_id)
+    }
+
+    /// Cumulative update-work statistics.
+    pub fn work(&self) -> &UpdateWork {
+        &self.work
+    }
+
+    /// The `r` of the current schedule.
+    fn r(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    fn cur_size(&self, i: usize) -> usize {
+        self.levels[i].cur.as_ref().map_or(0, |c| c.alive_symbols())
+    }
+
+    /// The paper's top-size unit `nf/τ`.
+    fn top_unit(&self) -> usize {
+        (self.schedule.nf / self.options.tau).max(self.options.min_capacity)
+    }
+
+    // ------------------------------------------------------------------
+    // Job lifecycle
+    // ------------------------------------------------------------------
+
+    /// Installs every finished job. Called at the start of each operation.
+    fn poll_jobs(&mut self) {
+        for j in 0..self.jobs.len() {
+            if self.jobs[j].as_ref().is_some_and(|job| job.is_finished()) {
+                self.install_level_job(j, false);
+            }
+        }
+        if self
+            .top_job
+            .as_ref()
+            .is_some_and(|(_, job)| job.is_finished())
+        {
+            self.install_top_job();
+        }
+    }
+
+    /// Blocks until the job at `j` (if any) finishes, then installs it.
+    fn force_level_job(&mut self, j: usize) {
+        if self.jobs[j].is_some() {
+            self.install_level_job(j, true);
+        }
+    }
+
+    fn install_level_job(&mut self, j: usize, forced: bool) {
+        let Some(job) = self.jobs[j].take() else {
+            return;
+        };
+        if forced && !job.is_finished() {
+            self.work.forced_waits += 1;
+        }
+        let symbols = job.symbols;
+        let (index, _) = job.join();
+        self.work.jobs_completed += 1;
+        let target = j + 1;
+        if target <= self.r() {
+            // N_{j+1} replaces C_{j+1}; L_j and Temp_{j+1} retire.
+            for id in index.doc_ids() {
+                self.locations.insert(id, Loc::Cur(target));
+            }
+            self.levels[target].cur = Some(index);
+            self.levels[j].locked = None;
+            self.levels[target].temp = None;
+        } else {
+            // N_{r+1} becomes a fresh top collection.
+            let slot = self.alloc_top_slot();
+            for id in index.doc_ids() {
+                self.locations.insert(id, Loc::Top(slot));
+            }
+            self.tops[slot] = Some(index);
+            self.levels[j].locked = None;
+            self.temp_top = None;
+        }
+        let _ = symbols;
+    }
+
+    fn alloc_top_slot(&mut self) -> usize {
+        if let Some(i) = self.tops.iter().position(|t| t.is_none()) {
+            i
+        } else {
+            self.tops.push(None);
+            self.tops.len() - 1
+        }
+    }
+
+    fn install_top_job(&mut self) {
+        let Some((kind, job)) = self.top_job.take() else {
+            return;
+        };
+        let (index, _) = job.join();
+        self.work.jobs_completed += 1;
+        match kind {
+            TopJobKind::Replace(t) => {
+                for id in index.doc_ids() {
+                    self.locations.insert(id, Loc::Top(t));
+                }
+                self.tops[t] = if index.is_empty() { None } else { Some(index) };
+            }
+            TopJobKind::FromLrPrime => {
+                let slot = self.alloc_top_slot();
+                for id in index.doc_ids() {
+                    self.locations.insert(id, Loc::Top(slot));
+                }
+                self.tops[slot] = if index.is_empty() { None } else { Some(index) };
+                self.lr_prime = None;
+            }
+            TopJobKind::MergeLrPrime(t) => {
+                for id in index.doc_ids() {
+                    self.locations.insert(id, Loc::Top(t));
+                }
+                self.tops[t] = if index.is_empty() { None } else { Some(index) };
+                self.lr_prime = None;
+            }
+            TopJobKind::MergeTops(a, b) => {
+                for id in index.doc_ids() {
+                    self.locations.insert(id, Loc::Top(a));
+                }
+                self.tops[a] = if index.is_empty() { None } else { Some(index) };
+                self.tops[b] = None;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts a document. Worst-case `O(|T| · u(n) · log^ε n)`-class
+    /// foreground work; rebuilds run in the background.
+    ///
+    /// # Panics
+    /// Panics if `doc_id` is already present.
+    pub fn insert(&mut self, doc_id: u64, bytes: &[u8]) {
+        assert!(
+            !self.locations.contains_key(&doc_id),
+            "document {doc_id} already present"
+        );
+        self.poll_jobs();
+        self.work.begin_op();
+        self.n += bytes.len();
+        self.maybe_refresh_schedule();
+
+        // Huge documents get their own top collection immediately (§3).
+        if bytes.len() >= self.top_unit() {
+            let index =
+                DeletionOnlyIndex::build(&[(doc_id, bytes)], &self.config, self.options.counting);
+            let slot = self.alloc_top_slot();
+            self.tops[slot] = Some(index);
+            self.locations.insert(doc_id, Loc::Top(slot));
+            self.work.count_rebuild(bytes.len());
+            return;
+        }
+        // C0 when it fits.
+        if self.c0.symbol_count() + bytes.len() <= self.schedule.cap(0) {
+            self.c0.insert(doc_id, bytes);
+            self.locations.insert(doc_id, Loc::C0);
+            self.work.count_symbols(bytes.len());
+            return;
+        }
+        // Find the smallest j with |C_{j+1}| + |C_j| + |T| ≤ max_{j+1},
+        // preferring levels not frozen by an in-flight job.
+        let r = self.r();
+        let mut chosen: Option<usize> = None;
+        for j in 0..r {
+            let fits = self.cur_size(j + 1) + self.cur_size(j) + bytes.len()
+                <= self.schedule.cap(j + 1);
+            if fits {
+                // Slot j is busy if a job already consumes C_j / will
+                // replace C_{j+1} (jobs[j]), or an in-flight job is about
+                // to overwrite C_j itself (jobs[j-1] installs into C_j).
+                let busy =
+                    self.jobs[j].is_some() || (j >= 1 && self.jobs[j - 1].is_some());
+                if !busy {
+                    chosen = Some(j);
+                    break;
+                }
+                if chosen.is_none() {
+                    chosen = Some(j); // fallback: forced wait on conflict
+                }
+            }
+        }
+        match chosen {
+            Some(j) => {
+                if j >= 1 {
+                    self.force_level_job(j - 1);
+                }
+                self.force_level_job(j);
+                self.start_level_merge(j, Some((doc_id, bytes)));
+            }
+            None => {
+                // No level can absorb it: C_r moves toward the tops.
+                if r >= 1 {
+                    self.force_level_job(r - 1);
+                }
+                self.force_level_job(r);
+                self.lock_level_into_top(Some((doc_id, bytes)));
+            }
+        }
+    }
+
+    /// Locks `C_j` and starts the `N_{j+1}` job (optionally carrying a new
+    /// document, which also gets a queryable Temp index).
+    fn start_level_merge(&mut self, j: usize, new_doc: Option<(u64, &[u8])>) {
+        debug_assert!(self.jobs[j].is_none());
+        let target = j + 1;
+        // If the new document is at least half the source level, the paper
+        // rebuilds synchronously (the cost is charged to the document).
+        let inline_threshold = self.schedule.cap(j) / 2;
+        let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
+        if j == 0 {
+            docs.extend(self.c0.export_docs());
+            self.c0 = SuffixTree::new();
+        } else if let Some(cur) = self.levels[j].cur.take() {
+            docs.extend(cur.export_alive_docs());
+            // C_j is locked: queries keep using it as L_j.
+            self.levels[j].locked = Some(cur);
+        }
+        for (id, _) in &docs {
+            if j > 0 {
+                self.locations.insert(*id, Loc::Locked(j));
+            }
+        }
+        if let Some(cur) = self.levels[target].cur.as_ref() {
+            docs.extend(cur.export_alive_docs());
+        }
+        let synchronous = match new_doc {
+            Some((_, bytes)) => bytes.len() >= inline_threshold,
+            None => false,
+        };
+        if j == 0 && !synchronous {
+            // C0's content has no static index to serve as L_0; rebuild the
+            // tiny prefix synchronously (its size is O(n/log² n)).
+            let mut all = docs;
+            if let Some((id, bytes)) = new_doc {
+                all.push((id, bytes.to_vec()));
+            }
+            let total: usize = all.iter().map(|(_, d)| d.len()).sum();
+            for (id, _) in &all {
+                self.locations.insert(*id, Loc::Cur(target));
+            }
+            let refs: Vec<(u64, &[u8])> = all.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            self.levels[target].cur = Some(DeletionOnlyIndex::build(
+                &refs,
+                &self.config,
+                self.options.counting,
+            ));
+            self.work.count_rebuild(total);
+            return;
+        }
+        if synchronous {
+            let (id, bytes) = new_doc.expect("synchronous implies a new document");
+            docs.push((id, bytes.to_vec()));
+            let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+            for (did, _) in &docs {
+                self.locations.insert(*did, Loc::Cur(target));
+            }
+            let refs: Vec<(u64, &[u8])> =
+                docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            self.levels[target].cur = Some(DeletionOnlyIndex::build(
+                &refs,
+                &self.config,
+                self.options.counting,
+            ));
+            self.levels[j].locked = None;
+            self.work.count_rebuild(total);
+            return;
+        }
+        if let Some((id, bytes)) = new_doc {
+            // Temp_{j+1}: the new document must be queryable immediately.
+            let temp =
+                DeletionOnlyIndex::build(&[(id, bytes)], &self.config, self.options.counting);
+            self.levels[target].temp = Some(temp);
+            self.locations.insert(id, Loc::Temp(target));
+            docs.push((id, bytes.to_vec()));
+            self.work.count_symbols(bytes.len());
+        }
+        self.jobs[j] = Some(Job::spawn(
+            docs,
+            &self.config,
+            self.options.counting,
+            self.mode,
+        ));
+        self.work.jobs_started += 1;
+    }
+
+    /// Locks `C_r` and starts the job that turns it into a new top
+    /// collection (`N_{r+1}`).
+    fn lock_level_into_top(&mut self, new_doc: Option<(u64, &[u8])>) {
+        let r = self.r();
+        debug_assert!(self.jobs[r].is_none());
+        let mut docs: Vec<(u64, Vec<u8>)> = Vec::new();
+        if let Some(cur) = self.levels[r].cur.take() {
+            docs.extend(cur.export_alive_docs());
+            self.levels[r].locked = Some(cur);
+            for (id, _) in &docs {
+                self.locations.insert(*id, Loc::Locked(r));
+            }
+        }
+        if let Some((id, bytes)) = new_doc {
+            let temp =
+                DeletionOnlyIndex::build(&[(id, bytes)], &self.config, self.options.counting);
+            self.temp_top = Some(temp);
+            self.locations.insert(id, Loc::TempTop);
+            docs.push((id, bytes.to_vec()));
+            self.work.count_symbols(bytes.len());
+        }
+        if docs.is_empty() {
+            self.levels[r].locked = None;
+            return;
+        }
+        self.jobs[r] = Some(Job::spawn(
+            docs,
+            &self.config,
+            self.options.counting,
+            self.mode,
+        ));
+        self.work.jobs_started += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Deletes a document, returning its bytes. Worst-case foreground cost
+    /// `O(|T| · (tSA-ish))`; purges run in the background.
+    pub fn delete(&mut self, doc_id: u64) -> Option<Vec<u8>> {
+        self.poll_jobs();
+        let loc = *self.locations.get(&doc_id)?;
+        self.work.begin_op();
+        self.locations.remove(&doc_id);
+        let bytes = match loc {
+            Loc::C0 => self.c0.delete(doc_id).expect("location map out of sync"),
+            Loc::Cur(i) => {
+                let bytes = self.levels[i]
+                    .cur
+                    .as_mut()
+                    .expect("location map out of sync")
+                    .delete(doc_id)
+                    .expect("location map out of sync");
+                // If a job is about to replace C_i (jobs[i-1] targets i) or
+                // reads it (jobs[i] extracted it at spawn)… extraction
+                // snapshots mean the rebuilt index still contains the doc:
+                // forward the deletion.
+                if i >= 1 {
+                    if let Some(job) = self.jobs[i - 1].as_mut() {
+                        job.pending_deletes.push(doc_id);
+                    }
+                }
+                if let Some(job) = self.jobs[i].as_mut() {
+                    job.pending_deletes.push(doc_id);
+                }
+                self.after_cur_deletion(i);
+                bytes
+            }
+            Loc::Locked(j) => {
+                let bytes = self.levels[j]
+                    .locked
+                    .as_mut()
+                    .expect("location map out of sync")
+                    .delete(doc_id)
+                    .expect("location map out of sync");
+                if let Some(job) = self.jobs[j].as_mut() {
+                    job.pending_deletes.push(doc_id);
+                }
+                bytes
+            }
+            Loc::Temp(t) => {
+                let bytes = self.levels[t]
+                    .temp
+                    .as_mut()
+                    .expect("location map out of sync")
+                    .delete(doc_id)
+                    .expect("location map out of sync");
+                if t >= 1 {
+                    if let Some(job) = self.jobs[t - 1].as_mut() {
+                        job.pending_deletes.push(doc_id);
+                    }
+                }
+                bytes
+            }
+            Loc::TempTop => {
+                let bytes = self
+                    .temp_top
+                    .as_mut()
+                    .expect("location map out of sync")
+                    .delete(doc_id)
+                    .expect("location map out of sync");
+                let r = self.r();
+                if let Some(job) = self.jobs[r].as_mut() {
+                    job.pending_deletes.push(doc_id);
+                }
+                bytes
+            }
+            Loc::Top(t) => {
+                let top = self.tops[t].as_mut().expect("location map out of sync");
+                let bytes = top.delete(doc_id).expect("location map out of sync");
+                if top.is_empty() {
+                    // A single-document (or fully-emptied) top is discarded.
+                    self.tops[t] = None;
+                } else if let Some((kind, job)) = self.top_job.as_mut() {
+                    if matches!(kind,
+                        TopJobKind::Replace(x) | TopJobKind::MergeLrPrime(x) if *x == t)
+                        || matches!(kind, TopJobKind::MergeTops(a, b) if *a == t || *b == t)
+                    {
+                        job.pending_deletes.push(doc_id);
+                    }
+                }
+                bytes
+            }
+            Loc::LrPrime => {
+                let bytes = self
+                    .lr_prime
+                    .as_mut()
+                    .expect("location map out of sync")
+                    .delete(doc_id)
+                    .expect("location map out of sync");
+                // A top job may have snapshotted L'_r; forward the delete.
+                if let Some((kind, job)) = self.top_job.as_mut() {
+                    if matches!(kind, TopJobKind::FromLrPrime | TopJobKind::MergeLrPrime(_)) {
+                        job.pending_deletes.push(doc_id);
+                    }
+                }
+                bytes
+            }
+        };
+        self.n -= bytes.len();
+        self.deleted_since_maintenance += bytes.len();
+        self.maybe_refresh_schedule();
+        self.maybe_run_top_maintenance();
+        Some(bytes)
+    }
+
+    /// §3 deletion triggers: `C_j` with `max_j/2` dead symbols is locked
+    /// and merged upward; `C_r` moves to `L'_r`.
+    fn after_cur_deletion(&mut self, i: usize) {
+        let Some(cur) = self.levels[i].cur.as_ref() else {
+            return;
+        };
+        if cur.dead_symbols() * 2 < self.schedule.cap(i) {
+            return;
+        }
+        let r = self.r();
+        if i < r {
+            if self.jobs[i].is_none() && (i == 0 || self.jobs[i - 1].is_none()) {
+                self.start_level_merge(i, None);
+            }
+            // Busy: defer; the running job's install will purge next round.
+        } else if self.lr_prime.is_none() && self.jobs[r - 1].is_none() {
+            // jobs[r-1] must not be in flight: it snapshotted C_r at spawn
+            // and will reinstall those documents into C_r — moving C_r to
+            // L'_r underneath it would duplicate them.
+            let cur = self.levels[r].cur.take().expect("checked above");
+            for id in cur.doc_ids() {
+                self.locations.insert(id, Loc::LrPrime);
+            }
+            self.lr_prime = Some(cur);
+        }
+    }
+
+    /// Lemma 1 pacing: after every `nf/(2τ log τ)` deleted symbols, run one
+    /// top-maintenance step (rebuild the dirtiest top / drain `L'_r`).
+    fn maybe_run_top_maintenance(&mut self) {
+        let tau = self.options.tau.max(2);
+        let log_tau = (tau as f64).log2().max(1.0);
+        let delta = ((self.schedule.nf as f64) / (2.0 * tau as f64 * log_tau))
+            .ceil()
+            .max(self.options.min_capacity as f64) as usize;
+        if self.deleted_since_maintenance < delta || self.top_job.is_some() {
+            return;
+        }
+        self.deleted_since_maintenance = 0;
+        self.start_top_maintenance();
+    }
+
+    fn start_top_maintenance(&mut self) {
+        debug_assert!(self.top_job.is_none());
+        let unit = self.top_unit();
+        // Priority 1: drain L'_r.
+        if let Some(lr) = self.lr_prime.as_ref() {
+            if lr.alive_symbols() >= unit / 2 {
+                // Large enough to stand alone as a new top.
+                let docs = lr.export_alive_docs();
+                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                self.top_job = Some((TopJobKind::FromLrPrime, job));
+                self.work.jobs_started += 1;
+                return;
+            }
+            // Merge with the largest multi-document top.
+            let target = self
+                .tops
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.as_ref().is_some_and(|t| t.num_docs() > 1))
+                .max_by_key(|(_, t)| t.as_ref().map_or(0, |t| t.alive_symbols()))
+                .map(|(i, _)| i);
+            if let Some(t) = target {
+                let mut docs = lr.export_alive_docs();
+                docs.extend(
+                    self.tops[t]
+                        .as_ref()
+                        .expect("selected above")
+                        .export_alive_docs(),
+                );
+                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                self.top_job = Some((TopJobKind::MergeLrPrime(t), job));
+                self.work.jobs_started += 1;
+                return;
+            }
+            // No top to merge with: stand alone regardless of size.
+            let docs = lr.export_alive_docs();
+            if !docs.is_empty() {
+                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                self.top_job = Some((TopJobKind::FromLrPrime, job));
+                self.work.jobs_started += 1;
+            } else {
+                self.lr_prime = None;
+            }
+            return;
+        }
+        // Priority 2: keep g = O(τ) by merging the two smallest tops.
+        let live_tops: Vec<usize> = self
+            .tops
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if live_tops.len() > 2 * self.options.tau {
+            let mut by_size: Vec<usize> = live_tops.clone();
+            by_size.sort_by_key(|&i| {
+                self.tops[i].as_ref().map_or(0, |t| t.alive_symbols())
+            });
+            let (a, b) = (by_size[0], by_size[1]);
+            let mut docs = self.tops[a]
+                .as_ref()
+                .expect("live top")
+                .export_alive_docs();
+            docs.extend(self.tops[b].as_ref().expect("live top").export_alive_docs());
+            let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+            self.top_job = Some((TopJobKind::MergeTops(a.min(b), a.max(b)), job));
+            self.work.jobs_started += 1;
+            return;
+        }
+        // Priority 3: rebuild the top with the most deleted symbols.
+        let dirtiest = live_tops
+            .into_iter()
+            .max_by_key(|&i| self.tops[i].as_ref().map_or(0, |t| t.dead_symbols()));
+        if let Some(t) = dirtiest {
+            let top = self.tops[t].as_ref().expect("live top");
+            if top.dead_symbols() == 0 {
+                return;
+            }
+            let docs = top.export_alive_docs();
+            let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+            self.top_job = Some((TopJobKind::Replace(t), job));
+            self.work.jobs_started += 1;
+            self.work.purges += 1;
+        }
+    }
+
+    /// A.3: keep `nf = Θ(n)` by refreshing the capacity schedule when `n`
+    /// leaves `[nf/2, 2nf]`. (Top re-binning is handled lazily by the
+    /// maintenance schedule rather than eagerly — see DESIGN.md.)
+    fn maybe_refresh_schedule(&mut self) {
+        let nf = self.schedule.nf.max(self.options.min_capacity);
+        if self.n > 2 * nf || (self.n * 2 < self.schedule.nf && self.schedule.nf > self.options.min_capacity) {
+            // A resize changes which (level, target) pairs exist; jobs
+            // spawned under the old schedule would install into the wrong
+            // place. Refreshes are O(log n)-rare, so synchronously finish
+            // all in-flight work first.
+            self.finish_background_work();
+            self.schedule = CapacitySchedule::new_truncated(self.n, &self.options);
+            let want = self.schedule.caps.len();
+            while self.levels.len() > want {
+                // Structures at vanishing levels migrate to the tops.
+                let lvl = self.levels.pop().expect("len checked");
+                self.jobs.pop();
+                for del in [lvl.cur, lvl.locked, lvl.temp].into_iter().flatten() {
+                    if del.is_empty() {
+                        continue;
+                    }
+                    let slot = self.alloc_top_slot();
+                    for id in del.doc_ids() {
+                        self.locations.insert(id, Loc::Top(slot));
+                    }
+                    self.tops[slot] = Some(del);
+                }
+            }
+            while self.levels.len() < want {
+                self.levels.push(Level::default());
+                self.jobs.push(None);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// All occurrences of `pattern` across alive documents.
+    ///
+    /// Queries `C0`, every `C_i`, `L_i`, `Temp_i`, every top `T_i`, and
+    /// `L'_r` — the paper's `O(τ)` extra range-find cost.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        let mut out = self.c0.find(pattern);
+        for level in &self.levels {
+            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+                out.extend(del.find(pattern));
+            }
+        }
+        for top in self.tops.iter().flatten() {
+            out.extend(top.find(pattern));
+        }
+        for del in [&self.temp_top, &self.lr_prime].into_iter().flatten() {
+            out.extend(del.find(pattern));
+        }
+        out
+    }
+
+    /// Counts occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        let mut total = self.c0.count(pattern);
+        for level in &self.levels {
+            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+                total += del.count(pattern);
+            }
+        }
+        for top in self.tops.iter().flatten() {
+            total += top.count(pattern);
+        }
+        for del in [&self.temp_top, &self.lr_prime].into_iter().flatten() {
+            total += del.count(pattern);
+        }
+        total
+    }
+
+    /// Extracts up to `len` bytes of a document from `offset`.
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        match *self.locations.get(&doc_id)? {
+            Loc::C0 => {
+                let bytes = self.c0.doc_bytes(doc_id)?;
+                let a = offset.min(bytes.len());
+                let b = (offset + len).min(bytes.len());
+                Some(bytes[a..b].to_vec())
+            }
+            Loc::Cur(i) => self.levels[i].cur.as_ref()?.extract(doc_id, offset, len),
+            Loc::Locked(i) => self.levels[i].locked.as_ref()?.extract(doc_id, offset, len),
+            Loc::Temp(i) => self.levels[i].temp.as_ref()?.extract(doc_id, offset, len),
+            Loc::TempTop => self.temp_top.as_ref()?.extract(doc_id, offset, len),
+            Loc::Top(t) => self.tops[t].as_ref()?.extract(doc_id, offset, len),
+            Loc::LrPrime => self.lr_prime.as_ref()?.extract(doc_id, offset, len),
+        }
+    }
+
+    /// Blocks until every background job has been installed (tests and
+    /// shutdown paths).
+    pub fn finish_background_work(&mut self) {
+        for j in 0..self.jobs.len() {
+            self.force_level_job(j);
+        }
+        if self.top_job.is_some() {
+            self.install_top_job();
+        }
+    }
+
+    /// Census of every live structure (the Figure 2 harness).
+    pub fn structure_stats(&self) -> Vec<LevelStats> {
+        let mut out = vec![LevelStats {
+            name: "C0".into(),
+            capacity: self.schedule.cap(0),
+            alive_symbols: self.c0.symbol_count(),
+            dead_symbols: self.c0.retained_dead_symbols(),
+            docs: self.c0.num_docs(),
+        }];
+        let push = |out: &mut Vec<LevelStats>,
+                    name: String,
+                    cap: usize,
+                    del: &DeletionOnlyIndex<I>| {
+            out.push(LevelStats {
+                name,
+                capacity: cap,
+                alive_symbols: del.alive_symbols(),
+                dead_symbols: del.dead_symbols(),
+                docs: del.num_docs(),
+            });
+        };
+        for (i, level) in self.levels.iter().enumerate().skip(1) {
+            if let Some(c) = &level.cur {
+                push(&mut out, format!("C{i}"), self.schedule.cap(i), c);
+            }
+            if let Some(l) = &level.locked {
+                push(&mut out, format!("L{i}"), self.schedule.cap(i), l);
+            }
+            if let Some(t) = &level.temp {
+                push(&mut out, format!("Temp{i}"), 0, t);
+            }
+        }
+        for (t, top) in self.tops.iter().enumerate() {
+            if let Some(tt) = top {
+                push(&mut out, format!("T{}", t + 1), 4 * self.top_unit(), tt);
+            }
+        }
+        if let Some(lr) = &self.lr_prime {
+            push(&mut out, "L'r".into(), self.schedule.cap(self.r()), lr);
+        }
+        if let Some(tt) = &self.temp_top {
+            push(&mut out, "TempTop".into(), 0, tt);
+        }
+        out
+    }
+
+    /// Validates the §3 invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(
+            self.c0.symbol_count() <= self.schedule.cap(0),
+            "C0 over capacity"
+        );
+        let mut total = self.c0.symbol_count();
+        for level in &self.levels {
+            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+                total += del.alive_symbols();
+            }
+        }
+        for top in self.tops.iter().flatten() {
+            total += top.alive_symbols();
+        }
+        for del in [&self.temp_top, &self.lr_prime].into_iter().flatten() {
+            total += del.alive_symbols();
+        }
+        assert_eq!(total, self.n, "symbol accounting out of sync");
+        for (&id, &loc) in &self.locations {
+            let present = match loc {
+                Loc::C0 => self.c0.contains_doc(id),
+                Loc::Cur(i) => self.levels[i].cur.as_ref().is_some_and(|d| d.contains(id)),
+                Loc::Locked(i) => self.levels[i]
+                    .locked
+                    .as_ref()
+                    .is_some_and(|d| d.contains(id)),
+                Loc::Temp(i) => self.levels[i].temp.as_ref().is_some_and(|d| d.contains(id)),
+                Loc::TempTop => self.temp_top.as_ref().is_some_and(|d| d.contains(id)),
+                Loc::Top(t) => self.tops[t].as_ref().is_some_and(|d| d.contains(id)),
+                Loc::LrPrime => self.lr_prime.as_ref().is_some_and(|d| d.contains(id)),
+            };
+            assert!(present, "{id} missing from {loc:?}");
+        }
+    }
+}
+
+impl<I: StaticIndex> SpaceUsage for Transform2Index<I> {
+    fn heap_bytes(&self) -> usize {
+        let mut sum = self.c0.heap_bytes();
+        for level in &self.levels {
+            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+                sum += del.heap_bytes();
+            }
+        }
+        for top in self.tops.iter().flatten() {
+            sum += top.heap_bytes();
+        }
+        for del in [&self.temp_top, &self.lr_prime].into_iter().flatten() {
+            sum += del.heap_bytes();
+        }
+        sum + self.locations.len() * 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIndex;
+    use crate::traits::FmConfig;
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    type Dyn2 = Transform2Index<FmIndex<HuffmanWavelet>>;
+
+    fn opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 32,
+            tau: 4,
+            ..DynOptions::default()
+        }
+    }
+
+    fn assert_matches(idx: &Dyn2, naive: &NaiveIndex, patterns: &[&[u8]]) {
+        for &p in patterns {
+            let mut got = idx.find(p);
+            got.sort();
+            let want = naive.find(p);
+            assert_eq!(got, want, "pattern {:?}", String::from_utf8_lossy(p));
+            assert_eq!(idx.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+        }
+    }
+
+    fn churn(mode: RebuildMode, steps: u64, check_every: u64) {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), mode);
+        let mut naive = NaiveIndex::new();
+        let mut state = 0xABCDEF0123456789u64;
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..steps {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if r % 3 != 0 || live.is_empty() {
+                let id = 10_000 + step;
+                let doc = format!(
+                    "record {step} payload {} tail",
+                    "xyzxy".repeat((r % 9) as usize)
+                );
+                idx.insert(id, doc.as_bytes());
+                naive.insert(id, doc.as_bytes());
+                live.push(id);
+            } else {
+                let pick = (r as usize / 3) % live.len();
+                let id = live.swap_remove(pick);
+                assert_eq!(idx.delete(id), naive.delete(id), "step {step}");
+            }
+            if step % check_every == 0 {
+                if mode == RebuildMode::Inline {
+                    idx.check_invariants();
+                }
+                assert_matches(&idx, &naive, &[b"xyzxy", b"record 1", b"payload", b"zx"]);
+            }
+        }
+        idx.finish_background_work();
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"xyzxy", b"record", b"tail"]);
+        assert!(idx.work().jobs_started >= 1, "background jobs must run");
+        assert_eq!(idx.work().jobs_started, idx.work().jobs_completed);
+    }
+
+    #[test]
+    fn inline_churn_matches_naive() {
+        churn(RebuildMode::Inline, 250, 23);
+    }
+
+    #[test]
+    fn background_churn_matches_naive() {
+        churn(RebuildMode::Background, 150, 29);
+    }
+
+    #[test]
+    fn huge_doc_becomes_top() {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 8 }, opts(), RebuildMode::Inline);
+        let big = "mammoth ".repeat(100);
+        idx.insert(1, big.as_bytes());
+        idx.check_invariants();
+        assert_eq!(idx.count(b"mammoth"), 100);
+        let stats = idx.structure_stats();
+        assert!(
+            stats.iter().any(|s| s.name.starts_with('T') && s.alive_symbols > 0),
+            "huge doc must land in a top collection: {stats:?}"
+        );
+        assert_eq!(idx.delete(1).map(|b| b.len()), Some(big.len()));
+        assert_eq!(idx.count(b"mammoth"), 0);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn queries_during_background_job() {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Background);
+        let mut naive = NaiveIndex::new();
+        for i in 0..50u64 {
+            let doc = format!("steady stream of words number {i}");
+            idx.insert(i, doc.as_bytes());
+            naive.insert(i, doc.as_bytes());
+            // Query immediately — jobs may be mid-flight.
+            assert_eq!(idx.count(b"stream"), naive.count(b"stream"), "at {i}");
+        }
+        idx.finish_background_work();
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"stream", b"number 4", b"words"]);
+    }
+
+    #[test]
+    fn deletion_heavy_workload_purges_tops() {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        let mut naive = NaiveIndex::new();
+        for i in 0..120u64 {
+            let doc = format!("bulk item {i} {}", "fill".repeat(4));
+            idx.insert(i, doc.as_bytes());
+            naive.insert(i, doc.as_bytes());
+        }
+        for i in 0..100u64 {
+            assert_eq!(idx.delete(i), naive.delete(i), "delete {i}");
+        }
+        idx.finish_background_work();
+        idx.check_invariants();
+        assert_matches(&idx, &naive, &[b"bulk", b"item 10", b"fill"]);
+        // Deletion-heavy workloads must trigger background maintenance.
+        assert!(idx.work().jobs_started > 0 || idx.work().purges > 0);
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        assert_eq!(idx.count(b"anything"), 0);
+        assert!(idx.find(b"anything").is_empty());
+        assert_eq!(idx.num_docs(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! **Transformation 3** (Appendix A.4): the lower-update-cost variant.
+//!
+//! Identical machinery to Transformation 1, but the capacity schedule uses
+//! `max_i = 2(n/log²n)·2^i`, so there are `O(log log n)` sub-collections.
+//! Each rebuild of `C_i` inserts `Ω(|C_i|)` new symbols (capacities
+//! double), which drops the amortized insertion cost from
+//! `O(u(n)·log^ε n)` to `O(u(n)·log log n)` per symbol; range-finding pays
+//! a `log log n` factor because every level is queried.
+
+use crate::config::{DynOptions, Growth};
+use crate::traits::StaticIndex;
+use crate::transform1::Transform1Index;
+
+/// A dynamic index with `O(log log n)` levels (Transformation 3).
+pub type Transform3Index<I> = Transform1Index<I>;
+
+/// Options preset for Transformation 3 (doubling capacity schedule).
+pub fn transform3_options(base: DynOptions) -> DynOptions {
+    DynOptions {
+        growth: Growth::Doubling,
+        ..base
+    }
+}
+
+/// Builds an empty Transformation 3 index.
+pub fn new_transform3<I: StaticIndex>(
+    config: I::Config,
+    options: DynOptions,
+) -> Transform3Index<I> {
+    Transform1Index::new(config, transform3_options(options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveIndex;
+    use crate::traits::FmConfig;
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    #[test]
+    fn transform3_churn_matches_naive() {
+        let mut idx = new_transform3::<FmIndex<HuffmanWavelet>>(
+            FmConfig { sample_rate: 4 },
+            DynOptions {
+                min_capacity: 32,
+                ..DynOptions::default()
+            },
+        );
+        let mut naive = NaiveIndex::new();
+        let mut state = 0x0123456789ABCDEFu64;
+        let mut live: Vec<u64> = Vec::new();
+        for step in 0..150u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            if r % 3 != 0 || live.is_empty() {
+                let id = step;
+                let doc = format!("triad {step} {}", "lmnop".repeat((r % 6) as usize));
+                idx.insert(id, doc.as_bytes());
+                naive.insert(id, doc.as_bytes());
+                live.push(id);
+            } else {
+                let pick = (r as usize / 3) % live.len();
+                let id = live.swap_remove(pick);
+                assert_eq!(idx.delete(id), naive.delete(id), "step {step}");
+            }
+            if step % 31 == 0 {
+                idx.check_invariants();
+                for p in [b"lmnop".as_slice(), b"triad 1", b"no"] {
+                    let mut got = idx.find(p);
+                    got.sort();
+                    assert_eq!(got, naive.find(p), "step {step}");
+                }
+            }
+        }
+        idx.check_invariants();
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: the transformations against the brute-force
+//! reference under arbitrary operation interleavings.
+
+use dyndex_core::prelude::*;
+use dyndex_core::transform3::transform3_options;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(proptest::sample::Index),
+    Query(Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 0..40)
+            .prop_map(Op::Insert),
+        1 => any::<proptest::sample::Index>().prop_map(Op::Delete),
+        2 => proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 1..6)
+            .prop_map(Op::Query),
+    ]
+}
+
+fn opts() -> DynOptions {
+    DynOptions {
+        min_capacity: 32,
+        tau: 4,
+        ..DynOptions::default()
+    }
+}
+
+fn run_script<T>(
+    idx: &mut T,
+    ops: &[Op],
+    ins: fn(&mut T, u64, &[u8]),
+    del: fn(&mut T, u64) -> Option<Vec<u8>>,
+    find: fn(&T, &[u8]) -> Vec<Occurrence>,
+    count: fn(&T, &[u8]) -> usize,
+) -> Result<(), TestCaseError> {
+    let mut naive = NaiveIndex::new();
+    let mut live: Vec<u64> = Vec::new();
+    let mut next = 0u64;
+    for op in ops {
+        match op {
+            Op::Insert(doc) => {
+                next += 1;
+                ins(idx, next, doc);
+                naive.insert(next, doc);
+                live.push(next);
+            }
+            Op::Delete(ix) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live.swap_remove(ix.index(live.len()));
+                prop_assert_eq!(del(idx, id), naive.delete(id));
+            }
+            Op::Query(p) => {
+                let mut got = find(idx, p);
+                got.sort();
+                prop_assert_eq!(got, naive.find(p));
+                prop_assert_eq!(count(idx, p), naive.count(p));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn transform1_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut idx: Transform1Index<FmIndexCompressed> =
+            Transform1Index::new(FmConfig { sample_rate: 4 }, opts());
+        run_script(
+            &mut idx,
+            &ops,
+            |i, id, d| i.insert(id, d),
+            |i, id| i.delete(id),
+            |i, p| i.find(p),
+            |i, p| i.count(p),
+        )?;
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn transform2_inline_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut idx: Transform2Index<FmIndexCompressed> =
+            Transform2Index::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        run_script(
+            &mut idx,
+            &ops,
+            |i, id, d| i.insert(id, d),
+            |i, id| i.delete(id),
+            |i, p| i.find(p),
+            |i, p| i.count(p),
+        )?;
+        idx.finish_background_work();
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn transform3_matches_reference(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut idx: Transform3Index<FmIndexCompressed> =
+            new_transform3(FmConfig { sample_rate: 4 }, transform3_options(opts()));
+        run_script(
+            &mut idx,
+            &ops,
+            |i, id, d| i.insert(id, d),
+            |i, id| i.delete(id),
+            |i, p| i.find(p),
+            |i, p| i.count(p),
+        )?;
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn deletion_only_wrapper_matches_reference(
+        docs_raw in proptest::collection::vec(
+            proptest::collection::vec(proptest::sample::select(b"ab".to_vec()), 0..30), 1..10),
+        deletions in proptest::collection::vec(any::<proptest::sample::Index>(), 0..8),
+        pattern in proptest::collection::vec(proptest::sample::select(b"ab".to_vec()), 1..5),
+    ) {
+        let mut docs: Vec<(u64, Vec<u8>)> = docs_raw.into_iter().enumerate()
+            .map(|(i, d)| (i as u64, d)).collect();
+        let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let mut del = DeletionOnlyIndex::<FmIndexCompressed>::build(
+            &refs, &FmConfig { sample_rate: 4 }, true);
+        let mut naive = NaiveIndex::new();
+        for (id, d) in &docs {
+            naive.insert(*id, d);
+        }
+        for dix in &deletions {
+            if docs.is_empty() { break; }
+            let i = dix.index(docs.len());
+            let (id, _) = docs.remove(i);
+            prop_assert_eq!(del.delete(id), naive.delete(id));
+        }
+        let mut got = del.find(&pattern);
+        got.sort();
+        prop_assert_eq!(got, naive.find(&pattern));
+        prop_assert_eq!(del.count(&pattern), naive.count(&pattern));
+    }
+}
+

@@ -1,0 +1,325 @@
+//! Deletion-only binary relation (§5, "Deletion-Only Data Structure").
+//!
+//! A [`StaticRelation`] plus:
+//! * `D` — alive bits per position of `S` (a Lemma 3 [`OneBitReporter`]
+//!   plus a [`FlipRank`] for counting, standing in for [20]);
+//! * `D_a` — per-label alive bits over label `a`'s occurrences in `S`,
+//!   so objects related to `a` are reported without touching dead pairs.
+
+use crate::static_rel::{Pair, StaticRelation};
+use dyndex_succinct::{FlipRank, OneBitReporter, SpaceUsage};
+
+/// A static relation with lazy pair deletion.
+#[derive(Clone, Debug)]
+pub struct DeletionOnlyRelation {
+    rel: StaticRelation,
+    /// Alive bits per position of `S`.
+    d: OneBitReporter,
+    /// Rank over `D` (counting).
+    d_rank: FlipRank,
+    /// Per-label alive bits (`d_a[label]` has one bit per occurrence).
+    d_a: Vec<LabelBits>,
+    dead_pairs: usize,
+}
+
+/// Per-label alive bits. The Zipf-shaped workloads the paper targets have
+/// mostly low-degree labels, so degrees ≤ 64 live in one machine word;
+/// only heavy labels pay for full reporter/rank structures.
+#[derive(Clone, Debug)]
+enum LabelBits {
+    Small { mask: u64, len: u8 },
+    /// Boxed so the enum stays 16 bytes: `d_a` has one entry per label in
+    /// the universe, and almost all of them are `Small`.
+    Big(Box<BigLabelBits>),
+}
+
+#[derive(Clone, Debug)]
+struct BigLabelBits {
+    alive: OneBitReporter,
+    rank: FlipRank,
+}
+
+impl LabelBits {
+    fn new(k: usize) -> Self {
+        if k <= 64 {
+            LabelBits::Small {
+                mask: dyndex_succinct::bits::low_mask(k),
+                len: k as u8,
+            }
+        } else {
+            LabelBits::Big(Box::new(BigLabelBits {
+                alive: OneBitReporter::new_all_ones(k),
+                rank: FlipRank::new(k, true),
+            }))
+        }
+    }
+
+    fn zero(&mut self, occ: usize) {
+        match self {
+            LabelBits::Small { mask, .. } => *mask &= !(1u64 << occ),
+            LabelBits::Big(b) => {
+                b.alive.zero(occ);
+                b.rank.set(occ, false);
+            }
+        }
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            LabelBits::Small { mask, .. } => mask.count_ones() as usize,
+            LabelBits::Big(b) => b.rank.count_ones(),
+        }
+    }
+
+    fn alive_occurrences(&self) -> Vec<usize> {
+        match self {
+            LabelBits::Small { mask, .. } => {
+                let mut m = *mask;
+                let mut out = Vec::with_capacity(m.count_ones() as usize);
+                while m != 0 {
+                    out.push(m.trailing_zeros() as usize);
+                    m &= m - 1;
+                }
+                out
+            }
+            LabelBits::Big(b) => {
+                if b.alive.len() == 0 {
+                    Vec::new()
+                } else {
+                    b.alive.report_vec(0, b.alive.len() - 1)
+                }
+            }
+        }
+    }
+}
+
+impl DeletionOnlyRelation {
+    /// Builds from pairs.
+    pub fn new(pairs: &[Pair], num_objects: u32, num_labels: u32) -> Self {
+        let rel = StaticRelation::new(pairs, num_objects, num_labels);
+        let n = rel.len();
+        let d_a = (0..num_labels)
+            .map(|l| LabelBits::new(rel.count_objects(l)))
+            .collect();
+        DeletionOnlyRelation {
+            rel,
+            d: OneBitReporter::new_all_ones(n),
+            d_rank: FlipRank::new(n, true),
+            d_a,
+            dead_pairs: 0,
+        }
+    }
+
+    /// The underlying static relation.
+    pub fn inner(&self) -> &StaticRelation {
+        &self.rel
+    }
+
+    /// Alive pairs.
+    pub fn len(&self) -> usize {
+        self.rel.len() - self.dead_pairs
+    }
+
+    /// Whether no pairs are alive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pairs marked deleted but still physically present.
+    pub fn dead_pairs(&self) -> usize {
+        self.dead_pairs
+    }
+
+    /// §2-style purge trigger: a `1/τ` fraction is dead.
+    pub fn needs_purge(&self, tau: usize) -> bool {
+        self.dead_pairs * tau >= self.rel.len().max(1)
+    }
+
+    /// Lazily deletes `(obj, label)`. Returns false if not (alive) here.
+    pub fn delete(&mut self, obj: u32, label: u32) -> bool {
+        let Some(pos) = self.rel.find_pair(obj, label) else {
+            return false;
+        };
+        if !self.d.get(pos) {
+            return false; // already deleted
+        }
+        self.d.zero(pos);
+        self.d_rank.set(pos, false);
+        let occ = self
+            .rel
+            .label_occurrence_rank(obj, label)
+            .expect("pair exists");
+        self.d_a[label as usize].zero(occ);
+        self.dead_pairs += 1;
+        true
+    }
+
+    /// Whether `(obj, label)` is alive.
+    pub fn related(&self, obj: u32, label: u32) -> bool {
+        match self.rel.find_pair(obj, label) {
+            Some(pos) => self.d.get(pos),
+            None => false,
+        }
+    }
+
+    /// Alive labels related to `obj`. O(1) per reported label.
+    pub fn labels_of(&self, obj: u32) -> Vec<u32> {
+        if obj >= self.rel.num_objects() {
+            return Vec::new();
+        }
+        let (l, r) = self.rel.object_range(obj);
+        if l == r {
+            return Vec::new();
+        }
+        self.d
+            .report(l, r - 1)
+            .map(|pos| self.rel.label_at(pos))
+            .collect()
+    }
+
+    /// Alive objects related to `label`. O(1) per reported object plus a
+    /// select on `S` each.
+    pub fn objects_of(&self, label: u32) -> Vec<u32> {
+        if label >= self.rel.num_labels() {
+            return Vec::new();
+        }
+        self.d_a[label as usize]
+            .alive_occurrences()
+            .into_iter()
+            .map(|occ| {
+                let pos = self
+                    .rel
+                    .select_label(label, occ)
+                    .expect("occurrence in range");
+                self.rel.object_of_pos(pos)
+            })
+            .collect()
+    }
+
+    /// Counts alive labels of `obj` — O(log n).
+    pub fn count_labels(&self, obj: u32) -> usize {
+        if obj >= self.rel.num_objects() {
+            return 0;
+        }
+        let (l, r) = self.rel.object_range(obj);
+        self.d_rank.count_ones_range(l, r)
+    }
+
+    /// Counts alive objects of `label` — O(log n).
+    pub fn count_objects(&self, label: u32) -> usize {
+        if label >= self.rel.num_labels() {
+            return 0;
+        }
+        self.d_a[label as usize].count()
+    }
+
+    /// Exports all alive pairs (purge/merge input).
+    pub fn export_alive_pairs(&self) -> Vec<Pair> {
+        let n = self.rel.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.d
+            .report(0, n - 1)
+            .map(|pos| (self.rel.object_of_pos(pos), self.rel.label_at(pos)))
+            .collect()
+    }
+}
+
+impl SpaceUsage for DeletionOnlyRelation {
+    fn heap_bytes(&self) -> usize {
+        self.rel.heap_bytes()
+            + self.d.heap_bytes()
+            + self.d_rank.heap_bytes()
+            + self
+                .d_a
+                .iter()
+                .map(|l| match l {
+                    LabelBits::Small { .. } => 0,
+                    LabelBits::Big(b) => {
+                        std::mem::size_of::<BigLabelBits>()
+                            + b.alive.heap_bytes()
+                            + b.rank.heap_bytes()
+                    }
+                })
+                .sum::<usize>()
+            + self.d_a.capacity() * std::mem::size_of::<LabelBits>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeletionOnlyRelation {
+        let pairs = [(0, 1), (0, 2), (1, 0), (3, 1), (3, 0), (3, 2)];
+        DeletionOnlyRelation::new(&pairs, 4, 3)
+    }
+
+    #[test]
+    fn delete_hides_pair_everywhere() {
+        let mut r = sample();
+        assert!(r.related(3, 1));
+        assert!(r.delete(3, 1));
+        assert!(!r.related(3, 1));
+        assert!(!r.delete(3, 1), "double delete is a no-op");
+        assert_eq!(r.labels_of(3), vec![0, 2]);
+        assert_eq!(r.objects_of(1), vec![0]);
+        assert_eq!(r.count_labels(3), 2);
+        assert_eq!(r.count_objects(1), 1);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dead_pairs(), 1);
+    }
+
+    #[test]
+    fn delete_all_of_an_object() {
+        let mut r = sample();
+        for l in [1, 2] {
+            assert!(r.delete(0, l));
+        }
+        assert_eq!(r.labels_of(0), Vec::<u32>::new());
+        assert_eq!(r.count_labels(0), 0);
+        assert_eq!(r.objects_of(1), vec![3]);
+        assert_eq!(r.objects_of(2), vec![3]);
+    }
+
+    #[test]
+    fn purge_trigger_and_export() {
+        let mut r = sample();
+        assert!(!r.needs_purge(6));
+        r.delete(0, 1);
+        assert!(r.needs_purge(6)); // 1*6 >= 6
+        let alive = r.export_alive_pairs();
+        assert_eq!(alive, vec![(0, 2), (1, 0), (3, 0), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn missing_pairs() {
+        let mut r = sample();
+        assert!(!r.delete(2, 0), "object with no pairs");
+        assert!(!r.delete(0, 0), "absent pair");
+        assert!(!r.related(9, 9));
+        assert_eq!(r.labels_of(9), Vec::<u32>::new());
+        assert_eq!(r.objects_of(9), Vec::<u32>::new());
+    }
+}
+
+#[cfg(test)]
+mod big_label_tests {
+    use super::*;
+
+    #[test]
+    fn heavy_label_uses_big_path() {
+        // 100 objects all related to label 0 (degree > 64 => Big variant).
+        let pairs: Vec<Pair> = (0..100).map(|o| (o, 0)).collect();
+        let mut r = DeletionOnlyRelation::new(&pairs, 100, 2);
+        assert_eq!(r.count_objects(0), 100);
+        for o in (0..100).step_by(3) {
+            assert!(r.delete(o, 0));
+        }
+        let want: Vec<u32> = (0..100).filter(|o| o % 3 != 0).collect();
+        assert_eq!(r.objects_of(0), want);
+        assert_eq!(r.count_objects(0), want.len());
+        assert_eq!(r.export_alive_pairs().len(), want.len());
+    }
+}

@@ -1,0 +1,539 @@
+//! Fully-dynamic compressed binary relation (§5, Theorem 2).
+//!
+//! Pairs are split across an uncompressed `C0` (adjacency lists, O(log n)
+//! bits/pair — affordable because `C0` holds ≤ 2n/log²n pairs) and
+//! deletion-only static subsets `C1..Cr` with geometrically growing
+//! capacities, exactly as the document transformations do. Because objects
+//! and labels come and go, *global tables* `SN`/`NS` map external ids to
+//! reusable internal slots; a slot freed and reassigned can still appear in
+//! an old static subset, but only with pairs already marked deleted, so
+//! stale queries correctly report nothing (the paper's argument verbatim).
+//!
+//! Updates are O(log^ε n)-class: an insertion touches `C0` and
+//! occasionally cascades into a rebuild, deletions are lazy with `1/τ`
+//! purges. Reporting costs O(small) per datum; counting O(log n) per
+//! subset (Theorem 1 machinery inside [`DeletionOnlyRelation`]).
+
+use crate::deletion_only::DeletionOnlyRelation;
+use crate::static_rel::Pair;
+use dyndex_core::config::{CapacitySchedule, DynOptions};
+use dyndex_succinct::SpaceUsage;
+use std::collections::{BTreeSet, HashMap};
+
+/// Bidirectional external-id ↔ internal-slot table (the paper's `SN`/`NS`).
+#[derive(Clone, Debug, Default)]
+struct SlotTable {
+    sn: HashMap<u64, u32>,
+    ns: Vec<Option<u64>>,
+    free: Vec<u32>,
+    /// Alive pair count per slot; a slot is freed when it reaches zero.
+    degree: Vec<usize>,
+}
+
+impl SlotTable {
+    fn get(&self, ext: u64) -> Option<u32> {
+        self.sn.get(&ext).copied()
+    }
+
+    fn get_or_alloc(&mut self, ext: u64) -> u32 {
+        if let Some(&s) = self.sn.get(&ext) {
+            return s;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.ns[s as usize] = Some(ext);
+                self.degree[s as usize] = 0;
+                s
+            }
+            None => {
+                self.ns.push(Some(ext));
+                self.degree.push(0);
+                (self.ns.len() - 1) as u32
+            }
+        };
+        self.sn.insert(ext, slot);
+        slot
+    }
+
+    fn external(&self, slot: u32) -> u64 {
+        self.ns[slot as usize].expect("live slot")
+    }
+
+    fn add_degree(&mut self, slot: u32, delta: isize) {
+        let d = &mut self.degree[slot as usize];
+        *d = d.checked_add_signed(delta).expect("degree underflow");
+        if *d == 0 {
+            // Empty object/label: release the slot (paper's free-slot list).
+            let ext = self.ns[slot as usize].take().expect("live slot");
+            self.sn.remove(&ext);
+            self.free.push(slot);
+        }
+    }
+
+    fn capacity(&self) -> u32 {
+        self.ns.len() as u32
+    }
+
+    fn live(&self) -> usize {
+        self.sn.len()
+    }
+}
+
+/// A dynamic binary relation over external `u64` object/label ids.
+#[derive(Clone, Debug)]
+pub struct DynamicRelation {
+    objects: SlotTable,
+    labels: SlotTable,
+    /// `C0`: uncompressed pairs, both directions.
+    c0_by_obj: HashMap<u32, BTreeSet<u32>>,
+    c0_by_lab: HashMap<u32, BTreeSet<u32>>,
+    c0_pairs: usize,
+    /// Static subsets `C1..Cr` (index 0 unused).
+    subs: Vec<Option<DeletionOnlyRelation>>,
+    schedule: CapacitySchedule,
+    options: DynOptions,
+    /// Alive pairs.
+    n: usize,
+    rebuilds: u64,
+    global_rebuilds: u64,
+}
+
+impl DynamicRelation {
+    /// Creates an empty relation.
+    pub fn new(options: DynOptions) -> Self {
+        let schedule = CapacitySchedule::new(0, &options);
+        let subs = (0..schedule.caps.len()).map(|_| None).collect();
+        DynamicRelation {
+            objects: SlotTable::default(),
+            labels: SlotTable::default(),
+            c0_by_obj: HashMap::new(),
+            c0_by_lab: HashMap::new(),
+            c0_pairs: 0,
+            subs,
+            schedule,
+            options,
+            n: 0,
+            rebuilds: 0,
+            global_rebuilds: 0,
+        }
+    }
+
+    /// Alive pairs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Live (non-empty) objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.live()
+    }
+
+    /// Live (non-empty) labels.
+    pub fn num_labels(&self) -> usize {
+        self.labels.live()
+    }
+
+    /// Level rebuild count (instrumentation).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Global rebuild count (instrumentation).
+    pub fn global_rebuilds(&self) -> u64 {
+        self.global_rebuilds
+    }
+
+    fn sub_size(&self, i: usize) -> usize {
+        if i == 0 {
+            self.c0_pairs
+        } else {
+            self.subs[i].as_ref().map_or(0, |s| s.len())
+        }
+    }
+
+    /// Whether `(obj, label)` (internal slots) is alive anywhere.
+    fn related_slots(&self, o: u32, l: u32) -> bool {
+        if self.c0_by_obj.get(&o).is_some_and(|s| s.contains(&l)) {
+            return true;
+        }
+        self.subs
+            .iter()
+            .flatten()
+            .any(|sub| sub.related(o, l))
+    }
+
+    /// Inserts `(object, label)`. Returns false if already related.
+    pub fn insert(&mut self, object: u64, label: u64) -> bool {
+        if self.related(object, label) {
+            return false;
+        }
+        let o = self.objects.get_or_alloc(object);
+        let l = self.labels.get_or_alloc(label);
+        self.c0_by_obj.entry(o).or_default().insert(l);
+        self.c0_by_lab.entry(l).or_default().insert(o);
+        self.c0_pairs += 1;
+        self.objects.add_degree(o, 1);
+        self.labels.add_degree(l, 1);
+        self.n += 1;
+        if self.n > 2 * self.schedule.nf.max(self.options.min_capacity) {
+            self.global_rebuild();
+        } else if self.c0_pairs > self.schedule.cap(0) {
+            self.cascade();
+        }
+        true
+    }
+
+    /// Finds the smallest level that absorbs `C0..Cj` and rebuilds it.
+    fn cascade(&mut self) {
+        let mut prefix = 0usize;
+        let mut target: Option<usize> = None;
+        for j in 0..self.subs.len() {
+            prefix += self.sub_size(j);
+            if prefix <= self.schedule.cap(j) && j > 0 {
+                target = Some(j);
+                break;
+            }
+        }
+        match target {
+            Some(j) => {
+                let mut pairs = self.drain_c0();
+                for sub in self.subs[1..=j].iter_mut() {
+                    if let Some(s) = sub.take() {
+                        pairs.extend(s.export_alive_pairs());
+                    }
+                }
+                self.subs[j] = Some(DeletionOnlyRelation::new(
+                    &pairs,
+                    self.objects.capacity(),
+                    self.labels.capacity(),
+                ));
+                self.rebuilds += 1;
+            }
+            None => self.global_rebuild(),
+        }
+    }
+
+    fn drain_c0(&mut self) -> Vec<Pair> {
+        let mut pairs = Vec::with_capacity(self.c0_pairs);
+        for (&o, labels) in &self.c0_by_obj {
+            for &l in labels {
+                pairs.push((o, l));
+            }
+        }
+        self.c0_by_obj.clear();
+        self.c0_by_lab.clear();
+        self.c0_pairs = 0;
+        pairs
+    }
+
+    fn global_rebuild(&mut self) {
+        let mut pairs = self.drain_c0();
+        for sub in self.subs.iter_mut().skip(1) {
+            if let Some(s) = sub.take() {
+                pairs.extend(s.export_alive_pairs());
+            }
+        }
+        self.schedule = CapacitySchedule::new(self.n, &self.options);
+        self.subs = (0..self.schedule.caps.len()).map(|_| None).collect();
+        let r = self.subs.len() - 1;
+        if !pairs.is_empty() {
+            self.subs[r] = Some(DeletionOnlyRelation::new(
+                &pairs,
+                self.objects.capacity(),
+                self.labels.capacity(),
+            ));
+        }
+        self.global_rebuilds += 1;
+    }
+
+    /// Deletes `(object, label)`. Returns false if not related.
+    pub fn delete(&mut self, object: u64, label: u64) -> bool {
+        let (Some(o), Some(l)) = (self.objects.get(object), self.labels.get(label)) else {
+            return false;
+        };
+        let mut deleted = false;
+        if let Some(set) = self.c0_by_obj.get_mut(&o) {
+            if set.remove(&l) {
+                if set.is_empty() {
+                    self.c0_by_obj.remove(&o);
+                }
+                let back = self.c0_by_lab.get_mut(&l).expect("mirror map");
+                back.remove(&o);
+                if back.is_empty() {
+                    self.c0_by_lab.remove(&l);
+                }
+                self.c0_pairs -= 1;
+                deleted = true;
+            }
+        }
+        if !deleted {
+            for i in 1..self.subs.len() {
+                let Some(sub) = self.subs[i].as_mut() else {
+                    continue;
+                };
+                if !sub.delete(o, l) {
+                    continue;
+                }
+                deleted = true;
+                if sub.needs_purge(self.options.tau) {
+                    self.purge_sub(i);
+                }
+                break;
+            }
+        }
+        if !deleted {
+            return false;
+        }
+        self.objects.add_degree(o, -1);
+        self.labels.add_degree(l, -1);
+        self.n -= 1;
+        if self.n * 2 < self.schedule.nf && self.schedule.nf > self.options.min_capacity {
+            self.global_rebuild();
+        }
+        true
+    }
+
+    fn purge_sub(&mut self, i: usize) {
+        let Some(sub) = self.subs[i].take() else {
+            return;
+        };
+        let pairs = sub.export_alive_pairs();
+        if pairs.is_empty() {
+            return;
+        }
+        self.subs[i] = Some(DeletionOnlyRelation::new(
+            &pairs,
+            self.objects.capacity(),
+            self.labels.capacity(),
+        ));
+        self.rebuilds += 1;
+    }
+
+    /// Whether `object` and `label` are related. O(log log σl)-class per
+    /// subset (Theorem 2's existential query).
+    pub fn related(&self, object: u64, label: u64) -> bool {
+        match (self.objects.get(object), self.labels.get(label)) {
+            (Some(o), Some(l)) => self.related_slots(o, l),
+            _ => false,
+        }
+    }
+
+    /// All labels related to `object`.
+    pub fn labels_of(&self, object: u64) -> Vec<u64> {
+        let Some(o) = self.objects.get(object) else {
+            return Vec::new();
+        };
+        let mut out: Vec<u64> = Vec::new();
+        if let Some(set) = self.c0_by_obj.get(&o) {
+            out.extend(set.iter().map(|&l| self.labels.external(l)));
+        }
+        for sub in self.subs.iter().flatten() {
+            out.extend(
+                sub.labels_of(o)
+                    .into_iter()
+                    .map(|l| self.labels.external(l)),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All objects related to `label`.
+    pub fn objects_of(&self, label: u64) -> Vec<u64> {
+        let Some(l) = self.labels.get(label) else {
+            return Vec::new();
+        };
+        let mut out: Vec<u64> = Vec::new();
+        if let Some(set) = self.c0_by_lab.get(&l) {
+            out.extend(set.iter().map(|&o| self.objects.external(o)));
+        }
+        for sub in self.subs.iter().flatten() {
+            out.extend(
+                sub.objects_of(l)
+                    .into_iter()
+                    .map(|o| self.objects.external(o)),
+            );
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Counts labels related to `object` — O(log n) per subset (Theorem 2).
+    pub fn count_labels(&self, object: u64) -> usize {
+        let Some(o) = self.objects.get(object) else {
+            return 0;
+        };
+        let c0 = self.c0_by_obj.get(&o).map_or(0, |s| s.len());
+        c0 + self
+            .subs
+            .iter()
+            .flatten()
+            .map(|sub| sub.count_labels(o))
+            .sum::<usize>()
+    }
+
+    /// Counts objects related to `label`.
+    pub fn count_objects(&self, label: u64) -> usize {
+        let Some(l) = self.labels.get(label) else {
+            return 0;
+        };
+        let c0 = self.c0_by_lab.get(&l).map_or(0, |s| s.len());
+        c0 + self
+            .subs
+            .iter()
+            .flatten()
+            .map(|sub| sub.count_objects(l))
+            .sum::<usize>()
+    }
+
+    /// Validates internal invariants (tests / harnesses).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        assert!(self.c0_pairs <= self.schedule.cap(0).max(1), "C0 overfull");
+        let mut total = self.c0_pairs;
+        for (i, sub) in self.subs.iter().enumerate().skip(1) {
+            if let Some(s) = sub {
+                assert!(
+                    s.len() <= self.schedule.cap(i),
+                    "subset {i} over capacity: {} > {}",
+                    s.len(),
+                    self.schedule.cap(i)
+                );
+                total += s.len();
+            }
+        }
+        assert_eq!(total, self.n, "pair accounting out of sync");
+        // degrees must sum to n on both sides
+        let od: usize = self.objects.degree.iter().sum();
+        let ld: usize = self.labels.degree.iter().sum();
+        assert_eq!(od, self.n, "object degrees out of sync");
+        assert_eq!(ld, self.n, "label degrees out of sync");
+    }
+}
+
+impl SpaceUsage for DynamicRelation {
+    fn heap_bytes(&self) -> usize {
+        let c0 = (self.c0_by_obj.len() + self.c0_by_lab.len()) * 48 + self.c0_pairs * 2 * 8;
+        let subs: usize = self.subs.iter().flatten().map(|s| s.heap_bytes()).sum();
+        let tables = (self.objects.ns.len() + self.labels.ns.len()) * 24
+            + (self.objects.sn.len() + self.labels.sn.len()) * 24;
+        c0 + subs + tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveRelation;
+
+    fn opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 16,
+            tau: 4,
+            ..DynOptions::default()
+        }
+    }
+
+    fn assert_matches(dynr: &DynamicRelation, naive: &NaiveRelation, probe: &[u64]) {
+        for &x in probe {
+            assert_eq!(dynr.labels_of(x), naive.labels_of(x), "labels_of({x})");
+            assert_eq!(dynr.objects_of(x), naive.objects_of(x), "objects_of({x})");
+            assert_eq!(dynr.count_labels(x), naive.count_labels(x), "count_labels({x})");
+            assert_eq!(
+                dynr.count_objects(x),
+                naive.count_objects(x),
+                "count_objects({x})"
+            );
+            for &y in probe {
+                assert_eq!(dynr.related(x, y), naive.related(x, y), "related({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn small_insert_delete() {
+        let mut r = DynamicRelation::new(opts());
+        let mut naive = NaiveRelation::new();
+        assert!(r.insert(10, 100));
+        naive.insert(10, 100);
+        assert!(!r.insert(10, 100), "duplicate insert rejected");
+        assert!(r.insert(10, 101));
+        naive.insert(10, 101);
+        assert!(r.insert(11, 100));
+        naive.insert(11, 100);
+        assert_matches(&r, &naive, &[10, 11, 100, 101, 999]);
+        assert!(r.delete(10, 100));
+        naive.delete(10, 100);
+        assert!(!r.delete(10, 100), "double delete rejected");
+        assert_matches(&r, &naive, &[10, 11, 100, 101]);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn cascades_and_purges_match_naive() {
+        let mut r = DynamicRelation::new(opts());
+        let mut naive = NaiveRelation::new();
+        let mut state = 0x5DEECE66Du64;
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for step in 0..600 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = state >> 33;
+            if x % 3 != 0 || live.is_empty() {
+                let o = 1 + x % 40;
+                let l = 1000 + (x / 64) % 30;
+                if r.insert(o, l) {
+                    naive.insert(o, l);
+                    live.push((o, l));
+                }
+            } else {
+                let idx = (x as usize / 3) % live.len();
+                let (o, l) = live.swap_remove(idx);
+                assert_eq!(r.delete(o, l), naive.delete(o, l), "step {step}");
+            }
+            if step % 53 == 0 {
+                r.check_invariants();
+                assert_matches(&r, &naive, &[1, 2, 17, 39, 1000, 1015, 1029]);
+            }
+        }
+        r.check_invariants();
+        assert!(r.rebuilds() + r.global_rebuilds() > 0, "cascades must happen");
+        assert_matches(&r, &naive, &[1, 5, 20, 1001, 1010]);
+    }
+
+    #[test]
+    fn slot_reuse_after_emptying() {
+        let mut r = DynamicRelation::new(opts());
+        // Fill enough to push pairs into static subsets.
+        for i in 0..30u64 {
+            r.insert(i, 500 + i);
+        }
+        // Empty object 3 entirely; slot should be freed and reusable.
+        assert!(r.delete(3, 503));
+        assert_eq!(r.count_labels(3), 0);
+        assert!(!r.related(3, 503));
+        // New object reuses slots; old (stale) subset entries must not leak.
+        for i in 100..130u64 {
+            r.insert(i, 600);
+        }
+        assert_eq!(r.count_labels(3), 0);
+        assert!(!r.related(3, 503));
+        assert_eq!(r.count_objects(600), 30);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn empty_relation_queries() {
+        let r = DynamicRelation::new(opts());
+        assert!(r.is_empty());
+        assert!(!r.related(1, 2));
+        assert!(r.labels_of(1).is_empty());
+        assert_eq!(r.count_objects(5), 0);
+    }
+}

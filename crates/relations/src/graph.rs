@@ -1,0 +1,195 @@
+//! Dynamic directed graph (§5, Theorem 3).
+//!
+//! A directed graph is the binary relation "u → v": node `u` (as object)
+//! is related to node `v` (as label). Out-neighbors are an object's
+//! labels, in-neighbors ("reverse neighbors") a label's objects, adjacency
+//! an existential query — all inherited from [`DynamicRelation`] with the
+//! same bounds: O(log log σl · log log n)-class reporting per datum,
+//! O(log n) counting, O(log^ε n) updates.
+
+use crate::dynamic_rel::DynamicRelation;
+use dyndex_core::config::DynOptions;
+use dyndex_succinct::SpaceUsage;
+
+/// A dynamic directed graph over `u64` node ids.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    rel: DynamicRelation,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    pub fn new(options: DynOptions) -> Self {
+        DynamicGraph {
+            rel: DynamicRelation::new(options),
+        }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Adds edge `u → v`; returns false if already present.
+    pub fn add_edge(&mut self, u: u64, v: u64) -> bool {
+        self.rel.insert(u, v)
+    }
+
+    /// Removes edge `u → v`; returns false if absent.
+    pub fn remove_edge(&mut self, u: u64, v: u64) -> bool {
+        self.rel.delete(u, v)
+    }
+
+    /// Whether edge `u → v` exists.
+    pub fn has_edge(&self, u: u64, v: u64) -> bool {
+        self.rel.related(u, v)
+    }
+
+    /// Out-neighbors of `u` (ascending).
+    pub fn out_neighbors(&self, u: u64) -> Vec<u64> {
+        self.rel.labels_of(u)
+    }
+
+    /// In-neighbors of `v` (ascending) — the paper's reverse neighbors.
+    pub fn in_neighbors(&self, v: u64) -> Vec<u64> {
+        self.rel.objects_of(v)
+    }
+
+    /// Out-degree of `u` — O(log n).
+    pub fn out_degree(&self, u: u64) -> usize {
+        self.rel.count_labels(u)
+    }
+
+    /// In-degree of `v` — O(log n).
+    pub fn in_degree(&self, v: u64) -> usize {
+        self.rel.count_objects(v)
+    }
+
+    /// Removes every edge incident to `node` (both directions); returns
+    /// how many edges were removed.
+    pub fn remove_node(&mut self, node: u64) -> usize {
+        let out = self.out_neighbors(node);
+        let inn = self.in_neighbors(node);
+        let mut removed = 0;
+        for v in out {
+            if self.rel.delete(node, v) {
+                removed += 1;
+            }
+        }
+        for u in inn {
+            if self.rel.delete(u, node) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Underlying relation (diagnostics).
+    pub fn relation(&self) -> &DynamicRelation {
+        &self.rel
+    }
+
+    /// Validates invariants.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.rel.check_invariants();
+    }
+}
+
+impl SpaceUsage for DynamicGraph {
+    fn heap_bytes(&self) -> usize {
+        self.rel.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 16,
+            tau: 4,
+            ..DynOptions::default()
+        }
+    }
+
+    #[test]
+    fn edges_and_neighbors() {
+        let mut g = DynamicGraph::new(opts());
+        assert!(g.add_edge(1, 2));
+        assert!(g.add_edge(1, 3));
+        assert!(g.add_edge(2, 3));
+        assert!(g.add_edge(3, 1));
+        assert!(!g.add_edge(1, 2));
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(1), vec![2, 3]);
+        assert_eq!(g.in_neighbors(3), vec![1, 2]);
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.in_degree(1), 1);
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(1, 1));
+        assert!(g.remove_edge(1, 3));
+        assert_eq!(g.out_neighbors(1), vec![2]);
+        assert_eq!(g.in_neighbors(3), vec![2]);
+    }
+
+    #[test]
+    fn self_loops_and_node_removal() {
+        let mut g = DynamicGraph::new(opts());
+        g.add_edge(7, 7);
+        g.add_edge(7, 8);
+        g.add_edge(9, 7);
+        assert!(g.has_edge(7, 7));
+        assert_eq!(g.remove_node(7), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.has_edge(9, 7));
+        g.check_invariants();
+    }
+
+    #[test]
+    fn random_graph_matches_model() {
+        let mut g = DynamicGraph::new(opts());
+        let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut state = 0xC0FFEEu64;
+        for step in 0..800 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = state >> 33;
+            let u = x % 25;
+            let v = (x / 32) % 25;
+            if x % 3 != 0 {
+                assert_eq!(g.add_edge(u, v), model.insert((u, v)), "step {step}");
+            } else {
+                assert_eq!(g.remove_edge(u, v), model.remove(&(u, v)), "step {step}");
+            }
+            if step % 97 == 0 {
+                g.check_invariants();
+                for node in 0..25u64 {
+                    let out: Vec<u64> = model
+                        .iter()
+                        .filter(|&&(a, _)| a == node)
+                        .map(|&(_, b)| b)
+                        .collect();
+                    assert_eq!(g.out_neighbors(node), out, "out({node}) step {step}");
+                    let inn: Vec<u64> = model
+                        .iter()
+                        .filter(|&&(_, b)| b == node)
+                        .map(|&(a, _)| a)
+                        .collect();
+                    assert_eq!(g.in_neighbors(node), inn, "in({node}) step {step}");
+                    assert_eq!(g.out_degree(node), out.len());
+                    assert_eq!(g.in_degree(node), inn.len());
+                }
+            }
+        }
+        g.check_invariants();
+    }
+}

@@ -1,0 +1,27 @@
+//! # dyndex-relations
+//!
+//! Compressed dynamic binary relations and directed graphs — §5 of
+//! *Munro, Nekrich, Vitter: Dynamic Data Structures for Document
+//! Collections and Graphs* (PODS 2015).
+//!
+//! * [`static_rel::StaticRelation`] — the Barbay-et-al. `S`+`N` encoding:
+//!   `nH0(S)` bits, all queries via rank/select.
+//! * [`deletion_only::DeletionOnlyRelation`] — lazy pair deletion via the
+//!   Lemma 3 reporter `D` and per-label bitmaps `D_a`.
+//! * [`dynamic_rel::DynamicRelation`] — Theorem 2: fully dynamic pairs,
+//!   objects, and labels, with the global `SN`/`NS` slot tables.
+//! * [`graph::DynamicGraph`] — Theorem 3: a directed graph as a relation
+//!   between nodes (adjacency / neighbors / reverse neighbors / counts).
+//! * [`naive::NaiveRelation`] — ground truth for tests.
+
+pub mod deletion_only;
+pub mod dynamic_rel;
+pub mod graph;
+pub mod naive;
+pub mod static_rel;
+
+pub use deletion_only::DeletionOnlyRelation;
+pub use dynamic_rel::DynamicRelation;
+pub use graph::DynamicGraph;
+pub use naive::NaiveRelation;
+pub use static_rel::{Pair, StaticRelation};

@@ -1,0 +1,110 @@
+//! Brute-force reference relation for tests and benchmarks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A hash/tree-set model of a binary relation over external ids.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveRelation {
+    by_obj: BTreeMap<u64, BTreeSet<u64>>,
+    by_lab: BTreeMap<u64, BTreeSet<u64>>,
+    pairs: usize,
+}
+
+impl NaiveRelation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// Inserts a pair; returns false if already present.
+    pub fn insert(&mut self, object: u64, label: u64) -> bool {
+        if !self.by_obj.entry(object).or_default().insert(label) {
+            return false;
+        }
+        self.by_lab.entry(label).or_default().insert(object);
+        self.pairs += 1;
+        true
+    }
+
+    /// Deletes a pair; returns false if absent.
+    pub fn delete(&mut self, object: u64, label: u64) -> bool {
+        let Some(set) = self.by_obj.get_mut(&object) else {
+            return false;
+        };
+        if !set.remove(&label) {
+            return false;
+        }
+        if set.is_empty() {
+            self.by_obj.remove(&object);
+        }
+        let back = self.by_lab.get_mut(&label).expect("mirror map");
+        back.remove(&object);
+        if back.is_empty() {
+            self.by_lab.remove(&label);
+        }
+        self.pairs -= 1;
+        true
+    }
+
+    /// Whether the pair exists.
+    pub fn related(&self, object: u64, label: u64) -> bool {
+        self.by_obj
+            .get(&object)
+            .is_some_and(|s| s.contains(&label))
+    }
+
+    /// Labels of an object (ascending).
+    pub fn labels_of(&self, object: u64) -> Vec<u64> {
+        self.by_obj
+            .get(&object)
+            .map_or(Vec::new(), |s| s.iter().copied().collect())
+    }
+
+    /// Objects of a label (ascending).
+    pub fn objects_of(&self, label: u64) -> Vec<u64> {
+        self.by_lab
+            .get(&label)
+            .map_or(Vec::new(), |s| s.iter().copied().collect())
+    }
+
+    /// Degree of an object.
+    pub fn count_labels(&self, object: u64) -> usize {
+        self.by_obj.get(&object).map_or(0, |s| s.len())
+    }
+
+    /// Degree of a label.
+    pub fn count_objects(&self, label: u64) -> usize {
+        self.by_lab.get(&label).map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut r = NaiveRelation::new();
+        assert!(r.insert(1, 10));
+        assert!(!r.insert(1, 10));
+        assert!(r.insert(1, 11));
+        assert!(r.insert(2, 10));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.labels_of(1), vec![10, 11]);
+        assert_eq!(r.objects_of(10), vec![1, 2]);
+        assert!(r.delete(1, 10));
+        assert!(!r.delete(1, 10));
+        assert_eq!(r.count_objects(10), 1);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! Static compact binary relation (§5, after Barbay et al. [4, 5]).
+//!
+//! A relation `R ⊆ [0,t) × [0,σl)` between `t` objects and `σl` labels is
+//! encoded as:
+//! * `S` — the labels related to object 0, then object 1, … (the paper's
+//!   column-wise matrix traversal), stored in a Huffman-shaped wavelet
+//!   tree: `nH0(S) + o(·)` bits — the `nH` term of Theorem 2;
+//! * `N = 1^{n_0} 0 1^{n_1} 0 …` — per-object degree sequence, unary.
+//!
+//! All queries reduce to rank/select/access on `S` and `N`.
+
+use dyndex_succinct::{BitVec, HuffmanWavelet, RankSelect, SpaceUsage, WaveletMatrix};
+
+/// An object–label pair.
+pub type Pair = (u32, u32);
+
+/// Alphabets up to this size use the Huffman-shaped wavelet tree
+/// (`nH0 + n` bits); larger ones use the wavelet matrix (`n⌈log σ⌉` bits)
+/// whose per-level overhead is independent of σ. This mirrors the paper's
+/// reliance on alphabet partitioning [3] for large label sets: entropy
+/// coding only pays off once per-symbol savings beat per-node overheads.
+const HUFFMAN_SIGMA_LIMIT: u32 = 512;
+
+/// The label sequence `S`, represented adaptively by alphabet size.
+#[derive(Clone, Debug)]
+enum LabelSeq {
+    Huff(HuffmanWavelet),
+    Matrix(WaveletMatrix),
+}
+
+impl LabelSeq {
+    fn new(seq: &[u32], sigma: u32) -> Self {
+        if sigma <= HUFFMAN_SIGMA_LIMIT {
+            LabelSeq::Huff(HuffmanWavelet::new(seq, sigma))
+        } else {
+            LabelSeq::Matrix(WaveletMatrix::new(seq, sigma))
+        }
+    }
+    fn access(&self, i: usize) -> u32 {
+        match self {
+            LabelSeq::Huff(h) => h.access(i),
+            LabelSeq::Matrix(m) => m.access(i),
+        }
+    }
+    fn rank(&self, sym: u32, i: usize) -> usize {
+        match self {
+            LabelSeq::Huff(h) => h.rank(sym, i),
+            LabelSeq::Matrix(m) => m.rank(sym, i),
+        }
+    }
+    fn select(&self, sym: u32, k: usize) -> Option<usize> {
+        match self {
+            LabelSeq::Huff(h) => h.select(sym, k),
+            LabelSeq::Matrix(m) => m.select(sym, k),
+        }
+    }
+}
+
+impl SpaceUsage for LabelSeq {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            LabelSeq::Huff(h) => h.heap_bytes(),
+            LabelSeq::Matrix(m) => m.heap_bytes(),
+        }
+    }
+}
+
+/// A static compact binary relation.
+#[derive(Clone, Debug)]
+pub struct StaticRelation {
+    /// Labels ordered by object.
+    s: LabelSeq,
+    /// Unary degree bitmap: `1^{deg(0)} 0 1^{deg(1)} 0 …`.
+    n: RankSelect,
+    num_objects: u32,
+    num_labels: u32,
+    pairs: usize,
+}
+
+impl StaticRelation {
+    /// Builds from pairs (duplicates are deduplicated; order arbitrary).
+    pub fn new(pairs: &[Pair], num_objects: u32, num_labels: u32) -> Self {
+        let mut sorted: Vec<Pair> = pairs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        debug_assert!(sorted
+            .iter()
+            .all(|&(o, l)| o < num_objects && l < num_labels));
+        let mut s_syms: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut n_bits = BitVec::with_capacity(sorted.len() + num_objects as usize);
+        let mut cur_obj = 0u32;
+        for &(o, l) in &sorted {
+            while cur_obj < o {
+                n_bits.push(false);
+                cur_obj += 1;
+            }
+            s_syms.push(l);
+            n_bits.push(true);
+        }
+        while cur_obj < num_objects {
+            n_bits.push(false);
+            cur_obj += 1;
+        }
+        StaticRelation {
+            s: LabelSeq::new(&s_syms, num_labels.max(1)),
+            n: RankSelect::new(n_bits),
+            num_objects,
+            num_labels,
+            pairs: sorted.len(),
+        }
+    }
+
+    /// Number of pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs
+    }
+
+    /// Whether the relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs == 0
+    }
+
+    /// Number of objects in the universe.
+    #[inline]
+    pub fn num_objects(&self) -> u32 {
+        self.num_objects
+    }
+
+    /// Number of labels in the universe.
+    #[inline]
+    pub fn num_labels(&self) -> u32 {
+        self.num_labels
+    }
+
+    /// The `[l, r)` interval of `S` holding object `obj`'s labels.
+    #[inline]
+    pub fn object_range(&self, obj: u32) -> (usize, usize) {
+        assert!(obj < self.num_objects, "object {obj} out of range");
+        let l = if obj == 0 {
+            0
+        } else {
+            self.n
+                .select0(obj as usize - 1)
+                .map_or(0, |p| self.n.rank1(p))
+        };
+        let r = match self.n.select0(obj as usize) {
+            Some(p) => self.n.rank1(p),
+            None => self.pairs,
+        };
+        (l, r)
+    }
+
+    /// The object owning position `pos` of `S`.
+    #[inline]
+    pub fn object_of_pos(&self, pos: usize) -> u32 {
+        let p = self.n.select1(pos).expect("pos within S");
+        self.n.rank0(p) as u32
+    }
+
+    /// Label stored at position `pos` of `S`.
+    #[inline]
+    pub fn label_at(&self, pos: usize) -> u32 {
+        self.s.access(pos)
+    }
+
+    /// Labels related to `obj` (ascending).
+    pub fn labels_of(&self, obj: u32) -> Vec<u32> {
+        let (l, r) = self.object_range(obj);
+        (l..r).map(|i| self.s.access(i)).collect()
+    }
+
+    /// Objects related to `label` (ascending).
+    pub fn objects_of(&self, label: u32) -> Vec<u32> {
+        let k = self.count_objects(label);
+        (0..k)
+            .map(|i| {
+                let pos = self.s.select(label, i).expect("rank bound");
+                self.object_of_pos(pos)
+            })
+            .collect()
+    }
+
+    /// Degree of an object.
+    pub fn count_labels(&self, obj: u32) -> usize {
+        let (l, r) = self.object_range(obj);
+        r - l
+    }
+
+    /// Degree of a label.
+    pub fn count_objects(&self, label: u32) -> usize {
+        if label >= self.num_labels {
+            return 0;
+        }
+        self.s.rank(label, self.pairs)
+    }
+
+    /// Whether `(obj, label)` is in the relation; if so, also returns the
+    /// position of the pair in `S` (used by the deletion-only layer).
+    pub fn find_pair(&self, obj: u32, label: u32) -> Option<usize> {
+        if obj >= self.num_objects || label >= self.num_labels {
+            return None;
+        }
+        let (l, r) = self.object_range(obj);
+        let before = self.s.rank(label, l);
+        let within = self.s.rank(label, r) - before;
+        if within == 0 {
+            None
+        } else {
+            debug_assert_eq!(within, 1, "pairs are unique");
+            self.s.select(label, before)
+        }
+    }
+
+    /// The rank of `(obj, label)` among `label`'s occurrences in `S`
+    /// (the index into the paper's `D_a`), if related.
+    pub fn label_occurrence_rank(&self, obj: u32, label: u32) -> Option<usize> {
+        let pos = self.find_pair(obj, label)?;
+        Some(self.s.rank(label, pos))
+    }
+
+    /// Position in `S` of the `occ`-th (0-based) occurrence of `label`.
+    pub fn select_label(&self, label: u32, occ: usize) -> Option<usize> {
+        self.s.select(label, occ)
+    }
+}
+
+impl SpaceUsage for StaticRelation {
+    fn heap_bytes(&self) -> usize {
+        self.s.heap_bytes() + self.n.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StaticRelation {
+        // objects 0..4, labels 0..3
+        let pairs = [(0, 1), (0, 2), (1, 0), (3, 1), (3, 0), (3, 2), (0, 1)];
+        StaticRelation::new(&pairs, 4, 3)
+    }
+
+    #[test]
+    fn ranges_and_degrees() {
+        let r = sample();
+        assert_eq!(r.len(), 6); // dedup of (0,1)
+        assert_eq!(r.count_labels(0), 2);
+        assert_eq!(r.count_labels(1), 1);
+        assert_eq!(r.count_labels(2), 0);
+        assert_eq!(r.count_labels(3), 3);
+        assert_eq!(r.count_objects(0), 2);
+        assert_eq!(r.count_objects(1), 2);
+        assert_eq!(r.count_objects(2), 2);
+    }
+
+    #[test]
+    fn labels_and_objects() {
+        let r = sample();
+        assert_eq!(r.labels_of(0), vec![1, 2]);
+        assert_eq!(r.labels_of(1), vec![0]);
+        assert_eq!(r.labels_of(2), Vec::<u32>::new());
+        assert_eq!(r.labels_of(3), vec![0, 1, 2]);
+        assert_eq!(r.objects_of(0), vec![1, 3]);
+        assert_eq!(r.objects_of(1), vec![0, 3]);
+        assert_eq!(r.objects_of(2), vec![0, 3]);
+    }
+
+    #[test]
+    fn membership() {
+        let r = sample();
+        assert!(r.find_pair(0, 1).is_some());
+        assert!(r.find_pair(0, 0).is_none());
+        assert!(r.find_pair(2, 0).is_none());
+        assert!(r.find_pair(99, 0).is_none());
+        // occurrence ranks within a label column
+        assert_eq!(r.label_occurrence_rank(1, 0), Some(0));
+        assert_eq!(r.label_occurrence_rank(3, 0), Some(1));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = StaticRelation::new(&[], 3, 3);
+        assert!(r.is_empty());
+        assert_eq!(r.labels_of(2), Vec::<u32>::new());
+        assert_eq!(r.count_objects(0), 0);
+    }
+
+    #[test]
+    fn single_object_many_labels() {
+        let pairs: Vec<Pair> = (0..50).map(|l| (0, l)).collect();
+        let r = StaticRelation::new(&pairs, 1, 50);
+        assert_eq!(r.count_labels(0), 50);
+        assert_eq!(r.labels_of(0), (0..50).collect::<Vec<u32>>());
+        for l in 0..50 {
+            assert_eq!(r.objects_of(l), vec![0]);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests: relations and graphs vs set models, plus the
+//! Lemma 1 (Dietz–Sleator) bound on the "zero the largest" schedule.
+
+use dyndex_core::config::DynOptions;
+use dyndex_relations::*;
+use proptest::prelude::*;
+
+fn opts() -> DynOptions {
+    DynOptions {
+        min_capacity: 16,
+        tau: 4,
+        ..DynOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn static_relation_matches_model(
+        pairs in proptest::collection::vec((0u32..20, 0u32..15), 0..200),
+    ) {
+        let rel = StaticRelation::new(&pairs, 20, 15);
+        let mut dedup: Vec<(u32, u32)> = pairs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(rel.len(), dedup.len());
+        for o in 0..20u32 {
+            let want: Vec<u32> = dedup.iter().filter(|&&(a, _)| a == o).map(|&(_, l)| l).collect();
+            prop_assert_eq!(rel.labels_of(o), want.clone());
+            prop_assert_eq!(rel.count_labels(o), want.len());
+        }
+        for l in 0..15u32 {
+            let want: Vec<u32> = dedup.iter().filter(|&&(_, b)| b == l).map(|&(o, _)| o).collect();
+            prop_assert_eq!(rel.objects_of(l), want.clone());
+            prop_assert_eq!(rel.count_objects(l), want.len());
+        }
+    }
+
+    #[test]
+    fn deletion_only_relation_matches_model(
+        pairs in proptest::collection::vec((0u32..15, 0u32..12), 1..150),
+        deletions in proptest::collection::vec(any::<proptest::sample::Index>(), 0..60),
+    ) {
+        let mut rel = DeletionOnlyRelation::new(&pairs, 15, 12);
+        let mut model: std::collections::BTreeSet<(u32, u32)> = pairs.iter().copied().collect();
+        let universe: Vec<(u32, u32)> = model.iter().copied().collect();
+        for d in &deletions {
+            let (o, l) = universe[d.index(universe.len())];
+            prop_assert_eq!(rel.delete(o, l), model.remove(&(o, l)));
+        }
+        for o in 0..15u32 {
+            let want: Vec<u32> = model.iter().filter(|&&(a, _)| a == o).map(|&(_, l)| l).collect();
+            prop_assert_eq!(rel.labels_of(o), want.clone());
+            prop_assert_eq!(rel.count_labels(o), want.len());
+        }
+        for l in 0..12u32 {
+            let want: Vec<u32> = model.iter().filter(|&&(_, b)| b == l).map(|&(o, _)| o).collect();
+            prop_assert_eq!(rel.objects_of(l), want);
+        }
+        let mut alive = rel.export_alive_pairs();
+        alive.sort_unstable();
+        prop_assert_eq!(alive, model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dynamic_relation_matches_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..25, 0u64..20), 0..400),
+    ) {
+        let mut dynr = DynamicRelation::new(opts());
+        let mut naive = NaiveRelation::new();
+        for &(insert, o, l) in &ops {
+            if insert {
+                prop_assert_eq!(dynr.insert(o, 100 + l), naive.insert(o, 100 + l));
+            } else {
+                prop_assert_eq!(dynr.delete(o, 100 + l), naive.delete(o, 100 + l));
+            }
+        }
+        dynr.check_invariants();
+        prop_assert_eq!(dynr.len(), naive.len());
+        for o in 0..25u64 {
+            prop_assert_eq!(dynr.labels_of(o), naive.labels_of(o));
+            prop_assert_eq!(dynr.count_labels(o), naive.count_labels(o));
+        }
+        for l in 100..120u64 {
+            prop_assert_eq!(dynr.objects_of(l), naive.objects_of(l));
+            prop_assert_eq!(dynr.count_objects(l), naive.count_objects(l));
+        }
+    }
+
+    #[test]
+    fn graph_matches_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..15, 0u64..15), 0..300),
+    ) {
+        let mut g = DynamicGraph::new(opts());
+        let mut model: std::collections::BTreeSet<(u64, u64)> = Default::default();
+        for &(op, u, v) in &ops {
+            match op {
+                0 | 1 => {
+                    prop_assert_eq!(g.add_edge(u, v), model.insert((u, v)));
+                }
+                _ => {
+                    prop_assert_eq!(g.remove_edge(u, v), model.remove(&(u, v)));
+                }
+            }
+        }
+        g.check_invariants();
+        prop_assert_eq!(g.num_edges(), model.len());
+        for node in 0..15u64 {
+            let out: Vec<u64> = model.iter().filter(|&&(a, _)| a == node).map(|&(_, b)| b).collect();
+            prop_assert_eq!(g.out_neighbors(node), out);
+            let inn: Vec<u64> = model.iter().filter(|&&(_, b)| b == node).map(|&(a, _)| a).collect();
+            prop_assert_eq!(g.in_neighbors(node), inn);
+        }
+    }
+
+    /// Lemma 1 (Dietz–Sleator): iterating (i) add non-negative reals
+    /// summing to 1, (ii) zero the largest, keeps every x_i <= 1 + H_{g-1}.
+    /// Our top-collection purge scheduler relies on exactly this bound.
+    #[test]
+    fn dietz_sleator_bound_holds(
+        g in 2usize..12,
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 1..12), 1..60),
+    ) {
+        let mut xs = vec![0.0f64; g];
+        let h: f64 = (1..g).map(|i| 1.0 / i as f64).sum();
+        for weights in &rounds {
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 { continue; }
+            // Normalize so each round adds exactly 1 across the xs.
+            for (i, w) in weights.iter().enumerate() {
+                xs[i % g] += w / total;
+            }
+            // Zero the largest.
+            let (argmax, _) = xs.iter().enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .expect("non-empty");
+            xs[argmax] = 0.0;
+            for &x in &xs {
+                prop_assert!(x <= 1.0 + h + 1e-9, "x = {x} exceeds 1 + H_(g-1) = {}", 1.0 + h);
+            }
+        }
+    }
+}

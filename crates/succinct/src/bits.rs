@@ -1,0 +1,176 @@
+//! Word-level bit manipulation primitives.
+//!
+//! Everything here operates on `u64` machine words. These are the leaves of
+//! every succinct structure in this crate: rank within a word is a masked
+//! popcount, select within a word is [`select_in_word`].
+
+/// Number of bits in a machine word.
+pub const WORD_BITS: usize = 64;
+
+/// Returns a mask with the low `n` bits set (`n <= 64`).
+#[inline]
+pub fn low_mask(n: usize) -> u64 {
+    debug_assert!(n <= 64);
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Returns the position (0-based, from the LSB) of the `k`-th (0-based) set
+/// bit of `word`.
+///
+/// # Panics
+/// In debug builds, panics if `word` has fewer than `k + 1` set bits.
+#[inline]
+pub fn select_in_word(word: u64, k: u32) -> u32 {
+    debug_assert!(
+        word.count_ones() > k,
+        "select_in_word: word has {} ones, asked for index {k}",
+        word.count_ones()
+    );
+    let mut w = word;
+    let mut k = k;
+    let mut base = 0u32;
+    // Narrow down byte by byte; branch-light and fast in practice without
+    // requiring PDEP (portability per the perf-book "machine code" advice).
+    loop {
+        let cnt = (w & 0xFF).count_ones();
+        if k < cnt {
+            break;
+        }
+        k -= cnt;
+        w >>= 8;
+        base += 8;
+        if base >= 64 {
+            // Unreachable when the precondition holds; keep release builds
+            // memory-safe anyway.
+            return 63;
+        }
+    }
+    let mut byte = w & 0xFF;
+    let mut pos = base;
+    loop {
+        if byte & 1 == 1 {
+            if k == 0 {
+                return pos;
+            }
+            k -= 1;
+        }
+        byte >>= 1;
+        pos += 1;
+    }
+}
+
+/// Returns the position of the `k`-th (0-based) zero bit of `word`.
+#[inline]
+pub fn select0_in_word(word: u64, k: u32) -> u32 {
+    select_in_word(!word, k)
+}
+
+/// Number of set bits strictly below bit `i` of `word` (`i <= 64`).
+#[inline]
+pub fn rank_in_word(word: u64, i: usize) -> u32 {
+    (word & low_mask(i)).count_ones()
+}
+
+/// Ceiling of `log2(x)` for `x >= 1`; `ceil_log2(1) == 0`.
+#[inline]
+pub fn ceil_log2(x: u64) -> u32 {
+    debug_assert!(x >= 1);
+    64 - (x - 1).leading_zeros().min(64)
+}
+
+/// Number of bits needed to represent `x` (`bits_for(0) == 1`).
+#[inline]
+pub fn bits_for(x: u64) -> u32 {
+    if x == 0 {
+        1
+    } else {
+        64 - x.leading_zeros()
+    }
+}
+
+/// Integer division rounding up.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(63), u64::MAX >> 1);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn select_in_word_matches_naive() {
+        let words = [
+            1u64,
+            0b1010_1010,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0xFFFF_0000_FFFF_0000,
+            0x0123_4567_89AB_CDEF,
+        ];
+        for &w in &words {
+            let mut seen = 0u32;
+            for bit in 0..64u32 {
+                if (w >> bit) & 1 == 1 {
+                    assert_eq!(select_in_word(w, seen), bit, "word {w:#x} k={seen}");
+                    seen += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select0_in_word_matches_naive() {
+        let w = 0xF0F0_F0F0_F0F0_F0F0u64;
+        let mut seen = 0u32;
+        for bit in 0..64u32 {
+            if (w >> bit) & 1 == 0 {
+                assert_eq!(select0_in_word(w, seen), bit);
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn rank_in_word_matches_naive() {
+        let w = 0xDEAD_BEEF_0BAD_F00Du64;
+        let mut expect = 0;
+        for i in 0..=64 {
+            assert_eq!(rank_in_word(w, i), expect);
+            if i < 64 && (w >> i) & 1 == 1 {
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_log2_small() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 33), 33);
+    }
+
+    #[test]
+    fn bits_for_small() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

@@ -1,0 +1,205 @@
+//! A plain growable bit vector backed by `u64` words.
+//!
+//! [`BitVec`] is the mutable builder type; freeze it into a
+//! [`crate::rank_select::RankSelect`] for O(1) rank/select queries.
+
+use crate::bits::{div_ceil, low_mask, WORD_BITS};
+use crate::space::SpaceUsage;
+
+/// A growable, indexable vector of bits.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitVec {
+            words: Vec::with_capacity(div_ceil(bits, WORD_BITS)),
+            len: 0,
+        }
+    }
+
+    /// Creates a bit vector of `len` copies of `bit`.
+    pub fn from_elem(len: usize, bit: bool) -> Self {
+        let nwords = div_ceil(len, WORD_BITS);
+        let fill = if bit { u64::MAX } else { 0 };
+        let mut words = vec![fill; nwords];
+        if bit && len % WORD_BITS != 0 {
+            // Keep unused tail bits zero so `count_ones` stays correct.
+            *words.last_mut().expect("len > 0 implies nwords > 0") = low_mask(len % WORD_BITS);
+        }
+        BitVec { words, len }
+    }
+
+    /// Builds from an iterator of bools.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+
+    /// Number of bits stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / WORD_BITS;
+        let off = self.len % WORD_BITS;
+        if off == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `bit`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if bit {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing words; unused tail bits are guaranteed zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Iterates over the positions of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+impl SpaceUsage for BitVec {
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut bv = BitVec::new();
+        for i in 0..200 {
+            bv.push(i % 3 == 0);
+        }
+        assert_eq!(bv.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bv.get(i), i % 3 == 0, "at {i}");
+        }
+        bv.set(100, true);
+        assert!(bv.get(100));
+        bv.set(100, false);
+        assert!(!bv.get(100));
+    }
+
+    #[test]
+    fn from_elem_tail_bits_zero() {
+        let bv = BitVec::from_elem(70, true);
+        assert_eq!(bv.len(), 70);
+        assert_eq!(bv.count_ones(), 70);
+        assert_eq!(bv.words().len(), 2);
+        // tail bits beyond 70 must be zero
+        assert_eq!(bv.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn iter_ones_matches() {
+        let bv = BitVec::from_bits((0..300).map(|i| i % 7 == 1));
+        let got: Vec<usize> = bv.iter_ones().collect();
+        let want: Vec<usize> = (0..300).filter(|i| i % 7 == 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty() {
+        let bv = BitVec::new();
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+        assert_eq!(bv.iter_ones().count(), 0);
+    }
+}

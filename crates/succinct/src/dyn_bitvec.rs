@@ -1,0 +1,521 @@
+//! A dynamic bit vector: insert/delete/rank/select/access at any position.
+//!
+//! This is the substrate of the *baseline* dynamic FM-index (the prior-art
+//! approach the paper's Table 2 compares against): dynamic rank/select
+//! sequences pay a logarithmic price on every operation — exactly the
+//! Fredman–Saks bottleneck the paper's framework avoids.
+//!
+//! Implementation: a flat vector of small blocks (each ≤ [`MAX_BLOCK_BITS`]
+//! bits) plus Fenwick trees over per-block bit- and one-counts. Point
+//! updates to counts are O(log #blocks); block splits/merges trigger an
+//! amortized O(#blocks) Fenwick rebuild (once per ~thousand updates).
+
+use crate::bits::{low_mask, rank_in_word, select0_in_word, select_in_word, WORD_BITS};
+use crate::flip_rank::Fenwick;
+use crate::space::SpaceUsage;
+
+/// Split threshold (bits per block).
+const MAX_BLOCK_BITS: usize = 2048;
+/// Merge threshold.
+const MIN_BLOCK_BITS: usize = MAX_BLOCK_BITS / 4;
+
+#[derive(Clone, Debug, Default)]
+struct Block {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Block {
+    fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len);
+        let last = i / WORD_BITS;
+        let mut r = 0usize;
+        for &w in &self.words[..last.min(self.words.len())] {
+            r += w.count_ones() as usize;
+        }
+        if last < self.words.len() {
+            r += rank_in_word(self.words[last], i % WORD_BITS) as usize;
+        }
+        r
+    }
+
+    fn select1(&self, k: usize) -> usize {
+        debug_assert!(k < self.ones);
+        let mut k = k;
+        for (wi, &w) in self.words.iter().enumerate() {
+            let c = w.count_ones() as usize;
+            if k < c {
+                return wi * WORD_BITS + select_in_word(w, k as u32) as usize;
+            }
+            k -= c;
+        }
+        unreachable!("select1 out of range in block");
+    }
+
+    fn select0(&self, k: usize) -> usize {
+        debug_assert!(k < self.len - self.ones);
+        let mut k = k;
+        for (wi, &w) in self.words.iter().enumerate() {
+            let valid = (self.len - wi * WORD_BITS).min(WORD_BITS);
+            let zeros = valid - rank_in_word(w, valid) as usize;
+            if k < zeros {
+                return wi * WORD_BITS + select0_in_word(w, k as u32) as usize;
+            }
+            k -= zeros;
+        }
+        unreachable!("select0 out of range in block");
+    }
+
+    /// Inserts `bit` at position `i`, shifting the tail right by one.
+    fn insert(&mut self, i: usize, bit: bool) {
+        debug_assert!(i <= self.len);
+        let w = i / WORD_BITS;
+        let off = i % WORD_BITS;
+        if self.len % WORD_BITS == 0 {
+            self.words.push(0);
+        }
+        // Shift whole words after w right by 1 bit, propagating carries.
+        let mut carry = if w < self.words.len() {
+            let word = self.words[w];
+            let keep = word & low_mask(off);
+            let moved = word & !low_mask(off);
+            self.words[w] = keep | (moved << 1) | ((bit as u64) << off);
+            (word >> 63) & 1
+        } else {
+            bit as u64
+        };
+        for word in self.words.iter_mut().skip(w + 1) {
+            let new_carry = (*word >> 63) & 1;
+            *word = (*word << 1) | carry;
+            carry = new_carry;
+        }
+        self.len += 1;
+        self.ones += bit as usize;
+        // Clear any bit shifted past the logical end (stays within capacity
+        // because we pushed a fresh word when needed).
+        let tail_word = self.len / WORD_BITS;
+        let tail_off = self.len % WORD_BITS;
+        if tail_off != 0 && tail_word < self.words.len() {
+            self.words[tail_word] &= low_mask(tail_off);
+        }
+    }
+
+    /// Removes and returns the bit at `i`, shifting the tail left by one.
+    fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = i / WORD_BITS;
+        let off = i % WORD_BITS;
+        let bit = self.get(i);
+        let word = self.words[w];
+        let keep = word & low_mask(off);
+        let moved = (word >> 1) & !low_mask(off);
+        self.words[w] = keep | moved;
+        // Borrow the lowest bit of each following word.
+        for wi in (w + 1)..self.words.len() {
+            let lo = self.words[wi] & 1;
+            self.words[w + (wi - w) - 1] |= lo << 63;
+            self.words[wi] >>= 1;
+        }
+        self.len -= 1;
+        self.ones -= bit as usize;
+        if self.words.len() * WORD_BITS >= self.len + WORD_BITS {
+            self.words.pop();
+        }
+        bit
+    }
+
+    /// Splits off the second half into a new block.
+    fn split(&mut self) -> Block {
+        let half = self.len / 2;
+        let mut right = Block::default();
+        // Move bits [half, len) into `right`. Bit-level copy is fine here:
+        // splits are amortized rare.
+        for i in half..self.len {
+            let b = self.get(i);
+            if right.len % WORD_BITS == 0 {
+                right.words.push(0);
+            }
+            if b {
+                right.words[right.len / WORD_BITS] |= 1u64 << (right.len % WORD_BITS);
+                right.ones += 1;
+            }
+            right.len += 1;
+        }
+        self.len = half;
+        self.ones -= right.ones;
+        self.words.truncate(half.div_ceil(WORD_BITS).max(1));
+        if half % WORD_BITS != 0 {
+            let lw = half / WORD_BITS;
+            self.words[lw] &= low_mask(half % WORD_BITS);
+        } else {
+            self.words.truncate(half / WORD_BITS);
+        }
+        right
+    }
+
+    /// Appends all bits of `other`.
+    fn append(&mut self, other: &Block) {
+        for i in 0..other.len {
+            let b = other.get(i);
+            if self.len % WORD_BITS == 0 {
+                self.words.push(0);
+            }
+            if b {
+                self.words[self.len / WORD_BITS] |= 1u64 << (self.len % WORD_BITS);
+                self.ones += 1;
+            }
+            self.len += 1;
+        }
+    }
+}
+
+/// A dynamic bit vector with logarithmic-time positional updates.
+#[derive(Clone, Debug)]
+pub struct DynBitVec {
+    blocks: Vec<Block>,
+    /// Fenwick over per-block bit counts.
+    fen_bits: Fenwick,
+    /// Fenwick over per-block one counts.
+    fen_ones: Fenwick,
+    len: usize,
+    ones: usize,
+}
+
+impl Default for DynBitVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynBitVec {
+    /// Creates an empty dynamic bit vector.
+    pub fn new() -> Self {
+        DynBitVec {
+            blocks: vec![Block::default()],
+            fen_bits: Fenwick::from_slice(&[0]),
+            fen_ones: Fenwick::from_slice(&[0]),
+            len: 0,
+            ones: 0,
+        }
+    }
+
+    /// Builds from an iterator of bits.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut v = Self::new();
+        for b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total ones.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    fn rebuild_fenwicks(&mut self) {
+        let bits: Vec<u64> = self.blocks.iter().map(|b| b.len as u64).collect();
+        let ones: Vec<u64> = self.blocks.iter().map(|b| b.ones as u64).collect();
+        self.fen_bits = Fenwick::from_slice(&bits);
+        self.fen_ones = Fenwick::from_slice(&ones);
+    }
+
+    /// Locates `(block index, offset within block)` for bit position `i`.
+    /// For `i == len`, returns the last block with offset = its length.
+    fn locate(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i <= self.len);
+        if i == self.len {
+            let last = self.blocks.len() - 1;
+            return (last, self.blocks[last].len);
+        }
+        // `search` returns the largest block index whose prefix is <= i;
+        // because i < len, that block is non-empty and contains position i.
+        let (block, acc) = self.fen_bits.search(i as u64);
+        let off = i - acc as usize;
+        debug_assert!(block < self.blocks.len() && off < self.blocks[block].len);
+        (block, off)
+    }
+
+    /// Bit at position `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let (b, off) = self.locate(i);
+        self.blocks[b].get(off)
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let i = self.len;
+        self.insert(i, bit);
+    }
+
+    /// Inserts `bit` at position `i <= len`.
+    pub fn insert(&mut self, i: usize, bit: bool) {
+        assert!(i <= self.len, "insert index {i} out of range {}", self.len);
+        let (b, off) = self.locate(i);
+        self.blocks[b].insert(off, bit);
+        self.len += 1;
+        self.ones += bit as usize;
+        self.fen_bits.add(b, 1);
+        if bit {
+            self.fen_ones.add(b, 1);
+        }
+        if self.blocks[b].len > MAX_BLOCK_BITS {
+            let right = self.blocks[b].split();
+            self.blocks.insert(b + 1, right);
+            self.rebuild_fenwicks();
+        }
+    }
+
+    /// Removes and returns the bit at position `i < len`.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "remove index {i} out of range {}", self.len);
+        let (b, off) = self.locate(i);
+        let bit = self.blocks[b].remove(off);
+        self.len -= 1;
+        self.ones -= bit as usize;
+        self.fen_bits.add(b, -1);
+        if bit {
+            self.fen_ones.add(b, -1);
+        }
+        if self.blocks.len() > 1 && self.blocks[b].len < MIN_BLOCK_BITS {
+            // Merge with a neighbour (then split if oversized).
+            let (a, c) = if b + 1 < self.blocks.len() {
+                (b, b + 1)
+            } else {
+                (b - 1, b)
+            };
+            let right = self.blocks.remove(c);
+            self.blocks[a].append(&right);
+            if self.blocks[a].len > MAX_BLOCK_BITS {
+                let r = self.blocks[a].split();
+                self.blocks.insert(a + 1, r);
+            }
+            self.rebuild_fenwicks();
+        }
+        bit
+    }
+
+    /// Sets bit `i` in place.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let (b, off) = self.locate(i);
+        let old = self.blocks[b].get(off);
+        if old == bit {
+            return;
+        }
+        let blk = &mut self.blocks[b];
+        let mask = 1u64 << (off % WORD_BITS);
+        if bit {
+            blk.words[off / WORD_BITS] |= mask;
+            blk.ones += 1;
+            self.ones += 1;
+            self.fen_ones.add(b, 1);
+        } else {
+            blk.words[off / WORD_BITS] &= !mask;
+            blk.ones -= 1;
+            self.ones -= 1;
+            self.fen_ones.add(b, -1);
+        }
+    }
+
+    /// Ones strictly before position `i` (`i <= len`).
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        if i == self.len {
+            return self.ones;
+        }
+        let (b, off) = self.locate(i);
+        self.fen_ones.prefix(b) as usize + self.blocks[b].rank1(off)
+    }
+
+    /// Zeros strictly before position `i`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one, or `None`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        // Largest block whose ones-prefix is <= k contains the k-th one.
+        let (b, acc) = self.fen_ones.search(k as u64);
+        let rem = k - acc as usize;
+        debug_assert!(b < self.blocks.len() && rem < self.blocks[b].ones);
+        Some(self.fen_bits.prefix(b) as usize + self.blocks[b].select1(rem))
+    }
+
+    /// Position of the `k`-th zero, or `None`.
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        if k >= self.len - self.ones {
+            return None;
+        }
+        // Fenwick over zeros = bits - ones; do a manual descent.
+        let mut rem = k;
+        let mut b = 0usize;
+        loop {
+            let z = self.blocks[b].len - self.blocks[b].ones;
+            if rem < z {
+                return Some(self.fen_bits.prefix(b) as usize + self.blocks[b].select0(rem));
+            }
+            rem -= z;
+            b += 1;
+        }
+    }
+
+    /// Iterates over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(|b| (0..b.len).map(move |i| b.get(i)))
+    }
+}
+
+impl SpaceUsage for DynBitVec {
+    fn heap_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.words.heap_bytes())
+            .sum::<usize>()
+            + self.blocks.capacity() * std::mem::size_of::<Block>()
+            + self.fen_bits.heap_bytes()
+            + self.fen_ones.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model.
+    struct Model(Vec<bool>);
+
+    impl Model {
+        fn rank1(&self, i: usize) -> usize {
+            self.0[..i].iter().filter(|&&b| b).count()
+        }
+        fn select1(&self, k: usize) -> Option<usize> {
+            self.0
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .nth(k)
+                .map(|(i, _)| i)
+        }
+        fn select0(&self, k: usize) -> Option<usize> {
+            self.0
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .nth(k)
+                .map(|(i, _)| i)
+        }
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn random_ops_match_model() {
+        let mut rng = 0x1234_5678_9ABC_DEFFu64;
+        let mut model = Model(Vec::new());
+        let mut dv = DynBitVec::new();
+        for step in 0..6000 {
+            let r = xorshift(&mut rng);
+            let op = r % 100;
+            if op < 55 || model.0.is_empty() {
+                let pos = (r >> 8) as usize % (model.0.len() + 1);
+                let bit = (r >> 60) & 1 == 1;
+                model.0.insert(pos, bit);
+                dv.insert(pos, bit);
+            } else if op < 80 {
+                let pos = (r >> 8) as usize % model.0.len();
+                let want = model.0.remove(pos);
+                assert_eq!(dv.remove(pos), want, "remove at step {step}");
+            } else {
+                let pos = (r >> 8) as usize % model.0.len();
+                let bit = (r >> 60) & 1 == 1;
+                model.0[pos] = bit;
+                dv.set(pos, bit);
+            }
+            assert_eq!(dv.len(), model.0.len());
+            if step % 97 == 0 {
+                for i in (0..=model.0.len()).step_by(37.max(model.0.len() / 11 + 1)) {
+                    assert_eq!(dv.rank1(i), model.rank1(i), "rank1({i}) step {step}");
+                }
+                let probe = (r >> 20) as usize % (model.0.len() + 1);
+                assert_eq!(dv.select1(probe), model.select1(probe));
+                assert_eq!(dv.select0(probe), model.select0(probe));
+            }
+        }
+        // Full verification at the end.
+        for (i, &b) in model.0.iter().enumerate() {
+            assert_eq!(dv.get(i), b, "get({i})");
+        }
+        assert_eq!(dv.iter().collect::<Vec<_>>(), model.0);
+    }
+
+    #[test]
+    fn push_many_then_query() {
+        let mut dv = DynBitVec::new();
+        let n = 10_000;
+        for i in 0..n {
+            dv.push(i % 3 == 1);
+        }
+        assert_eq!(dv.len(), n);
+        assert_eq!(dv.count_ones(), n / 3 + usize::from(n % 3 == 2));
+        for i in (0..=n).step_by(509) {
+            assert_eq!(dv.rank1(i), (i + 1) / 3, "rank1({i})");
+        }
+        for k in (0..dv.count_ones()).step_by(401) {
+            assert_eq!(dv.select1(k), Some(3 * k + 1));
+        }
+    }
+
+    #[test]
+    fn drain_to_empty() {
+        let mut dv = DynBitVec::from_bits((0..5000).map(|i| i % 2 == 0));
+        for _ in 0..5000 {
+            dv.remove(0);
+        }
+        assert!(dv.is_empty());
+        assert_eq!(dv.count_ones(), 0);
+        dv.push(true);
+        assert_eq!(dv.rank1(1), 1);
+    }
+
+    #[test]
+    fn insert_at_front_repeatedly() {
+        let mut dv = DynBitVec::new();
+        for i in 0..3000 {
+            dv.insert(0, i % 5 == 0);
+        }
+        let want: Vec<bool> = (0..3000).rev().map(|i| i % 5 == 0).collect();
+        assert_eq!(dv.iter().collect::<Vec<_>>(), want);
+    }
+}

@@ -1,0 +1,361 @@
+//! Dynamic wavelet tree: a sequence of symbols under positional
+//! insert/delete with rank/select/access.
+//!
+//! Every operation costs O(log σ) dynamic-bitvector operations, each of
+//! which is logarithmic — this is the Fredman–Saks-bounded machinery that
+//! *all previous* compressed dynamic indexes were built on (§1 of the
+//! paper), and which our baseline dynamic FM-index uses. The paper's whole
+//! point is to avoid putting this structure on the query path.
+
+use crate::bits::bits_for;
+use crate::dyn_bitvec::DynBitVec;
+use crate::space::SpaceUsage;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bits: DynBitVec,
+    left: u32,
+    right: u32,
+}
+
+/// A dynamic sequence of `u32` symbols from a fixed alphabet `[0, σ)`.
+#[derive(Clone, Debug)]
+pub struct DynWavelet {
+    nodes: Vec<Node>,
+    sigma: u32,
+    width: u32,
+    len: usize,
+}
+
+impl DynWavelet {
+    /// Creates an empty sequence over alphabet `[0, sigma)`.
+    pub fn new(sigma: u32) -> Self {
+        assert!(sigma >= 1);
+        let width = if sigma <= 1 { 1 } else { bits_for(sigma as u64 - 1) };
+        DynWavelet {
+            nodes: vec![Node {
+                bits: DynBitVec::new(),
+                left: NIL,
+                right: NIL,
+            }],
+            sigma,
+            width,
+            len: 0,
+        }
+    }
+
+    /// Builds from a slice.
+    pub fn from_slice(seq: &[u32], sigma: u32) -> Self {
+        let mut w = Self::new(sigma);
+        for (i, &s) in seq.iter().enumerate() {
+            w.insert(i, s);
+        }
+        w
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alphabet bound.
+    #[inline]
+    pub fn sigma(&self) -> u32 {
+        self.sigma
+    }
+
+    fn child(&mut self, node: u32, right: bool) -> u32 {
+        let existing = if right {
+            self.nodes[node as usize].right
+        } else {
+            self.nodes[node as usize].left
+        };
+        if existing != NIL {
+            return existing;
+        }
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            bits: DynBitVec::new(),
+            left: NIL,
+            right: NIL,
+        });
+        if right {
+            self.nodes[node as usize].right = idx;
+        } else {
+            self.nodes[node as usize].left = idx;
+        }
+        idx
+    }
+
+    /// Inserts `sym` at position `i <= len`.
+    pub fn insert(&mut self, i: usize, sym: u32) {
+        assert!(i <= self.len, "insert index {i} out of range {}", self.len);
+        assert!(sym < self.sigma, "symbol {sym} out of alphabet {}", self.sigma);
+        let mut node = 0u32;
+        let mut pos = i;
+        for level in (0..self.width).rev() {
+            let bit = (sym >> level) & 1 == 1;
+            self.nodes[node as usize].bits.insert(pos, bit);
+            let next_pos = if bit {
+                self.nodes[node as usize].bits.rank1(pos)
+            } else {
+                self.nodes[node as usize].bits.rank0(pos)
+            };
+            if level == 0 {
+                break;
+            }
+            node = self.child(node, bit);
+            pos = next_pos;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the symbol at position `i < len`.
+    pub fn remove(&mut self, i: usize) -> u32 {
+        assert!(i < self.len, "remove index {i} out of range {}", self.len);
+        let mut node = 0u32;
+        let mut pos = i;
+        let mut sym = 0u32;
+        for level in (0..self.width).rev() {
+            let bit = self.nodes[node as usize].bits.remove(pos);
+            sym = (sym << 1) | bit as u32;
+            if level == 0 {
+                break;
+            }
+            let next_pos = if bit {
+                self.nodes[node as usize].bits.rank1(pos)
+            } else {
+                self.nodes[node as usize].bits.rank0(pos)
+            };
+            node = if bit {
+                self.nodes[node as usize].right
+            } else {
+                self.nodes[node as usize].left
+            };
+            debug_assert_ne!(node, NIL, "remove walked into a missing child");
+            pos = next_pos;
+        }
+        self.len -= 1;
+        sym
+    }
+
+    /// Symbol at position `i`.
+    pub fn access(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let mut node = 0u32;
+        let mut pos = i;
+        let mut sym = 0u32;
+        for level in (0..self.width).rev() {
+            let n = &self.nodes[node as usize];
+            let bit = n.bits.get(pos);
+            sym = (sym << 1) | bit as u32;
+            if level == 0 {
+                break;
+            }
+            pos = if bit {
+                n.bits.rank1(pos)
+            } else {
+                n.bits.rank0(pos)
+            };
+            node = if bit { n.right } else { n.left };
+        }
+        sym
+    }
+
+    /// Occurrences of `sym` in `[0, i)`.
+    pub fn rank(&self, sym: u32, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        if sym >= self.sigma {
+            return 0;
+        }
+        let mut node = 0u32;
+        let mut pos = i;
+        for level in (0..self.width).rev() {
+            let n = &self.nodes[node as usize];
+            let bit = (sym >> level) & 1 == 1;
+            pos = if bit {
+                n.bits.rank1(pos)
+            } else {
+                n.bits.rank0(pos)
+            };
+            if level == 0 {
+                break;
+            }
+            node = if bit { n.right } else { n.left };
+            if node == NIL {
+                return 0;
+            }
+        }
+        pos
+    }
+
+    /// Position of the `k`-th occurrence of `sym`, or `None`.
+    pub fn select(&self, sym: u32, k: usize) -> Option<usize> {
+        if sym >= self.sigma || self.rank(sym, self.len) <= k {
+            return None;
+        }
+        // Walk down recording the node path, then walk back up with select.
+        let mut path: Vec<(u32, bool)> = Vec::with_capacity(self.width as usize);
+        let mut node = 0u32;
+        for level in (0..self.width).rev() {
+            let bit = (sym >> level) & 1 == 1;
+            path.push((node, bit));
+            if level == 0 {
+                break;
+            }
+            node = if bit {
+                self.nodes[node as usize].right
+            } else {
+                self.nodes[node as usize].left
+            };
+        }
+        let mut pos = k;
+        for &(node, bit) in path.iter().rev() {
+            let n = &self.nodes[node as usize];
+            pos = if bit {
+                n.bits.select1(pos)?
+            } else {
+                n.bits.select0(pos)?
+            };
+        }
+        Some(pos)
+    }
+
+    /// Occurrences of every symbol `< sym` in `[0, i)`.
+    pub fn rank_lt(&self, sym: u32, i: usize) -> usize {
+        assert!(i <= self.len);
+        if sym == 0 {
+            return 0;
+        }
+        if sym >= self.sigma {
+            return i;
+        }
+        let mut node = 0u32;
+        let mut pos = i;
+        let mut acc = 0usize;
+        for level in (0..self.width).rev() {
+            let n = &self.nodes[node as usize];
+            let bit = (sym >> level) & 1 == 1;
+            if bit {
+                acc += n.bits.rank0(pos);
+                pos = n.bits.rank1(pos);
+                if level == 0 {
+                    break;
+                }
+                node = n.right;
+            } else {
+                pos = n.bits.rank0(pos);
+                if level == 0 {
+                    break;
+                }
+                node = n.left;
+            }
+            if node == NIL {
+                break;
+            }
+        }
+        acc
+    }
+}
+
+impl SpaceUsage for DynWavelet {
+    fn heap_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.bits.heap_bytes())
+            .sum::<usize>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn random_ops_match_model() {
+        let sigma = 11u32;
+        let mut rng = 0xDEADBEEF12345678u64;
+        let mut model: Vec<u32> = Vec::new();
+        let mut w = DynWavelet::new(sigma);
+        for step in 0..4000 {
+            let r = xorshift(&mut rng);
+            if r % 10 < 6 || model.is_empty() {
+                let pos = (r >> 8) as usize % (model.len() + 1);
+                let sym = ((r >> 40) % sigma as u64) as u32;
+                model.insert(pos, sym);
+                w.insert(pos, sym);
+            } else {
+                let pos = (r >> 8) as usize % model.len();
+                let want = model.remove(pos);
+                assert_eq!(w.remove(pos), want, "remove at step {step}");
+            }
+            assert_eq!(w.len(), model.len());
+            if step % 119 == 0 {
+                let i = (r >> 20) as usize % (model.len() + 1);
+                for sym in 0..sigma {
+                    let want = model[..i].iter().filter(|&&s| s == sym).count();
+                    assert_eq!(w.rank(sym, i), want, "rank({sym},{i}) step {step}");
+                }
+                let lt = ((r >> 33) % (sigma as u64 + 1)) as u32;
+                let want = model[..i].iter().filter(|&&s| s < lt).count();
+                assert_eq!(w.rank_lt(lt, i), want, "rank_lt step {step}");
+            }
+        }
+        for (i, &s) in model.iter().enumerate() {
+            assert_eq!(w.access(i), s, "access({i})");
+        }
+        for sym in 0..sigma {
+            let positions: Vec<usize> =
+                (0..model.len()).filter(|&i| model[i] == sym).collect();
+            for (k, &p) in positions.iter().enumerate().step_by(3) {
+                assert_eq!(w.select(sym, k), Some(p), "select({sym},{k})");
+            }
+            assert_eq!(w.select(sym, positions.len()), None);
+        }
+    }
+
+    #[test]
+    fn sigma_one() {
+        let mut w = DynWavelet::new(1);
+        for i in 0..100 {
+            w.insert(i, 0);
+        }
+        assert_eq!(w.rank(0, 100), 100);
+        assert_eq!(w.access(50), 0);
+        assert_eq!(w.select(0, 99), Some(99));
+        assert_eq!(w.remove(0), 0);
+        assert_eq!(w.len(), 99);
+    }
+
+    #[test]
+    fn append_only_text() {
+        let text: Vec<u32> = (0..2000u64)
+            .map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15) >> 45) % 200) as u32)
+            .collect();
+        let w = DynWavelet::from_slice(&text, 200);
+        for (i, &s) in text.iter().enumerate().step_by(31) {
+            assert_eq!(w.access(i), s);
+        }
+        for sym in (0..200).step_by(17) {
+            let want = text.iter().filter(|&&s| s == sym).count();
+            assert_eq!(w.rank(sym, text.len()), want);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Elias–Fano encoding of monotone integer sequences.
+//!
+//! Stores `n` non-decreasing values from a universe `[0, u)` in
+//! `n·(2 + ⌈log₂(u/n)⌉)` bits with O(1) random access (`get`) and
+//! near-O(1) `rank`/`predecessor`. We use it as a *sparse bit vector*:
+//! document boundaries in a concatenated collection and marked
+//! suffix-array sample positions are both sparse monotone sets.
+
+use crate::bits::bits_for;
+use crate::bitvec::BitVec;
+use crate::int_vec::IntVec;
+use crate::rank_select::RankSelect;
+use crate::space::SpaceUsage;
+
+/// A compressed monotone sequence with access / rank / predecessor.
+#[derive(Clone, Debug)]
+pub struct EliasFano {
+    /// Upper bits, unary-coded: value `v` sets bit `(v >> low_width) + i`.
+    high: RankSelect,
+    /// Lower `low_width` bits of each value.
+    low: IntVec,
+    low_width: usize,
+    len: usize,
+    universe: u64,
+}
+
+impl EliasFano {
+    /// Builds from a non-decreasing slice of values `< universe`.
+    ///
+    /// # Panics
+    /// Panics if the input is not sorted or exceeds the universe.
+    pub fn new(values: &[u64], universe: u64) -> Self {
+        let n = values.len();
+        let low_width = if n == 0 {
+            1
+        } else {
+            let per = universe / n as u64;
+            bits_for(per.saturating_sub(1)).max(1) as usize
+        };
+        let mut low = IntVec::with_capacity(low_width, n);
+        let n_high_buckets = if n == 0 { 1 } else { (universe >> low_width) as usize + 1 };
+        let mut high = BitVec::from_elem(n + n_high_buckets, false);
+        let mut prev = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            assert!(v >= prev, "EliasFano input not sorted at index {i}");
+            assert!(v < universe, "value {v} >= universe {universe}");
+            prev = v;
+            low.push(v & crate::bits::low_mask(low_width));
+            high.set((v >> low_width) as usize + i, true);
+        }
+        EliasFano {
+            high: RankSelect::new(high),
+            low,
+            low_width,
+            len: n,
+            universe,
+        }
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The universe bound the values were drawn from.
+    #[inline]
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// Returns the `i`-th value.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let high_pos = self
+            .high
+            .select1(i)
+            .expect("EliasFano directory inconsistent");
+        (((high_pos - i) as u64) << self.low_width) | self.low.get(i)
+    }
+
+    /// Number of stored values strictly less than `x`.
+    pub fn rank(&self, x: u64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        if x >= self.universe {
+            return self.len;
+        }
+        let bucket = (x >> self.low_width) as usize;
+        // Values in bucket b occupy high-bit positions
+        // [select0(b-1)+1 .. select0(b)) — i.e. indices [lo, hi).
+        let lo = if bucket == 0 {
+            0
+        } else {
+            match self.high.select0(bucket - 1) {
+                Some(p) => p + 1 - bucket,
+                None => return self.len,
+            }
+        };
+        let hi = match self.high.select0(bucket) {
+            Some(p) => p - bucket,
+            None => self.len,
+        };
+        let xlow = x & crate::bits::low_mask(self.low_width);
+        // Binary search within the bucket on the low bits.
+        let mut a = lo;
+        let mut b = hi;
+        while a < b {
+            let mid = (a + b) / 2;
+            if self.low.get(mid) < xlow {
+                a = mid + 1;
+            } else {
+                b = mid;
+            }
+        }
+        a
+    }
+
+    /// Largest stored value `<= x`, with its index, or `None`.
+    pub fn predecessor(&self, x: u64) -> Option<(usize, u64)> {
+        let r = self.rank(x.saturating_add(1).min(self.universe));
+        // rank(x+1) = number of values <= x (when x+1 <= universe).
+        let r = if x.saturating_add(1) > self.universe {
+            self.len
+        } else {
+            r
+        };
+        if r == 0 {
+            None
+        } else {
+            Some((r - 1, self.get(r - 1)))
+        }
+    }
+
+    /// Whether `x` is one of the stored values.
+    pub fn contains(&self, x: u64) -> bool {
+        match self.predecessor(x) {
+            Some((_, v)) => v == x,
+            None => false,
+        }
+    }
+
+    /// Iterates over all values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl SpaceUsage for EliasFano {
+    fn heap_bytes(&self) -> usize {
+        self.high.heap_bytes() + self.low.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(values: &[u64], universe: u64) {
+        let ef = EliasFano::new(values, universe);
+        assert_eq!(ef.len(), values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v, "get({i})");
+        }
+        // rank at every boundary-ish point
+        for x in 0..universe.min(2000) {
+            let want = values.iter().filter(|&&v| v < x).count();
+            assert_eq!(ef.rank(x), want, "rank({x})");
+            let pred = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v <= x)
+                .map(|(i, &v)| (i, v))
+                .next_back();
+            // predecessor returns the last index among duplicates
+            let got = ef.predecessor(x);
+            assert_eq!(got.map(|p| p.1), pred.map(|p| p.1), "pred({x})");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        let ef = EliasFano::new(&[], 100);
+        assert!(ef.is_empty());
+        assert_eq!(ef.rank(50), 0);
+        assert_eq!(ef.predecessor(50), None);
+        assert!(!ef.contains(3));
+    }
+
+    #[test]
+    fn dense_and_sparse() {
+        check(&[0, 1, 2, 3, 4], 5);
+        check(&[10, 20, 30, 1000], 1001);
+        check(&[0, 0, 0, 5, 5, 900], 901);
+        let sparse: Vec<u64> = (0..50).map(|i| i * 37 + 3).collect();
+        check(&sparse, 2000);
+    }
+
+    #[test]
+    fn contains_and_bounds() {
+        let ef = EliasFano::new(&[3, 7, 7, 100], 128);
+        assert!(ef.contains(3));
+        assert!(ef.contains(7));
+        assert!(ef.contains(100));
+        assert!(!ef.contains(4));
+        assert!(!ef.contains(127));
+        assert_eq!(ef.rank(1000), 4);
+        assert_eq!(ef.predecessor(2), None);
+        assert_eq!(ef.predecessor(127), Some((3, 100)));
+    }
+
+    #[test]
+    fn large_universe() {
+        let values: Vec<u64> = (0..1000).map(|i| i * 1_000_003).collect();
+        let ef = EliasFano::new(&values, 1_000_003_000);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(ef.get(i), v);
+            assert!(ef.contains(v));
+            assert!(!ef.contains(v + 1));
+        }
+        assert_eq!(ef.rank(500 * 1_000_003), 500);
+    }
+}

@@ -1,0 +1,278 @@
+//! Rank over a fixed-length bit vector whose bits can be flipped in place.
+//!
+//! This is the stand-in for the Navarro–Sadakane dynamic structure [37] the
+//! paper uses in Theorem 1 (counting): we never insert or delete *positions*
+//! (the suffix array of a static sub-index has fixed length), we only flip
+//! bits from 1 to 0 as documents are deleted, and we must count 1s in an
+//! arbitrary range `B[a..b]`. A Fenwick tree over 512-bit blocks gives
+//! O(log n) `rank` and `flip` — the same role as [37]'s
+//! O(log n / log log n), with constants that win at laptop scale.
+
+use crate::bits::{rank_in_word, WORD_BITS};
+use crate::space::SpaceUsage;
+
+const BLOCK_WORDS: usize = 8;
+const BLOCK_BITS: usize = BLOCK_WORDS * WORD_BITS;
+
+/// A Fenwick (binary indexed) tree over `u64` counts.
+#[derive(Clone, Debug, Default)]
+pub struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// Builds from per-slot values in O(n).
+    pub fn from_slice(values: &[u64]) -> Self {
+        let mut tree = vec![0u64; values.len() + 1];
+        for (i, &v) in values.iter().enumerate() {
+            tree[i + 1] = tree[i + 1].wrapping_add(v);
+            let j = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if j < tree.len() {
+                let t = tree[i + 1];
+                tree[j] = tree[j].wrapping_add(t);
+            }
+        }
+        Fenwick { tree }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len().saturating_sub(1)
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` (possibly negative) to slot `i`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let mut j = i + 1;
+        while j < self.tree.len() {
+            self.tree[j] = self.tree[j].wrapping_add(delta as u64);
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `[0, i)`.
+    pub fn prefix(&self, i: usize) -> u64 {
+        let mut j = i.min(self.len());
+        let mut s = 0u64;
+        while j > 0 {
+            s = s.wrapping_add(self.tree[j]);
+            j &= j - 1;
+        }
+        s
+    }
+
+    /// Finds the largest `i` with `prefix(i) <= target`, returning
+    /// `(i, prefix(i))`. Requires all slot values to be non-negative.
+    pub fn search(&self, target: u64) -> (usize, u64) {
+        let mut pos = 0usize;
+        let mut acc = 0u64;
+        let mut step = self.tree.len().next_power_of_two() / 2;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && acc.wrapping_add(self.tree[next]) <= target {
+                acc = acc.wrapping_add(self.tree[next]);
+                pos = next;
+            }
+            step /= 2;
+        }
+        (pos, acc)
+    }
+}
+
+impl SpaceUsage for Fenwick {
+    fn heap_bytes(&self) -> usize {
+        self.tree.heap_bytes()
+    }
+}
+
+/// Fixed-length bit vector with O(log n) rank and in-place bit flips.
+#[derive(Clone, Debug)]
+pub struct FlipRank {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+    /// Fenwick over per-block popcounts.
+    blocks: Fenwick,
+}
+
+impl FlipRank {
+    /// Creates `len` bits all set to `bit`.
+    pub fn new(len: usize, bit: bool) -> Self {
+        let bv = crate::bitvec::BitVec::from_elem(len, bit);
+        Self::from_words(bv.words().to_vec(), len)
+    }
+
+    /// Builds from a word slice of `len` logical bits.
+    fn from_words(words: Vec<u64>, len: usize) -> Self {
+        let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        let counts: Vec<u64> = words
+            .chunks(BLOCK_WORDS)
+            .map(|c| c.iter().map(|w| w.count_ones() as u64).sum())
+            .collect();
+        FlipRank {
+            words,
+            len,
+            ones,
+            blocks: Fenwick::from_slice(&counts),
+        }
+    }
+
+    /// Builds from a [`crate::bitvec::BitVec`].
+    pub fn from_bitvec(bv: &crate::bitvec::BitVec) -> Self {
+        Self::from_words(bv.words().to_vec(), bv.len())
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total ones.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Bit at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `bit`, updating rank metadata.
+    pub fn set(&mut self, i: usize, bit: bool) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let w = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        let old = self.words[w] & mask != 0;
+        if old == bit {
+            return;
+        }
+        if bit {
+            self.words[w] |= mask;
+            self.ones += 1;
+            self.blocks.add(i / BLOCK_BITS, 1);
+        } else {
+            self.words[w] &= !mask;
+            self.ones -= 1;
+            self.blocks.add(i / BLOCK_BITS, -1);
+        }
+    }
+
+    /// Number of ones strictly before position `i` (`i <= len`).
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        let block = i / BLOCK_BITS;
+        let mut r = self.blocks.prefix(block) as usize;
+        let first_word = block * BLOCK_WORDS;
+        let last_word = i / WORD_BITS;
+        for &w in &self.words[first_word..last_word.min(self.words.len())] {
+            r += w.count_ones() as usize;
+        }
+        if last_word < self.words.len() {
+            r += rank_in_word(self.words[last_word], i % WORD_BITS) as usize;
+        }
+        r
+    }
+
+    /// Number of zeros strictly before `i`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Ones in `[a, b)`.
+    pub fn count_ones_range(&self, a: usize, b: usize) -> usize {
+        assert!(a <= b, "bad range {a}..{b}");
+        self.rank1(b) - self.rank1(a)
+    }
+}
+
+impl SpaceUsage for FlipRank {
+    fn heap_bytes(&self) -> usize {
+        self.words.heap_bytes() + self.blocks.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenwick_basics() {
+        let mut f = Fenwick::from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(f.prefix(0), 0);
+        assert_eq!(f.prefix(3), 6);
+        assert_eq!(f.prefix(5), 15);
+        f.add(2, -3);
+        assert_eq!(f.prefix(3), 3);
+        f.add(0, 10);
+        assert_eq!(f.prefix(1), 11);
+        assert_eq!(f.prefix(5), 22);
+    }
+
+    #[test]
+    fn fenwick_search() {
+        let f = Fenwick::from_slice(&[5, 0, 3, 2]);
+        // prefixes: 0,5,5,8,10
+        assert_eq!(f.search(0), (0, 0));
+        assert_eq!(f.search(4), (0, 0));
+        assert_eq!(f.search(5), (2, 5)); // largest i with prefix <= 5
+        assert_eq!(f.search(7), (2, 5));
+        assert_eq!(f.search(8), (3, 8));
+        assert_eq!(f.search(100), (4, 10));
+    }
+
+    #[test]
+    fn rank_after_flips() {
+        let mut fr = FlipRank::new(3000, true);
+        assert_eq!(fr.rank1(3000), 3000);
+        for i in (0..3000).step_by(7) {
+            fr.set(i, false);
+        }
+        let naive = |i: usize| (0..i).filter(|j| j % 7 != 0).count();
+        for i in [0, 1, 6, 7, 8, 511, 512, 513, 1499, 2999, 3000] {
+            assert_eq!(fr.rank1(i), naive(i), "rank1({i})");
+        }
+        assert_eq!(fr.count_ones(), naive(3000));
+        // flip some back
+        fr.set(0, true);
+        fr.set(7, true);
+        assert_eq!(fr.rank1(8), naive(8) + 2);
+    }
+
+    #[test]
+    fn count_range() {
+        let mut fr = FlipRank::new(1024, false);
+        for i in [3usize, 100, 101, 600, 1023] {
+            fr.set(i, true);
+        }
+        assert_eq!(fr.count_ones_range(0, 1024), 5);
+        assert_eq!(fr.count_ones_range(100, 102), 2);
+        assert_eq!(fr.count_ones_range(102, 600), 0);
+        assert_eq!(fr.count_ones_range(1023, 1024), 1);
+    }
+
+    #[test]
+    fn set_idempotent() {
+        let mut fr = FlipRank::new(100, false);
+        fr.set(5, true);
+        fr.set(5, true);
+        assert_eq!(fr.count_ones(), 1);
+        fr.set(5, false);
+        fr.set(5, false);
+        assert_eq!(fr.count_ones(), 0);
+    }
+}

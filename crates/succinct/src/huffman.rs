@@ -1,0 +1,418 @@
+//! Huffman coding and the Huffman-shaped wavelet tree.
+//!
+//! A wavelet tree whose shape follows the Huffman tree of the symbol
+//! distribution stores a sequence in `n(H0 + 1) + o(·)` bits and answers
+//! access/rank/select in O(code length) — the practical stand-in for the
+//! `nHk + o(n log σ)` compressed-sequence machinery the paper's static
+//! indexes ([3], [7], [14]) rely on (see DESIGN.md §2, substitutions).
+
+use crate::bitvec::BitVec;
+use crate::rank_select::RankSelect;
+use crate::space::SpaceUsage;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A binary prefix-code tree node (internal or leaf).
+#[derive(Clone, Debug)]
+enum ShapeNode {
+    Leaf { sym: u32 },
+    Internal { left: usize, right: usize },
+}
+
+/// The code assigned to one symbol: `len` bits of `bits`, MSB-first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Code {
+    /// Code bits, left-aligned at bit `len - 1` (i.e. read from the top).
+    pub bits: u64,
+    /// Code length in bits (0 for symbols absent from the input).
+    pub len: u32,
+}
+
+/// Builds Huffman code lengths/bits for the given symbol frequencies.
+///
+/// Returns `(codes, shape)` where `shape` is the tree as an arena whose root
+/// is the last element. Symbols with zero frequency get `Code::default()`.
+fn build_tree(freqs: &[u64]) -> (Vec<Code>, Vec<ShapeNode>, usize) {
+    let mut arena: Vec<ShapeNode> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            arena.push(ShapeNode::Leaf { sym: sym as u32 });
+            heap.push(Reverse((f, arena.len() - 1)));
+        }
+    }
+    assert!(!heap.is_empty(), "cannot build a Huffman tree with no symbols");
+    if heap.len() == 1 {
+        // Single-symbol alphabet: degenerate one-leaf tree, code length 0.
+        let Reverse((_, root)) = heap.pop().expect("nonempty");
+        let mut codes = vec![Code::default(); freqs.len()];
+        if let ShapeNode::Leaf { sym } = arena[root] {
+            codes[sym as usize] = Code { bits: 0, len: 0 };
+        }
+        return (codes, arena, root);
+    }
+    while heap.len() > 1 {
+        let Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let Reverse((fb, b)) = heap.pop().expect("len > 1");
+        arena.push(ShapeNode::Internal { left: a, right: b });
+        heap.push(Reverse((fa + fb, arena.len() - 1)));
+    }
+    let Reverse((_, root)) = heap.pop().expect("exactly one");
+    // Assign codes by DFS.
+    let mut codes = vec![Code::default(); freqs.len()];
+    let mut stack = vec![(root, 0u64, 0u32)];
+    while let Some((node, bits, len)) = stack.pop() {
+        match arena[node] {
+            ShapeNode::Leaf { sym } => {
+                assert!(len <= 64, "Huffman code longer than 64 bits");
+                codes[sym as usize] = Code { bits, len };
+            }
+            ShapeNode::Internal { left, right } => {
+                stack.push((left, bits << 1, len + 1));
+                stack.push((right, (bits << 1) | 1, len + 1));
+            }
+        }
+    }
+    (codes, arena, root)
+}
+
+/// One node of the built wavelet tree.
+#[derive(Clone, Debug)]
+struct WtNode {
+    bits: RankSelect,
+    /// Child arena indices (`usize::MAX` = leaf side ends here).
+    left: usize,
+    right: usize,
+}
+
+const NO_CHILD: usize = usize::MAX;
+
+/// A Huffman-shaped wavelet tree over `u32` symbols.
+///
+/// Space is `n(H0 + 1)` bits plus rank/select overhead; `access`, `rank`,
+/// and `select` cost O(code length of the symbol) — O(1 + H0) on average.
+#[derive(Clone, Debug)]
+pub struct HuffmanWavelet {
+    codes: Vec<Code>,
+    /// Reverse map `(bits, len) -> symbol` for O(1) decode in `access`.
+    decode_map: std::collections::HashMap<(u64, u32), u32>,
+    nodes: Vec<WtNode>,
+    root: usize,
+    len: usize,
+    /// For the degenerate single-symbol case.
+    single: Option<u32>,
+}
+
+impl HuffmanWavelet {
+    /// Builds over `seq` with symbols `< sigma`.
+    pub fn new(seq: &[u32], sigma: u32) -> Self {
+        assert!(sigma >= 1);
+        let mut freqs = vec![0u64; sigma as usize];
+        for &s in seq {
+            freqs[s as usize] += 1;
+        }
+        if seq.is_empty() {
+            return HuffmanWavelet {
+                codes: vec![Code::default(); sigma as usize],
+                decode_map: std::collections::HashMap::new(),
+                nodes: Vec::new(),
+                root: NO_CHILD,
+                len: 0,
+                single: None,
+            };
+        }
+        let (codes, shape, shape_root) = build_tree(&freqs);
+        if let ShapeNode::Leaf { sym } = shape[shape_root] {
+            return HuffmanWavelet {
+                codes,
+                decode_map: std::collections::HashMap::new(),
+                nodes: Vec::new(),
+                root: NO_CHILD,
+                len: seq.len(),
+                single: Some(sym),
+            };
+        }
+        // Build node bitvectors by recursive stable partition, iteratively
+        // with an explicit work list to avoid recursion depth limits.
+        let mut nodes: Vec<WtNode> = Vec::new();
+        // map from shape index -> built node index
+        let mut built = vec![NO_CHILD; shape.len()];
+        // Work items: (shape node, symbols routed to it, depth). The depth
+        // tells which code bit routes a symbol at this node.
+        let mut work: Vec<(usize, Vec<u32>, u32)> = vec![(shape_root, seq.to_vec(), 0)];
+        // We must construct parents before wiring children; do two passes:
+        // first create all nodes top-down, then fix child links.
+        while let Some((snode, symbols, depth)) = work.pop() {
+            let (l, r) = match shape[snode] {
+                ShapeNode::Internal { left, right } => (left, right),
+                ShapeNode::Leaf { .. } => continue,
+            };
+            let mut bv = BitVec::with_capacity(symbols.len());
+            let mut to_left: Vec<u32> = Vec::new();
+            let mut to_right: Vec<u32> = Vec::new();
+            for &s in &symbols {
+                let code = codes[s as usize];
+                let bit = (code.bits >> (code.len - 1 - depth)) & 1 == 1;
+                bv.push(bit);
+                if bit {
+                    to_right.push(s);
+                } else {
+                    to_left.push(s);
+                }
+            }
+            let idx = nodes.len();
+            nodes.push(WtNode {
+                bits: RankSelect::new(bv),
+                left: NO_CHILD,
+                right: NO_CHILD,
+            });
+            built[snode] = idx;
+            if matches!(shape[l], ShapeNode::Internal { .. }) {
+                work.push((l, to_left, depth + 1));
+            }
+            if matches!(shape[r], ShapeNode::Internal { .. }) {
+                work.push((r, to_right, depth + 1));
+            }
+        }
+        // Wire children.
+        for (snode, &bidx) in built.iter().enumerate() {
+            if bidx == NO_CHILD {
+                continue;
+            }
+            if let ShapeNode::Internal { left, right } = shape[snode] {
+                nodes[bidx].left = built[left];
+                nodes[bidx].right = built[right];
+            }
+        }
+        let decode_map = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.len > 0)
+            .map(|(sym, c)| ((c.bits, c.len), sym as u32))
+            .collect();
+        HuffmanWavelet {
+            codes,
+            decode_map,
+            nodes,
+            root: built[shape_root],
+            len: seq.len(),
+            single: None,
+        }
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The code table (exposed for space accounting / diagnostics).
+    pub fn code(&self, sym: u32) -> Option<Code> {
+        let c = *self.codes.get(sym as usize)?;
+        if c.len == 0 && self.single != Some(sym) {
+            None
+        } else {
+            Some(c)
+        }
+    }
+
+    /// Symbol at position `i`.
+    pub fn access(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        if let Some(s) = self.single {
+            return s;
+        }
+        let mut node = self.root;
+        let mut i = i;
+        let mut bits = 0u64;
+        let mut len = 0u32;
+        loop {
+            let n = &self.nodes[node];
+            let bit = n.bits.get(i);
+            bits = (bits << 1) | bit as u64;
+            len += 1;
+            let (child, ni) = if bit {
+                (n.right, n.bits.rank1(i))
+            } else {
+                (n.left, n.bits.rank0(i))
+            };
+            if child == NO_CHILD {
+                // Reached a leaf: decode by looking up the code.
+                return self.decode(bits, len);
+            }
+            node = child;
+            i = ni;
+        }
+    }
+
+    fn decode(&self, bits: u64, len: u32) -> u32 {
+        // Codes are prefix-free, so (bits, len) identifies the symbol.
+        *self
+            .decode_map
+            .get(&(bits, len))
+            .unwrap_or_else(|| unreachable!("prefix code not found for bits={bits:#b} len={len}"))
+    }
+
+    /// Number of occurrences of `sym` in `[0, i)`.
+    pub fn rank(&self, sym: u32, i: usize) -> usize {
+        assert!(i <= self.len);
+        if sym as usize >= self.codes.len() {
+            return 0;
+        }
+        if let Some(s) = self.single {
+            return if s == sym { i } else { 0 };
+        }
+        let code = self.codes[sym as usize];
+        if code.len == 0 {
+            return 0; // symbol absent from the sequence
+        }
+        let mut node = self.root;
+        let mut i = i;
+        for d in 0..code.len {
+            let n = &self.nodes[node];
+            let bit = (code.bits >> (code.len - 1 - d)) & 1 == 1;
+            let (child, ni) = if bit {
+                (n.right, n.bits.rank1(i))
+            } else {
+                (n.left, n.bits.rank0(i))
+            };
+            i = ni;
+            if child == NO_CHILD {
+                debug_assert_eq!(d + 1, code.len);
+                return i;
+            }
+            node = child;
+        }
+        i
+    }
+
+    /// Position of the `k`-th occurrence of `sym`, or `None`.
+    pub fn select(&self, sym: u32, k: usize) -> Option<usize> {
+        if sym as usize >= self.codes.len() {
+            return None;
+        }
+        if let Some(s) = self.single {
+            return if s == sym && k < self.len { Some(k) } else { None };
+        }
+        let code = self.codes[sym as usize];
+        if code.len == 0 || self.rank(sym, self.len) <= k {
+            return None;
+        }
+        // Collect the root-to-leaf node path, then walk back up.
+        let mut path = Vec::with_capacity(code.len as usize);
+        let mut node = self.root;
+        for d in 0..code.len {
+            let bit = (code.bits >> (code.len - 1 - d)) & 1 == 1;
+            path.push((node, bit));
+            node = if bit {
+                self.nodes[node].right
+            } else {
+                self.nodes[node].left
+            };
+            if node == NO_CHILD {
+                break;
+            }
+        }
+        let mut pos = k;
+        for &(node, bit) in path.iter().rev() {
+            let n = &self.nodes[node];
+            pos = if bit {
+                n.bits.select1(pos)?
+            } else {
+                n.bits.select0(pos)?
+            };
+        }
+        Some(pos)
+    }
+}
+
+impl SpaceUsage for HuffmanWavelet {
+    fn heap_bytes(&self) -> usize {
+        self.codes.heap_bytes()
+            + self.decode_map.len() * (std::mem::size_of::<(u64, u32)>() + 4)
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.bits.heap_bytes())
+                .sum::<usize>()
+            + self.nodes.capacity() * std::mem::size_of::<WtNode>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(seq: &[u32], sigma: u32) {
+        let hw = HuffmanWavelet::new(seq, sigma);
+        assert_eq!(hw.len(), seq.len());
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(hw.access(i), s, "access({i})");
+        }
+        for sym in 0..sigma {
+            let mut cnt = 0usize;
+            for i in 0..=seq.len() {
+                assert_eq!(hw.rank(sym, i), cnt, "rank({sym},{i})");
+                if i < seq.len() && seq[i] == sym {
+                    cnt += 1;
+                }
+            }
+            let positions: Vec<usize> = (0..seq.len()).filter(|&i| seq[i] == sym).collect();
+            for (kk, &p) in positions.iter().enumerate() {
+                assert_eq!(hw.select(sym, kk), Some(p), "select({sym},{kk})");
+            }
+            assert_eq!(hw.select(sym, positions.len()), None);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        check(&[], 4);
+        check(&[2, 2, 2, 2], 4);
+        check(&[0], 1);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let seq: Vec<u32> = (0..200).map(|i| (i % 2) as u32).collect();
+        check(&seq, 2);
+    }
+
+    #[test]
+    fn skewed() {
+        // Highly skewed: symbol 0 dominates; its code should be short.
+        let mut seq = vec![0u32; 1000];
+        for i in 0..10 {
+            seq[i * 100] = 1 + (i % 3) as u32;
+        }
+        check(&seq, 4);
+        let hw = HuffmanWavelet::new(&seq, 4);
+        let c0 = hw.code(0).expect("present");
+        let c1 = hw.code(1).expect("present");
+        assert!(c0.len < c1.len, "frequent symbol must get shorter code");
+    }
+
+    #[test]
+    fn pseudorandom_alphabet_17() {
+        let seq: Vec<u32> = (0..1500u64)
+            .map(|i| ((i.wrapping_mul(0x2545F4914F6CDD1D) >> 35) % 17) as u32)
+            .collect();
+        check(&seq, 17);
+    }
+
+    #[test]
+    fn absent_symbols() {
+        let seq = vec![5u32, 9, 5, 9, 5];
+        let hw = HuffmanWavelet::new(&seq, 16);
+        assert_eq!(hw.rank(0, 5), 0);
+        assert_eq!(hw.select(0, 0), None);
+        assert_eq!(hw.rank(5, 5), 3);
+        assert_eq!(hw.code(0), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fixed-width packed integer vector.
+//!
+//! Stores `len` integers of `width` bits each, bit-packed into `u64` words.
+//! Used for suffix-array samples, Elias–Fano low bits, and wavelet-tree
+//! leaves, where `width << 64` keeps space near the information-theoretic
+//! minimum.
+
+use crate::bits::{div_ceil, low_mask, WORD_BITS};
+use crate::space::SpaceUsage;
+
+/// A vector of `width`-bit unsigned integers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntVec {
+    data: Vec<u64>,
+    width: usize,
+    len: usize,
+}
+
+impl IntVec {
+    /// Creates an empty vector of `width`-bit integers (`1 <= width <= 64`).
+    pub fn new(width: usize) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        IntVec {
+            data: Vec::new(),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty vector with room for `cap` values.
+    pub fn with_capacity(width: usize, cap: usize) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        IntVec {
+            data: Vec::with_capacity(div_ceil(cap * width, WORD_BITS)),
+            width,
+            len: 0,
+        }
+    }
+
+    /// Builds from a slice, choosing the minimal width for its maximum.
+    pub fn from_slice_min_width(values: &[u64]) -> Self {
+        let max = values.iter().copied().max().unwrap_or(0);
+        let width = crate::bits::bits_for(max) as usize;
+        let mut v = IntVec::with_capacity(width, values.len());
+        for &x in values {
+            v.push(x);
+        }
+        v
+    }
+
+    /// Bits per element.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends `value` (must fit in `width` bits).
+    pub fn push(&mut self, value: u64) {
+        debug_assert!(
+            self.width == 64 || value <= low_mask(self.width),
+            "value {value} does not fit in {} bits",
+            self.width
+        );
+        let bit = self.len * self.width;
+        let word = bit / WORD_BITS;
+        let off = bit % WORD_BITS;
+        if word >= self.data.len() {
+            self.data.push(0);
+        }
+        self.data[word] |= value << off;
+        let spill = off + self.width;
+        if spill > WORD_BITS {
+            self.data.push(value >> (WORD_BITS - off));
+        }
+        self.len += 1;
+    }
+
+    /// Returns element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let bit = i * self.width;
+        let word = bit / WORD_BITS;
+        let off = bit % WORD_BITS;
+        let mut v = self.data[word] >> off;
+        if off + self.width > WORD_BITS {
+            v |= self.data[word + 1] << (WORD_BITS - off);
+        }
+        if self.width < 64 {
+            v &= low_mask(self.width);
+        }
+        v
+    }
+
+    /// Overwrites element `i` with `value`.
+    pub fn set(&mut self, i: usize, value: u64) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        debug_assert!(self.width == 64 || value <= low_mask(self.width));
+        let bit = i * self.width;
+        let word = bit / WORD_BITS;
+        let off = bit % WORD_BITS;
+        let mask = if self.width == 64 { u64::MAX } else { low_mask(self.width) };
+        self.data[word] &= !(mask << off);
+        self.data[word] |= value << off;
+        if off + self.width > WORD_BITS {
+            let high_bits = off + self.width - WORD_BITS;
+            self.data[word + 1] &= !low_mask(high_bits);
+            self.data[word + 1] |= value >> (WORD_BITS - off);
+        }
+    }
+
+    /// Iterates over all values.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl SpaceUsage for IntVec {
+    fn heap_bytes(&self) -> usize {
+        self.data.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_widths() {
+        for width in [1, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
+            let mask = low_mask(width);
+            let mut v = IntVec::new(width);
+            let values: Vec<u64> = (0..500u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask).collect();
+            for &x in &values {
+                v.push(x);
+            }
+            assert_eq!(v.len(), 500);
+            for (i, &x) in values.iter().enumerate() {
+                assert_eq!(v.get(i), x, "width {width} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut v = IntVec::new(13);
+        for i in 0..100 {
+            v.push(i);
+        }
+        v.set(0, 8191);
+        v.set(50, 4095);
+        v.set(99, 1);
+        assert_eq!(v.get(0), 8191);
+        assert_eq!(v.get(50), 4095);
+        assert_eq!(v.get(99), 1);
+        assert_eq!(v.get(1), 1);
+        assert_eq!(v.get(49), 49);
+        assert_eq!(v.get(51), 51);
+    }
+
+    #[test]
+    fn min_width_builder() {
+        let v = IntVec::from_slice_min_width(&[0, 5, 255]);
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![0, 5, 255]);
+        let v = IntVec::from_slice_min_width(&[]);
+        assert_eq!(v.width(), 1);
+        assert!(v.is_empty());
+    }
+}

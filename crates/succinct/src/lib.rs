@@ -1,0 +1,49 @@
+//! # dyndex-succinct
+//!
+//! Succinct and dynamic bit/sequence data structures — the substrate layer
+//! of the `dyndex` reproduction of *Munro, Nekrich, Vitter: Dynamic Data
+//! Structures for Document Collections and Graphs* (PODS 2015).
+//!
+//! ## Contents
+//!
+//! * [`bitvec::BitVec`] — plain growable bit vector.
+//! * [`rank_select::RankSelect`] — static O(1) rank / near-O(1) select.
+//! * [`elias_fano::EliasFano`] — compressed monotone sequences (sparse sets).
+//! * [`int_vec::IntVec`] — fixed-width packed integers.
+//! * [`wavelet::WaveletMatrix`] — static sequence rank/select/access.
+//! * [`huffman::HuffmanWavelet`] — zero-order entropy-compressed sequences.
+//! * [`one_bit::OneBitReporter`] — the paper's Lemma 2/3 structure `V`:
+//!   `zero(i)` + `report(s,e)` in O(1) per reported bit.
+//! * [`flip_rank::FlipRank`] — rank under bit flips (Theorem 1 counting).
+//! * [`dyn_bitvec::DynBitVec`] / [`dyn_wavelet::DynWavelet`] — fully dynamic
+//!   bit vectors and sequences (the prior-art baseline's machinery).
+//! * [`entropy`] — empirical entropy estimators (`H0`, `Hk`).
+//! * [`space::SpaceUsage`] — uniform heap-space accounting.
+
+pub mod bits;
+pub mod bitvec;
+pub mod dyn_bitvec;
+pub mod dyn_wavelet;
+pub mod elias_fano;
+pub mod entropy;
+pub mod flip_rank;
+pub mod huffman;
+pub mod int_vec;
+pub mod one_bit;
+pub mod rank_select;
+pub mod sequence;
+pub mod space;
+pub mod wavelet;
+
+pub use bitvec::BitVec;
+pub use dyn_bitvec::DynBitVec;
+pub use dyn_wavelet::DynWavelet;
+pub use elias_fano::EliasFano;
+pub use flip_rank::{Fenwick, FlipRank};
+pub use huffman::HuffmanWavelet;
+pub use int_vec::IntVec;
+pub use one_bit::OneBitReporter;
+pub use rank_select::RankSelect;
+pub use sequence::Sequence;
+pub use space::SpaceUsage;
+pub use wavelet::WaveletMatrix;

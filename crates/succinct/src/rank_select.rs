@@ -1,0 +1,263 @@
+//! Static rank/select over an immutable bit vector.
+//!
+//! Layout: cumulative popcounts per 512-bit superblock (8 words) give
+//! constant-time `rank`. `select` uses positions sampled every
+//! [`SELECT_SAMPLE`] ones (resp. zeros) to bound the scan, then finishes
+//! with word popcounts and [`crate::bits::select_in_word`]. This is the
+//! o(n)-overhead workhorse behind every static structure in the repository.
+
+use crate::bits::{rank_in_word, select0_in_word, select_in_word, WORD_BITS};
+use crate::bitvec::BitVec;
+use crate::space::SpaceUsage;
+
+/// Words per rank superblock.
+const SB_WORDS: usize = 8;
+/// Bits per rank superblock.
+const SB_BITS: usize = SB_WORDS * WORD_BITS;
+/// One select sample is stored every this many ones/zeros.
+const SELECT_SAMPLE: usize = 512;
+
+/// An immutable bit vector with O(1) `rank` and near-O(1) `select`.
+#[derive(Clone, Debug)]
+pub struct RankSelect {
+    bits: BitVec,
+    /// `sb_rank[i]` = number of ones before superblock `i`; one extra entry
+    /// holds the total.
+    sb_rank: Vec<u64>,
+    /// Superblock index containing the `(k * SELECT_SAMPLE)`-th one.
+    select1_samples: Vec<u32>,
+    /// Superblock index containing the `(k * SELECT_SAMPLE)`-th zero.
+    select0_samples: Vec<u32>,
+    ones: usize,
+}
+
+impl RankSelect {
+    /// Builds the rank/select directory over `bits` in O(n / 64) word steps.
+    pub fn new(bits: BitVec) -> Self {
+        let n_sb = bits.words().len().div_ceil(SB_WORDS);
+        let mut sb_rank = Vec::with_capacity(n_sb + 1);
+        let mut select1_samples = Vec::new();
+        let mut select0_samples = Vec::new();
+        let mut ones: usize = 0;
+        sb_rank.push(0);
+        for (sb, chunk) in bits.words().chunks(SB_WORDS).enumerate() {
+            let sb_ones: usize = chunk.iter().map(|w| w.count_ones() as usize).sum();
+            let sb_start_bit = sb * SB_BITS;
+            // Zeros count against the logical length, not word padding.
+            let sb_len = (bits.len() - sb_start_bit).min(SB_BITS);
+            let zeros_before = sb_start_bit - ones;
+            let sb_zeros = sb_len - sb_ones;
+            while select1_samples.len() * SELECT_SAMPLE < ones + sb_ones {
+                select1_samples.push(sb as u32);
+            }
+            while select0_samples.len() * SELECT_SAMPLE < zeros_before + sb_zeros {
+                select0_samples.push(sb as u32);
+            }
+            ones += sb_ones;
+            sb_rank.push(ones as u64);
+        }
+        RankSelect {
+            bits,
+            sb_rank,
+            select1_samples,
+            select0_samples,
+            ones,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total number of ones.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Total number of zeros.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len() - self.ones
+    }
+
+    /// Bit at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// The underlying bit vector.
+    #[inline]
+    pub fn bit_vec(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Number of ones strictly before position `i` (`i <= len`).
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len(), "rank1 index {i} out of range {}", self.len());
+        let sb = i / SB_BITS;
+        let mut r = self.sb_rank[sb] as usize;
+        let words = self.bits.words();
+        let last_word = i / WORD_BITS;
+        for &w in &words[sb * SB_WORDS..last_word.min(words.len())] {
+            r += w.count_ones() as usize;
+        }
+        if last_word < words.len() {
+            r += rank_in_word(words[last_word], i % WORD_BITS) as usize;
+        }
+        r
+    }
+
+    /// Number of zeros strictly before position `i`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (0-based). Returns `None` if `k >= ones`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        let mut sb = self.select1_samples[k / SELECT_SAMPLE] as usize;
+        while self.sb_rank[sb + 1] as usize <= k {
+            sb += 1;
+        }
+        let mut remaining = k - self.sb_rank[sb] as usize;
+        let words = self.bits.words();
+        let start = sb * SB_WORDS;
+        let end = (start + SB_WORDS).min(words.len());
+        for (wi, &w) in words[start..end].iter().enumerate() {
+            let cnt = w.count_ones() as usize;
+            if remaining < cnt {
+                return Some(
+                    (start + wi) * WORD_BITS + select_in_word(w, remaining as u32) as usize,
+                );
+            }
+            remaining -= cnt;
+        }
+        unreachable!("select1: directory inconsistent");
+    }
+
+    /// Position of the `k`-th zero (0-based). Returns `None` if `k >= zeros`.
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        if k >= self.count_zeros() {
+            return None;
+        }
+        let mut sb = self.select0_samples[k / SELECT_SAMPLE] as usize;
+        // Zeros strictly before the end of superblock `sb`:
+        let zeros_end =
+            |sb: usize| ((sb + 1) * SB_BITS).min(self.len()) - self.sb_rank[sb + 1] as usize;
+        while zeros_end(sb) <= k {
+            sb += 1;
+        }
+        let zeros_before_sb = sb * SB_BITS - self.sb_rank[sb] as usize;
+        let mut remaining = k - zeros_before_sb;
+        let words = self.bits.words();
+        let start = sb * SB_WORDS;
+        let end = (start + SB_WORDS).min(words.len());
+        for wi in start..end {
+            let word_start = wi * WORD_BITS;
+            let valid = (self.len() - word_start).min(WORD_BITS);
+            let w = words[wi];
+            let zeros = valid - rank_in_word(w, valid) as usize;
+            if remaining < zeros {
+                return Some(word_start + select0_in_word(w, remaining as u32) as usize);
+            }
+            remaining -= zeros;
+        }
+        unreachable!("select0: directory inconsistent");
+    }
+}
+
+impl SpaceUsage for RankSelect {
+    fn heap_bytes(&self) -> usize {
+        self.bits.heap_bytes()
+            + self.sb_rank.heap_bytes()
+            + self.select1_samples.heap_bytes()
+            + self.select0_samples.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(bits: &[bool]) {
+        let rs = RankSelect::new(BitVec::from_bits(bits.iter().copied()));
+        let mut ones = 0usize;
+        for i in 0..=bits.len() {
+            assert_eq!(rs.rank1(i), ones, "rank1({i})");
+            assert_eq!(rs.rank0(i), i - ones, "rank0({i})");
+            if i < bits.len() && bits[i] {
+                ones += 1;
+            }
+        }
+        let one_pos: Vec<usize> = (0..bits.len()).filter(|&i| bits[i]).collect();
+        let zero_pos: Vec<usize> = (0..bits.len()).filter(|&i| !bits[i]).collect();
+        for (k, &p) in one_pos.iter().enumerate() {
+            assert_eq!(rs.select1(k), Some(p), "select1({k})");
+        }
+        for (k, &p) in zero_pos.iter().enumerate() {
+            assert_eq!(rs.select0(k), Some(p), "select0({k})");
+        }
+        assert_eq!(rs.select1(one_pos.len()), None);
+        assert_eq!(rs.select0(zero_pos.len()), None);
+    }
+
+    #[test]
+    fn small_patterns() {
+        check_all(&[]);
+        check_all(&[true]);
+        check_all(&[false]);
+        check_all(&[true, false, true, true, false]);
+    }
+
+    #[test]
+    fn periodic_large() {
+        let bits: Vec<bool> = (0..5000).map(|i| i % 5 == 2).collect();
+        check_all(&bits);
+    }
+
+    #[test]
+    fn all_ones_all_zeros() {
+        check_all(&vec![true; 1111]);
+        check_all(&vec![false; 1111]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        for n in [63, 64, 65, 511, 512, 513, 1024] {
+            let bits: Vec<bool> = (0..n).map(|i| (i * 2654435761usize) % 7 < 3).collect();
+            check_all(&bits);
+        }
+    }
+
+    #[test]
+    fn sparse_ones() {
+        let mut bits = vec![false; 20_000];
+        for i in (0..20_000).step_by(1999) {
+            bits[i] = true;
+        }
+        check_all(&bits);
+    }
+
+    #[test]
+    fn dense_ones_sparse_zeros() {
+        let mut bits = vec![true; 20_000];
+        for i in (0..20_000).step_by(1777) {
+            bits[i] = false;
+        }
+        check_all(&bits);
+    }
+}

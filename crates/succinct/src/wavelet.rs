@@ -1,0 +1,258 @@
+//! Static wavelet matrix: access / rank / select over a sequence of symbols.
+//!
+//! The wavelet matrix is the rank/select backbone of the FM-index (over the
+//! BWT) and of the binary-relation string `S` (§5 of the paper). For a
+//! sequence of `n` symbols over alphabet `[0, σ)` it uses `n·⌈log₂ σ⌉ + o(·)`
+//! bits and answers `access`, `rank`, and `select` in O(log σ).
+//!
+//! For zero-order-entropy-compressed sequences see
+//! [`crate::huffman::HuffmanWavelet`].
+
+use crate::bits::bits_for;
+use crate::bitvec::BitVec;
+use crate::rank_select::RankSelect;
+use crate::space::SpaceUsage;
+
+/// An immutable sequence of `u32` symbols with O(log σ) access/rank/select.
+#[derive(Clone, Debug)]
+pub struct WaveletMatrix {
+    levels: Vec<RankSelect>,
+    /// Number of zeros at each level (size of the "left" partition).
+    zeros: Vec<usize>,
+    len: usize,
+    sigma: u32,
+    width: u32,
+}
+
+impl WaveletMatrix {
+    /// Builds over `seq`, whose symbols must all be `< sigma`.
+    pub fn new(seq: &[u32], sigma: u32) -> Self {
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        debug_assert!(seq.iter().all(|&s| s < sigma));
+        let width = if sigma <= 1 { 1 } else { bits_for(sigma as u64 - 1) };
+        let mut levels = Vec::with_capacity(width as usize);
+        let mut zeros = Vec::with_capacity(width as usize);
+        let mut cur: Vec<u32> = seq.to_vec();
+        let mut next: Vec<u32> = Vec::with_capacity(seq.len());
+        for level in (0..width).rev() {
+            let mut bv = BitVec::with_capacity(cur.len());
+            let mut left: Vec<u32> = Vec::with_capacity(cur.len());
+            for &s in &cur {
+                let bit = (s >> level) & 1 == 1;
+                bv.push(bit);
+                if bit {
+                    next.push(s);
+                } else {
+                    left.push(s);
+                }
+            }
+            zeros.push(left.len());
+            levels.push(RankSelect::new(bv));
+            // cur = left ++ next (stable partition)
+            left.extend_from_slice(&next);
+            cur = left;
+            next.clear();
+        }
+        WaveletMatrix {
+            levels,
+            zeros,
+            len: seq.len(),
+            sigma,
+            width,
+        }
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alphabet bound.
+    #[inline]
+    pub fn sigma(&self) -> u32 {
+        self.sigma
+    }
+
+    /// Symbol at position `i`.
+    pub fn access(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        let mut i = i;
+        let mut sym = 0u32;
+        for (l, rs) in self.levels.iter().enumerate() {
+            sym <<= 1;
+            if rs.get(i) {
+                sym |= 1;
+                i = self.zeros[l] + rs.rank1(i);
+            } else {
+                i = rs.rank0(i);
+            }
+        }
+        sym
+    }
+
+    /// Number of occurrences of `sym` in the prefix `[0, i)`.
+    pub fn rank(&self, sym: u32, i: usize) -> usize {
+        assert!(i <= self.len, "rank index {i} out of range {}", self.len);
+        if sym >= self.sigma {
+            return 0;
+        }
+        let mut start = 0usize;
+        let mut end = i;
+        for (l, rs) in self.levels.iter().enumerate() {
+            let bit = (sym >> (self.width - 1 - l as u32)) & 1 == 1;
+            if bit {
+                start = self.zeros[l] + rs.rank1(start);
+                end = self.zeros[l] + rs.rank1(end);
+            } else {
+                start = rs.rank0(start);
+                end = rs.rank0(end);
+            }
+        }
+        end - start
+    }
+
+    /// Position of the `k`-th (0-based) occurrence of `sym`, or `None`.
+    pub fn select(&self, sym: u32, k: usize) -> Option<usize> {
+        if sym >= self.sigma {
+            return None;
+        }
+        // Walk down to find the start of sym's interval at the bottom level.
+        let mut start = 0usize;
+        for (l, rs) in self.levels.iter().enumerate() {
+            let bit = (sym >> (self.width - 1 - l as u32)) & 1 == 1;
+            start = if bit {
+                self.zeros[l] + rs.rank1(start)
+            } else {
+                rs.rank0(start)
+            };
+        }
+        if self.rank(sym, self.len) <= k {
+            return None;
+        }
+        // Walk back up.
+        let mut pos = start + k;
+        for (l, rs) in self.levels.iter().enumerate().rev() {
+            let bit = (sym >> (self.width - 1 - l as u32)) & 1 == 1;
+            pos = if bit {
+                rs.select1(pos - self.zeros[l])?
+            } else {
+                rs.select0(pos)?
+            };
+        }
+        Some(pos)
+    }
+
+    /// Number of occurrences of every symbol `< sym` in `[0, i)`
+    /// (a "partial rank prefix", used for LF-like mappings on demand).
+    pub fn rank_lt(&self, sym: u32, i: usize) -> usize {
+        assert!(i <= self.len);
+        if sym == 0 {
+            return 0;
+        }
+        if sym >= self.sigma {
+            return i;
+        }
+        let mut start = 0usize;
+        let mut end = i;
+        let mut acc = 0usize;
+        for (l, rs) in self.levels.iter().enumerate() {
+            let bit = (sym >> (self.width - 1 - l as u32)) & 1 == 1;
+            if bit {
+                // everything that went left at this level is < sym here
+                acc += (end - start) - (rs.rank1(end) - rs.rank1(start));
+                start = self.zeros[l] + rs.rank1(start);
+                end = self.zeros[l] + rs.rank1(end);
+            } else {
+                start = rs.rank0(start);
+                end = rs.rank0(end);
+            }
+        }
+        acc
+    }
+}
+
+impl SpaceUsage for WaveletMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.heap_bytes()).sum::<usize>()
+            + self.zeros.heap_bytes()
+            + self.levels.capacity() * std::mem::size_of::<RankSelect>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(seq: &[u32], sigma: u32) {
+        let wm = WaveletMatrix::new(seq, sigma);
+        assert_eq!(wm.len(), seq.len());
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wm.access(i), s, "access({i})");
+        }
+        for sym in 0..sigma {
+            let mut cnt = 0usize;
+            for i in 0..=seq.len() {
+                assert_eq!(wm.rank(sym, i), cnt, "rank({sym},{i})");
+                if i < seq.len() && seq[i] == sym {
+                    cnt += 1;
+                }
+            }
+            let positions: Vec<usize> =
+                (0..seq.len()).filter(|&i| seq[i] == sym).collect();
+            for (k, &p) in positions.iter().enumerate() {
+                assert_eq!(wm.select(sym, k), Some(p), "select({sym},{k})");
+            }
+            assert_eq!(wm.select(sym, positions.len()), None);
+        }
+        // rank_lt cross-check
+        for sym in 0..=sigma {
+            for i in (0..=seq.len()).step_by(7.max(seq.len() / 13 + 1)) {
+                let want = seq[..i].iter().filter(|&&s| s < sym).count();
+                assert_eq!(wm.rank_lt(sym, i), want, "rank_lt({sym},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny() {
+        check(&[], 4);
+        check(&[0], 1);
+        check(&[3, 1, 2, 0, 3, 3], 4);
+    }
+
+    #[test]
+    fn binary_alphabet() {
+        let seq: Vec<u32> = (0..300).map(|i| (i % 2) as u32).collect();
+        check(&seq, 2);
+    }
+
+    #[test]
+    fn non_power_of_two_sigma() {
+        let seq: Vec<u32> = (0..500).map(|i| (i * 7 % 5) as u32).collect();
+        check(&seq, 5);
+    }
+
+    #[test]
+    fn larger_pseudorandom() {
+        let seq: Vec<u32> = (0..2000u64)
+            .map(|i| ((i.wrapping_mul(0x9E3779B97F4A7C15) >> 40) % 97) as u32)
+            .collect();
+        check(&seq, 97);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let mut seq = vec![0u32; 1000];
+        for i in (0..1000).step_by(100) {
+            seq[i] = 9;
+        }
+        check(&seq, 10);
+    }
+}

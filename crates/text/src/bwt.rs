@@ -1,0 +1,107 @@
+//! Burrows–Wheeler transform and LF mapping utilities.
+//!
+//! The BWT is the bridge between the suffix array and the compressed
+//! (FM) index: `BWT[i] = T[SA[i] − 1]` (cyclically). Rank queries over the
+//! BWT implement backward search; `LF` steps walk the text right-to-left.
+
+/// Computes the BWT of `text` given its suffix array.
+pub fn bwt_from_sa(text: &[u32], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    assert_eq!(n, sa.len());
+    sa.iter()
+        .map(|&p| {
+            if p == 0 {
+                text[n - 1]
+            } else {
+                text[p as usize - 1]
+            }
+        })
+        .collect()
+}
+
+/// Computes the `C` array: `c[s]` = number of text symbols strictly
+/// smaller than `s`, with one extra entry holding `n`.
+pub fn c_array(text: &[u32], sigma: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; sigma as usize + 1];
+    for &s in text {
+        counts[s as usize + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    counts
+}
+
+/// Inverts a BWT (for testing): reconstructs the text ending in the unique
+/// sentinel `0`.
+pub fn inverse_bwt(bwt: &[u32], sigma: u32) -> Vec<u32> {
+    let n = bwt.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let c = c_array(bwt, sigma);
+    // occ[i] = rank of bwt[i] within its symbol class, computed by scan.
+    let mut seen = vec![0usize; sigma as usize];
+    let mut lf = vec![0usize; n];
+    for (i, &s) in bwt.iter().enumerate() {
+        lf[i] = c[s as usize] + seen[s as usize];
+        seen[s as usize] += 1;
+    }
+    // The sentinel's row is SA position 0; text[n-1] = 0. Walk backwards.
+    let mut out = vec![0u32; n];
+    let mut row = 0usize; // row of the suffix array holding the full text
+    for i in (0..n - 1).rev() {
+        out[i] = bwt[row];
+        row = lf[row];
+    }
+    out[n - 1] = 0;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sais::suffix_array;
+
+    fn encode(bytes: &[u8]) -> Vec<u32> {
+        let mut v: Vec<u32> = bytes.iter().map(|&b| b as u32 + 2).collect();
+        v.push(0);
+        v
+    }
+
+    #[test]
+    fn banana_roundtrip() {
+        let text = encode(b"banana");
+        let sa = suffix_array(&text, 258);
+        let bwt = bwt_from_sa(&text, &sa);
+        assert_eq!(inverse_bwt(&bwt, 258), text);
+    }
+
+    #[test]
+    fn various_roundtrips() {
+        for s in [
+            b"".as_slice(),
+            b"a",
+            b"mississippi",
+            b"the quick brown fox jumps over the lazy dog",
+            b"aaaabbbbccccaaaabbbbcccc",
+        ] {
+            let text = encode(s);
+            let sa = suffix_array(&text, 258);
+            let bwt = bwt_from_sa(&text, &sa);
+            assert_eq!(inverse_bwt(&bwt, 258), text, "text {s:?}");
+        }
+    }
+
+    #[test]
+    fn c_array_prefix_sums() {
+        let text = encode(b"abcabc");
+        // symbols: a+2=99.. whatever; check sums
+        let c = c_array(&text, 258);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[258], text.len());
+        for w in c.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The document-collection text model.
+//!
+//! The paper (§1, "Previous Results") extends single-text indexes to
+//! collections by concatenating documents with unique end markers. We
+//! follow the standard practical encoding:
+//!
+//! * byte `b` of any document ↦ symbol `b + 2`;
+//! * every document is followed by the separator symbol `1`;
+//! * the whole concatenation ends with the terminator symbol `0`
+//!   (the unique smallest sentinel SA-IS requires).
+//!
+//! Patterns contain only symbols `≥ 2`, so a match can never cross a
+//! document boundary, and an occurrence's `(document, offset)` pair is
+//! recovered from the flat text position with one predecessor query on the
+//! (sparse, Elias–Fano-encoded) document-start sequence — this is the
+//! `O(ρ log n)`-bit navigation structure the paper budgets for.
+
+use dyndex_succinct::{EliasFano, SpaceUsage};
+
+/// Global terminator symbol (unique smallest sentinel).
+pub const TERMINATOR: u32 = 0;
+/// Per-document separator symbol.
+pub const SEPARATOR: u32 = 1;
+/// Offset added to every document byte.
+pub const SYM_OFFSET: u32 = 2;
+/// Alphabet size of the encoded text (bytes 0–255 map to 2–257).
+pub const SIGMA: u32 = 258;
+
+/// Remaps a pattern's bytes into text symbols.
+pub fn encode_pattern(pattern: &[u8]) -> Vec<u32> {
+    pattern.iter().map(|&b| b as u32 + SYM_OFFSET).collect()
+}
+
+/// An occurrence of a pattern: which document, and the byte offset in it.
+///
+/// Matches the paper's required output: "all pairs (doc, off) such that P
+/// occurs in a document doc at position off" — *relative* positions, so
+/// updates to other documents never invalidate reported occurrences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Occurrence {
+    /// Caller-assigned document identifier.
+    pub doc: u64,
+    /// Byte offset of the match within the document.
+    pub offset: usize,
+}
+
+/// A static concatenation of documents with position→(doc, offset) mapping.
+#[derive(Clone, Debug)]
+pub struct ConcatText {
+    /// Encoded text: docs with separators, plus final terminator.
+    text: Vec<u32>,
+    /// Caller-assigned identifier per document (in concatenation order).
+    doc_ids: Vec<u64>,
+    /// Start position of each document in `text` (monotone, sparse).
+    doc_starts: EliasFano,
+}
+
+impl ConcatText {
+    /// Builds from `(doc_id, bytes)` pairs.
+    pub fn new(docs: &[(u64, &[u8])]) -> Self {
+        let total: usize = docs.iter().map(|(_, d)| d.len() + 1).sum::<usize>() + 1;
+        let mut text = Vec::with_capacity(total);
+        let mut doc_ids = Vec::with_capacity(docs.len());
+        let mut starts = Vec::with_capacity(docs.len());
+        for (id, bytes) in docs {
+            doc_ids.push(*id);
+            starts.push(text.len() as u64);
+            text.extend(bytes.iter().map(|&b| b as u32 + SYM_OFFSET));
+            text.push(SEPARATOR);
+        }
+        text.push(TERMINATOR);
+        let universe = text.len() as u64 + 1;
+        ConcatText {
+            text,
+            doc_ids,
+            doc_starts: EliasFano::new(&starts, universe),
+        }
+    }
+
+    /// The encoded text (including separators and terminator).
+    #[inline]
+    pub fn text(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// Total length of the encoded text.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True iff the collection holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_ids.is_empty()
+    }
+
+    /// Number of documents.
+    #[inline]
+    pub fn num_docs(&self) -> usize {
+        self.doc_ids.len()
+    }
+
+    /// Caller-assigned ids, in concatenation order.
+    #[inline]
+    pub fn doc_ids(&self) -> &[u64] {
+        &self.doc_ids
+    }
+
+    /// Maps a flat text position to `(slot, Occurrence)`, where `slot` is
+    /// the document's index in concatenation order.
+    pub fn resolve(&self, pos: usize) -> (usize, Occurrence) {
+        let (slot, start) = self
+            .doc_starts
+            .predecessor(pos as u64)
+            .expect("position before first document");
+        (
+            slot,
+            Occurrence {
+                doc: self.doc_ids[slot],
+                offset: pos - start as usize,
+            },
+        )
+    }
+
+    /// Start position of document `slot` in the flat text.
+    pub fn doc_start(&self, slot: usize) -> usize {
+        self.doc_starts.get(slot) as usize
+    }
+
+    /// Byte length of document `slot` (excluding the separator).
+    pub fn doc_len(&self, slot: usize) -> usize {
+        let start = self.doc_starts.get(slot) as usize;
+        let end = if slot + 1 < self.num_docs() {
+            self.doc_starts.get(slot + 1) as usize
+        } else {
+            self.text.len() - 1 // before terminator
+        };
+        end - start - 1 // minus separator
+    }
+
+    /// Decodes document `slot` back to bytes.
+    pub fn doc_bytes(&self, slot: usize) -> Vec<u8> {
+        let start = self.doc_start(slot);
+        let len = self.doc_len(slot);
+        self.text[start..start + len]
+            .iter()
+            .map(|&s| (s - SYM_OFFSET) as u8)
+            .collect()
+    }
+
+    /// The slot of a caller-assigned id, if present (linear scan; callers
+    /// that need this hot keep their own map).
+    pub fn slot_of(&self, doc_id: u64) -> Option<usize> {
+        self.doc_ids.iter().position(|&d| d == doc_id)
+    }
+}
+
+impl SpaceUsage for ConcatText {
+    fn heap_bytes(&self) -> usize {
+        self.text.heap_bytes() + self.doc_ids.heap_bytes() + self.doc_starts.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_layout() {
+        let ct = ConcatText::new(&[(7, b"ab"), (9, b""), (11, b"xyz")]);
+        // "ab" + sep + "" + sep + "xyz" + sep + term
+        assert_eq!(ct.len(), 2 + 1 + 0 + 1 + 3 + 1 + 1);
+        assert_eq!(ct.num_docs(), 3);
+        assert_eq!(ct.text()[2], SEPARATOR);
+        assert_eq!(*ct.text().last().expect("non-empty"), TERMINATOR);
+        assert_eq!(ct.doc_len(0), 2);
+        assert_eq!(ct.doc_len(1), 0);
+        assert_eq!(ct.doc_len(2), 3);
+        assert_eq!(ct.doc_bytes(2), b"xyz");
+    }
+
+    #[test]
+    fn resolve_positions() {
+        let ct = ConcatText::new(&[(100, b"hello"), (200, b"world!")]);
+        let (slot, occ) = ct.resolve(0);
+        assert_eq!((slot, occ.doc, occ.offset), (0, 100, 0));
+        let (slot, occ) = ct.resolve(4);
+        assert_eq!((slot, occ.doc, occ.offset), (0, 100, 4));
+        let (slot, occ) = ct.resolve(6); // first char of "world!"
+        assert_eq!((slot, occ.doc, occ.offset), (1, 200, 0));
+        let (slot, occ) = ct.resolve(11);
+        assert_eq!((slot, occ.doc, occ.offset), (1, 200, 5));
+    }
+
+    #[test]
+    fn empty_collection() {
+        let ct = ConcatText::new(&[]);
+        assert!(ct.is_empty());
+        assert_eq!(ct.len(), 1); // just the terminator
+    }
+
+    #[test]
+    fn pattern_encoding() {
+        assert_eq!(encode_pattern(b"ab"), vec![b'a' as u32 + 2, b'b' as u32 + 2]);
+        assert!(encode_pattern(&[0u8, 255]).iter().all(|&s| s >= 2));
+    }
+}

@@ -1,0 +1,28 @@
+//! # dyndex-text
+//!
+//! Text-indexing substrates for the `dyndex` reproduction of *Munro,
+//! Nekrich, Vitter: Dynamic Data Structures for Document Collections and
+//! Graphs* (PODS 2015):
+//!
+//! * [`sais`] — linear-time suffix array construction (SA-IS).
+//! * [`bwt`] — Burrows–Wheeler transform and LF utilities.
+//! * [`collection`] — the document-collection text model (separators,
+//!   terminator, `(doc, offset)` resolution).
+//! * [`fm_index`] — the static compressed index `Is` (backward search /
+//!   locate / extract / tSA), generic over the BWT sequence representation.
+//! * [`sa_index`] — the fast `O(n log σ)`-text classical suffix-array
+//!   index (Table 3 regime).
+//! * [`gst`] — a generalized suffix tree with document insert *and* delete
+//!   (the paper's uncompressed `C0` structure, Appendix A.2).
+
+pub mod bwt;
+pub mod collection;
+pub mod fm_index;
+pub mod gst;
+pub mod sa_index;
+pub mod sais;
+
+pub use collection::{ConcatText, Occurrence};
+pub use fm_index::{FmIndex, FmIndexCompressed, FmIndexPlain};
+pub use gst::SuffixTree;
+pub use sa_index::SaIndex;

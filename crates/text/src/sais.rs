@@ -1,0 +1,285 @@
+//! SA-IS: linear-time suffix array construction (Nong, Zhang, Chan).
+//!
+//! Works over integer alphabets, which the document-collection encoding
+//! needs (byte symbols are shifted by 2 and per-document separators /
+//! the global terminator occupy values 1 / 0 — see
+//! [`crate::collection`]). The input must end with a unique, smallest
+//! sentinel (`0`).
+
+/// Builds the suffix array of `text` (symbols `< sigma`).
+///
+/// Requirements: `text` is non-empty, ends with `0`, and `0` occurs only
+/// there. Runs in O(n + σ).
+///
+/// # Panics
+/// Panics if the sentinel requirement is violated.
+pub fn suffix_array(text: &[u32], sigma: u32) -> Vec<u32> {
+    assert!(!text.is_empty(), "SA-IS input must be non-empty");
+    assert_eq!(*text.last().expect("non-empty"), 0, "input must end with sentinel 0");
+    assert_eq!(
+        text.iter().filter(|&&c| c == 0).count(),
+        1,
+        "sentinel 0 must be unique"
+    );
+    debug_assert!(text.iter().all(|&c| c < sigma));
+    let mut sa = vec![0u32; text.len()];
+    sais_impl(text, sigma as usize, &mut sa);
+    sa
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// True = S-type, false = L-type.
+fn classify(text: &[u32]) -> Vec<bool> {
+    let n = text.len();
+    let mut t = vec![false; n];
+    t[n - 1] = true; // sentinel is S-type
+    for i in (0..n - 1).rev() {
+        t[i] = text[i] < text[i + 1] || (text[i] == text[i + 1] && t[i + 1]);
+    }
+    t
+}
+
+#[inline]
+fn is_lms(t: &[bool], i: usize) -> bool {
+    i > 0 && t[i] && !t[i - 1]
+}
+
+/// Bucket start (head) positions per symbol.
+fn bucket_heads(text: &[u32], sigma: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; sigma];
+    for &c in text {
+        counts[c as usize] += 1;
+    }
+    let mut heads = vec![0u32; sigma];
+    let mut acc = 0u32;
+    for (h, &c) in heads.iter_mut().zip(counts.iter()) {
+        *h = acc;
+        acc += c;
+    }
+    heads
+}
+
+/// Bucket end (one-past-tail) positions per symbol.
+fn bucket_tails(text: &[u32], sigma: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; sigma];
+    for &c in text {
+        counts[c as usize] += 1;
+    }
+    let mut tails = vec![0u32; sigma];
+    let mut acc = 0u32;
+    for (t, &c) in tails.iter_mut().zip(counts.iter()) {
+        acc += c;
+        *t = acc;
+    }
+    tails
+}
+
+/// Induced sort: given LMS positions already placed (or to be placed at
+/// bucket tails in `lms` order), fills in L-type then S-type suffixes.
+fn induce(text: &[u32], sigma: usize, t: &[bool], sa: &mut [u32], lms: &[u32]) {
+    let n = text.len();
+    sa.fill(EMPTY);
+    // Step 1: place LMS suffixes at the tails of their buckets, in the
+    // given order (reversed so earlier entries end up closer to the tail).
+    let mut tails = bucket_tails(text, sigma);
+    for &p in lms.iter().rev() {
+        let c = text[p as usize] as usize;
+        tails[c] -= 1;
+        sa[tails[c] as usize] = p;
+    }
+    // Step 2: induce L-type suffixes left-to-right from bucket heads.
+    let mut heads = bucket_heads(text, sigma);
+    for i in 0..n {
+        let p = sa[i];
+        if p == EMPTY || p == 0 {
+            continue;
+        }
+        let j = (p - 1) as usize;
+        if !t[j] {
+            let c = text[j] as usize;
+            sa[heads[c] as usize] = j as u32;
+            heads[c] += 1;
+        }
+    }
+    // Step 3: induce S-type suffixes right-to-left from bucket tails.
+    let mut tails = bucket_tails(text, sigma);
+    for i in (0..n).rev() {
+        let p = sa[i];
+        if p == EMPTY || p == 0 {
+            continue;
+        }
+        let j = (p - 1) as usize;
+        if t[j] {
+            let c = text[j] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = j as u32;
+        }
+    }
+}
+
+fn sais_impl(text: &[u32], sigma: usize, sa: &mut [u32]) {
+    let n = text.len();
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    let t = classify(text);
+    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(&t, i)).map(|i| i as u32).collect();
+
+    // First induction: approximate order (LMS in text order).
+    induce(text, sigma, &t, sa, &lms_positions);
+
+    // Extract LMS suffixes in their induced order and name LMS substrings.
+    let sorted_lms: Vec<u32> = sa
+        .iter()
+        .copied()
+        .filter(|&p| p != EMPTY && is_lms(&t, p as usize))
+        .collect();
+    debug_assert_eq!(sorted_lms.len(), lms_positions.len());
+
+    // Name each LMS substring; equal adjacent substrings share a name.
+    let mut names = vec![EMPTY; n];
+    let mut name = 0u32;
+    let mut prev: Option<u32> = None;
+    for &p in &sorted_lms {
+        if let Some(q) = prev {
+            if !lms_substring_eq(text, &t, q as usize, p as usize) {
+                name += 1;
+            }
+        }
+        names[p as usize] = name;
+        prev = Some(p);
+    }
+    let num_names = name + 1;
+
+    // Build the reduced problem: names of LMS substrings in text order.
+    let reduced: Vec<u32> = lms_positions
+        .iter()
+        .map(|&p| names[p as usize])
+        .collect();
+
+    let lms_order: Vec<u32> = if num_names as usize == reduced.len() {
+        // All names unique: the induced order is already correct.
+        sorted_lms
+    } else {
+        // Recurse on the reduced string (it ends with the sentinel's name,
+        // which is 0 and unique because the sentinel is the unique minimum).
+        let mut sub_sa = vec![0u32; reduced.len()];
+        sais_impl(&reduced, num_names as usize, &mut sub_sa);
+        sub_sa
+            .iter()
+            .map(|&r| lms_positions[r as usize])
+            .collect()
+    };
+
+    // Final induction with correctly ordered LMS suffixes.
+    induce(text, sigma, &t, sa, &lms_order);
+}
+
+/// Compares the LMS substrings starting at `a` and `b`.
+fn lms_substring_eq(text: &[u32], t: &[bool], a: usize, b: usize) -> bool {
+    let n = text.len();
+    if a == b {
+        return true;
+    }
+    // The sentinel's LMS substring is just itself and unique.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let mut i = 0usize;
+    loop {
+        let pa = a + i;
+        let pb = b + i;
+        if pa >= n || pb >= n {
+            return false;
+        }
+        if text[pa] != text[pb] || t[pa] != t[pb] {
+            return false;
+        }
+        if i > 0 && (is_lms(t, pa) || is_lms(t, pb)) {
+            return is_lms(t, pa) && is_lms(t, pb);
+        }
+        i += 1;
+    }
+}
+
+/// O(n² log n) reference construction for testing.
+pub fn suffix_array_naive(text: &[u32]) -> Vec<u32> {
+    let mut sa: Vec<u32> = (0..text.len() as u32).collect();
+    sa.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+    sa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_sentinel(bytes: &[u8]) -> Vec<u32> {
+        let mut v: Vec<u32> = bytes.iter().map(|&b| b as u32 + 2).collect();
+        v.push(0);
+        v
+    }
+
+    fn check(bytes: &[u8]) {
+        let text = with_sentinel(bytes);
+        let got = suffix_array(&text, 258);
+        let want = suffix_array_naive(&text);
+        assert_eq!(got, want, "text {:?}", String::from_utf8_lossy(bytes));
+    }
+
+    #[test]
+    fn classic_examples() {
+        check(b"");
+        check(b"a");
+        check(b"banana");
+        check(b"mississippi");
+        check(b"abracadabra");
+        check(b"aaaaaaaaaa");
+        check(b"abcabcabcabc");
+        check(b"zyxwvut");
+    }
+
+    #[test]
+    fn binary_runs() {
+        check(b"abababababab");
+        check(b"aabbaabbaabb");
+        check(b"baaaabaaaab");
+    }
+
+    #[test]
+    fn pseudorandom_texts() {
+        let mut state = 0x853c49e6748fea9bu64;
+        for len in [10, 100, 1000] {
+            for sigma in [2u8, 4, 26] {
+                let bytes: Vec<u8> = (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        b'a' + ((state >> 33) % sigma as u64) as u8
+                    })
+                    .collect();
+                check(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn with_separators_like_collection() {
+        // Emulates the collection encoding: docs separated by symbol 1.
+        let mut text: Vec<u32> = Vec::new();
+        for doc in [b"abab".as_slice(), b"babb", b"", b"ab"] {
+            text.extend(doc.iter().map(|&b| b as u32 + 2));
+            text.push(1);
+        }
+        text.push(0);
+        let got = suffix_array(&text, 258);
+        let want = suffix_array_naive(&text);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "sentinel")]
+    fn rejects_missing_sentinel() {
+        suffix_array(&[5, 4, 3], 258);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: SA-IS vs naive sort, FM-index and suffix tree vs
+//! a brute-force matcher, extraction round-trips.
+
+use dyndex_text::sais::{suffix_array, suffix_array_naive};
+use dyndex_text::{FmIndexCompressed, Occurrence, SaIndex, SuffixTree};
+use proptest::prelude::*;
+
+fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabets maximize repeated substrings (the adversarial case
+    // for suffix structures).
+    proptest::collection::vec(proptest::sample::select(b"abc".to_vec()), 0..60)
+}
+
+fn naive_find(docs: &[(u64, Vec<u8>)], pattern: &[u8]) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    if pattern.is_empty() {
+        return out;
+    }
+    for (id, d) in docs {
+        if pattern.len() > d.len() {
+            continue;
+        }
+        for off in 0..=(d.len() - pattern.len()) {
+            if &d[off..off + pattern.len()] == pattern {
+                out.push(Occurrence { doc: *id, offset: off });
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sais_matches_naive(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let mut text: Vec<u32> = bytes.iter().map(|&b| b as u32 + 2).collect();
+        text.push(0);
+        prop_assert_eq!(suffix_array(&text, 258), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn sais_small_alphabet(bytes in proptest::collection::vec(0u8..3, 0..600)) {
+        let mut text: Vec<u32> = bytes.iter().map(|&b| b as u32 + 2).collect();
+        text.push(0);
+        prop_assert_eq!(suffix_array(&text, 258), suffix_array_naive(&text));
+    }
+
+    #[test]
+    fn fm_index_matches_naive(
+        docs_raw in proptest::collection::vec(doc_strategy(), 1..8),
+        pattern in proptest::collection::vec(proptest::sample::select(b"abc".to_vec()), 1..6),
+        s in 1usize..16,
+    ) {
+        let docs: Vec<(u64, Vec<u8>)> = docs_raw.into_iter().enumerate()
+            .map(|(i, d)| (i as u64, d)).collect();
+        let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let fm = FmIndexCompressed::build(&refs, s);
+        let want = naive_find(&docs, &pattern);
+        prop_assert_eq!(fm.count(&pattern), want.len());
+        let mut got = fm.locate(&pattern);
+        got.sort();
+        prop_assert_eq!(got, want);
+        // extraction round-trips
+        for (slot, (_, d)) in docs.iter().enumerate() {
+            prop_assert_eq!(&fm.extract(slot, 0, d.len()), d);
+        }
+    }
+
+    #[test]
+    fn sa_index_agrees_with_fm(
+        docs_raw in proptest::collection::vec(doc_strategy(), 1..6),
+        pattern in proptest::collection::vec(proptest::sample::select(b"abc".to_vec()), 1..5),
+    ) {
+        let docs: Vec<(u64, Vec<u8>)> = docs_raw.into_iter().enumerate()
+            .map(|(i, d)| (i as u64, d)).collect();
+        let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let fm = FmIndexCompressed::build(&refs, 4);
+        let sa = SaIndex::build(&refs);
+        prop_assert_eq!(sa.count(&pattern), fm.count(&pattern));
+        let mut a = sa.locate(&pattern);
+        let mut b = fm.locate(&pattern);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suffix_tree_insert_delete_query(
+        docs_raw in proptest::collection::vec(doc_strategy(), 1..10),
+        deletions in proptest::collection::vec(any::<proptest::sample::Index>(), 0..6),
+        pattern in proptest::collection::vec(proptest::sample::select(b"abc".to_vec()), 1..5),
+    ) {
+        let mut docs: Vec<(u64, Vec<u8>)> = docs_raw.into_iter().enumerate()
+            .map(|(i, d)| (i as u64, d)).collect();
+        let mut st = SuffixTree::new();
+        for (id, d) in &docs {
+            st.insert(*id, d);
+        }
+        for del in &deletions {
+            if docs.is_empty() { break; }
+            let i = del.index(docs.len());
+            let (id, bytes) = docs.remove(i);
+            prop_assert_eq!(st.delete(id), Some(bytes));
+        }
+        st.check_invariants();
+        let want = naive_find(&docs, &pattern);
+        let mut got = st.find(&pattern);
+        got.sort();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(st.count(&pattern), st.find(&pattern).len());
+    }
+
+    #[test]
+    fn fm_suffix_rank_inverts_locate(
+        doc in proptest::collection::vec(proptest::sample::select(b"ab".to_vec()), 1..80),
+        s in 1usize..12,
+    ) {
+        let refs: Vec<(u64, &[u8])> = vec![(1, doc.as_slice())];
+        let fm = FmIndexCompressed::build(&refs, s);
+        for pos in 0..fm.text_len() - 1 {
+            prop_assert_eq!(fm.locate_row(fm.suffix_rank(pos)), pos);
+        }
+    }
+}

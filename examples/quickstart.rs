@@ -1,0 +1,68 @@
+//! Quickstart: a dynamic, compressed document collection.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dyndex::prelude::*;
+
+fn main() {
+    // A fully-dynamic index with amortized updates (Transformation 1 of
+    // the paper), backed by a compressed FM-index with locate-sample rate
+    // s = 8: space ~ nHk + O(n log n / 8), locate ~ 8 LF steps/occurrence.
+    let mut index: Transform1Index<FmIndexCompressed> =
+        Transform1Index::new(FmConfig { sample_rate: 8 }, DynOptions::default());
+
+    println!("== insert documents ==");
+    index.insert(1, b"the quick brown fox jumps over the lazy dog");
+    index.insert(2, b"a quick brown dog outpaces a lazy fox");
+    index.insert(3, b"pack my box with five dozen liquor jugs");
+    println!("docs: {}, symbols: {}", index.num_docs(), index.symbol_count());
+
+    println!("\n== search ==");
+    for pattern in [b"quick".as_slice(), b"lazy", b"fox", b"zebra"] {
+        let hits = index.find(pattern);
+        println!(
+            "{:<8} -> {} occurrence(s): {:?}",
+            String::from_utf8_lossy(pattern),
+            index.count(pattern),
+            hits.iter()
+                .map(|o| format!("doc {} @ {}", o.doc, o.offset))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    println!("\n== extract (documents live only inside the index) ==");
+    let snippet = index.extract(1, 4, 11).expect("doc 1 exists");
+    println!("doc 1, bytes 4..15: {:?}", String::from_utf8_lossy(&snippet));
+
+    println!("\n== delete ==");
+    index.delete(2);
+    println!(
+        "after deleting doc 2: count(\"quick\") = {}",
+        index.count(b"quick")
+    );
+
+    println!("\n== space accounting ==");
+    println!(
+        "index heap: {} bytes for {} document bytes",
+        index.heap_bytes(),
+        index.symbol_count()
+    );
+
+    // The worst-case variant (Transformation 2) has the same API but
+    // rebuilds sub-collections on background threads:
+    let mut wc: Transform2Index<FmIndexCompressed> = Transform2Index::new(
+        FmConfig { sample_rate: 8 },
+        DynOptions::default(),
+        RebuildMode::Background,
+    );
+    for i in 0..100u64 {
+        wc.insert(i, format!("background document number {i}").as_bytes());
+    }
+    println!(
+        "\nworst-case index: {} docs, count(\"number\") = {}, {} background jobs",
+        wc.num_docs(),
+        wc.count(b"number"),
+        wc.work().jobs_started
+    );
+    wc.finish_background_work();
+}

@@ -1,0 +1,117 @@
+//! RDF triples as dynamic relations and graphs — the paper's §1 example:
+//!
+//! > "the set of subject-predicate-object RDF triples can be represented
+//! >  as a graph or as two binary relations […] given x, enumerate all
+//! >  the triples in which x occurs as a subject; given x and p,
+//! >  enumerate all triples in which x occurs as a subject and p occurs
+//! >  as a predicate."
+//!
+//! We store a small evolving knowledge base as (a) one relation per
+//! predicate (subject ↔ object) and (b) a subject→object link graph, and
+//! run exactly those queries under updates.
+//!
+//! Run with: `cargo run --release --example rdf_store`
+
+use dyndex::prelude::*;
+use std::collections::HashMap;
+
+// Compact entity dictionary: name -> u64 id.
+struct Dict {
+    ids: HashMap<&'static str, u64>,
+    names: Vec<&'static str>,
+}
+
+impl Dict {
+    fn new() -> Self {
+        Dict { ids: HashMap::new(), names: Vec::new() }
+    }
+    fn id(&mut self, name: &'static str) -> u64 {
+        if let Some(&i) = self.ids.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u64;
+        self.ids.insert(name, i);
+        self.names.push(name);
+        i
+    }
+    fn name(&self, id: u64) -> &'static str {
+        self.names[id as usize]
+    }
+}
+
+fn main() {
+    let mut dict = Dict::new();
+    // One dynamic relation per predicate (the paper's "two binary
+    // relations" decomposition of a triple store), plus one link graph.
+    let mut by_predicate: HashMap<&'static str, DynamicRelation> = HashMap::new();
+    let mut links = DynamicGraph::new(DynOptions::default());
+
+    let triples: &[(&'static str, &'static str, &'static str)] = &[
+        ("munro", "authored", "pods15-paper"),
+        ("nekrich", "authored", "pods15-paper"),
+        ("vitter", "authored", "pods15-paper"),
+        ("pods15-paper", "cites", "fredman-saks89"),
+        ("pods15-paper", "cites", "bentley-saxe80"),
+        ("pods15-paper", "cites", "dietz-sleator87"),
+        ("munro", "affiliated", "waterloo"),
+        ("nekrich", "affiliated", "waterloo"),
+        ("vitter", "affiliated", "kansas"),
+        ("dyndex", "implements", "pods15-paper"),
+        ("dyndex", "written-in", "rust"),
+    ];
+    for &(s, p, o) in triples {
+        let (si, oi) = (dict.id(s), dict.id(o));
+        by_predicate
+            .entry(p)
+            .or_insert_with(|| DynamicRelation::new(DynOptions::default()))
+            .insert(si, oi);
+        links.add_edge(si, oi);
+    }
+
+    println!("== triples in which `pods15-paper` occurs as subject+predicate `cites` ==");
+    let paper = dict.id("pods15-paper");
+    for o in by_predicate["cites"].labels_of(paper) {
+        println!("  pods15-paper --cites--> {}", dict.name(o));
+    }
+
+    println!("\n== all triples with subject `munro` (any predicate) ==");
+    let munro = dict.id("munro");
+    for (p, rel) in &by_predicate {
+        for o in rel.labels_of(munro) {
+            println!("  munro --{}--> {}", p, dict.name(o));
+        }
+    }
+
+    println!("\n== reverse query: who authored pods15-paper? ==");
+    for s in by_predicate["authored"].objects_of(paper) {
+        println!("  {} --authored--> pods15-paper", dict.name(s));
+    }
+
+    println!("\n== graph view ==");
+    println!(
+        "  out-degree(pods15-paper) = {}, in-degree(pods15-paper) = {}",
+        links.out_degree(paper),
+        links.in_degree(paper)
+    );
+    println!(
+        "  adjacency(dyndex -> pods15-paper) = {}",
+        links.has_edge(dict.id("dyndex"), paper)
+    );
+
+    println!("\n== updates: retract and assert ==");
+    by_predicate.get_mut("affiliated").expect("exists").delete(dict.id("vitter"), dict.id("kansas"));
+    let by_aff = &by_predicate["affiliated"];
+    println!(
+        "  after retraction, affiliations of vitter: {:?}",
+        by_aff.labels_of(dict.id("vitter"))
+    );
+    println!(
+        "  waterloo is affiliated with {} researchers",
+        by_aff.count_objects(dict.id("waterloo"))
+    );
+    links.remove_node(dict.id("vitter"));
+    println!(
+        "  after removing node vitter: {} edges remain in the link graph",
+        links.num_edges()
+    );
+}

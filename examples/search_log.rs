@@ -1,0 +1,74 @@
+//! Search-log analytics — the paper's §1 motivating example:
+//!
+//! > "Suppose that we keep a search log and want to find out how many
+//! >  times URLs containing a certain substring were accessed."
+//!
+//! We maintain a rolling window of log batches (each batch = one
+//! document) in a dynamic compressed index: new batches arrive, old
+//! batches expire, and substring counting stays fast throughout — the
+//! counting machinery of Theorem 1.
+//!
+//! Run with: `cargo run --release --example search_log`
+
+use dyndex::prelude::*;
+
+/// Deterministic synthetic log batch: one URL access per line.
+fn make_batch(day: u64) -> Vec<u8> {
+    let hosts = ["example.org", "shop.example.com", "api.example.io", "blog.example.org"];
+    let paths = ["/index", "/cart/checkout", "/v2/search", "/articles/dyndex", "/login"];
+    let mut out = Vec::new();
+    let mut state = day.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    for _ in 0..40 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let h = hosts[(state % hosts.len() as u64) as usize];
+        let p = paths[((state >> 8) % paths.len() as u64) as usize];
+        out.extend_from_slice(format!("GET https://{h}{p}?day={day}\n").as_bytes());
+    }
+    out
+}
+
+fn main() {
+    let mut index: Transform2Index<FmIndexCompressed> = Transform2Index::new(
+        FmConfig { sample_rate: 16 },
+        DynOptions::default(),
+        RebuildMode::Background,
+    );
+
+    const WINDOW: u64 = 14; // keep two weeks of logs
+    println!("rolling {WINDOW}-day window of synthetic access logs\n");
+    for day in 0..60u64 {
+        index.insert(day, &make_batch(day));
+        if day >= WINDOW {
+            index.delete(day - WINDOW); // expire the oldest batch
+        }
+        if day % 15 == 14 {
+            println!("day {day}: window holds {} batches, {} bytes", index.num_docs(), index.symbol_count());
+            for needle in ["checkout", "example.org", "/v2/", "dyndex"] {
+                println!(
+                    "  accesses matching {needle:<14} {:>6}",
+                    index.count(needle.as_bytes())
+                );
+            }
+        }
+    }
+
+    // Drill-down: which batches contain a pattern, and where.
+    let hits = index.find(b"/cart/checkout");
+    let mut days: Vec<u64> = hits.iter().map(|o| o.doc).collect();
+    days.sort_unstable();
+    days.dedup();
+    println!(
+        "\n\"/cart/checkout\" occurs {} times across days {:?}",
+        hits.len(),
+        days
+    );
+    println!(
+        "background jobs: {} started / {} completed, forced waits: {}",
+        index.work().jobs_started,
+        index.work().jobs_completed,
+        index.work().forced_waits
+    );
+    index.finish_background_work();
+}

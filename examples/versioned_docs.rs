@@ -1,0 +1,113 @@
+//! Library management — the paper's namesake problem ("the dynamic
+//! indexing problem, also known as the library management problem"):
+//! maintain a corpus of documents under version churn, where saving a new
+//! version of a file replaces the old one (delete + insert), and search
+//! must always reflect the current state.
+//!
+//! Also demonstrates the Transformation 3 preset (Appendix A.4): more,
+//! doubling sub-collections — cheaper insertions for update-heavy loads.
+//!
+//! Run with: `cargo run --release --example versioned_docs`
+
+use dyndex::core::{new_transform3, transform3_options};
+use dyndex::prelude::*;
+
+struct VersionedStore {
+    index: Transform3Index<FmIndexCompressed>,
+    versions: std::collections::HashMap<String, (u64, u32)>,
+    next_id: u64,
+}
+
+impl VersionedStore {
+    fn new() -> Self {
+        VersionedStore {
+            index: new_transform3(
+                FmConfig { sample_rate: 8 },
+                transform3_options(DynOptions::default()),
+            ),
+            versions: std::collections::HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Saves (or overwrites) a named document; returns its version number.
+    fn save(&mut self, name: &str, contents: &[u8]) -> u32 {
+        let (old_id, old_ver) = self
+            .versions
+            .get(name)
+            .copied()
+            .map_or((None, 0), |(id, v)| (Some(id), v));
+        if let Some(id) = old_id {
+            self.index.delete(id);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.index.insert(id, contents);
+        self.versions.insert(name.to_string(), (id, old_ver + 1));
+        old_ver + 1
+    }
+
+    fn remove(&mut self, name: &str) -> bool {
+        match self.versions.remove(name) {
+            Some((id, _)) => self.index.delete(id).is_some(),
+            None => false,
+        }
+    }
+
+    fn grep(&self, pattern: &str) -> Vec<(String, usize)> {
+        let by_id: std::collections::HashMap<u64, &str> = self
+            .versions
+            .iter()
+            .map(|(name, &(id, _))| (id, name.as_str()))
+            .collect();
+        let mut hits: Vec<(String, usize)> = self
+            .index
+            .find(pattern.as_bytes())
+            .into_iter()
+            .map(|o| (by_id[&o.doc].to_string(), o.offset))
+            .collect();
+        hits.sort();
+        hits
+    }
+}
+
+fn main() {
+    let mut store = VersionedStore::new();
+
+    println!("== initial checkins ==");
+    store.save("readme.md", b"dyndex: dynamic compressed document indexes");
+    store.save("design.md", b"transformations convert static indexes into dynamic ones");
+    store.save("todo.txt", b"write more tests; benchmark the transformations");
+    for (name, offset) in store.grep("dynamic") {
+        println!("  dynamic @ {name}:{offset}");
+    }
+
+    println!("\n== overwrite a file: search reflects only the newest version ==");
+    let v = store.save("todo.txt", b"ship the dynamic benchmarks");
+    println!("  todo.txt now at version {v}");
+    for (name, offset) in store.grep("dynamic") {
+        println!("  dynamic @ {name}:{offset}");
+    }
+    assert!(store.grep("more tests").is_empty(), "old version must be gone");
+
+    println!("\n== heavy churn: hundreds of edits ==");
+    for round in 0..200u32 {
+        let body = format!("draft {round}: the quick brown fox edits files repeatedly");
+        store.save("draft.txt", body.as_bytes());
+    }
+    let hits = store.grep("draft 199");
+    println!("  grep 'draft 199' -> {hits:?}");
+    assert_eq!(hits.len(), 1);
+    assert!(store.grep("draft 198").is_empty());
+
+    println!("\n== delete ==");
+    store.remove("draft.txt");
+    assert!(store.grep("draft").is_empty());
+    println!("  draft.txt removed; {} files remain", store.versions.len());
+    println!(
+        "  index: {} docs / {} bytes, heap {} bytes",
+        store.index.num_docs(),
+        store.index.symbol_count(),
+        store.index.heap_bytes()
+    );
+}

@@ -1,0 +1,61 @@
+//! # dyndex
+//!
+//! A from-scratch Rust implementation of
+//! *J. Ian Munro, Yakov Nekrich, Jeffrey Scott Vitter:
+//! **Dynamic Data Structures for Document Collections and Graphs***
+//! (PODS 2015, arXiv:1503.05977).
+//!
+//! The paper's contribution is a general framework that converts *static*
+//! compressed full-text indexes into *dynamic* ones — supporting document
+//! insertion and deletion — without putting a dynamic rank/select
+//! structure (and its Fredman–Saks Ω(log n / log log n) lower bound) on
+//! the query path. The same framework dynamizes compressed binary
+//! relations and directed graphs.
+//!
+//! ## Crate map
+//!
+//! * [`succinct`] — bit vectors, rank/select, Elias–Fano, wavelet trees,
+//!   the Lemma 2/3 one-bit reporter, dynamic bit/sequence structures.
+//! * [`text`] — SA-IS, BWT, FM-index, classical suffix-array index, and a
+//!   generalized suffix tree with document deletion (Appendix A.2).
+//! * [`core`] — the transformations themselves: deletion-only wrapper
+//!   (§2), Transformation 1 (amortized), Transformation 2 (worst-case,
+//!   background rebuilding), Transformation 3 (A.4), counting (Thm 1).
+//! * [`relations`] — compressed dynamic binary relations (Thm 2) and
+//!   directed graphs (Thm 3).
+//! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
+//!   rebuild-from-scratch).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dyndex::prelude::*;
+//!
+//! // A dynamic collection backed by a compressed FM-index.
+//! let mut index: Transform1Index<FmIndexCompressed> =
+//!     Transform1Index::new(FmConfig { sample_rate: 8 }, DynOptions::default());
+//!
+//! index.insert(1, b"compressed dynamic indexing");
+//! index.insert(2, b"dynamic graphs and relations");
+//! assert_eq!(index.count(b"dynamic"), 2);
+//!
+//! let hits = index.find(b"dynamic");
+//! assert_eq!(hits.len(), 2);
+//!
+//! index.delete(1);
+//! assert_eq!(index.count(b"dynamic"), 1);
+//! ```
+
+pub use dyndex_baseline as baseline;
+pub use dyndex_core as core;
+pub use dyndex_relations as relations;
+pub use dyndex_succinct as succinct;
+pub use dyndex_text as text;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use dyndex_core::prelude::*;
+    pub use dyndex_relations::{DynamicGraph, DynamicRelation};
+    pub use dyndex_succinct::SpaceUsage;
+    pub use dyndex_text::Occurrence;
+}

@@ -1,0 +1,104 @@
+//! Integration tests for §5: relations and graphs at moderate scale,
+//! including the RDF-style access patterns from the paper's introduction.
+
+use dyndex::prelude::*;
+use dyndex::relations::NaiveRelation;
+
+#[test]
+fn relation_scale_churn() {
+    let mut dynr = DynamicRelation::new(DynOptions::default());
+    let mut naive = NaiveRelation::new();
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    for _ in 0..5_000 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let o = state % 200;
+        let l = 1_000 + (state >> 20) % 150;
+        if state % 4 != 0 {
+            assert_eq!(dynr.insert(o, l), naive.insert(o, l));
+        } else {
+            assert_eq!(dynr.delete(o, l), naive.delete(o, l));
+        }
+    }
+    dynr.check_invariants();
+    assert_eq!(dynr.len(), naive.len());
+    for o in (0..200).step_by(17) {
+        assert_eq!(dynr.labels_of(o), naive.labels_of(o), "labels_of({o})");
+        assert_eq!(dynr.count_labels(o), naive.count_labels(o));
+    }
+    for l in (1_000..1_150).step_by(13) {
+        assert_eq!(dynr.objects_of(l), naive.objects_of(l), "objects_of({l})");
+        assert_eq!(dynr.count_objects(l), naive.count_objects(l));
+    }
+}
+
+#[test]
+fn graph_triangle_census_stays_consistent() {
+    // Insert a known structure, delete parts, verify adjacency exactly.
+    let mut g = DynamicGraph::new(DynOptions::default());
+    let n = 40u64;
+    // Complete bipartite-ish: evens -> odds.
+    for u in (0..n).step_by(2) {
+        for v in (1..n).step_by(2) {
+            assert!(g.add_edge(u, v));
+        }
+    }
+    assert_eq!(g.num_edges(), (n as usize / 2) * (n as usize / 2));
+    for u in (0..n).step_by(2) {
+        assert_eq!(g.out_degree(u), n as usize / 2);
+        assert_eq!(g.in_degree(u), 0);
+    }
+    // Remove one node entirely.
+    let removed = g.remove_node(1);
+    assert_eq!(removed, n as usize / 2);
+    for u in (0..n).step_by(2) {
+        assert!(!g.has_edge(u, 1));
+        assert_eq!(g.out_degree(u), n as usize / 2 - 1);
+    }
+    g.check_invariants();
+}
+
+#[test]
+fn rdf_two_relations_view() {
+    // The paper's motivating decomposition: subject-predicate and
+    // predicate-object relations over the same triple set.
+    let triples: &[(u64, u64, u64)] = &[
+        (1, 10, 100),
+        (1, 10, 101),
+        (1, 11, 100),
+        (2, 10, 100),
+        (3, 12, 103),
+    ];
+    let mut sp = DynamicRelation::new(DynOptions::default()); // subject -> predicate
+    let mut po = DynamicRelation::new(DynOptions::default()); // predicate -> object
+    for &(s, p, o) in triples {
+        sp.insert(s, p);
+        po.insert(p, o);
+    }
+    // "enumerate all triples in which 1 occurs as a subject"
+    assert_eq!(sp.labels_of(1), vec![10, 11]);
+    // "given subject 1 and predicate 10, enumerate objects"
+    assert!(sp.related(1, 10));
+    assert_eq!(po.labels_of(10), vec![100, 101]);
+    // reverse: which subjects use predicate 10?
+    assert_eq!(sp.objects_of(10), vec![1, 2]);
+}
+
+#[test]
+fn empty_label_and_object_lifecycle() {
+    let mut r = DynamicRelation::new(DynOptions::default());
+    r.insert(5, 50);
+    assert_eq!(r.num_objects(), 1);
+    assert_eq!(r.num_labels(), 1);
+    r.delete(5, 50);
+    // Paper: "an object that is not related to any label … can be removed".
+    assert_eq!(r.num_objects(), 0);
+    assert_eq!(r.num_labels(), 0);
+    assert!(r.is_empty());
+    // Reinsertion after emptying must work (slot reuse).
+    r.insert(5, 50);
+    r.insert(5, 51);
+    assert_eq!(r.labels_of(5), vec![50, 51]);
+    r.check_invariants();
+}
