@@ -69,8 +69,7 @@ impl DynFmBaseline {
 
     /// Whether a document is present.
     pub fn contains(&self, doc_id: u64) -> bool {
-        self.doc_order.iter().any(|&(id, _)| id == doc_id)
-            || self.empty_docs.contains(&doc_id)
+        self.doc_order.iter().any(|&(id, _)| id == doc_id) || self.empty_docs.contains(&doc_id)
     }
 
     /// Count of all symbols `< c` in the BWT (`C[c]`, including `$`s).
@@ -236,7 +235,10 @@ mod tests {
         let mut idx = DynFmBaseline::new();
         idx.insert(7, b"reconstruct me");
         idx.insert(8, b"and me too");
-        assert_eq!(idx.doc_bytes(7).as_deref(), Some(b"reconstruct me".as_slice()));
+        assert_eq!(
+            idx.doc_bytes(7).as_deref(),
+            Some(b"reconstruct me".as_slice())
+        );
         assert_eq!(idx.doc_bytes(8).as_deref(), Some(b"and me too".as_slice()));
         assert_eq!(idx.doc_bytes(9), None);
     }
@@ -245,11 +247,7 @@ mod tests {
     fn delete_restores_counts() {
         let mut idx = DynFmBaseline::new();
         let mut naive = NaiveIndex::new();
-        for (id, d) in [
-            (1u64, b"abcabc".as_slice()),
-            (2, b"bcabca"),
-            (3, b"cabcab"),
-        ] {
+        for (id, d) in [(1u64, b"abcabc".as_slice()), (2, b"bcabca"), (3, b"cabcab")] {
             idx.insert(id, d);
             naive.insert(id, d);
         }
@@ -276,7 +274,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let r = state >> 33;
-            if r % 3 != 0 || live.is_empty() {
+            if !r.is_multiple_of(3) || live.is_empty() {
                 let id = step + 1;
                 let len = (r % 20) as usize;
                 let doc: Vec<u8> = (0..len)

@@ -98,10 +98,7 @@ impl<I: StaticIndex> RebuildAllIndex<I> {
 
 impl<I: StaticIndex> SpaceUsage for RebuildAllIndex<I> {
     fn heap_bytes(&self) -> usize {
-        self.docs
-            .iter()
-            .map(|(_, d)| d.heap_bytes())
-            .sum::<usize>()
+        self.docs.iter().map(|(_, d)| d.heap_bytes()).sum::<usize>()
             + self.index.as_ref().map_or(0, |i| i.heap_bytes())
     }
 }

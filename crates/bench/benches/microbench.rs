@@ -9,7 +9,7 @@ use dyndex_baseline::DynFmBaseline;
 use dyndex_bench::workloads::*;
 use dyndex_core::prelude::*;
 use dyndex_relations::DynamicGraph;
-use dyndex_succinct::{OneBitReporter, RankSelect, BitVec, WaveletMatrix};
+use dyndex_succinct::{BitVec, OneBitReporter, RankSelect, WaveletMatrix};
 use dyndex_text::{FmIndexCompressed, SuffixTree};
 use std::hint::black_box;
 
@@ -43,7 +43,9 @@ fn bench_succinct(c: &mut Criterion) {
     g.bench_function("one_bit/report_sparse_range", |b| {
         b.iter(|| black_box(v.report_vec(0, 999_999).len()))
     });
-    let seq: Vec<u32> = (0..200_000u64).map(|i| (i.wrapping_mul(2654435761) % 64) as u32).collect();
+    let seq: Vec<u32> = (0..200_000u64)
+        .map(|i| (i.wrapping_mul(2654435761) % 64) as u32)
+        .collect();
     let wm = WaveletMatrix::new(&seq, 64);
     g.bench_function("wavelet/rank", |b| {
         let mut i = 0usize;
@@ -68,7 +70,11 @@ fn bench_static_fm(c: &mut Criterion) {
         b.iter(|| pats.iter().map(|p| black_box(fm.count(p))).sum::<usize>())
     });
     g.bench_function("locate_p8", |b| {
-        b.iter(|| pats.iter().map(|p| black_box(fm.locate(p).len())).sum::<usize>())
+        b.iter(|| {
+            pats.iter()
+                .map(|p| black_box(fm.locate(p).len()))
+                .sum::<usize>()
+        })
     });
     g.bench_function("extract_64", |b| b.iter(|| black_box(fm.extract(0, 0, 64))));
     g.finish();
@@ -98,7 +104,11 @@ fn bench_gst(c: &mut Criterion) {
     }
     let pats = planted_patterns(&mut r, &docs, 6, 8);
     g.bench_function("find_p6", |b| {
-        b.iter(|| pats.iter().map(|p| black_box(st.find(p).len())).sum::<usize>())
+        b.iter(|| {
+            pats.iter()
+                .map(|p| black_box(st.find(p).len()))
+                .sum::<usize>()
+        })
     });
     g.finish();
 }

@@ -30,7 +30,10 @@ fn main() {
         "tau", "count", "insert/sym", "delete/sym", "bits/sym"
     );
     for tau in [2usize, 4, 8, 16, 32] {
-        let opts = DynOptions { tau, ..DynOptions::default() };
+        let opts = DynOptions {
+            tau,
+            ..DynOptions::default()
+        };
         run_case(format!("{tau}"), opts, &docs, &patterns, &churn);
     }
 
@@ -52,9 +55,14 @@ fn main() {
         "{:>8} {:>12} {:>14} {:>14} {:>12}",
         "profile", "count", "insert/sym", "delete/sym", "bits/sym"
     );
-    for (name, growth) in [("polylog", Growth::PolyLog { eps: 0.5 }), ("doubling", Growth::Doubling)]
-    {
-        let opts = DynOptions { growth, ..DynOptions::default() };
+    for (name, growth) in [
+        ("polylog", Growth::PolyLog { eps: 0.5 }),
+        ("doubling", Growth::Doubling),
+    ] {
+        let opts = DynOptions {
+            growth,
+            ..DynOptions::default()
+        };
         run_case_named(name, opts, &docs, &patterns, &churn);
     }
     println!("\nshapes: larger tau => purge at smaller dead fraction: costlier");

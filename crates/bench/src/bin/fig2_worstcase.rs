@@ -15,7 +15,10 @@ fn main() {
     let mut r = rng(0xF16002);
     let text = markov_text(&mut r, 1 << 18, 26, 3);
     let mut docs = split_documents(&mut r, &text, 64, 512, 0);
-    let opts = DynOptions { tau: 4, ..DynOptions::default() };
+    let opts = DynOptions {
+        tau: 4,
+        ..DynOptions::default()
+    };
     let mut idx: Transform2Index<FmIndexCompressed> =
         Transform2Index::new(FmConfig { sample_rate: 8 }, opts, RebuildMode::Inline);
 
@@ -44,7 +47,10 @@ fn main() {
 fn census(idx: &Transform2Index<FmIndexCompressed>, step: usize) {
     let stats = idx.structure_stats();
     let total = idx.symbol_count().max(1);
-    println!("after step {step} (n = {total} symbols, {} docs):", idx.num_docs());
+    println!(
+        "after step {step} (n = {total} symbols, {} docs):",
+        idx.num_docs()
+    );
     println!(
         "  {:<8} {:>12} {:>12} {:>10} {:>8}",
         "struct", "capacity", "alive", "dead", "docs"

@@ -20,8 +20,7 @@ fn main() {
         let h0 = entropy::h0(&text);
         let h2 = entropy::hk(&text, 2);
         let docs = split_documents(&mut r, &text, 256, 2048, 0);
-        let doc_refs: Vec<(u64, &[u8])> =
-            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let doc_refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
         let patterns = planted_patterns(&mut r, &docs, 8, 32);
         println!(
             "corpus n={n} ({} docs)  H0={h0:.2}  H2={h2:.2} bits/sym",
@@ -33,9 +32,21 @@ fn main() {
         );
         for &s in &[4usize, 8, 16, 32, 64] {
             let fm = FmIndexCompressed::build(&doc_refs, s);
-            report_row("fm-huff", s, &fm_metrics(&fm, &patterns), fm.heap_bytes(), n);
+            report_row(
+                "fm-huff",
+                s,
+                &fm_metrics(&fm, &patterns),
+                fm.heap_bytes(),
+                n,
+            );
             let fmp = FmIndexPlain::build(&doc_refs, s);
-            report_row("fm-plain", s, &fm_metrics_plain(&fmp, &patterns), fmp.heap_bytes(), n);
+            report_row(
+                "fm-plain",
+                s,
+                &fm_metrics_plain(&fmp, &patterns),
+                fmp.heap_bytes(),
+                n,
+            );
         }
         println!();
     }
@@ -74,7 +85,10 @@ fn metrics_impl(
     mut extract: impl FnMut() -> Vec<u8>,
 ) -> Metrics {
     let trange = measure_ns(9, || {
-        patterns.iter().map(|p| range(p).map_or(0, |(l, r)| r - l)).sum::<usize>()
+        patterns
+            .iter()
+            .map(|p| range(p).map_or(0, |(l, r)| r - l))
+            .sum::<usize>()
     }) / patterns.len() as f64;
     // Per-occurrence locate: total locate time minus range time, per occ.
     let occs: usize = patterns.iter().map(|p| locate(p)).sum();

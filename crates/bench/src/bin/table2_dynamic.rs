@@ -33,7 +33,11 @@ fn run_size(n: usize) {
         let extra_text = markov_text(&mut r, n / 8, 26, 3);
         split_documents(&mut r, &extra_text, 128, 1024, 1_000_000)
     };
-    println!("corpus n={n} ({} docs), update batch {} docs", docs.len(), extra.len());
+    println!(
+        "corpus n={n} ({} docs), update batch {} docs",
+        docs.len(),
+        extra.len()
+    );
     println!(
         "{:<14} {:>12} {:>12} {:>14} {:>14}",
         "index", "count", "find", "insert/sym", "delete/sym"
@@ -50,8 +54,9 @@ fn run_size(n: usize) {
         }
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(3, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(3, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let ins = time_inserts(&extra, |id, d| idx.insert(id, d));
         let del = time_deletes(&extra, |id| {
             idx.delete(id);
@@ -67,8 +72,9 @@ fn run_size(n: usize) {
         }
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(3, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(3, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let ins = time_inserts(&extra, |id, d| idx.insert(id, d));
         let del = time_deletes(&extra, |id| {
             idx.delete(id);
@@ -84,8 +90,9 @@ fn run_size(n: usize) {
         }
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(3, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(3, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let ins = time_inserts(&extra, |id, d| idx.insert(id, d));
         let del = time_deletes(&extra, |id| {
             idx.delete(id);
@@ -115,8 +122,9 @@ fn run_size(n: usize) {
         idx.force_rebuild();
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(3, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(3, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let few: Vec<(u64, Vec<u8>)> = extra.iter().take(3).cloned().collect();
         let ins = time_inserts(&few, |id, d| idx.insert(id, d));
         let del = time_deletes(&few, |id| {
@@ -148,7 +156,11 @@ fn time_deletes(batch: &[(u64, Vec<u8>)], mut del: impl FnMut(u64)) -> f64 {
 }
 
 fn row(name: &str, count: f64, find: f64, ins: f64, del: f64) {
-    let finds = if find.is_nan() { "n/a".to_string() } else { fmt_ns(find) };
+    let finds = if find.is_nan() {
+        "n/a".to_string()
+    } else {
+        fmt_ns(find)
+    };
     println!(
         "{:<14} {:>12} {:>12} {:>14} {:>14}",
         name,

@@ -40,15 +40,15 @@ fn run_size(n: usize) {
 
     // Fast regime: classical suffix-array index inside Transformation 2.
     {
-        let mut idx: Transform2Index<SaIndex> =
-            Transform2Index::new((), opts, RebuildMode::Inline);
+        let mut idx: Transform2Index<SaIndex> = Transform2Index::new((), opts, RebuildMode::Inline);
         for (id, d) in &docs {
             idx.insert(*id, d);
         }
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(5, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(5, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let symbols: usize = extra.iter().map(|(_, d)| d.len()).sum();
         let t0 = std::time::Instant::now();
         for (id, d) in &extra {
@@ -67,8 +67,9 @@ fn run_size(n: usize) {
         }
         let count_ns = measure_ns(7, || patterns.iter().map(|p| idx.count(p)).sum::<usize>())
             / patterns.len() as f64;
-        let find_ns = measure_ns(5, || patterns.iter().map(|p| idx.find(p).len()).sum::<usize>())
-            / patterns.len() as f64;
+        let find_ns = measure_ns(5, || {
+            patterns.iter().map(|p| idx.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
         let symbols: usize = extra.iter().map(|(_, d)| d.len()).sum();
         let t0 = std::time::Instant::now();
         for (id, d) in &extra {

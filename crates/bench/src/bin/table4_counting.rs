@@ -19,8 +19,13 @@ fn main() {
     let fm = FmConfig { sample_rate: 8 };
 
     // Patterns binned by occurrence count (shorter pattern => more occs).
-    let mut idx: Transform1Index<FmIndexCompressed> =
-        Transform1Index::new(fm, DynOptions { counting: true, ..DynOptions::default() });
+    let mut idx: Transform1Index<FmIndexCompressed> = Transform1Index::new(
+        fm,
+        DynOptions {
+            counting: true,
+            ..DynOptions::default()
+        },
+    );
     for (id, d) in &docs {
         idx.insert(*id, d);
     }
@@ -32,8 +37,8 @@ fn main() {
     for plen in [3usize, 5, 8, 12] {
         let pats = planted_patterns(&mut r, &docs, plen, 12);
         let occ: usize = pats.iter().map(|p| idx.count(p)).sum::<usize>() / pats.len().max(1);
-        let tcount = measure_ns(9, || pats.iter().map(|p| idx.count(p)).sum::<usize>())
-            / pats.len() as f64;
+        let tcount =
+            measure_ns(9, || pats.iter().map(|p| idx.count(p)).sum::<usize>()) / pats.len() as f64;
         let tenum = measure_ns(5, || pats.iter().map(|p| idx.find(p).len()).sum::<usize>())
             / pats.len() as f64;
         println!(

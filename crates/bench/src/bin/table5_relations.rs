@@ -7,8 +7,8 @@
 //! entropy of the label sequence.
 
 use dyndex_bench::workloads::*;
-use dyndex_relations::{DynamicRelation, NaiveRelation};
 use dyndex_core::DynOptions;
+use dyndex_relations::{DynamicRelation, NaiveRelation};
 use dyndex_succinct::{entropy, SpaceUsage};
 
 fn main() {
@@ -41,11 +41,17 @@ fn run(pair_target: usize) {
     let probes: Vec<u64> = (0..64).map(|_| zipf(&mut r, nodes)).collect();
 
     let t_report_lab = measure_ns(7, || {
-        probes.iter().map(|&o| dynr.labels_of(o).len()).sum::<usize>()
+        probes
+            .iter()
+            .map(|&o| dynr.labels_of(o).len())
+            .sum::<usize>()
     });
     let reported: usize = probes.iter().map(|&o| dynr.labels_of(o).len()).sum();
     let t_report_obj = measure_ns(7, || {
-        probes.iter().map(|&l| dynr.objects_of(l).len()).sum::<usize>()
+        probes
+            .iter()
+            .map(|&l| dynr.objects_of(l).len())
+            .sum::<usize>()
     });
     let t_exist = measure_ns(9, || {
         probes

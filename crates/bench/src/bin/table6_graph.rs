@@ -38,10 +38,16 @@ fn run(edge_target: usize) {
     let probes: Vec<u64> = (0..64).map(|_| zipf(&mut r, nodes)).collect();
     let out_total: usize = probes.iter().map(|&u| g.out_neighbors(u).len()).sum();
     let t_out = measure_ns(7, || {
-        probes.iter().map(|&u| g.out_neighbors(u).len()).sum::<usize>()
+        probes
+            .iter()
+            .map(|&u| g.out_neighbors(u).len())
+            .sum::<usize>()
     });
     let t_in = measure_ns(7, || {
-        probes.iter().map(|&v| g.in_neighbors(v).len()).sum::<usize>()
+        probes
+            .iter()
+            .map(|&v| g.in_neighbors(v).len())
+            .sum::<usize>()
     });
     let t_adj = measure_ns(9, || {
         probes
@@ -65,7 +71,11 @@ fn run(edge_target: usize) {
     let del = t1.elapsed().as_nanos() as f64 / removed.max(1) as f64;
     g.check_invariants();
 
-    println!("graph: {} nodes, {} edges after dedup", nodes, g.num_edges() + removed);
+    println!(
+        "graph: {} nodes, {} edges after dedup",
+        nodes,
+        g.num_edges() + removed
+    );
     println!("  add-edge          {:>10}/edge", fmt_ns(ins));
     println!("  remove-edge       {:>10}/edge", fmt_ns(del));
     println!(

@@ -68,7 +68,11 @@ impl CapacitySchedule {
     /// (which is what bounds the space wasted by locked copies).
     pub fn new_truncated(nf: usize, options: &DynOptions) -> Self {
         let base = nf.max(options.min_capacity);
-        Self::with_target(nf, options, (2 * base / options.tau.max(1)).max(options.min_capacity))
+        Self::with_target(
+            nf,
+            options,
+            (2 * base / options.tau.max(1)).max(options.min_capacity),
+        )
     }
 
     fn with_target(nf: usize, options: &DynOptions, target: usize) -> Self {
@@ -80,9 +84,7 @@ impl CapacitySchedule {
         let mut i = 1usize;
         loop {
             let cap = match options.growth {
-                Growth::PolyLog { eps } => {
-                    (c0 as f64 * lg.powf(eps * i as f64)).ceil() as usize
-                }
+                Growth::PolyLog { eps } => (c0 as f64 * lg.powf(eps * i as f64)).ceil() as usize,
                 Growth::Doubling => c0.saturating_mul(1usize << i.min(48)),
             };
             let cap = cap.max(options.min_capacity);

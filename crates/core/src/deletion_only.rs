@@ -206,7 +206,10 @@ mod tests {
             }
             for off in 0..=(d.len() - pattern.len()) {
                 if &d[off..off + pattern.len()] == pattern {
-                    out.push(Occurrence { doc: *id, offset: off });
+                    out.push(Occurrence {
+                        doc: *id,
+                        offset: off,
+                    });
                 }
             }
         }
@@ -220,7 +223,12 @@ mod tests {
             let mut got = del.find(p);
             got.sort();
             assert_eq!(got, want, "find {:?}", String::from_utf8_lossy(p));
-            assert_eq!(del.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+            assert_eq!(
+                del.count(p),
+                want.len(),
+                "count {:?}",
+                String::from_utf8_lossy(p)
+            );
         }
     }
 

@@ -58,7 +58,10 @@ impl NaiveIndex {
             }
             for off in 0..=(d.len() - pattern.len()) {
                 if &d[off..off + pattern.len()] == pattern {
-                    out.push(Occurrence { doc: id, offset: off });
+                    out.push(Occurrence {
+                        doc: id,
+                        offset: off,
+                    });
                 }
             }
         }

@@ -166,8 +166,7 @@ impl<I: StaticIndex> Transform1Index<I> {
         for (id, _) in &docs {
             self.locations.insert(*id, Location::Level(j));
         }
-        let doc_refs: Vec<(u64, &[u8])> =
-            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let doc_refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
         self.levels[j] = Some(DeletionOnlyIndex::build(
             &doc_refs,
             &self.config,
@@ -245,8 +244,7 @@ impl<I: StaticIndex> Transform1Index<I> {
             return;
         }
         let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
-        let doc_refs: Vec<(u64, &[u8])> =
-            docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+        let doc_refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
         self.levels[i] = Some(DeletionOnlyIndex::build(
             &doc_refs,
             &self.config,
@@ -300,9 +298,9 @@ impl<I: StaticIndex> Transform1Index<I> {
             docs: self.c0.num_docs(),
         }];
         for (i, level) in self.levels.iter().enumerate().skip(1) {
-            let (alive, dead, docs) = level
-                .as_ref()
-                .map_or((0, 0, 0), |l| (l.alive_symbols(), l.dead_symbols(), l.num_docs()));
+            let (alive, dead, docs) = level.as_ref().map_or((0, 0, 0), |l| {
+                (l.alive_symbols(), l.dead_symbols(), l.num_docs())
+            });
             out.push(LevelStats {
                 name: format!("C{i}"),
                 capacity: self.schedule.cap(i),
@@ -394,7 +392,12 @@ mod tests {
             got.sort();
             let want = naive.find(p);
             assert_eq!(got, want, "pattern {:?}", String::from_utf8_lossy(p));
-            assert_eq!(idx.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+            assert_eq!(
+                idx.count(p),
+                want.len(),
+                "count {:?}",
+                String::from_utf8_lossy(p)
+            );
         }
     }
 
@@ -402,7 +405,11 @@ mod tests {
     fn insert_query_small() {
         let mut idx = DynFm::new(FmConfig { sample_rate: 4 }, opts());
         let mut naive = NaiveIndex::new();
-        for (id, d) in [(1u64, b"hello world".as_slice()), (2, b"world wide web"), (3, b"w")] {
+        for (id, d) in [
+            (1u64, b"hello world".as_slice()),
+            (2, b"world wide web"),
+            (3, b"w"),
+        ] {
             idx.insert(id, d);
             naive.insert(id, d);
         }
@@ -422,7 +429,11 @@ mod tests {
             naive.insert(i, doc.as_bytes());
             idx.check_invariants();
         }
-        assert_matches(&idx, &naive, &[b"document", b"number 3", b"filler", b"text 59"]);
+        assert_matches(
+            &idx,
+            &naive,
+            &[b"document", b"number 3", b"filler", b"text 59"],
+        );
         assert!(idx.work().rebuilds > 0, "cascades must have happened");
     }
 
@@ -441,7 +452,11 @@ mod tests {
             assert_eq!(idx.delete(i), want, "delete {i}");
             idx.check_invariants();
         }
-        assert_matches(&idx, &naive, &[b"overlap", b"entry 1", b"entry 3", b"corpus"]);
+        assert_matches(
+            &idx,
+            &naive,
+            &[b"overlap", b"entry 1", b"entry 3", b"corpus"],
+        );
         assert_eq!(idx.delete(999), None);
     }
 
@@ -456,7 +471,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let r = state >> 33;
-            if r % 4 != 0 || live.is_empty() {
+            if !r.is_multiple_of(4) || live.is_empty() {
                 let id = 1000 + step;
                 let doc = format!("entry {step} {}", "abcab".repeat((r % 7) as usize));
                 idx.insert(id, doc.as_bytes());
@@ -500,7 +515,10 @@ mod tests {
         }
         // Doc 5 has moved to a static level by now.
         assert_eq!(idx.extract(5, 8, 2).as_deref(), Some(b"me".as_slice()));
-        assert_eq!(idx.extract(5, 11, 100).as_deref(), Some(b"please".as_slice()));
+        assert_eq!(
+            idx.extract(5, 11, 100).as_deref(),
+            Some(b"please".as_slice())
+        );
         assert_eq!(idx.extract(12345, 0, 1), None);
     }
 }

@@ -318,7 +318,18 @@ impl<I: StaticIndex> Transform2Index<I> {
     }
 
     fn alloc_top_slot(&mut self) -> usize {
-        if let Some(i) = self.tops.iter().position(|t| t.is_none()) {
+        // Slots referenced by the in-flight top job are reserved even when
+        // currently empty (a concurrent deletion may have discarded the
+        // structure): the job's install writes Replace/Merge targets and
+        // clears MergeTops sources, obliterating anything placed there.
+        let (res_a, res_b) = match self.top_job.as_ref().map(|(kind, _)| *kind) {
+            Some(TopJobKind::Replace(t)) | Some(TopJobKind::MergeLrPrime(t)) => (Some(t), None),
+            Some(TopJobKind::MergeTops(a, b)) => (Some(a), Some(b)),
+            Some(TopJobKind::FromLrPrime) | None => (None, None),
+        };
+        let free = (0..self.tops.len())
+            .find(|&i| self.tops[i].is_none() && Some(i) != res_a && Some(i) != res_b);
+        if let Some(i) = free {
             i
         } else {
             self.tops.push(None);
@@ -405,14 +416,13 @@ impl<I: StaticIndex> Transform2Index<I> {
         let r = self.r();
         let mut chosen: Option<usize> = None;
         for j in 0..r {
-            let fits = self.cur_size(j + 1) + self.cur_size(j) + bytes.len()
-                <= self.schedule.cap(j + 1);
+            let fits =
+                self.cur_size(j + 1) + self.cur_size(j) + bytes.len() <= self.schedule.cap(j + 1);
             if fits {
                 // Slot j is busy if a job already consumes C_j / will
                 // replace C_{j+1} (jobs[j]), or an in-flight job is about
                 // to overwrite C_j itself (jobs[j-1] installs into C_j).
-                let busy =
-                    self.jobs[j].is_some() || (j >= 1 && self.jobs[j - 1].is_some());
+                let busy = self.jobs[j].is_some() || (j >= 1 && self.jobs[j - 1].is_some());
                 if !busy {
                     chosen = Some(j);
                     break;
@@ -497,8 +507,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             for (did, _) in &docs {
                 self.locations.insert(*did, Loc::Cur(target));
             }
-            let refs: Vec<(u64, &[u8])> =
-                docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
             self.levels[target].cur = Some(DeletionOnlyIndex::build(
                 &refs,
                 &self.config,
@@ -637,16 +646,21 @@ impl<I: StaticIndex> Transform2Index<I> {
             Loc::Top(t) => {
                 let top = self.tops[t].as_mut().expect("location map out of sync");
                 let bytes = top.delete(doc_id).expect("location map out of sync");
-                if top.is_empty() {
-                    // A single-document (or fully-emptied) top is discarded.
-                    self.tops[t] = None;
-                } else if let Some((kind, job)) = self.top_job.as_mut() {
+                let emptied = top.is_empty();
+                // Forward to an in-flight job that snapshotted this top
+                // *before* discarding an emptied structure — skipping the
+                // forward would resurrect the document at install time.
+                if let Some((kind, job)) = self.top_job.as_mut() {
                     if matches!(kind,
                         TopJobKind::Replace(x) | TopJobKind::MergeLrPrime(x) if *x == t)
                         || matches!(kind, TopJobKind::MergeTops(a, b) if *a == t || *b == t)
                     {
                         job.pending_deletes.push(doc_id);
                     }
+                }
+                if emptied {
+                    // A single-document (or fully-emptied) top is discarded.
+                    self.tops[t] = None;
                 }
                 bytes
             }
@@ -770,14 +784,9 @@ impl<I: StaticIndex> Transform2Index<I> {
             .collect();
         if live_tops.len() > 2 * self.options.tau {
             let mut by_size: Vec<usize> = live_tops.clone();
-            by_size.sort_by_key(|&i| {
-                self.tops[i].as_ref().map_or(0, |t| t.alive_symbols())
-            });
+            by_size.sort_by_key(|&i| self.tops[i].as_ref().map_or(0, |t| t.alive_symbols()));
             let (a, b) = (by_size[0], by_size[1]);
-            let mut docs = self.tops[a]
-                .as_ref()
-                .expect("live top")
-                .export_alive_docs();
+            let mut docs = self.tops[a].as_ref().expect("live top").export_alive_docs();
             docs.extend(self.tops[b].as_ref().expect("live top").export_alive_docs());
             let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
             self.top_job = Some((TopJobKind::MergeTops(a.min(b), a.max(b)), job));
@@ -806,7 +815,9 @@ impl<I: StaticIndex> Transform2Index<I> {
     /// maintenance schedule rather than eagerly — see DESIGN.md.)
     fn maybe_refresh_schedule(&mut self) {
         let nf = self.schedule.nf.max(self.options.min_capacity);
-        if self.n > 2 * nf || (self.n * 2 < self.schedule.nf && self.schedule.nf > self.options.min_capacity) {
+        if self.n > 2 * nf
+            || (self.n * 2 < self.schedule.nf && self.schedule.nf > self.options.min_capacity)
+        {
             // A resize changes which (level, target) pairs exist; jobs
             // spawned under the old schedule would install into the wrong
             // place. Refreshes are O(log n)-rare, so synchronously finish
@@ -847,7 +858,10 @@ impl<I: StaticIndex> Transform2Index<I> {
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
         let mut out = self.c0.find(pattern);
         for level in &self.levels {
-            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+            for del in [&level.cur, &level.locked, &level.temp]
+                .into_iter()
+                .flatten()
+            {
                 out.extend(del.find(pattern));
             }
         }
@@ -864,7 +878,10 @@ impl<I: StaticIndex> Transform2Index<I> {
     pub fn count(&self, pattern: &[u8]) -> usize {
         let mut total = self.c0.count(pattern);
         for level in &self.levels {
-            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+            for del in [&level.cur, &level.locked, &level.temp]
+                .into_iter()
+                .flatten()
+            {
                 total += del.count(pattern);
             }
         }
@@ -915,18 +932,16 @@ impl<I: StaticIndex> Transform2Index<I> {
             dead_symbols: self.c0.retained_dead_symbols(),
             docs: self.c0.num_docs(),
         }];
-        let push = |out: &mut Vec<LevelStats>,
-                    name: String,
-                    cap: usize,
-                    del: &DeletionOnlyIndex<I>| {
-            out.push(LevelStats {
-                name,
-                capacity: cap,
-                alive_symbols: del.alive_symbols(),
-                dead_symbols: del.dead_symbols(),
-                docs: del.num_docs(),
-            });
-        };
+        let push =
+            |out: &mut Vec<LevelStats>, name: String, cap: usize, del: &DeletionOnlyIndex<I>| {
+                out.push(LevelStats {
+                    name,
+                    capacity: cap,
+                    alive_symbols: del.alive_symbols(),
+                    dead_symbols: del.dead_symbols(),
+                    docs: del.num_docs(),
+                });
+            };
         for (i, level) in self.levels.iter().enumerate().skip(1) {
             if let Some(c) = &level.cur {
                 push(&mut out, format!("C{i}"), self.schedule.cap(i), c);
@@ -961,7 +976,10 @@ impl<I: StaticIndex> Transform2Index<I> {
         );
         let mut total = self.c0.symbol_count();
         for level in &self.levels {
-            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+            for del in [&level.cur, &level.locked, &level.temp]
+                .into_iter()
+                .flatten()
+            {
                 total += del.alive_symbols();
             }
         }
@@ -994,7 +1012,10 @@ impl<I: StaticIndex> SpaceUsage for Transform2Index<I> {
     fn heap_bytes(&self) -> usize {
         let mut sum = self.c0.heap_bytes();
         for level in &self.levels {
-            for del in [&level.cur, &level.locked, &level.temp].into_iter().flatten() {
+            for del in [&level.cur, &level.locked, &level.temp]
+                .into_iter()
+                .flatten()
+            {
                 sum += del.heap_bytes();
             }
         }
@@ -1032,7 +1053,12 @@ mod tests {
             got.sort();
             let want = naive.find(p);
             assert_eq!(got, want, "pattern {:?}", String::from_utf8_lossy(p));
-            assert_eq!(idx.count(p), want.len(), "count {:?}", String::from_utf8_lossy(p));
+            assert_eq!(
+                idx.count(p),
+                want.len(),
+                "count {:?}",
+                String::from_utf8_lossy(p)
+            );
         }
     }
 
@@ -1046,7 +1072,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let r = state >> 33;
-            if r % 3 != 0 || live.is_empty() {
+            if !r.is_multiple_of(3) || live.is_empty() {
                 let id = 10_000 + step;
                 let doc = format!(
                     "record {step} payload {} tail",
@@ -1093,7 +1119,9 @@ mod tests {
         assert_eq!(idx.count(b"mammoth"), 100);
         let stats = idx.structure_stats();
         assert!(
-            stats.iter().any(|s| s.name.starts_with('T') && s.alive_symbols > 0),
+            stats
+                .iter()
+                .any(|s| s.name.starts_with('T') && s.alive_symbols > 0),
             "huge doc must land in a top collection: {stats:?}"
         );
         assert_eq!(idx.delete(1).map(|b| b.len()), Some(big.len()));
@@ -1134,6 +1162,121 @@ mod tests {
         assert_matches(&idx, &naive, &[b"bulk", b"item 10", b"fill"]);
         // Deletion-heavy workloads must trigger background maintenance.
         assert!(idx.work().jobs_started > 0 || idx.work().purges > 0);
+    }
+
+    /// Options for the in-flight-job regression tests: `min_capacity`
+    /// large enough that deleting everything never triggers a schedule
+    /// refresh (whose `finish_background_work` would join — and deadlock
+    /// on — the deliberately-blocked job).
+    fn inflight_opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 4096,
+            tau: 4,
+            ..DynOptions::default()
+        }
+    }
+
+    /// Builds a genuinely in-flight purge job for top `t`: the build
+    /// thread blocks until the returned sender fires, so the job stays
+    /// unfinished (and uninstallable by `poll_jobs`) for as long as the
+    /// test needs — deterministic, no timing dependence.
+    fn blocked_inflight_replace(
+        idx: &Dyn2,
+        t: usize,
+    ) -> (
+        (TopJobKind, Job<FmIndex<HuffmanWavelet>>),
+        std::sync::mpsc::Sender<()>,
+    ) {
+        let docs = idx.tops[t].as_ref().expect("live top").export_alive_docs();
+        let symbols = docs.iter().map(|(_, d)| d.len()).sum();
+        let config = idx.config;
+        let counting = idx.options.counting;
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            rx.recv().expect("test unblocks the job");
+            let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            DeletionOnlyIndex::build(&refs, &config, counting)
+        });
+        (
+            (
+                TopJobKind::Replace(t),
+                Job {
+                    handle: Some(handle),
+                    ready: None,
+                    pending_deletes: Vec::new(),
+                    symbols,
+                },
+            ),
+            tx,
+        )
+    }
+
+    /// Regression: deleting the last document of a top while a purge job
+    /// for that top is in flight must forward the deletion to the job —
+    /// the empty-top discard path used to skip it, so the install
+    /// resurrected the document (seen as phantom `find` hits in the
+    /// Background soak test).
+    #[test]
+    fn delete_emptying_top_mid_job_does_not_resurrect() {
+        let mut idx = Dyn2::new(
+            FmConfig { sample_rate: 4 },
+            inflight_opts(),
+            RebuildMode::Background,
+        );
+        let big = "solo mammoth document ".repeat(200);
+        idx.insert(1, big.as_bytes());
+        let t = idx
+            .tops
+            .iter()
+            .position(|t| t.is_some())
+            .expect("huge doc lands in a top");
+        let (job, unblock) = blocked_inflight_replace(&idx, t);
+        idx.top_job = Some(job);
+        assert_eq!(idx.delete(1).map(|b| b.len()), Some(big.len()));
+        unblock.send(()).expect("job thread alive");
+        idx.finish_background_work();
+        assert_eq!(idx.count(b"mammoth"), 0, "install must not resurrect doc 1");
+        assert!(idx.find(b"mammoth").is_empty());
+        assert!(!idx.contains(1));
+        idx.check_invariants();
+    }
+
+    /// Regression: a top slot emptied mid-job stays reserved until the
+    /// job installs — handing it to a new top would let the install
+    /// overwrite (Replace/Merge target) or clear (MergeTops source) the
+    /// newcomer, silently dropping its documents.
+    #[test]
+    fn top_slot_reserved_while_job_in_flight() {
+        let mut idx = Dyn2::new(
+            FmConfig { sample_rate: 4 },
+            inflight_opts(),
+            RebuildMode::Background,
+        );
+        let big = "solo mammoth document ".repeat(200);
+        idx.insert(1, big.as_bytes());
+        let t = idx
+            .tops
+            .iter()
+            .position(|t| t.is_some())
+            .expect("huge doc lands in a top");
+        let (job, unblock) = blocked_inflight_replace(&idx, t);
+        idx.top_job = Some(job);
+        // Empties (and discards) top `t` while the job is in flight.
+        idx.delete(1);
+        assert!(idx.tops[t].is_none(), "emptied top must be discarded");
+        // A new huge document must not be placed in the reserved slot.
+        let other = "fresh walrus corpus ".repeat(250);
+        idx.insert(2, other.as_bytes());
+        assert_eq!(idx.count(b"walrus"), 250);
+        unblock.send(()).expect("job thread alive");
+        idx.finish_background_work();
+        assert_eq!(
+            idx.count(b"walrus"),
+            250,
+            "install must not clobber the new top"
+        );
+        assert_eq!(idx.count(b"mammoth"), 0);
+        idx.check_invariants();
     }
 
     #[test]

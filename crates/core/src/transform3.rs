@@ -55,7 +55,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let r = state >> 33;
-            if r % 3 != 0 || live.is_empty() {
+            if !r.is_multiple_of(3) || live.is_empty() {
                 let id = step;
                 let doc = format!("triad {step} {}", "lmnop".repeat((r % 6) as usize));
                 idx.insert(id, doc.as_bytes());

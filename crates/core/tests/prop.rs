@@ -144,4 +144,3 @@ proptest! {
         prop_assert_eq!(del.count(&pattern), naive.count(&pattern));
     }
 }
-

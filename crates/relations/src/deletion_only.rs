@@ -27,7 +27,9 @@ pub struct DeletionOnlyRelation {
 /// only heavy labels pay for full reporter/rank structures.
 #[derive(Clone, Debug)]
 enum LabelBits {
-    Small { mask: u64, len: u8 },
+    Small {
+        mask: u64,
+    },
     /// Boxed so the enum stays 16 bytes: `d_a` has one entry per label in
     /// the universe, and almost all of them are `Small`.
     Big(Box<BigLabelBits>),
@@ -44,7 +46,6 @@ impl LabelBits {
         if k <= 64 {
             LabelBits::Small {
                 mask: dyndex_succinct::bits::low_mask(k),
-                len: k as u8,
             }
         } else {
             LabelBits::Big(Box::new(BigLabelBits {
@@ -83,7 +84,7 @@ impl LabelBits {
                 out
             }
             LabelBits::Big(b) => {
-                if b.alive.len() == 0 {
+                if b.alive.is_empty() {
                     Vec::new()
                 } else {
                     b.alive.report_vec(0, b.alive.len() - 1)

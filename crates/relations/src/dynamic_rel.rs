@@ -161,10 +161,7 @@ impl DynamicRelation {
         if self.c0_by_obj.get(&o).is_some_and(|s| s.contains(&l)) {
             return true;
         }
-        self.subs
-            .iter()
-            .flatten()
-            .any(|sub| sub.related(o, l))
+        self.subs.iter().flatten().any(|sub| sub.related(o, l))
     }
 
     /// Inserts `(object, label)`. Returns false if already related.
@@ -443,7 +440,11 @@ mod tests {
         for &x in probe {
             assert_eq!(dynr.labels_of(x), naive.labels_of(x), "labels_of({x})");
             assert_eq!(dynr.objects_of(x), naive.objects_of(x), "objects_of({x})");
-            assert_eq!(dynr.count_labels(x), naive.count_labels(x), "count_labels({x})");
+            assert_eq!(
+                dynr.count_labels(x),
+                naive.count_labels(x),
+                "count_labels({x})"
+            );
             assert_eq!(
                 dynr.count_objects(x),
                 naive.count_objects(x),
@@ -485,7 +486,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let x = state >> 33;
-            if x % 3 != 0 || live.is_empty() {
+            if !x.is_multiple_of(3) || live.is_empty() {
                 let o = 1 + x % 40;
                 let l = 1000 + (x / 64) % 30;
                 if r.insert(o, l) {
@@ -503,7 +504,10 @@ mod tests {
             }
         }
         r.check_invariants();
-        assert!(r.rebuilds() + r.global_rebuilds() > 0, "cascades must happen");
+        assert!(
+            r.rebuilds() + r.global_rebuilds() > 0,
+            "cascades must happen"
+        );
         assert_matches(&r, &naive, &[1, 5, 20, 1001, 1010]);
     }
 

@@ -165,7 +165,7 @@ mod tests {
             let x = state >> 33;
             let u = x % 25;
             let v = (x / 32) % 25;
-            if x % 3 != 0 {
+            if !x.is_multiple_of(3) {
                 assert_eq!(g.add_edge(u, v), model.insert((u, v)), "step {step}");
             } else {
                 assert_eq!(g.remove_edge(u, v), model.remove(&(u, v)), "step {step}");

@@ -58,9 +58,7 @@ impl NaiveRelation {
 
     /// Whether the pair exists.
     pub fn related(&self, object: u64, label: u64) -> bool {
-        self.by_obj
-            .get(&object)
-            .is_some_and(|s| s.contains(&label))
+        self.by_obj.get(&object).is_some_and(|s| s.contains(&label))
     }
 
     /// Labels of an object (ascending).

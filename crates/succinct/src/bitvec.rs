@@ -32,7 +32,7 @@ impl BitVec {
         let nwords = div_ceil(len, WORD_BITS);
         let fill = if bit { u64::MAX } else { 0 };
         let mut words = vec![fill; nwords];
-        if bit && len % WORD_BITS != 0 {
+        if bit && !len.is_multiple_of(WORD_BITS) {
             // Keep unused tail bits zero so `count_ones` stays correct.
             *words.last_mut().expect("len > 0 implies nwords > 0") = low_mask(len % WORD_BITS);
         }

@@ -77,7 +77,7 @@ impl Block {
         debug_assert!(i <= self.len);
         let w = i / WORD_BITS;
         let off = i % WORD_BITS;
-        if self.len % WORD_BITS == 0 {
+        if self.len.is_multiple_of(WORD_BITS) {
             self.words.push(0);
         }
         // Shift whole words after w right by 1 bit, propagating carries.
@@ -150,7 +150,7 @@ impl Block {
         self.len = half;
         self.ones -= right.ones;
         self.words.truncate(half.div_ceil(WORD_BITS).max(1));
-        if half % WORD_BITS != 0 {
+        if !half.is_multiple_of(WORD_BITS) {
             let lw = half / WORD_BITS;
             self.words[lw] &= low_mask(half % WORD_BITS);
         } else {
@@ -163,7 +163,7 @@ impl Block {
     fn append(&mut self, other: &Block) {
         for i in 0..other.len {
             let b = other.get(i);
-            if self.len % WORD_BITS == 0 {
+            if self.len.is_multiple_of(WORD_BITS) {
                 self.words.push(0);
             }
             if b {

@@ -33,7 +33,11 @@ impl DynWavelet {
     /// Creates an empty sequence over alphabet `[0, sigma)`.
     pub fn new(sigma: u32) -> Self {
         assert!(sigma >= 1);
-        let width = if sigma <= 1 { 1 } else { bits_for(sigma as u64 - 1) };
+        let width = if sigma <= 1 {
+            1
+        } else {
+            bits_for(sigma as u64 - 1)
+        };
         DynWavelet {
             nodes: vec![Node {
                 bits: DynBitVec::new(),
@@ -99,7 +103,11 @@ impl DynWavelet {
     /// Inserts `sym` at position `i <= len`.
     pub fn insert(&mut self, i: usize, sym: u32) {
         assert!(i <= self.len, "insert index {i} out of range {}", self.len);
-        assert!(sym < self.sigma, "symbol {sym} out of alphabet {}", self.sigma);
+        assert!(
+            sym < self.sigma,
+            "symbol {sym} out of alphabet {}",
+            self.sigma
+        );
         let mut node = 0u32;
         let mut pos = i;
         for level in (0..self.width).rev() {
@@ -322,8 +330,7 @@ mod tests {
             assert_eq!(w.access(i), s, "access({i})");
         }
         for sym in 0..sigma {
-            let positions: Vec<usize> =
-                (0..model.len()).filter(|&i| model[i] == sym).collect();
+            let positions: Vec<usize> = (0..model.len()).filter(|&i| model[i] == sym).collect();
             for (k, &p) in positions.iter().enumerate().step_by(3) {
                 assert_eq!(w.select(sym, k), Some(p), "select({sym},{k})");
             }

@@ -38,7 +38,11 @@ impl EliasFano {
             bits_for(per.saturating_sub(1)).max(1) as usize
         };
         let mut low = IntVec::with_capacity(low_width, n);
-        let n_high_buckets = if n == 0 { 1 } else { (universe >> low_width) as usize + 1 };
+        let n_high_buckets = if n == 0 {
+            1
+        } else {
+            (universe >> low_width) as usize + 1
+        };
         let mut high = BitVec::from_elem(n + n_high_buckets, false);
         let mut prev = 0u64;
         for (i, &v) in values.iter().enumerate() {

@@ -41,7 +41,10 @@ fn build_tree(freqs: &[u64]) -> (Vec<Code>, Vec<ShapeNode>, usize) {
             heap.push(Reverse((f, arena.len() - 1)));
         }
     }
-    assert!(!heap.is_empty(), "cannot build a Huffman tree with no symbols");
+    assert!(
+        !heap.is_empty(),
+        "cannot build a Huffman tree with no symbols"
+    );
     if heap.len() == 1 {
         // Single-symbol alphabet: degenerate one-leaf tree, code length 0.
         let Reverse((_, root)) = heap.pop().expect("nonempty");
@@ -298,7 +301,11 @@ impl HuffmanWavelet {
             return None;
         }
         if let Some(s) = self.single {
-            return if s == sym && k < self.len { Some(k) } else { None };
+            return if s == sym && k < self.len {
+                Some(k)
+            } else {
+                None
+            };
         }
         let code = self.codes[sym as usize];
         if code.len == 0 || self.rank(sym, self.len) <= k {

@@ -111,7 +111,11 @@ impl IntVec {
         let bit = i * self.width;
         let word = bit / WORD_BITS;
         let off = bit % WORD_BITS;
-        let mask = if self.width == 64 { u64::MAX } else { low_mask(self.width) };
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            low_mask(self.width)
+        };
         self.data[word] &= !(mask << off);
         self.data[word] |= value << off;
         if off + self.width > WORD_BITS {
@@ -142,7 +146,9 @@ mod tests {
         for width in [1, 3, 7, 8, 13, 31, 32, 33, 63, 64] {
             let mask = low_mask(width);
             let mut v = IntVec::new(width);
-            let values: Vec<u64> = (0..500u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask).collect();
+            let values: Vec<u64> = (0..500u64)
+                .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) & mask)
+                .collect();
             for &x in &values {
                 v.push(x);
             }

@@ -104,7 +104,11 @@ impl RankSelect {
     /// Number of ones strictly before position `i` (`i <= len`).
     #[inline]
     pub fn rank1(&self, i: usize) -> usize {
-        assert!(i <= self.len(), "rank1 index {i} out of range {}", self.len());
+        assert!(
+            i <= self.len(),
+            "rank1 index {i} out of range {}",
+            self.len()
+        );
         let sb = i / SB_BITS;
         let mut r = self.sb_rank[sb] as usize;
         let words = self.bits.words();
@@ -166,10 +170,9 @@ impl RankSelect {
         let words = self.bits.words();
         let start = sb * SB_WORDS;
         let end = (start + SB_WORDS).min(words.len());
-        for wi in start..end {
-            let word_start = wi * WORD_BITS;
+        for (off, &w) in words[start..end].iter().enumerate() {
+            let word_start = (start + off) * WORD_BITS;
             let valid = (self.len() - word_start).min(WORD_BITS);
-            let w = words[wi];
             let zeros = valid - rank_in_word(w, valid) as usize;
             if remaining < zeros {
                 return Some(word_start + select0_in_word(w, remaining as u32) as usize);

@@ -29,7 +29,11 @@ impl WaveletMatrix {
     pub fn new(seq: &[u32], sigma: u32) -> Self {
         assert!(sigma >= 1, "alphabet must be non-empty");
         debug_assert!(seq.iter().all(|&s| s < sigma));
-        let width = if sigma <= 1 { 1 } else { bits_for(sigma as u64 - 1) };
+        let width = if sigma <= 1 {
+            1
+        } else {
+            bits_for(sigma as u64 - 1)
+        };
         let mut levels = Vec::with_capacity(width as usize);
         let mut zeros = Vec::with_capacity(width as usize);
         let mut cur: Vec<u32> = seq.to_vec();
@@ -204,8 +208,7 @@ mod tests {
                     cnt += 1;
                 }
             }
-            let positions: Vec<usize> =
-                (0..seq.len()).filter(|&i| seq[i] == sym).collect();
+            let positions: Vec<usize> = (0..seq.len()).filter(|&i| seq[i] == sym).collect();
             for (k, &p) in positions.iter().enumerate() {
                 assert_eq!(wm.select(sym, k), Some(p), "select({sym},{k})");
             }

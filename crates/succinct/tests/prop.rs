@@ -177,8 +177,8 @@ proptest! {
             }
         }
         prop_assert_eq!(dw.len(), model.len());
-        for i in 0..model.len() {
-            prop_assert_eq!(dw.access(i), model[i]);
+        for (i, &want) in model.iter().enumerate() {
+            prop_assert_eq!(dw.access(i), want);
         }
         for sym in 0..SIGMA {
             prop_assert_eq!(dw.rank(sym, model.len()),

@@ -169,7 +169,7 @@ mod tests {
     fn encoding_layout() {
         let ct = ConcatText::new(&[(7, b"ab"), (9, b""), (11, b"xyz")]);
         // "ab" + sep + "" + sep + "xyz" + sep + term
-        assert_eq!(ct.len(), 2 + 1 + 0 + 1 + 3 + 1 + 1);
+        assert_eq!(ct.len(), (2 + 1) + 1 + 3 + 1 + 1);
         assert_eq!(ct.num_docs(), 3);
         assert_eq!(ct.text()[2], SEPARATOR);
         assert_eq!(*ct.text().last().expect("non-empty"), TERMINATOR);
@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn pattern_encoding() {
-        assert_eq!(encode_pattern(b"ab"), vec![b'a' as u32 + 2, b'b' as u32 + 2]);
+        assert_eq!(
+            encode_pattern(b"ab"),
+            vec![b'a' as u32 + 2, b'b' as u32 + 2]
+        );
         assert!(encode_pattern(&[0u8, 255]).iter().all(|&s| s >= 2));
     }
 }

@@ -73,7 +73,7 @@ impl<S: Sequence> FmIndex<S> {
         // First pass: collect which rows are marked and fill ISA samples.
         let mut inv_tmp = vec![0u64; n_inv];
         for (row, &p) in sa.iter().enumerate() {
-            if p as usize % sample_rate == 0 {
+            if (p as usize).is_multiple_of(sample_rate) {
                 marked_bits.set(row, true);
                 inv_tmp[p as usize / sample_rate] = row as u64;
             }
@@ -83,7 +83,7 @@ impl<S: Sequence> FmIndex<S> {
         }
         let mut sa_samples = IntVec::with_capacity(width, n / sample_rate + 1);
         for (row, &p) in sa.iter().enumerate() {
-            if p as usize % sample_rate == 0 {
+            if (p as usize).is_multiple_of(sample_rate) {
                 debug_assert!(marked_bits.get(row));
                 sa_samples.push(p as u64);
             }
@@ -396,7 +396,12 @@ mod tests {
         let fm = FmIndex::<S>::build(docs, s);
         for &p in patterns {
             let want = naive_occurrences(docs, p);
-            assert_eq!(fm.count(p), want.len(), "count({:?})", String::from_utf8_lossy(p));
+            assert_eq!(
+                fm.count(p),
+                want.len(),
+                "count({:?})",
+                String::from_utf8_lossy(p)
+            );
             let mut got = fm.locate(p);
             got.sort();
             assert_eq!(got, want, "locate({:?})", String::from_utf8_lossy(p));
@@ -477,10 +482,7 @@ mod tests {
         let fm = FmIndexCompressed::build(docs, 2);
         assert_eq!(fm.count(b"x"), 1);
         assert_eq!(fm.count(b"y"), 0);
-        assert_eq!(
-            fm.locate(b"x"),
-            vec![Occurrence { doc: 42, offset: 0 }]
-        );
+        assert_eq!(fm.locate(b"x"), vec![Occurrence { doc: 42, offset: 0 }]);
     }
 
     #[test]

@@ -196,7 +196,10 @@ impl SuffixTree {
     #[inline]
     fn edge_first_sym(&self, u: u32, v: u32) -> u32 {
         let vn = &self.nodes[v as usize];
-        self.text_sym(vn.witness_doc, vn.witness_off + self.nodes[u as usize].depth)
+        self.text_sym(
+            vn.witness_doc,
+            vn.witness_off + self.nodes[u as usize].depth,
+        )
     }
 
     fn child(&self, u: u32, sym: u32) -> Option<u32> {
@@ -596,7 +599,10 @@ impl SpaceUsage for SuffixTree {
             .map(|d| d.text.heap_bytes() + d.leaves.heap_bytes())
             .sum::<usize>()
             + self.docs.capacity() * std::mem::size_of::<DocSlot>();
-        nodes + docs + self.free_nodes.heap_bytes() + self.free_docs.heap_bytes()
+        nodes
+            + docs
+            + self.free_nodes.heap_bytes()
+            + self.free_docs.heap_bytes()
             + self.by_id.len() * 16
     }
 }
@@ -613,7 +619,10 @@ mod tests {
             }
             for off in 0..=(d.len() - pattern.len()) {
                 if &d[off..off + pattern.len()] == pattern {
-                    out.push(Occurrence { doc: *id, offset: off });
+                    out.push(Occurrence {
+                        doc: *id,
+                        offset: off,
+                    });
                 }
             }
         }
@@ -637,7 +646,11 @@ mod tests {
         st.insert(1, b"mississippi");
         st.check_invariants();
         let docs: &[(u64, &[u8])] = &[(1, b"mississippi")];
-        assert_matches(&st, docs, &[b"ssi", b"i", b"mississippi", b"ppi", b"x", b"issi"]);
+        assert_matches(
+            &st,
+            docs,
+            &[b"ssi", b"i", b"mississippi", b"ppi", b"x", b"issi"],
+        );
     }
 
     #[test]
@@ -712,10 +725,18 @@ mod tests {
         st.delete(1);
         st.check_invariants();
         // Internal nodes may still witness doc 1's text.
-        assert_matches(&st, &[(2, b"shared prefix two")], &[b"shared", b"prefix", b"two"]);
+        assert_matches(
+            &st,
+            &[(2, b"shared prefix two")],
+            &[b"shared", b"prefix", b"two"],
+        );
         st.delete(2);
         st.check_invariants();
-        assert_eq!(st.retained_dead_symbols(), 0, "all text freed when tree empties");
+        assert_eq!(
+            st.retained_dead_symbols(),
+            0,
+            "all text freed when tree empties"
+        );
     }
 
     #[test]
@@ -730,12 +751,10 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let r = state >> 33;
-            if r % 3 != 0 || model.is_empty() {
+            if !r.is_multiple_of(3) || model.is_empty() {
                 let len = (r % 24) as usize;
                 let doc: Vec<u8> = (0..len)
-                    .map(|k| {
-                        alphabet[((state.rotate_left(k as u32 * 7 + 1)) % 3) as usize]
-                    })
+                    .map(|k| alphabet[((state.rotate_left(k as u32 * 7 + 1)) % 3) as usize])
                     .collect();
                 next_id += 1;
                 st.insert(next_id, &doc);

@@ -135,8 +135,7 @@ impl SaIndex {
         let mut hi = self.n;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if self.cmp_suffix(&encoded, self.sa.get(mid) as usize) == std::cmp::Ordering::Greater
-            {
+            if self.cmp_suffix(&encoded, self.sa.get(mid) as usize) == std::cmp::Ordering::Greater {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -268,7 +267,10 @@ mod tests {
             }
             for off in 0..=(d.len() - pattern.len()) {
                 if &d[off..off + pattern.len()] == pattern {
-                    out.push(Occurrence { doc: *id, offset: off });
+                    out.push(Occurrence {
+                        doc: *id,
+                        offset: off,
+                    });
                 }
             }
         }

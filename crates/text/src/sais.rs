@@ -15,7 +15,11 @@
 /// Panics if the sentinel requirement is violated.
 pub fn suffix_array(text: &[u32], sigma: u32) -> Vec<u32> {
     assert!(!text.is_empty(), "SA-IS input must be non-empty");
-    assert_eq!(*text.last().expect("non-empty"), 0, "input must end with sentinel 0");
+    assert_eq!(
+        *text.last().expect("non-empty"),
+        0,
+        "input must end with sentinel 0"
+    );
     assert_eq!(
         text.iter().filter(|&&c| c == 0).count(),
         1,
@@ -125,7 +129,10 @@ fn sais_impl(text: &[u32], sigma: usize, sa: &mut [u32]) {
         return;
     }
     let t = classify(text);
-    let lms_positions: Vec<u32> = (1..n).filter(|&i| is_lms(&t, i)).map(|i| i as u32).collect();
+    let lms_positions: Vec<u32> = (1..n)
+        .filter(|&i| is_lms(&t, i))
+        .map(|i| i as u32)
+        .collect();
 
     // First induction: approximate order (LMS in text order).
     induce(text, sigma, &t, sa, &lms_positions);
@@ -154,10 +161,7 @@ fn sais_impl(text: &[u32], sigma: usize, sa: &mut [u32]) {
     let num_names = name + 1;
 
     // Build the reduced problem: names of LMS substrings in text order.
-    let reduced: Vec<u32> = lms_positions
-        .iter()
-        .map(|&p| names[p as usize])
-        .collect();
+    let reduced: Vec<u32> = lms_positions.iter().map(|&p| names[p as usize]).collect();
 
     let lms_order: Vec<u32> = if num_names as usize == reduced.len() {
         // All names unique: the induced order is already correct.
@@ -167,10 +171,7 @@ fn sais_impl(text: &[u32], sigma: usize, sa: &mut [u32]) {
         // which is 0 and unique because the sentinel is the unique minimum).
         let mut sub_sa = vec![0u32; reduced.len()];
         sais_impl(&reduced, num_names as usize, &mut sub_sa);
-        sub_sa
-            .iter()
-            .map(|&r| lms_positions[r as usize])
-            .collect()
+        sub_sa.iter().map(|&r| lms_positions[r as usize]).collect()
     };
 
     // Final induction with correctly ordered LMS suffixes.

@@ -22,7 +22,10 @@ fn naive_find(docs: &[(u64, Vec<u8>)], pattern: &[u8]) -> Vec<Occurrence> {
         }
         for off in 0..=(d.len() - pattern.len()) {
             if &d[off..off + pattern.len()] == pattern {
-                out.push(Occurrence { doc: *id, offset: off });
+                out.push(Occurrence {
+                    doc: *id,
+                    offset: off,
+                });
             }
         }
     }

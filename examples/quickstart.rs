@@ -15,7 +15,11 @@ fn main() {
     index.insert(1, b"the quick brown fox jumps over the lazy dog");
     index.insert(2, b"a quick brown dog outpaces a lazy fox");
     index.insert(3, b"pack my box with five dozen liquor jugs");
-    println!("docs: {}, symbols: {}", index.num_docs(), index.symbol_count());
+    println!(
+        "docs: {}, symbols: {}",
+        index.num_docs(),
+        index.symbol_count()
+    );
 
     println!("\n== search ==");
     for pattern in [b"quick".as_slice(), b"lazy", b"fox", b"zebra"] {
@@ -32,7 +36,10 @@ fn main() {
 
     println!("\n== extract (documents live only inside the index) ==");
     let snippet = index.extract(1, 4, 11).expect("doc 1 exists");
-    println!("doc 1, bytes 4..15: {:?}", String::from_utf8_lossy(&snippet));
+    println!(
+        "doc 1, bytes 4..15: {:?}",
+        String::from_utf8_lossy(&snippet)
+    );
 
     println!("\n== delete ==");
     index.delete(2);

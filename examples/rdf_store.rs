@@ -23,7 +23,10 @@ struct Dict {
 
 impl Dict {
     fn new() -> Self {
-        Dict { ids: HashMap::new(), names: Vec::new() }
+        Dict {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        }
     }
     fn id(&mut self, name: &'static str) -> u64 {
         if let Some(&i) = self.ids.get(name) {
@@ -99,7 +102,10 @@ fn main() {
     );
 
     println!("\n== updates: retract and assert ==");
-    by_predicate.get_mut("affiliated").expect("exists").delete(dict.id("vitter"), dict.id("kansas"));
+    by_predicate
+        .get_mut("affiliated")
+        .expect("exists")
+        .delete(dict.id("vitter"), dict.id("kansas"));
     let by_aff = &by_predicate["affiliated"];
     println!(
         "  after retraction, affiliations of vitter: {:?}",

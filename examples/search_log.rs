@@ -14,8 +14,19 @@ use dyndex::prelude::*;
 
 /// Deterministic synthetic log batch: one URL access per line.
 fn make_batch(day: u64) -> Vec<u8> {
-    let hosts = ["example.org", "shop.example.com", "api.example.io", "blog.example.org"];
-    let paths = ["/index", "/cart/checkout", "/v2/search", "/articles/dyndex", "/login"];
+    let hosts = [
+        "example.org",
+        "shop.example.com",
+        "api.example.io",
+        "blog.example.org",
+    ];
+    let paths = [
+        "/index",
+        "/cart/checkout",
+        "/v2/search",
+        "/articles/dyndex",
+        "/login",
+    ];
     let mut out = Vec::new();
     let mut state = day.wrapping_mul(0x9E3779B97F4A7C15) | 1;
     for _ in 0..40 {
@@ -44,7 +55,11 @@ fn main() {
             index.delete(day - WINDOW); // expire the oldest batch
         }
         if day % 15 == 14 {
-            println!("day {day}: window holds {} batches, {} bytes", index.num_docs(), index.symbol_count());
+            println!(
+                "day {day}: window holds {} batches, {} bytes",
+                index.num_docs(),
+                index.symbol_count()
+            );
             for needle in ["checkout", "example.org", "/v2/", "dyndex"] {
                 println!(
                     "  accesses matching {needle:<14} {:>6}",

@@ -76,8 +76,14 @@ fn main() {
 
     println!("== initial checkins ==");
     store.save("readme.md", b"dyndex: dynamic compressed document indexes");
-    store.save("design.md", b"transformations convert static indexes into dynamic ones");
-    store.save("todo.txt", b"write more tests; benchmark the transformations");
+    store.save(
+        "design.md",
+        b"transformations convert static indexes into dynamic ones",
+    );
+    store.save(
+        "todo.txt",
+        b"write more tests; benchmark the transformations",
+    );
     for (name, offset) in store.grep("dynamic") {
         println!("  dynamic @ {name}:{offset}");
     }
@@ -88,7 +94,10 @@ fn main() {
     for (name, offset) in store.grep("dynamic") {
         println!("  dynamic @ {name}:{offset}");
     }
-    assert!(store.grep("more tests").is_empty(), "old version must be gone");
+    assert!(
+        store.grep("more tests").is_empty(),
+        "old version must be gone"
+    );
 
     println!("\n== heavy churn: hundreds of edits ==");
     for round in 0..200u32 {

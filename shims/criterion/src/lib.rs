@@ -1,0 +1,120 @@
+//! Offline shim for `criterion`: the benchmark-definition API subset the
+//! workspace uses, backed by a simple median-of-samples wall-clock runner.
+//! `cargo bench` works end-to-end; statistical analysis, plots, and CLI
+//! filtering are out of scope (see shims/README.md).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over `samples` batches and records the median ns/iter.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up, then calibrate a batch size targeting ~2ms per sample.
+        black_box(f());
+        let probe = Instant::now();
+        black_box(f());
+        let one = probe.elapsed().as_nanos().max(1) as u64;
+        let batch = (2_000_000 / one).clamp(1, 1_000_000);
+        let samples = 12usize;
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher { ns_per_iter: 0.0 };
+    f(&mut b);
+    println!("{id:<50} {:>12}/iter", fmt_ns(b.ns_per_iter));
+}
+
+/// A named group of benchmarks (printed as a `group/name` prefix).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver, one per `criterion_group!` function list.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f);
+        self
+    }
+
+    /// CLI flags are ignored by the shim; present for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes --bench; `cargo test` passes harness
+            // flags. Only run benchmarks under `cargo bench`.
+            let as_test = std::env::args().any(|a| a == "--test");
+            if !as_test {
+                $( $group(); )+
+            }
+        }
+    };
+}

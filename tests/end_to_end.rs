@@ -36,7 +36,11 @@ struct Stream {
 
 impl Stream {
     fn new(seed: u64) -> Self {
-        Stream { state: seed, live: Vec::new(), next_id: 0 }
+        Stream {
+            state: seed,
+            live: Vec::new(),
+            next_id: 0,
+        }
     }
     fn next(&mut self) -> u64 {
         self.state ^= self.state << 13;
@@ -47,7 +51,7 @@ impl Stream {
     /// Returns the next operation: Some((id, doc)) = insert, None+id = delete.
     fn op(&mut self) -> Result<(u64, Vec<u8>), u64> {
         let r = self.next();
-        if r % 3 != 0 || self.live.is_empty() {
+        if !r.is_multiple_of(3) || self.live.is_empty() {
             self.next_id += 1;
             let id = self.next_id;
             self.live.push(id);
@@ -77,18 +81,70 @@ fn churn_test<T>(
                 naive.insert(id, &doc);
             }
             Err(id) => {
-                assert_eq!(del(idx, id), naive.delete(id), "delete mismatch at step {step}");
+                assert_eq!(
+                    del(idx, id),
+                    naive.delete(id),
+                    "delete mismatch at step {step}"
+                );
             }
         }
         if step % check_every == 0 || step + 1 == steps {
             for &p in PATTERNS {
                 let mut got = find(idx, p);
                 got.sort();
-                assert_eq!(got, naive.find(p), "find({:?}) at step {step}", String::from_utf8_lossy(p));
+                assert_eq!(
+                    got,
+                    naive.find(p),
+                    "find({:?}) at step {step}",
+                    String::from_utf8_lossy(p)
+                );
                 assert_eq!(count(idx, p), naive.count(p), "count at step {step}");
             }
         }
     }
+}
+
+/// Heavyweight soak stream, ~10x the default churn length. Ignored by
+/// default so tier-1 (`cargo test -q`) stays fast; run explicitly with
+/// `cargo test --release -- --ignored` before performance PRs.
+#[test]
+#[ignore = "soak test: run with --ignored (slow)"]
+fn transform1_extended_soak() {
+    let mut idx: Transform1Index<FmIndexCompressed> =
+        Transform1Index::new(FmConfig { sample_rate: 4 }, DynOptions::default());
+    churn_test(
+        &mut idx,
+        6_000,
+        211,
+        |i, id, d| i.insert(id, d),
+        |i, id| i.delete(id),
+        |i, p| i.find(p),
+        |i, p| i.count(p),
+    );
+    idx.check_invariants();
+}
+
+/// Heavyweight worst-case-variant soak with background rebuilds. Ignored
+/// by default; see `transform1_extended_soak`.
+#[test]
+#[ignore = "soak test: run with --ignored (slow)"]
+fn transform2_background_extended_soak() {
+    let mut idx: Transform2Index<FmIndexCompressed> = Transform2Index::new(
+        FmConfig { sample_rate: 4 },
+        DynOptions::default(),
+        RebuildMode::Background,
+    );
+    churn_test(
+        &mut idx,
+        4_000,
+        197,
+        |i, id, d| i.insert(id, d),
+        |i, id| i.delete(id),
+        |i, p| i.find(p),
+        |i, p| i.count(p),
+    );
+    idx.finish_background_work();
+    idx.check_invariants();
 }
 
 #[test]

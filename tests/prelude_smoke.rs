@@ -1,0 +1,89 @@
+//! Smoke test for the `dyndex::prelude` facade: every name a downstream
+//! user reaches through the flat re-export surface is exercised here, so
+//! breaking a re-export (or the API behind it) fails tier-1 immediately.
+
+use dyndex::prelude::*;
+
+#[test]
+fn prelude_text_index_round_trip() {
+    let mut index: Transform1Index<FmIndexCompressed> =
+        Transform1Index::new(FmConfig { sample_rate: 8 }, DynOptions::default());
+
+    index.insert(1, b"compressed dynamic indexing");
+    index.insert(2, b"dynamic graphs and relations");
+    index.insert(3, b"static structures stay static");
+
+    assert_eq!(index.count(b"dynamic"), 2);
+    assert_eq!(index.count(b"static"), 2);
+    assert_eq!(index.count(b"missing"), 0);
+
+    let mut hits = index.find(b"dynamic");
+    hits.sort();
+    assert_eq!(
+        hits,
+        vec![
+            Occurrence { doc: 1, offset: 11 },
+            Occurrence { doc: 2, offset: 0 },
+        ]
+    );
+
+    assert_eq!(
+        index.delete(1).as_deref(),
+        Some(b"compressed dynamic indexing".as_slice())
+    );
+    assert_eq!(index.count(b"dynamic"), 1);
+    assert_eq!(index.delete(1), None);
+}
+
+#[test]
+fn prelude_alternate_transforms_and_backends() {
+    // Transform2 (worst-case) and the SA-backed static index, both reached
+    // purely through prelude names.
+    let mut t2: Transform2Index<SaIndex> =
+        Transform2Index::new((), DynOptions::default(), RebuildMode::Inline);
+    t2.insert(10, b"abracadabra");
+    t2.insert(11, b"abrasive");
+    assert_eq!(t2.count(b"abra"), 3);
+    t2.delete(10);
+    assert_eq!(t2.count(b"abra"), 1);
+
+    let mut t3: Transform3Index<FmIndexPlain> =
+        new_transform3(FmConfig { sample_rate: 4 }, Default::default());
+    t3.insert(7, b"log log n levels");
+    assert_eq!(t3.count(b"log"), 2);
+
+    // Ground truth comparator is part of the facade too.
+    let mut truth = NaiveIndex::new();
+    truth.insert(7, b"log log n levels");
+    assert_eq!(truth.count(b"log"), t3.count(b"log"));
+}
+
+#[test]
+fn prelude_graph_and_relation_round_trip() {
+    let mut graph = DynamicGraph::new(DynOptions::default());
+    assert!(graph.add_edge(1, 2));
+    assert!(graph.add_edge(1, 3));
+    assert!(!graph.add_edge(1, 2), "duplicate edge must be rejected");
+    assert!(graph.has_edge(1, 2));
+    assert_eq!(graph.out_neighbors(1), vec![2, 3]);
+    assert_eq!(graph.in_neighbors(3), vec![1]);
+    assert!(graph.remove_edge(1, 2));
+    assert!(!graph.has_edge(1, 2));
+    assert_eq!(graph.num_edges(), 1);
+
+    let mut relation = DynamicRelation::new(DynOptions::default());
+    assert!(relation.insert(5, 50));
+    assert!(relation.insert(5, 51));
+    assert_eq!(relation.labels_of(5), vec![50, 51]);
+    assert!(relation.delete(5, 50));
+    assert_eq!(relation.labels_of(5), vec![51]);
+}
+
+#[test]
+fn prelude_space_usage_is_reachable() {
+    // `SpaceUsage` comes through the prelude from dyndex-succinct.
+    let mut index: Transform1Index<FmIndexCompressed> =
+        Transform1Index::new(FmConfig { sample_rate: 8 }, DynOptions::default());
+    index.insert(1, b"some document contents to account for");
+    assert!(index.heap_bytes() > 0);
+}

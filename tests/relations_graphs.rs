@@ -15,7 +15,7 @@ fn relation_scale_churn() {
         state ^= state << 17;
         let o = state % 200;
         let l = 1_000 + (state >> 20) % 150;
-        if state % 4 != 0 {
+        if !state.is_multiple_of(4) {
             assert_eq!(dynr.insert(o, l), naive.insert(o, l));
         } else {
             assert_eq!(dynr.delete(o, l), naive.delete(o, l));
