@@ -1,7 +1,7 @@
 //! The prior-art baseline: a dynamic FM-index over a **dynamic** wavelet
-//! tree (the Mäkinen–Navarro [30, 31] / Navarro–Nekrich [35] family).
+//! tree (the Mäkinen–Navarro \[30, 31\] / Navarro–Nekrich \[35\] family).
 //!
-//! This is the approach the paper's Table 2 row "[35]" represents: the
+//! This is the approach the paper's Table 2 row "\[35\]" represents: the
 //! multi-string BWT of the collection is maintained under document
 //! insertions/deletions, with *every* backward-search step paying a
 //! dynamic-rank query — the Fredman–Saks Ω(log n / log log n) bottleneck
@@ -27,7 +27,7 @@ const DOLLAR: u32 = 1;
 ///
 /// `locate`/`extract` are intentionally unsupported: the prior-art
 /// structures need substantial extra machinery for dynamic SA sampling
-/// ([35] §4); the benchmarks compare `count`/range-finding and update
+/// (\[35\] §4); the benchmarks compare `count`/range-finding and update
 /// costs, which is where the paper's improvement lies.
 #[derive(Clone, Debug)]
 pub struct DynFmBaseline {

@@ -1,0 +1,143 @@
+//! **Figure 4 harness** (beyond the paper) — shard-count scaling of the
+//! `dyndex-store` layer.
+//!
+//! The transformations bound *per-operation* cost; the store layer is
+//! about *throughput*: hash-routed shards take writes in parallel, queries
+//! fan out across shards on scoped threads, and a scheduler thread keeps
+//! rebuild installs off the query path. This harness measures, at a fixed
+//! corpus and a growing shard count:
+//!
+//! * bulk-load throughput (batched inserts, one writer thread per shard),
+//! * single-query fan-out latency (count and find; fan-out adds O(shards)
+//!   work, so modest growth is the expected price of sharding),
+//! * multi-threaded query throughput (4 reader threads),
+//! * mixed churn throughput (batch deletes + inserts with background
+//!   maintenance running).
+//!
+//! Expected shape: bulk-load and churn scale up with shards (smaller
+//! per-shard rebuilds, parallel writers). Single-query latency *rises*
+//! with shards at this corpus size: fan-out spawns a scoped thread per
+//! shard, and a thread spawn costs more than a µs-scale per-shard query —
+//! the query-side win only appears once per-shard work dwarfs spawn cost
+//! (a persistent worker pool is a ROADMAP follow-on).
+
+use dyndex_bench::workloads::*;
+use dyndex_core::prelude::*;
+use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_text::FmIndexCompressed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const READER_THREADS: usize = 4;
+
+fn main() {
+    println!("=== Fig 4: sharded-store scaling (measured) ===\n");
+    let n = 1usize << 19;
+    let mut r = rng(0xF16_0004 ^ n as u64);
+    let text = markov_text(&mut r, n, 26, 3);
+    let docs = split_documents(&mut r, &text, 128, 1024, 0);
+    let patterns = planted_patterns(&mut r, &docs, 8, 24);
+    let churn = {
+        let churn_text = markov_text(&mut r, n / 8, 26, 3);
+        split_documents(&mut r, &churn_text, 128, 1024, 1_000_000)
+    };
+    println!(
+        "corpus n={n} ({} docs), churn batch {} docs, {READER_THREADS} reader threads",
+        docs.len(),
+        churn.len()
+    );
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>14} {:>14}",
+        "shards", "bulk-load", "count", "find", "queries/s", "churn MB/s"
+    );
+    for &shards in &[1usize, 2, 4, 8] {
+        run_shards(shards, &docs, &patterns, &churn);
+    }
+    println!();
+    println!("shape checks: bulk-load and churn MB/s rise with shards (parallel");
+    println!("writers, smaller rebuilds); count/find latency and queries/s pay the");
+    println!("fan-out tax — one scoped-thread spawn per shard dominates µs-scale");
+    println!("queries at this corpus size, so sharding wins on the write path here");
+    println!("and on reads only once per-shard query work dwarfs spawn cost.");
+}
+
+fn run_shards(
+    shards: usize,
+    docs: &[(u64, Vec<u8>)],
+    patterns: &[Vec<u8>],
+    churn: &[(u64, Vec<u8>)],
+) {
+    let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+        FmConfig { sample_rate: 8 },
+        StoreOptions {
+            num_shards: shards,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+        },
+    );
+
+    // Bulk load: batched inserts, writers parallel across shards.
+    let bytes: usize = docs.iter().map(|(_, d)| d.len()).sum();
+    let t0 = Instant::now();
+    for chunk in docs.chunks(256) {
+        store.insert_batch(chunk);
+    }
+    store.finish_background_work();
+    let load_mbs = bytes as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    // Single-query fan-out latency.
+    let count_ns = measure_ns(7, || patterns.iter().map(|p| store.count(p)).sum::<usize>())
+        / patterns.len() as f64;
+    let find_ns = measure_ns(3, || {
+        patterns.iter().map(|p| store.find(p).len()).sum::<usize>()
+    }) / patterns.len() as f64;
+
+    // Parallel reader throughput: fixed wall-clock window, count queries.
+    let done = AtomicUsize::new(0);
+    let window = Duration::from_millis(150);
+    let qps = std::thread::scope(|scope| {
+        let (store, done) = (&store, &done);
+        let t0 = Instant::now();
+        for _ in 0..READER_THREADS {
+            scope.spawn(move || {
+                while t0.elapsed() < window {
+                    for p in patterns {
+                        std::hint::black_box(store.count(p));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        t0
+    })
+    .elapsed()
+    .as_secs_f64();
+    let queries_per_s = done.load(Ordering::Relaxed) as f64 / qps;
+
+    // Mixed churn: delete a slice of the corpus, insert the churn batch,
+    // background maintenance running throughout.
+    let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 4 == 0).collect();
+    let churn_bytes: usize = churn.iter().map(|(_, d)| d.len()).sum::<usize>()
+        + doomed
+            .iter()
+            .map(|&id| docs[id as usize].1.len())
+            .sum::<usize>();
+    let t1 = Instant::now();
+    store.delete_batch(&doomed);
+    for chunk in churn.chunks(256) {
+        store.insert_batch(chunk);
+    }
+    store.finish_background_work();
+    let churn_mbs = churn_bytes as f64 / t1.elapsed().as_secs_f64() / 1e6;
+
+    println!(
+        "{:<8} {:>11.1} MB/s {:>12} {:>12} {:>14.0} {:>14.1}",
+        shards,
+        load_mbs,
+        fmt_ns(count_ns),
+        fmt_ns(find_ns),
+        queries_per_s,
+        churn_mbs
+    );
+}

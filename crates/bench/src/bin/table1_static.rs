@@ -3,7 +3,7 @@
 //! The paper's Table 1 lists static indexes with space `nHk + o(n log σ) +
 //! O(n log n / s)` whose query costs split into `trange` (∝ |P|),
 //! `tlocate` (∝ s per occurrence) and `textract` (∝ s + ℓ). We measure the
-//! FM-index in both regimes (Huffman-compressed ≈ rows [3]/[7]; plain
+//! FM-index in both regimes (Huffman-compressed ≈ rows \[3\]/\[7\]; plain
 //! wavelet ≈ the O(n log σ) regime) across the `s` sweep and report the
 //! *shapes*: query time flat in n at fixed |P|, locate cost linear in s,
 //! space falling as s grows toward the entropy bound.

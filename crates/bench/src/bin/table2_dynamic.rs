@@ -13,6 +13,7 @@ use dyndex_baseline::{DynFmBaseline, RebuildAllIndex};
 use dyndex_bench::workloads::*;
 use dyndex_core::prelude::*;
 use dyndex_core::transform3::transform3_options;
+use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
 
 fn main() {
     println!("=== Table 2: dynamic indexing (measured) ===\n");
@@ -98,6 +99,31 @@ fn run_size(n: usize) {
             idx.delete(id);
         });
         row("transform3", count_ns, find_ns, ins, del);
+    }
+    // Sharded store over Transformation 2: 4 shards, parallel fan-out,
+    // background rebuilds installed by the periodic scheduler.
+    {
+        let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+            fm,
+            StoreOptions {
+                num_shards: 4,
+                index: opts,
+                mode: RebuildMode::Background,
+                maintenance: MaintenancePolicy::Periodic(std::time::Duration::from_micros(500)),
+            },
+        );
+        store.insert_batch(&docs);
+        store.finish_background_work();
+        let count_ns = measure_ns(7, || patterns.iter().map(|p| store.count(p)).sum::<usize>())
+            / patterns.len() as f64;
+        let find_ns = measure_ns(3, || {
+            patterns.iter().map(|p| store.find(p).len()).sum::<usize>()
+        }) / patterns.len() as f64;
+        let ins = time_inserts(&extra, |id, d| store.insert(id, d));
+        let del = time_deletes(&extra, |id| {
+            store.delete(id);
+        });
+        row("sharded x4", count_ns, find_ns, ins, del);
     }
     // Prior-art dynamic-rank baseline.
     {

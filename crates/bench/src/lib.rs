@@ -17,5 +17,6 @@
 //! | `fig1_subcollections` | Figure 1 — Transformation 1 layout |
 //! | `fig2_worstcase` | Figure 2 — Transformation 2 layout |
 //! | `fig3_rebuild_lifecycle` | Figure 3 — background rebuild lifecycle |
+//! | `fig4_sharding` | beyond the paper — `dyndex-store` shard-count scaling |
 
 pub mod workloads;

@@ -133,11 +133,24 @@ impl<I: StaticIndex> DeletionOnlyIndex<I> {
     /// Range-finding once, then O(1) per surviving row (Lemma 3) plus the
     /// static index's `tlocate` per reported occurrence.
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        self.find_limit(pattern, usize::MAX)
+    }
+
+    /// Up to `limit` occurrences of `pattern` in alive documents.
+    ///
+    /// Early-terminating locate: range-finding runs once, but at most
+    /// `limit` surviving rows are located — total `O(range-finding +
+    /// limit · tlocate)`, independent of the full occurrence count.
+    pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
+        if limit == 0 {
+            return Vec::new();
+        }
         match self.index.find_range(pattern) {
             None => Vec::new(),
             Some((l, r)) => self
                 .alive
                 .report(l, r.saturating_sub(1))
+                .take(limit)
                 .map(|row| self.index.locate_row(row).1)
                 .collect(),
         }

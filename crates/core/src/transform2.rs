@@ -856,20 +856,53 @@ impl<I: StaticIndex> Transform2Index<I> {
     /// Queries `C0`, every `C_i`, `L_i`, `Temp_i`, every top `T_i`, and
     /// `L'_r` — the paper's `O(τ)` extra range-find cost.
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
-        let mut out = self.c0.find(pattern);
+        self.find_limit(pattern, usize::MAX)
+    }
+
+    /// Up to `limit` occurrences of `pattern` — early-terminating locate.
+    ///
+    /// Structures are visited in a fixed order (`C0`, levels bottom-up,
+    /// tops, `TempTop`, `L'_r`) and the scan stops as soon as `limit`
+    /// occurrences are in hand, so per-query work is bounded by
+    /// `O(τ · range-finding + limit · tlocate)` regardless of how many
+    /// occurrences exist. Which occurrences are returned depends on the
+    /// internal layout at query time — deterministic under
+    /// [`RebuildMode::Inline`], but in `Background` mode it varies with
+    /// rebuild-install timing (the *set queried over* is always exact;
+    /// only the truncation choice shifts). Sharded callers
+    /// (`dyndex-store`) use this to cap per-shard fan-out work.
+    pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        out.extend(self.c0.find(pattern));
+        out.truncate(limit);
+        if out.len() == limit {
+            return out;
+        }
         for level in &self.levels {
             for del in [&level.cur, &level.locked, &level.temp]
                 .into_iter()
                 .flatten()
             {
-                out.extend(del.find(pattern));
+                out.extend(del.find_limit(pattern, limit - out.len()));
+                if out.len() == limit {
+                    return out;
+                }
             }
         }
         for top in self.tops.iter().flatten() {
-            out.extend(top.find(pattern));
+            out.extend(top.find_limit(pattern, limit - out.len()));
+            if out.len() == limit {
+                return out;
+            }
         }
         for del in [&self.temp_top, &self.lr_prime].into_iter().flatten() {
-            out.extend(del.find(pattern));
+            out.extend(del.find_limit(pattern, limit - out.len()));
+            if out.len() == limit {
+                return out;
+            }
         }
         out
     }
@@ -921,6 +954,23 @@ impl<I: StaticIndex> Transform2Index<I> {
         if self.top_job.is_some() {
             self.install_top_job();
         }
+    }
+
+    /// Installs every *finished* background job without blocking on
+    /// unfinished ones, then returns the number still in flight.
+    ///
+    /// Foreground operations already do this at their start; a dedicated
+    /// maintenance thread (see `dyndex-store`) calls it to keep installs
+    /// off the query path entirely.
+    pub fn poll_background_work(&mut self) -> usize {
+        self.poll_jobs();
+        self.pending_jobs()
+    }
+
+    /// Number of background jobs currently in flight (level rebuilds plus
+    /// the top-maintenance job).
+    pub fn pending_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.is_some()).count() + usize::from(self.top_job.is_some())
     }
 
     /// Census of every live structure (the Figure 2 harness).
@@ -1276,6 +1326,43 @@ mod tests {
             "install must not clobber the new top"
         );
         assert_eq!(idx.count(b"mammoth"), 0);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn find_limit_truncates_and_agrees_with_find() {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        for i in 0..60u64 {
+            let doc = format!("alpha beta gamma {i} alpha");
+            idx.insert(i, doc.as_bytes());
+        }
+        idx.finish_background_work();
+        let all = idx.find(b"alpha");
+        assert_eq!(all.len(), 120);
+        // No limit: identical to find (find delegates to find_limit).
+        assert_eq!(idx.find_limit(b"alpha", usize::MAX), all);
+        assert!(idx.find_limit(b"alpha", 0).is_empty());
+        for k in [1usize, 7, 119, 120, 500] {
+            let capped = idx.find_limit(b"alpha", k);
+            assert_eq!(capped.len(), k.min(all.len()), "limit {k}");
+            // Every reported occurrence is a real one.
+            for occ in &capped {
+                assert!(all.contains(occ), "phantom occurrence {occ:?}");
+            }
+        }
+        assert!(idx.find_limit(b"absent", 10).is_empty());
+    }
+
+    #[test]
+    fn poll_background_work_installs_finished_jobs() {
+        let mut idx = Dyn2::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        for i in 0..80u64 {
+            idx.insert(i, format!("steady polling workload {i}").as_bytes());
+        }
+        // Inline jobs are ready at spawn: one poll installs everything.
+        assert_eq!(idx.poll_background_work(), 0);
+        assert_eq!(idx.pending_jobs(), 0);
+        assert_eq!(idx.work().jobs_started, idx.work().jobs_completed);
         idx.check_invariants();
     }
 

@@ -2,7 +2,7 @@
 //!
 //! A [`StaticRelation`] plus:
 //! * `D` — alive bits per position of `S` (a Lemma 3 [`OneBitReporter`]
-//!   plus a [`FlipRank`] for counting, standing in for [20]);
+//!   plus a [`FlipRank`] for counting, standing in for \[20\]);
 //! * `D_a` — per-label alive bits over label `a`'s occurrences in `S`,
 //!   so objects related to `a` are reported without touching dead pairs.
 

@@ -71,7 +71,8 @@ impl DynamicGraph {
     }
 
     /// Removes every edge incident to `node` (both directions); returns
-    /// how many edges were removed.
+    /// how many edges were removed. A self-loop `node → node` appears in
+    /// both neighbor lists but is a single edge, so it counts once.
     pub fn remove_node(&mut self, node: u64) -> usize {
         let out = self.out_neighbors(node);
         let inn = self.in_neighbors(node);
@@ -81,7 +82,9 @@ impl DynamicGraph {
                 removed += 1;
             }
         }
-        for u in inn {
+        // The self-loop was already removed (and counted) by the
+        // out-neighbor pass; don't attempt its in-edge twin.
+        for u in inn.into_iter().filter(|&u| u != node) {
             if self.rel.delete(u, node) {
                 removed += 1;
             }
@@ -150,6 +153,32 @@ mod tests {
         assert_eq!(g.remove_node(7), 3);
         assert_eq!(g.num_edges(), 0);
         assert!(!g.has_edge(9, 7));
+        g.check_invariants();
+    }
+
+    /// Regression: a self-loop is one edge — `remove_node` must count it
+    /// exactly once, not once per direction, and the count must always
+    /// equal the drop in `num_edges`.
+    #[test]
+    fn self_loop_counted_once_by_remove_node() {
+        let mut g = DynamicGraph::new(opts());
+        g.add_edge(5, 5);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.remove_node(5), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.remove_node(5), 0, "repeat removal removes nothing");
+        g.check_invariants();
+
+        // Mixed incidence: self-loop + out-edge + in-edge = 3 edges.
+        g.add_edge(1, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 1);
+        g.add_edge(2, 3); // not incident to 1; must survive
+        let before = g.num_edges();
+        let removed = g.remove_node(1);
+        assert_eq!(removed, 3);
+        assert_eq!(g.num_edges(), before - removed);
+        assert!(g.has_edge(2, 3));
         g.check_invariants();
     }
 

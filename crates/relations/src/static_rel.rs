@@ -1,4 +1,4 @@
-//! Static compact binary relation (§5, after Barbay et al. [4, 5]).
+//! Static compact binary relation (§5, after Barbay et al. \[4, 5\]).
 //!
 //! A relation `R ⊆ [0,t) × [0,σl)` between `t` objects and `σl` labels is
 //! encoded as:
@@ -17,7 +17,7 @@ pub type Pair = (u32, u32);
 /// Alphabets up to this size use the Huffman-shaped wavelet tree
 /// (`nH0 + n` bits); larger ones use the wavelet matrix (`n⌈log σ⌉` bits)
 /// whose per-level overhead is independent of σ. This mirrors the paper's
-/// reliance on alphabet partitioning [3] for large label sets: entropy
+/// reliance on alphabet partitioning \[3\] for large label sets: entropy
 /// coding only pays off once per-symbol savings beat per-node overheads.
 const HUFFMAN_SIGMA_LIMIT: u32 = 512;
 

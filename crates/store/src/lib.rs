@@ -1,0 +1,61 @@
+//! # dyndex-store
+//!
+//! A sharded, thread-safe document store layered over the dynamic index
+//! transformations of *Munro–Nekrich–Vitter (PODS 2015)*.
+//!
+//! The transformations (`dyndex-core`) dynamize a single collection behind
+//! a single-threaded API. Production traffic wants more: concurrent
+//! readers, parallel query fan-out, batched writes, and rebuild work kept
+//! off the query path. [`ShardedStore`] provides exactly that layer:
+//!
+//! * **Routing** — documents hash-route by id across `N` shards, each an
+//!   independent [`Transform2Index`](dyndex_core::Transform2Index) behind
+//!   its own reader-writer lock. Writers to different shards never
+//!   contend; readers never block readers.
+//! * **Fan-out** — [`ShardedStore::count`] / [`ShardedStore::find`] query
+//!   every shard in parallel on scoped threads and merge deterministically
+//!   (occurrences sorted by `(doc, offset)`), so a sharded store answers
+//!   byte-identically to an unsharded index over the same documents.
+//! * **Batching** — [`ShardedStore::insert_batch`] /
+//!   [`ShardedStore::delete_batch`] group documents by shard and apply
+//!   each shard's group on its own thread, one lock acquisition per shard.
+//! * **Maintenance** — Transformation 2 rebuilds sub-collections on
+//!   background jobs that must be *installed* by someone holding the
+//!   index. A periodic scheduler thread
+//!   ([`MaintenancePolicy::Periodic`]) drains finished jobs with
+//!   `try_write` (never stalling queries), so installs stop riding on
+//!   foreground operations.
+//! * **Observability** — [`ShardedStore::stats`] aggregates per-shard
+//!   document/symbol counts, pending background-job depth, and the full
+//!   per-level census ([`LevelStats`](dyndex_core::LevelStats)).
+//!
+//! ```
+//! use dyndex_core::{DynOptions, RebuildMode, FmConfig};
+//! use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+//! use dyndex_text::FmIndexCompressed;
+//!
+//! let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+//!     FmConfig { sample_rate: 8 },
+//!     StoreOptions {
+//!         num_shards: 4,
+//!         mode: RebuildMode::Inline,
+//!         maintenance: MaintenancePolicy::Manual,
+//!         index: DynOptions::default(),
+//!     },
+//! );
+//! store.insert(1, b"sharded dynamic document store");
+//! store.insert(2, b"dynamic indexes behind every shard");
+//! assert_eq!(store.count(b"dynamic"), 2);
+//! let hits = store.find(b"shard");
+//! assert_eq!(hits.len(), 2);
+//! assert!(hits.windows(2).all(|w| w[0] <= w[1]), "merge is sorted");
+//! store.delete(1);
+//! assert_eq!(store.count(b"dynamic"), 1);
+//! ```
+
+mod scheduler;
+mod stats;
+mod store;
+
+pub use stats::{ShardStats, StoreStats};
+pub use store::{MaintenancePolicy, ShardedStore, StoreOptions};

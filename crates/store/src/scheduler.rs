@@ -1,0 +1,92 @@
+//! The background maintenance scheduler: a thread that periodically
+//! drains each shard's finished rebuild/purge jobs so installs never ride
+//! on a foreground operation.
+//!
+//! Transformation 2 spawns rebuilds on background threads, but a finished
+//! job still has to be *installed* by whoever holds the index — without a
+//! scheduler that means the next insert/delete/query pays the install.
+//! The scheduler polls every shard with `try_write`: a shard busy serving
+//! a writer (or readers) is simply skipped until the next tick, so the
+//! scheduler can never stall the query path on lock acquisition.
+
+use dyndex_core::{StaticIndex, Transform2Index};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shutdown flag + wakeup channel shared with the scheduler thread.
+type Signal = Arc<(Mutex<bool>, Condvar)>;
+
+/// Handle to the periodic maintenance thread; dropping the owning store
+/// signals shutdown and joins it.
+pub(crate) struct Scheduler {
+    signal: Signal,
+    handle: Option<JoinHandle<()>>,
+    /// Jobs installed by the scheduler (not by foreground operations).
+    installs: Arc<AtomicU64>,
+}
+
+impl Scheduler {
+    /// Spawns the maintenance thread polling `shards` every `interval`.
+    pub(crate) fn spawn<I>(shards: Arc<Vec<RwLock<Transform2Index<I>>>>, interval: Duration) -> Self
+    where
+        I: StaticIndex + Sync,
+    {
+        let signal: Signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let installs = Arc::new(AtomicU64::new(0));
+        let thread_signal = Arc::clone(&signal);
+        let thread_installs = Arc::clone(&installs);
+        let handle = std::thread::spawn(move || {
+            let (stop, wakeup) = &*thread_signal;
+            loop {
+                {
+                    let guard = stop.lock().expect("scheduler signal poisoned");
+                    if *guard {
+                        return;
+                    }
+                    // Sleep one tick, waking early on shutdown.
+                    let (guard, _) = wakeup
+                        .wait_timeout(guard, interval)
+                        .expect("scheduler signal poisoned");
+                    if *guard {
+                        return;
+                    }
+                }
+                for shard in shards.iter() {
+                    // Never contend with foreground work: skip busy shards.
+                    let Ok(mut index) = shard.try_write() else {
+                        continue;
+                    };
+                    let before = index.work().jobs_completed;
+                    index.poll_background_work();
+                    let installed = index.work().jobs_completed - before;
+                    if installed > 0 {
+                        thread_installs.fetch_add(installed, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        Scheduler {
+            signal,
+            handle: Some(handle),
+            installs,
+        }
+    }
+
+    /// Jobs the scheduler has installed so far.
+    pub(crate) fn installs(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        let (stop, wakeup) = &*self.signal;
+        *stop.lock().expect("scheduler signal poisoned") = true;
+        wakeup.notify_all();
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("maintenance thread panicked");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Aggregated store observability: per-shard and whole-store censuses.
+
+use dyndex_core::LevelStats;
+
+/// Point-in-time census of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index in `0..num_shards`.
+    pub shard: usize,
+    /// Alive documents routed to this shard.
+    pub docs: usize,
+    /// Alive bytes in this shard.
+    pub symbols: usize,
+    /// Background jobs currently in flight (rebuilds + top maintenance) —
+    /// the shard's pending-work depth.
+    pub pending_jobs: usize,
+    /// Per-structure census (`C0`, levels, locked copies, tops, …).
+    pub levels: Vec<LevelStats>,
+}
+
+/// Point-in-time census of the whole store.
+#[derive(Clone, Debug)]
+pub struct StoreStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StoreStats {
+    /// Alive documents across all shards.
+    pub fn total_docs(&self) -> usize {
+        self.shards.iter().map(|s| s.docs).sum()
+    }
+
+    /// Alive bytes across all shards.
+    pub fn total_symbols(&self) -> usize {
+        self.shards.iter().map(|s| s.symbols).sum()
+    }
+
+    /// In-flight background jobs across all shards.
+    pub fn pending_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_jobs).sum()
+    }
+
+    /// Shard-balance ratio: largest shard's symbols over the ideal
+    /// per-shard share (1.0 = perfectly even; meaningless when empty).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_symbols();
+        if total == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let max = self.shards.iter().map(|s| s.symbols).max().unwrap_or(0);
+        max as f64 * self.shards.len() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: usize, docs: usize, symbols: usize, pending: usize) -> ShardStats {
+        ShardStats {
+            shard: i,
+            docs,
+            symbols,
+            pending_jobs: pending,
+            levels: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let stats = StoreStats {
+            shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
+        };
+        assert_eq!(stats.total_docs(), 8);
+        assert_eq!(stats.total_symbols(), 400);
+        assert_eq!(stats.pending_jobs(), 1);
+        assert_eq!(stats.imbalance(), 1.5);
+    }
+
+    #[test]
+    fn empty_store_imbalance_is_neutral() {
+        let stats = StoreStats { shards: vec![] };
+        assert_eq!(stats.imbalance(), 1.0);
+        assert_eq!(stats.total_docs(), 0);
+    }
+}

@@ -1,0 +1,559 @@
+//! [`ShardedStore`]: hash-routed shards of [`Transform2Index`], parallel
+//! query fan-out with deterministic merge, batched writes, and scheduled
+//! background maintenance.
+
+use crate::scheduler::Scheduler;
+use crate::stats::{ShardStats, StoreStats};
+use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
+use dyndex_succinct::SpaceUsage;
+use dyndex_text::Occurrence;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
+
+/// How background maintenance is driven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// No scheduler thread. Finished jobs install when a foreground
+    /// operation touches the shard, or when the caller runs
+    /// [`ShardedStore::maintain`] / [`ShardedStore::finish_background_work`].
+    Manual,
+    /// A dedicated thread polls every shard at this interval, installing
+    /// finished jobs off the query path (busy shards are skipped via
+    /// `try_write`, never contended).
+    Periodic(Duration),
+}
+
+/// Tunables for a [`ShardedStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Number of shards (≥ 1). More shards mean more write parallelism
+    /// and smaller rebuilds, at O(num_shards) fan-out cost per query.
+    pub num_shards: usize,
+    /// Options forwarded to every shard's [`Transform2Index`].
+    pub index: DynOptions,
+    /// Rebuild execution mode for every shard.
+    pub mode: RebuildMode,
+    /// Background maintenance driving policy.
+    pub maintenance: MaintenancePolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            num_shards: 4,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// SplitMix64 — the document-id router. Sequential ids (the common
+/// pattern) spread uniformly instead of striping.
+fn route_hash(id: u64) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A sharded, concurrent document store over dynamic indexes.
+///
+/// All methods take `&self`: shards synchronize internally (one
+/// reader-writer lock each), so a `ShardedStore` can be shared across
+/// threads directly or behind an `Arc`. See the crate docs for the
+/// layer's design and a usage example.
+pub struct ShardedStore<I: StaticIndex + Sync> {
+    shards: Arc<Vec<RwLock<Transform2Index<I>>>>,
+    /// Periodic maintenance thread; `None` under [`MaintenancePolicy::Manual`].
+    scheduler: Option<Scheduler>,
+}
+
+impl<I: StaticIndex + Sync> ShardedStore<I> {
+    /// Creates an empty store with `options.num_shards` shards, each an
+    /// empty [`Transform2Index`] built from `config`.
+    ///
+    /// # Panics
+    /// Panics if `options.num_shards` is zero.
+    pub fn new(config: I::Config, options: StoreOptions) -> Self {
+        assert!(options.num_shards >= 1, "store needs at least one shard");
+        let shards: Vec<RwLock<Transform2Index<I>>> = (0..options.num_shards)
+            .map(|_| {
+                RwLock::new(Transform2Index::new(
+                    config.clone(),
+                    options.index,
+                    options.mode,
+                ))
+            })
+            .collect();
+        let shards = Arc::new(shards);
+        let scheduler = match options.maintenance {
+            MaintenancePolicy::Manual => None,
+            MaintenancePolicy::Periodic(interval) => {
+                Some(Scheduler::spawn(Arc::clone(&shards), interval))
+            }
+        };
+        ShardedStore { shards, scheduler }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `doc_id` routes to (stable for the store's lifetime).
+    pub fn shard_of(&self, doc_id: u64) -> usize {
+        (route_hash(doc_id) % self.shards.len() as u64) as usize
+    }
+
+    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, Transform2Index<I>> {
+        self.shards[s].read().expect("shard lock poisoned")
+    }
+
+    fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, Transform2Index<I>> {
+        self.shards[s].write().expect("shard lock poisoned")
+    }
+
+    /// Runs `f` against every shard in parallel (one scoped thread per
+    /// shard, read locks) and returns the results in shard order — the
+    /// deterministic fan-out backbone of every multi-shard query.
+    fn fan_out<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Transform2Index<I>) -> T + Sync,
+    {
+        if self.shards.len() == 1 {
+            return vec![f(&self.read_shard(0))];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let f = &f;
+                    scope.spawn(move || f(&shard.read().expect("shard lock poisoned")))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query thread panicked"))
+                .collect()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a document into its shard.
+    ///
+    /// # Panics
+    /// Panics if `doc_id` is already present (same contract as
+    /// [`Transform2Index::insert`]).
+    pub fn insert(&self, doc_id: u64, bytes: &[u8]) {
+        self.write_shard(self.shard_of(doc_id))
+            .insert(doc_id, bytes);
+    }
+
+    /// Deletes a document, returning its bytes (`None` if absent).
+    pub fn delete(&self, doc_id: u64) -> Option<Vec<u8>> {
+        self.write_shard(self.shard_of(doc_id)).delete(doc_id)
+    }
+
+    /// Inserts a batch, grouped by shard and applied with one thread (and
+    /// one lock acquisition) per shard — writers to different shards
+    /// proceed in parallel.
+    ///
+    /// # Panics
+    /// Panics if any document id is already present.
+    pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) {
+        let mut groups: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); self.shards.len()];
+        for (id, bytes) in docs {
+            groups[self.shard_of(*id)].push((*id, bytes.as_slice()));
+        }
+        std::thread::scope(|scope| {
+            for (shard, group) in self.shards.iter().zip(groups) {
+                if group.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    let mut index = shard.write().expect("shard lock poisoned");
+                    for (id, bytes) in group {
+                        index.insert(id, bytes);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Deletes a batch (grouped like [`ShardedStore::insert_batch`]);
+    /// returns how many of the ids were present and removed.
+    pub fn delete_batch(&self, ids: &[u64]) -> usize {
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
+        for &id in ids {
+            groups[self.shard_of(id)].push(id);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(groups)
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(shard, group)| {
+                    scope.spawn(move || {
+                        let mut index = shard.write().expect("shard lock poisoned");
+                        group
+                            .into_iter()
+                            .filter(|&id| index.delete(id).is_some())
+                            .count()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard write thread panicked"))
+                .sum()
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Whether `doc_id` is present.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.read_shard(self.shard_of(doc_id)).contains(doc_id)
+    }
+
+    /// Alive documents across all shards.
+    pub fn num_docs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").num_docs())
+            .sum()
+    }
+
+    /// Alive bytes across all shards.
+    pub fn symbol_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").symbol_count())
+            .sum()
+    }
+
+    /// Counts occurrences of `pattern`, fanning out across shards in
+    /// parallel.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.fan_out(|index| index.count(pattern)).into_iter().sum()
+    }
+
+    /// All occurrences of `pattern`, fanned out across shards and merged
+    /// deterministically: the result is sorted by `(doc, offset)`, so it
+    /// is byte-identical to a sorted unsharded query over the same
+    /// documents regardless of shard count or thread timing.
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        let mut merged: Vec<Occurrence> = self
+            .fan_out(|index| index.find(pattern))
+            .into_iter()
+            .flatten()
+            .collect();
+        merged.sort_unstable();
+        merged
+    }
+
+    /// Up to `limit` occurrences of `pattern` (sorted). Each shard's work
+    /// is capped at `limit` located occurrences
+    /// ([`Transform2Index::find_limit`]), so total fan-out work is
+    /// `O(num_shards · (range-finding + limit · tlocate))`. Which
+    /// occurrences are returned depends on shard-internal layout at query
+    /// time: deterministic under [`RebuildMode::Inline`] with manual
+    /// maintenance, but with background rebuilds the truncation choice
+    /// can vary with install timing (the underlying occurrence set is
+    /// always exact — `limit >= count` returns everything).
+    pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
+        let mut merged: Vec<Occurrence> = self
+            .fan_out(|index| index.find_limit(pattern, limit))
+            .into_iter()
+            .flatten()
+            .collect();
+        merged.sort_unstable();
+        merged.truncate(limit);
+        merged
+    }
+
+    /// Extracts up to `len` bytes of a document from `offset` (routed to
+    /// the owning shard; no fan-out).
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        self.read_shard(self.shard_of(doc_id))
+            .extract(doc_id, offset, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance & observability
+    // ------------------------------------------------------------------
+
+    /// Runs one manual maintenance pass: installs every finished
+    /// background job in every shard (without blocking on unfinished
+    /// ones). Returns the number of jobs still in flight.
+    pub fn maintain(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.write()
+                    .expect("shard lock poisoned")
+                    .poll_background_work()
+            })
+            .sum()
+    }
+
+    /// Blocks until every shard's background work is installed.
+    pub fn finish_background_work(&self) {
+        for s in 0..self.shards.len() {
+            self.write_shard(s).finish_background_work();
+        }
+    }
+
+    /// Background jobs currently in flight across all shards.
+    pub fn pending_background_jobs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").pending_jobs())
+            .sum()
+    }
+
+    /// Jobs installed by the periodic scheduler (0 under
+    /// [`MaintenancePolicy::Manual`]) — how much install work stayed off
+    /// the foreground path.
+    pub fn scheduler_installs(&self) -> u64 {
+        self.scheduler.as_ref().map_or(0, |s| s.installs())
+    }
+
+    /// Aggregated census: per-shard doc/symbol counts, pending-work
+    /// depth, and the full per-level structure breakdown.
+    pub fn stats(&self) -> StoreStats {
+        let shards = self
+            .fan_out(|index| {
+                (
+                    index.num_docs(),
+                    index.symbol_count(),
+                    index.pending_jobs(),
+                    index.structure_stats(),
+                )
+            })
+            .into_iter()
+            .enumerate()
+            .map(
+                |(shard, (docs, symbols, pending_jobs, levels))| ShardStats {
+                    shard,
+                    docs,
+                    symbols,
+                    pending_jobs,
+                    levels,
+                },
+            )
+            .collect();
+        StoreStats { shards }
+    }
+}
+
+impl<I: StaticIndex + Sync> SpaceUsage for ShardedStore<I> {
+    fn heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").heap_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::{FmConfig, NaiveIndex};
+    use dyndex_text::FmIndexCompressed;
+
+    type Store = ShardedStore<FmIndexCompressed>;
+
+    fn small_opts(num_shards: usize, mode: RebuildMode) -> StoreOptions {
+        StoreOptions {
+            num_shards,
+            index: DynOptions {
+                min_capacity: 32,
+                tau: 4,
+                ..DynOptions::default()
+            },
+            mode,
+            maintenance: MaintenancePolicy::Manual,
+        }
+    }
+
+    fn fm() -> FmConfig {
+        FmConfig { sample_rate: 4 }
+    }
+
+    fn docs(n: u64) -> Vec<(u64, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                let doc = format!(
+                    "document {i} shared needle {}",
+                    "pad".repeat(i as usize % 5)
+                );
+                (i, doc.into_bytes())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        for id in 0..1000u64 {
+            let s = store.shard_of(id);
+            assert!(s < 4);
+            assert_eq!(s, store.shard_of(id), "routing must be stable");
+        }
+        // SplitMix64 routing must actually spread sequential ids.
+        let mut hit = [false; 4];
+        for id in 0..64u64 {
+            hit[store.shard_of(id)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all shards reachable: {hit:?}");
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let mut naive = NaiveIndex::new();
+        for (id, d) in docs(40) {
+            store.insert(id, &d);
+            naive.insert(id, &d);
+        }
+        for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
+            assert_eq!(store.count(pattern), naive.count(pattern));
+            // NaiveIndex::find returns sorted occurrences; the store's
+            // deterministic merge must agree exactly.
+            assert_eq!(store.find(pattern), naive.find(pattern));
+        }
+        assert_eq!(store.num_docs(), 40);
+        assert!(store.contains(7));
+        assert_eq!(store.delete(7), naive.delete(7));
+        assert!(!store.contains(7));
+        assert_eq!(store.find(b"needle"), naive.find(b"needle"));
+        assert_eq!(store.delete(7), None);
+    }
+
+    #[test]
+    fn batches_match_singles() {
+        let batch = docs(60);
+        let batched = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        batched.insert_batch(&batch);
+        let single = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        for (id, d) in &batch {
+            single.insert(*id, d);
+        }
+        assert_eq!(batched.num_docs(), single.num_docs());
+        assert_eq!(batched.symbol_count(), single.symbol_count());
+        assert_eq!(batched.find(b"needle"), single.find(b"needle"));
+
+        let ids: Vec<u64> = (0..30).chain(100..110).collect();
+        assert_eq!(batched.delete_batch(&ids), 30, "10 ids are absent");
+        for id in 0..30u64 {
+            single.delete(id);
+        }
+        assert_eq!(batched.find(b"needle"), single.find(b"needle"));
+        assert_eq!(batched.num_docs(), 30);
+    }
+
+    #[test]
+    fn find_limit_caps_and_sorts() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        store.insert_batch(&docs(50));
+        let all = store.find(b"needle");
+        assert_eq!(all.len(), 50);
+        for k in [0usize, 1, 13, 50, 200] {
+            let capped = store.find_limit(b"needle", k);
+            assert_eq!(capped.len(), k.min(50), "limit {k}");
+            assert!(capped.windows(2).all(|w| w[0] < w[1]), "sorted, limit {k}");
+            for occ in &capped {
+                assert!(all.contains(occ), "phantom occurrence at limit {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn extract_routes_to_owning_shard() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        store.insert(9, b"zero one two three");
+        assert_eq!(store.extract(9, 5, 3).as_deref(), Some(b"one".as_slice()));
+        assert_eq!(store.extract(10, 0, 4), None);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let batch = docs(80);
+        let symbols: usize = batch.iter().map(|(_, d)| d.len()).sum();
+        store.insert_batch(&batch);
+        store.finish_background_work();
+        let stats = store.stats();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.total_docs(), 80);
+        assert_eq!(stats.total_symbols(), symbols);
+        assert_eq!(stats.pending_jobs(), 0);
+        assert!(stats.shards.iter().all(|s| !s.levels.is_empty()));
+        assert!(stats.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn manual_maintenance_drains_background_jobs() {
+        let store = Store::new(fm(), small_opts(3, RebuildMode::Background));
+        store.insert_batch(&docs(120));
+        // Drain without foreground operations: poll until all installs
+        // land (bounded; background builds are small and finish quickly).
+        let mut pending = store.maintain();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pending > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+            pending = store.maintain();
+        }
+        assert_eq!(pending, 0, "maintenance must drain all jobs");
+        assert_eq!(store.pending_background_jobs(), 0);
+        assert_eq!(store.count(b"needle"), 120);
+    }
+
+    #[test]
+    fn periodic_scheduler_drains_without_foreground_ops() {
+        let store = Store::new(
+            fm(),
+            StoreOptions {
+                maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+                ..small_opts(4, RebuildMode::Background)
+            },
+        );
+        store.insert_batch(&docs(150));
+        // No foreground operations from here on: only the scheduler can
+        // install the in-flight rebuilds.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(store.pending_background_jobs(), 0, "scheduler must drain");
+        assert_eq!(store.count(b"needle"), 150);
+        assert_eq!(store.find(b"needle").len(), 150);
+    }
+
+    #[test]
+    fn single_shard_store_works() {
+        let store = Store::new(fm(), small_opts(1, RebuildMode::Inline));
+        store.insert_batch(&docs(10));
+        assert_eq!(store.num_shards(), 1);
+        assert_eq!(store.count(b"needle"), 10);
+        assert_eq!(store.find(b"needle").len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_insert_panics() {
+        let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        store.insert(1, b"first");
+        store.insert(1, b"second");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: a sharded store must be indistinguishable (up to
+//! occurrence order, which the store fixes by sorting) from one unsharded
+//! [`Transform2Index`] over the same documents — for any shard count, any
+//! document mix, and any interleaving of deletes.
+
+use dyndex_core::{DynOptions, FmConfig, RebuildMode, Transform2Index};
+use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_text::FmIndexCompressed;
+use proptest::prelude::*;
+
+type Reference = Transform2Index<FmIndexCompressed>;
+type Store = ShardedStore<FmIndexCompressed>;
+
+fn dyn_opts() -> DynOptions {
+    DynOptions {
+        min_capacity: 32,
+        tau: 4,
+        ..DynOptions::default()
+    }
+}
+
+fn fm() -> FmConfig {
+    FmConfig { sample_rate: 4 }
+}
+
+fn store_opts(num_shards: usize) -> StoreOptions {
+    StoreOptions {
+        num_shards,
+        index: dyn_opts(),
+        mode: RebuildMode::Inline,
+        maintenance: MaintenancePolicy::Manual,
+    }
+}
+
+/// Documents over a tiny alphabet so short patterns hit often.
+fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 0..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Deterministic merge order: `ShardedStore::find` over N shards
+    /// equals a single `Transform2Index::find` on the same documents
+    /// (sorted occurrences), and counts agree — including after deletes.
+    #[test]
+    fn sharded_find_equals_unsharded(
+        num_shards in 1usize..=6,
+        docs in proptest::collection::vec(doc_strategy(), 1..24),
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 1..5), 1..6),
+        delete_every in 2u64..5,
+    ) {
+        let store = Store::new(fm(), store_opts(num_shards));
+        let mut reference = Reference::new(fm(), dyn_opts(), RebuildMode::Inline);
+        for (i, doc) in docs.iter().enumerate() {
+            store.insert(i as u64, doc);
+            reference.insert(i as u64, doc);
+        }
+        let check = |store: &Store, reference: &Reference| -> Result<(), TestCaseError> {
+            for pattern in &patterns {
+                let sharded = store.find(pattern);
+                let mut single = reference.find(pattern);
+                single.sort();
+                prop_assert!(
+                    sharded == single,
+                    "find mismatch, {} shards, pattern {:?}: {:?} vs {:?}",
+                    store.num_shards(),
+                    pattern,
+                    sharded,
+                    single
+                );
+                prop_assert_eq!(store.count(pattern), reference.count(pattern));
+            }
+            Ok(())
+        };
+        check(&store, &reference)?;
+        for id in (0..docs.len() as u64).filter(|id| id % delete_every == 0) {
+            prop_assert_eq!(store.delete(id), reference.delete(id));
+        }
+        check(&store, &reference)?;
+    }
+
+    /// `find_limit` returns a sorted subset of the full result, of
+    /// exactly `min(limit, total)` occurrences, on both layers.
+    #[test]
+    fn find_limit_is_bounded_sorted_subset(
+        num_shards in 1usize..=5,
+        docs in proptest::collection::vec(doc_strategy(), 1..16),
+        pattern in proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 1..4),
+        limit in 0usize..40,
+    ) {
+        let store = Store::new(fm(), store_opts(num_shards));
+        for (i, doc) in docs.iter().enumerate() {
+            store.insert(i as u64, doc);
+        }
+        let all = store.find(&pattern);
+        let capped = store.find_limit(&pattern, limit);
+        prop_assert_eq!(capped.len(), limit.min(all.len()));
+        prop_assert!(capped.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        for occ in &capped {
+            prop_assert!(all.contains(occ), "phantom occurrence {:?}", occ);
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! sequences pay a logarithmic price on every operation — exactly the
 //! Fredman–Saks bottleneck the paper's framework avoids.
 //!
-//! Implementation: a flat vector of small blocks (each ≤ [`MAX_BLOCK_BITS`]
+//! Implementation: a flat vector of small blocks (each ≤ `MAX_BLOCK_BITS`
 //! bits) plus Fenwick trees over per-block bit- and one-counts. Point
 //! updates to counts are O(log #blocks); block splits/merges trigger an
 //! amortized O(#blocks) Fenwick rebuild (once per ~thousand updates).

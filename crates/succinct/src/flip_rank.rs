@@ -1,11 +1,11 @@
 //! Rank over a fixed-length bit vector whose bits can be flipped in place.
 //!
-//! This is the stand-in for the Navarro–Sadakane dynamic structure [37] the
+//! This is the stand-in for the Navarro–Sadakane dynamic structure \[37\] the
 //! paper uses in Theorem 1 (counting): we never insert or delete *positions*
 //! (the suffix array of a static sub-index has fixed length), we only flip
 //! bits from 1 to 0 as documents are deleted, and we must count 1s in an
 //! arbitrary range `B[a..b]`. A Fenwick tree over 512-bit blocks gives
-//! O(log n) `rank` and `flip` — the same role as [37]'s
+//! O(log n) `rank` and `flip` — the same role as \[37\]'s
 //! O(log n / log log n), with constants that win at laptop scale.
 
 use crate::bits::{rank_in_word, WORD_BITS};

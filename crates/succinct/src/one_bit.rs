@@ -10,7 +10,7 @@
 //! bitmap directory marks which words are non-empty (and, recursively, which
 //! directory words are non-empty), so the *next* 1-bit after any position is
 //! found in O(levels) = O(log n / log w) word probes — effectively constant.
-//! This replaces the Mortensen–Pagh–Pătraşcu range-reporting structure [33]
+//! This replaces the Mortensen–Pagh–Pătraşcu range-reporting structure \[33\]
 //! used by Lemma 2 (see DESIGN.md, substitutions): same role, laptop-scale
 //! constant factors.
 

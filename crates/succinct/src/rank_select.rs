@@ -2,7 +2,7 @@
 //!
 //! Layout: cumulative popcounts per 512-bit superblock (8 words) give
 //! constant-time `rank`. `select` uses positions sampled every
-//! [`SELECT_SAMPLE`] ones (resp. zeros) to bound the scan, then finishes
+//! `SELECT_SAMPLE` ones (resp. zeros) to bound the scan, then finishes
 //! with word popcounts and [`crate::bits::select_in_word`]. This is the
 //! o(n)-overhead workhorse behind every static structure in the repository.
 

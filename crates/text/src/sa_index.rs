@@ -1,6 +1,6 @@
 //! A plain suffix-array index — the fast, `O(n log σ)`-bit-text static
 //! index plugged into the transformations for the paper's Table 3 regime
-//! (stand-in for Grossi–Vitter [22]; see DESIGN.md substitutions).
+//! (stand-in for Grossi–Vitter \[22\]; see DESIGN.md substitutions).
 //!
 //! Trade-off profile (vs the FM-index):
 //! * `locate` is **O(1)** (`SA[i]` is stored) instead of O(s) LF steps —

@@ -1,0 +1,99 @@
+//! Sharded store: concurrent search over a hash-partitioned collection.
+//!
+//! Run with: `cargo run --release --example sharded_search`
+//!
+//! Demonstrates the `dyndex-store` layer: documents hash-route across
+//! shards (each an independent Transformation-2 index), writes batch by
+//! shard, queries fan out in parallel and merge deterministically, and a
+//! scheduler thread installs background rebuilds off the query path.
+
+use dyndex::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn main() {
+    let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+        FmConfig { sample_rate: 8 },
+        StoreOptions {
+            num_shards: 4,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+            ..StoreOptions::default()
+        },
+    );
+
+    println!("== batched load across {} shards ==", store.num_shards());
+    let services = ["auth", "billing", "search", "ingest"];
+    let verbs = ["started", "completed", "failed", "retried"];
+    let batch: Vec<(u64, Vec<u8>)> = (0..2_000u64)
+        .map(|i| {
+            let line = format!(
+                "ts={i:06} service={} request {} user u{:03}",
+                services[i as usize % services.len()],
+                verbs[(i / 3) as usize % verbs.len()],
+                i % 100,
+            );
+            (i, line.into_bytes())
+        })
+        .collect();
+    for chunk in batch.chunks(128) {
+        store.insert_batch(chunk);
+    }
+    println!(
+        "loaded {} docs / {} bytes; {} rebuild jobs pending (scheduler drains them)",
+        store.num_docs(),
+        store.symbol_count(),
+        store.pending_background_jobs()
+    );
+
+    println!("\n== parallel fan-out queries (readers on their own threads) ==");
+    let queries = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (store, queries) = (&store, &queries);
+        for pattern in ["service=auth", "failed", "user u042"] {
+            scope.spawn(move || {
+                let hits = store.count(pattern.as_bytes());
+                let first = store.find_limit(pattern.as_bytes(), 3);
+                queries.fetch_add(1, Ordering::Relaxed);
+                println!(
+                    "{pattern:<14} -> {hits} hit(s); first {} (sorted): {:?}",
+                    first.len(),
+                    first
+                        .iter()
+                        .map(|o| format!("doc {} @ {}", o.doc, o.offset))
+                        .collect::<Vec<_>>()
+                );
+            });
+        }
+    });
+    assert_eq!(queries.load(Ordering::Relaxed), 3);
+
+    println!("\n== churn: drop completed requests, keep querying ==");
+    let doomed: Vec<u64> = (0..2_000u64).filter(|i| (i / 3) % 4 == 1).collect();
+    let removed = store.delete_batch(&doomed);
+    println!(
+        "deleted {removed} docs; count(\"completed\") = {}",
+        store.count(b"completed")
+    );
+
+    store.finish_background_work();
+    println!("\n== per-shard census ==");
+    let stats = store.stats();
+    for shard in &stats.shards {
+        println!(
+            "shard {}: {:>4} docs, {:>6} bytes, {} pending job(s), {} structures",
+            shard.shard,
+            shard.docs,
+            shard.symbols,
+            shard.pending_jobs,
+            shard.levels.len()
+        );
+    }
+    println!(
+        "total: {} docs, {} bytes, imbalance {:.2}, scheduler installed {} job(s), heap {} bytes",
+        stats.total_docs(),
+        stats.total_symbols(),
+        stats.imbalance(),
+        store.scheduler_installs(),
+        store.heap_bytes()
+    );
+}

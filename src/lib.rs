@@ -23,6 +23,9 @@
 //!   background rebuilding), Transformation 3 (A.4), counting (Thm 1).
 //! * [`relations`] — compressed dynamic binary relations (Thm 2) and
 //!   directed graphs (Thm 3).
+//! * [`store`] — a sharded, concurrent document store over the dynamic
+//!   indexes: hash routing, parallel query fan-out with deterministic
+//!   merge, batched writes, scheduled background maintenance.
 //! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
 //!   rebuild-from-scratch).
 //!
@@ -49,6 +52,7 @@
 pub use dyndex_baseline as baseline;
 pub use dyndex_core as core;
 pub use dyndex_relations as relations;
+pub use dyndex_store as store;
 pub use dyndex_succinct as succinct;
 pub use dyndex_text as text;
 
@@ -56,6 +60,7 @@ pub use dyndex_text as text;
 pub mod prelude {
     pub use dyndex_core::prelude::*;
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
+    pub use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions, StoreStats};
     pub use dyndex_succinct::SpaceUsage;
     pub use dyndex_text::Occurrence;
 }

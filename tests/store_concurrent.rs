@@ -1,0 +1,171 @@
+//! Integration: the sharded store vs one unsharded `Transform2Index` on
+//! the deterministic `DEFAULT_SEED` workload — byte-identical `count` /
+//! `find` answers while background maintenance jobs are in flight — plus
+//! genuinely concurrent readers and writers.
+
+use dyndex::prelude::*;
+use dyndex_bench::workloads::{markov_text, planted_patterns, rng, split_documents, DEFAULT_SEED};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+type Store = ShardedStore<FmIndexCompressed>;
+type Reference = Transform2Index<FmIndexCompressed>;
+
+fn fm() -> FmConfig {
+    FmConfig { sample_rate: 8 }
+}
+
+type Docs = Vec<(u64, Vec<u8>)>;
+
+/// The acceptance workload: seeded Markov text split into documents, with
+/// planted patterns (every query has hits).
+fn workload() -> (Docs, Vec<Vec<u8>>) {
+    let mut r = rng(DEFAULT_SEED);
+    let text = markov_text(&mut r, 40_000, 26, 2);
+    let docs = split_documents(&mut r, &text, 64, 256, 0);
+    let mut patterns = planted_patterns(&mut r, &docs, 6, 12);
+    patterns.push(b"zzzzzzzz".to_vec()); // absent pattern
+    (docs, patterns)
+}
+
+fn assert_store_matches(store: &Store, reference: &Reference, patterns: &[Vec<u8>], at: &str) {
+    for pattern in patterns {
+        assert_eq!(
+            store.count(pattern),
+            reference.count(pattern),
+            "count mismatch {at}, pattern {:?}",
+            String::from_utf8_lossy(pattern)
+        );
+        let sharded = store.find(pattern);
+        let mut single = reference.find(pattern);
+        single.sort();
+        assert_eq!(
+            sharded,
+            single,
+            "find mismatch {at}, pattern {:?}",
+            String::from_utf8_lossy(pattern)
+        );
+    }
+}
+
+/// Acceptance criterion: a 4-shard store answers byte-identically to an
+/// unsharded index on the `DEFAULT_SEED` workload, with queries served
+/// while background rebuild jobs are in flight.
+#[test]
+fn sharded_matches_unsharded_with_jobs_in_flight() {
+    let (docs, patterns) = workload();
+    let store = Store::new(
+        fm(),
+        StoreOptions {
+            num_shards: 4,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Manual,
+        },
+    );
+    let mut reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Background);
+
+    let mut saw_pending = 0usize;
+    for chunk in docs.chunks(24) {
+        store.insert_batch(chunk);
+        for (id, bytes) in chunk {
+            reference.insert(*id, bytes);
+        }
+        // Query mid-stream: background jobs from the batch are typically
+        // still building; answers must already be exact.
+        saw_pending += store.pending_background_jobs();
+        assert_store_matches(&store, &reference, &patterns[..3], "mid-insert");
+    }
+    assert!(
+        saw_pending > 0,
+        "workload must actually exercise in-flight background jobs"
+    );
+    assert_store_matches(&store, &reference, &patterns, "after inserts");
+    assert_eq!(store.num_docs(), docs.len());
+    assert_eq!(store.symbol_count(), reference.symbol_count());
+
+    // Delete a third of the documents through the batch path.
+    let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 3 == 0).collect();
+    assert_eq!(store.delete_batch(&doomed), doomed.len());
+    for id in &doomed {
+        reference.delete(*id);
+    }
+    assert_store_matches(&store, &reference, &patterns, "after deletes");
+
+    // Drain all maintenance on both sides; answers must not change.
+    store.finish_background_work();
+    reference.finish_background_work();
+    assert_eq!(store.pending_background_jobs(), 0);
+    assert_store_matches(&store, &reference, &patterns, "after drain");
+
+    let stats = store.stats();
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.total_docs(), docs.len() - doomed.len());
+    assert_eq!(stats.total_symbols(), store.symbol_count());
+    assert_eq!(stats.pending_jobs(), 0);
+}
+
+/// Readers on their own threads get exact answers while a writer thread
+/// streams inserts/deletes and the periodic scheduler installs rebuilds.
+#[test]
+fn concurrent_readers_during_writes_and_maintenance() {
+    let (docs, patterns) = workload();
+    let store = Store::new(
+        fm(),
+        StoreOptions {
+            num_shards: 4,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+        },
+    );
+    let total_occurrences: usize = patterns
+        .iter()
+        .map(|p| {
+            docs.iter()
+                .map(|(_, d)| d.windows(p.len()).filter(|w| *w == p.as_slice()).count())
+                .sum::<usize>()
+        })
+        .sum();
+
+    let writer_done = AtomicBool::new(false);
+    let reader_queries = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                while !writer_done.load(Ordering::Acquire) {
+                    for pattern in &patterns {
+                        // Monotone insert-only stream: every snapshot is
+                        // bounded by the final corpus total. (count and
+                        // find_limit are *separate* snapshots — the writer
+                        // may land documents between them.)
+                        let n = store.count(pattern);
+                        assert!(n <= total_occurrences);
+                        let hits = store.find_limit(pattern, 5);
+                        assert!(hits.len() <= 5);
+                        assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted merge");
+                        reader_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        for chunk in docs.chunks(16) {
+            store.insert_batch(chunk);
+        }
+        writer_done.store(true, Ordering::Release);
+    });
+    assert!(
+        reader_queries.load(Ordering::Relaxed) > 0,
+        "readers must have run concurrently with the writer"
+    );
+
+    // Settle and verify against the unsharded reference.
+    store.finish_background_work();
+    let mut reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Inline);
+    for (id, bytes) in &docs {
+        reference.insert(*id, bytes);
+    }
+    reference.finish_background_work();
+    assert_store_matches(&store, &reference, &patterns, "after concurrent run");
+    assert_eq!(store.num_docs(), docs.len());
+}
