@@ -176,6 +176,60 @@ impl<I: StaticIndex> DeletionOnlyIndex<I> {
         self.dead_symbols * tau >= (self.alive_symbols + self.dead_symbols).max(1)
     }
 
+    /// Copies the alive-suffix-row bits into a plain `BitVec`
+    /// (persistence encode path; the reporter and the optional counting
+    /// structure are both re-derived from it on load).
+    #[doc(hidden)]
+    pub fn persist_alive_bits(&self) -> dyndex_succinct::BitVec {
+        self.alive.to_bitvec()
+    }
+
+    /// Reassembles from parts (persistence decode path): the wrapped
+    /// static index, the alive-row bits, the counting flag, and the ids
+    /// of alive documents. Symbol accounting, the slot map, the Lemma 3
+    /// reporter, and the Theorem 1 rank structure are all re-derived.
+    /// Returns `Err` (never panics) on structurally inconsistent input.
+    #[doc(hidden)]
+    pub fn from_persist_parts(
+        index: I,
+        alive_rows: &dyndex_succinct::BitVec,
+        counting: bool,
+        alive_ids: &[u64],
+    ) -> Result<Self, String> {
+        if alive_rows.len() != index.text_len() {
+            return Err("alive bit vector length != suffix row count".into());
+        }
+        let all_slots: HashMap<u64, usize> = index
+            .doc_ids()
+            .iter()
+            .enumerate()
+            .map(|(slot, &id)| (id, slot))
+            .collect();
+        let mut slots = HashMap::with_capacity(alive_ids.len());
+        let mut alive_symbols = 0usize;
+        for &id in alive_ids {
+            let Some(&slot) = all_slots.get(&id) else {
+                return Err(format!("alive document {id} not stored in the index"));
+            };
+            if slots.insert(id, slot).is_some() {
+                return Err(format!("alive document {id} listed twice"));
+            }
+            alive_symbols += index.doc_len(slot);
+        }
+        let total = index.symbol_count();
+        if alive_symbols > total {
+            return Err("alive symbols exceed stored symbols".into());
+        }
+        Ok(DeletionOnlyIndex {
+            alive: OneBitReporter::from_bitvec(alive_rows),
+            counts: counting.then(|| FlipRank::from_bitvec(alive_rows)),
+            slots,
+            dead_symbols: total - alive_symbols,
+            alive_symbols,
+            index,
+        })
+    }
+
     /// Extracts all *alive* documents (purge/merge input).
     pub fn export_alive_docs(&self) -> Vec<(u64, Vec<u8>)> {
         self.index

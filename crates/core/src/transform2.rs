@@ -170,6 +170,48 @@ impl<I: StaticIndex> Default for Level<I> {
     }
 }
 
+/// Borrowed decomposition of a fully-quiesced [`Transform2Index`] — no
+/// jobs in flight, no locked/temp structures — used by the persistence
+/// layer's encode path. Level/top entries carry their original position
+/// so a thawed index reproduces the exact structure layout (and therefore
+/// the exact query-traversal order).
+#[doc(hidden)]
+pub struct FrozenView<'a, I: StaticIndex> {
+    /// `C0` documents in insertion-age order (see
+    /// `SuffixTree::export_docs_by_age`).
+    pub c0_docs: Vec<(u64, Vec<u8>)>,
+    /// Total level count (`schedule.caps.len()`), for validation.
+    pub num_levels: usize,
+    /// `(level index, C_i)` for every populated level.
+    pub levels: Vec<(usize, &'a DeletionOnlyIndex<I>)>,
+    /// Total top-slot count, including empty slots.
+    pub num_top_slots: usize,
+    /// `(slot, T)` for every live top collection.
+    pub tops: Vec<(usize, &'a DeletionOnlyIndex<I>)>,
+    /// `L'_r`, if present.
+    pub lr_prime: Option<&'a DeletionOnlyIndex<I>>,
+    /// The capacity schedule's reference size.
+    pub nf: usize,
+    /// Total alive bytes.
+    pub n: usize,
+    /// Lemma 1 pacing accumulator.
+    pub deleted_since_maintenance: usize,
+}
+
+/// Owned counterpart of [`FrozenView`] (persistence decode path).
+#[doc(hidden)]
+pub struct FrozenParts<I: StaticIndex> {
+    pub c0_docs: Vec<(u64, Vec<u8>)>,
+    pub num_levels: usize,
+    pub levels: Vec<(usize, DeletionOnlyIndex<I>)>,
+    pub num_top_slots: usize,
+    pub tops: Vec<(usize, DeletionOnlyIndex<I>)>,
+    pub lr_prime: Option<DeletionOnlyIndex<I>>,
+    pub nf: usize,
+    pub n: usize,
+    pub deleted_since_maintenance: usize,
+}
+
 /// A fully-dynamic document index with worst-case update cost
 /// (Transformation 2).
 #[derive(Debug)]
@@ -1015,6 +1057,163 @@ impl<I: StaticIndex> Transform2Index<I> {
             push(&mut out, "TempTop".into(), 0, tt);
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence (freeze / thaw)
+    // ------------------------------------------------------------------
+
+    /// The build configuration (persistence manifest).
+    #[doc(hidden)]
+    pub fn persist_config(&self) -> &I::Config {
+        &self.config
+    }
+
+    /// The dynamization options (persistence manifest).
+    #[doc(hidden)]
+    pub fn persist_options(&self) -> &DynOptions {
+        &self.options
+    }
+
+    /// Borrowed decomposition for snapshotting, or `None` unless the
+    /// index is fully quiesced (run [`Transform2Index::finish_background_work`]
+    /// first): any in-flight job, locked copy, or temp index means the
+    /// state is mid-rebuild and not snapshotable.
+    #[doc(hidden)]
+    pub fn freeze(&self) -> Option<FrozenView<'_, I>> {
+        let quiesced = self.jobs.iter().all(|j| j.is_none())
+            && self.top_job.is_none()
+            && self.temp_top.is_none()
+            && self
+                .levels
+                .iter()
+                .all(|l| l.locked.is_none() && l.temp.is_none());
+        if !quiesced {
+            return None;
+        }
+        debug_assert!(self.levels[0].cur.is_none(), "level 0 holds no C_i");
+        let levels = self
+            .levels
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter_map(|(i, l)| l.cur.as_ref().map(|c| (i, c)))
+            .collect();
+        let tops = self
+            .tops
+            .iter()
+            .enumerate()
+            .filter_map(|(t, top)| top.as_ref().map(|tt| (t, tt)))
+            .collect();
+        Some(FrozenView {
+            c0_docs: self.c0.export_docs_by_age(),
+            num_levels: self.levels.len(),
+            levels,
+            num_top_slots: self.tops.len(),
+            tops,
+            lr_prime: self.lr_prime.as_ref(),
+            nf: self.schedule.nf,
+            n: self.n,
+            deleted_since_maintenance: self.deleted_since_maintenance,
+        })
+    }
+
+    /// Rebuilds an index from frozen parts (persistence decode path).
+    /// The capacity schedule, location map, and `C0` suffix tree are all
+    /// re-derived; `options` must match the ones the snapshot was taken
+    /// under (the persistence manifest records them). Returns `Err`
+    /// (never panics) on structurally inconsistent input.
+    #[doc(hidden)]
+    pub fn thaw(
+        config: I::Config,
+        options: DynOptions,
+        mode: RebuildMode,
+        parts: FrozenParts<I>,
+    ) -> Result<Self, String> {
+        let schedule = CapacitySchedule::new_truncated(parts.nf, &options);
+        if schedule.caps.len() != parts.num_levels {
+            return Err(format!(
+                "schedule mismatch: snapshot has {} levels, options derive {}",
+                parts.num_levels,
+                schedule.caps.len()
+            ));
+        }
+        let mut locations: HashMap<u64, Loc> = HashMap::new();
+        let mut track = |id: u64, loc: Loc| -> Result<(), String> {
+            match locations.insert(id, loc) {
+                None => Ok(()),
+                Some(_) => Err(format!("document {id} appears in two structures")),
+            }
+        };
+        for (id, _) in &parts.c0_docs {
+            track(*id, Loc::C0)?;
+        }
+        let mut levels: Vec<Level<I>> = (0..parts.num_levels).map(|_| Level::default()).collect();
+        for (i, del) in parts.levels {
+            if i == 0 || i >= parts.num_levels {
+                return Err(format!("level index {i} out of range"));
+            }
+            for id in del.doc_ids() {
+                track(id, Loc::Cur(i))?;
+            }
+            if levels[i].cur.replace(del).is_some() {
+                return Err(format!("level {i} appears twice"));
+            }
+        }
+        let mut tops: Vec<Option<DeletionOnlyIndex<I>>> =
+            (0..parts.num_top_slots).map(|_| None).collect();
+        for (t, top) in parts.tops {
+            if t >= parts.num_top_slots {
+                return Err(format!("top slot {t} out of range"));
+            }
+            for id in top.doc_ids() {
+                track(id, Loc::Top(t))?;
+            }
+            if tops[t].replace(top).is_some() {
+                return Err(format!("top slot {t} appears twice"));
+            }
+        }
+        if let Some(lr) = &parts.lr_prime {
+            for id in lr.doc_ids() {
+                track(id, Loc::LrPrime)?;
+            }
+        }
+        let mut c0 = SuffixTree::new();
+        for (id, bytes) in &parts.c0_docs {
+            c0.insert(*id, bytes);
+        }
+        let mut total = c0.symbol_count();
+        for level in &levels {
+            total += level.cur.as_ref().map_or(0, |c| c.alive_symbols());
+        }
+        for top in tops.iter().flatten() {
+            total += top.alive_symbols();
+        }
+        total += parts.lr_prime.as_ref().map_or(0, |l| l.alive_symbols());
+        if total != parts.n {
+            return Err(format!(
+                "symbol accounting mismatch: structures hold {total}, snapshot says {}",
+                parts.n
+            ));
+        }
+        let jobs = (0..parts.num_levels).map(|_| None).collect();
+        Ok(Transform2Index {
+            c0,
+            levels,
+            jobs,
+            tops,
+            temp_top: None,
+            lr_prime: parts.lr_prime,
+            top_job: None,
+            schedule,
+            config,
+            options,
+            mode,
+            locations,
+            n: parts.n,
+            deleted_since_maintenance: parts.deleted_since_maintenance,
+            work: UpdateWork::default(),
+        })
     }
 
     /// Validates the §3 invariants.

@@ -1,0 +1,404 @@
+//! The zero-dependency binary codec: little-endian primitives, the
+//! [`Persist`] trait, and versioned + checksummed framing.
+//!
+//! ## Frame layout
+//!
+//! Every top-level persisted object (a snapshot manifest, one shard's
+//! state) is wrapped in a frame:
+//!
+//! ```text
+//! magic "DYXP" | version u16 | type tag u16 | payload_len u64
+//! payload bytes…                                | crc32(payload) u32
+//! ```
+//!
+//! The payload is decoded only after its CRC verifies, so decoders see
+//! either authenticated bytes or a typed [`PersistError::Corrupt`] —
+//! never a panic on flipped bits or truncation. Nested structures inside
+//! a payload are written *unframed* (the enclosing frame's checksum
+//! covers them); the per-structure [`Persist`] impls carry a stable
+//! [`Persist::TAG`] so container formats can record what they hold.
+
+use crate::error::PersistError;
+use std::io::{Read, Write};
+
+/// Magic bytes opening every frame ("DYndex eXchange/Persist").
+pub const MAGIC: [u8; 4] = *b"DYXP";
+/// Codec version this build writes (and the only one it reads).
+pub const VERSION: u16 = 1;
+
+/// A structure that can serialize itself to — and rebuild itself from —
+/// a byte stream.
+///
+/// `write_to` and `read_from` must round-trip exactly: decoding what was
+/// encoded yields a structurally identical value (same query answers,
+/// same traversal order). Implementations re-derive redundant
+/// acceleration state (rank directories, hash maps) on read instead of
+/// trusting it from the wire.
+pub trait Persist: Sized {
+    /// Stable type tag identifying this structure in frames/manifests.
+    const TAG: u16;
+
+    /// Serializes into `w`.
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()>;
+
+    /// Rebuilds from `r`, failing with a typed error (never panicking)
+    /// on inconsistent input.
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError>;
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — the frame checksum.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Primitive helpers (little-endian).
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> std::io::Result<()> {
+    w.write_all(&[v])
+}
+
+pub(crate) fn write_u16<W: Write>(w: &mut W, v: u16) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn write_usize<W: Write>(w: &mut W, v: usize) -> std::io::Result<()> {
+    write_u64(w, v as u64)
+}
+
+pub(crate) fn write_bool<W: Write>(w: &mut W, v: bool) -> std::io::Result<()> {
+    write_u8(w, v as u8)
+}
+
+pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> std::io::Result<()> {
+    write_u64(w, v.to_bits())
+}
+
+pub(crate) fn write_bytes<W: Write>(w: &mut W, v: &[u8]) -> std::io::Result<()> {
+    write_usize(w, v.len())?;
+    w.write_all(v)
+}
+
+pub(crate) fn write_str<W: Write>(w: &mut W, v: &str) -> std::io::Result<()> {
+    write_bytes(w, v.as_bytes())
+}
+
+pub(crate) fn write_u64_slice<W: Write>(w: &mut W, v: &[u64]) -> std::io::Result<()> {
+    write_usize(w, v.len())?;
+    for &x in v {
+        write_u64(w, x)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn write_usize_slice<W: Write>(w: &mut W, v: &[usize]) -> std::io::Result<()> {
+    write_usize(w, v.len())?;
+    for &x in v {
+        write_usize(w, x)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
+    let mut buf = [0u8; 1];
+    r.read_exact(&mut buf)?;
+    Ok(buf[0])
+}
+
+pub(crate) fn read_u16<R: Read>(r: &mut R) -> Result<u16, PersistError> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub(crate) fn read_usize<R: Read>(r: &mut R) -> Result<usize, PersistError> {
+    usize::try_from(read_u64(r)?).map_err(|_| PersistError::corrupt("length exceeds usize"))
+}
+
+pub(crate) fn read_bool<R: Read>(r: &mut R) -> Result<bool, PersistError> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(PersistError::corrupt(format!("bad bool byte {b:#04x}"))),
+    }
+}
+
+pub(crate) fn read_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+/// Cap on the *initial* allocation for any length-prefixed vector: bogus
+/// lengths in unauthenticated bytes grow the buffer adaptively instead
+/// of reserving terabytes up front.
+const PREALLOC_CAP: usize = 1 << 20;
+
+pub(crate) fn read_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
+    let len = read_usize(r)?;
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let copied = r.take(len as u64).read_to_end(&mut out)?;
+    if copied != len {
+        return Err(PersistError::corrupt("byte string truncated"));
+    }
+    Ok(out)
+}
+
+pub(crate) fn read_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
+    String::from_utf8(read_bytes(r)?).map_err(|_| PersistError::corrupt("invalid utf-8 string"))
+}
+
+pub(crate) fn read_u64_vec<R: Read>(r: &mut R) -> Result<Vec<u64>, PersistError> {
+    let len = read_usize(r)?;
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP / 8));
+    for _ in 0..len {
+        out.push(read_u64(r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn read_usize_vec<R: Read>(r: &mut R) -> Result<Vec<usize>, PersistError> {
+    let len = read_usize(r)?;
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP / 8));
+    for _ in 0..len {
+        out.push(read_usize(r)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Serializes `payload` under a `tag`-typed, versioned, checksummed
+/// frame and writes the whole frame to `w`.
+pub fn write_frame<W: Write>(w: &mut W, tag: u16, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&MAGIC)?;
+    write_u16(w, VERSION)?;
+    write_u16(w, tag)?;
+    write_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    write_u32(w, crc32(payload))
+}
+
+/// Reads one frame from `r`, validating magic, version, `expected_tag`,
+/// and the payload checksum; returns the authenticated payload bytes.
+pub fn read_frame<R: Read>(r: &mut R, expected_tag: u16) -> Result<Vec<u8>, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(PersistError::corrupt("bad frame magic"));
+    }
+    let version = read_u16(r)?;
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let tag = read_u16(r)?;
+    if tag != expected_tag {
+        return Err(PersistError::WrongType {
+            found: tag,
+            expected: expected_tag,
+        });
+    }
+    let len = read_u64(r)?;
+    let mut payload = Vec::with_capacity((len as usize).min(PREALLOC_CAP));
+    let copied = r.take(len).read_to_end(&mut payload)?;
+    if copied as u64 != len {
+        return Err(PersistError::corrupt("frame payload truncated"));
+    }
+    let crc = read_u32(r)?;
+    if crc != crc32(&payload) {
+        return Err(PersistError::corrupt("frame checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Frames `value` (payload serialized via [`Persist::write_to`], tag from
+/// [`Persist::TAG`]) into a fresh byte buffer.
+pub fn encode_framed<T: Persist>(value: &T) -> std::io::Result<Vec<u8>> {
+    let mut payload = Vec::new();
+    value.write_to(&mut payload)?;
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    write_frame(&mut out, T::TAG, &payload)?;
+    Ok(out)
+}
+
+/// Decodes a [`Persist`] value from one frame, requiring the payload to
+/// be fully consumed.
+pub fn decode_framed<T: Persist, R: Read>(r: &mut R) -> Result<T, PersistError> {
+    let payload = read_frame(r, T::TAG)?;
+    let mut cursor = std::io::Cursor::new(payload);
+    let value = T::read_from(&mut cursor)?;
+    if cursor.position() != cursor.get_ref().len() as u64 {
+        return Err(PersistError::corrupt("trailing bytes after payload"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Crash-atomic file writes.
+// ---------------------------------------------------------------------
+
+/// Writes `bytes` to `path` atomically: write to a same-directory temp
+/// file, fsync it, rename over `path`, then fsync the directory. A crash
+/// at any point leaves either the old file or the new one — never a
+/// torn mix.
+pub fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let dir = path
+        .parent()
+        .ok_or_else(|| PersistError::corrupt("target path has no parent directory"))?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| PersistError::corrupt("target path has no file name"))?;
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        // Directory fsync makes the rename itself durable; best-effort on
+        // platforms that refuse to fsync directories.
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u16(&mut buf, 300).unwrap();
+        write_u32(&mut buf, 70_000).unwrap();
+        write_u64(&mut buf, u64::MAX - 1).unwrap();
+        write_bool(&mut buf, true).unwrap();
+        write_f64(&mut buf, 0.5).unwrap();
+        write_bytes(&mut buf, b"hello").unwrap();
+        write_str(&mut buf, "né").unwrap();
+        write_u64_slice(&mut buf, &[1, 2, 3]).unwrap();
+        write_usize_slice(&mut buf, &[9, 10]).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_u8(&mut r).unwrap(), 7);
+        assert_eq!(read_u16(&mut r).unwrap(), 300);
+        assert_eq!(read_u32(&mut r).unwrap(), 70_000);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 1);
+        assert!(read_bool(&mut r).unwrap());
+        assert_eq!(read_f64(&mut r).unwrap(), 0.5);
+        assert_eq!(read_bytes(&mut r).unwrap(), b"hello");
+        assert_eq!(read_str(&mut r).unwrap(), "né");
+        assert_eq!(read_u64_vec(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(read_usize_vec(&mut r).unwrap(), vec![9, 10]);
+    }
+
+    #[test]
+    fn frame_rejects_corruption() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x42, b"payload bytes").unwrap();
+        // intact
+        let got = read_frame(&mut std::io::Cursor::new(buf.clone()), 0x42).unwrap();
+        assert_eq!(got, b"payload bytes");
+        // wrong tag
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(buf.clone()), 0x43),
+            Err(PersistError::WrongType { .. })
+        ));
+        // flipped payload byte
+        let mut bad = buf.clone();
+        bad[20] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(bad), 0x42),
+            Err(PersistError::Corrupt { .. })
+        ));
+        // truncated
+        let short = &buf[..buf.len() - 3];
+        assert!(read_frame(&mut std::io::Cursor::new(short.to_vec()), 0x42).is_err());
+        // bad version
+        let mut vbad = buf.clone();
+        vbad[4] = 0xEE;
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(vbad), 0x42),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+        // bad magic
+        let mut mbad = buf;
+        mbad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(mbad), 0x42),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn bogus_length_does_not_overallocate() {
+        // A length prefix of 2^60 must fail with a typed error, not abort
+        // on allocation.
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1u64 << 60).unwrap();
+        buf.extend_from_slice(b"short");
+        assert!(read_bytes(&mut std::io::Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! [`Persist`] implementations for the transformation layer: build
+//! configurations, dynamization options, the §2 deletion-only wrapper,
+//! and the frozen decomposition of a quiesced `Transform2Index` (the
+//! payload of one shard's snapshot file).
+
+use crate::codec::{
+    read_bool, read_bytes, read_f64, read_u64, read_u64_vec, read_u8, read_usize, write_bool,
+    write_bytes, write_f64, write_u64, write_u8, write_usize, Persist,
+};
+use crate::error::PersistError;
+use dyndex_core::transform2::{FrozenParts, FrozenView};
+use dyndex_core::{DeletionOnlyIndex, DynOptions, FmConfig, Growth, StaticIndex};
+use dyndex_succinct::BitVec;
+use std::io::{Read, Write};
+
+impl Persist for FmConfig {
+    const TAG: u16 = 0x0020;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.sample_rate)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let sample_rate = read_usize(r)?;
+        if sample_rate == 0 {
+            return Err(PersistError::corrupt("fm config: zero sample rate"));
+        }
+        Ok(FmConfig { sample_rate })
+    }
+}
+
+/// The unit config (e.g. `SaIndex`'s) persists as nothing at all.
+impl Persist for () {
+    const TAG: u16 = 0x0021;
+
+    fn write_to<W: Write>(&self, _w: &mut W) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn read_from<R: Read>(_r: &mut R) -> Result<Self, PersistError> {
+        Ok(())
+    }
+}
+
+impl Persist for DynOptions {
+    const TAG: u16 = 0x0022;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.tau)?;
+        write_bool(w, self.counting)?;
+        match self.growth {
+            Growth::PolyLog { eps } => {
+                write_u8(w, 0)?;
+                write_f64(w, eps)?;
+            }
+            Growth::Doubling => write_u8(w, 1)?,
+        }
+        write_usize(w, self.min_capacity)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let tau = read_usize(r)?;
+        let counting = read_bool(r)?;
+        let growth = match read_u8(r)? {
+            0 => {
+                let eps = read_f64(r)?;
+                if !eps.is_finite() || eps <= 0.0 || eps > 1.0 {
+                    return Err(PersistError::corrupt("options: eps out of range"));
+                }
+                Growth::PolyLog { eps }
+            }
+            1 => Growth::Doubling,
+            k => {
+                return Err(PersistError::corrupt(format!(
+                    "options: bad growth kind {k}"
+                )))
+            }
+        };
+        let min_capacity = read_usize(r)?;
+        if tau == 0 || min_capacity == 0 {
+            return Err(PersistError::corrupt("options: zero tau or min_capacity"));
+        }
+        Ok(DynOptions {
+            tau,
+            counting,
+            growth,
+            min_capacity,
+        })
+    }
+}
+
+impl<I: StaticIndex + Persist> Persist for DeletionOnlyIndex<I> {
+    /// Distinct per wrapped index type: `0x0200 | I::TAG`.
+    const TAG: u16 = 0x0200 | I::TAG;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.inner().write_to(w)?;
+        self.persist_alive_bits().write_to(w)?;
+        write_bool(w, self.counting_enabled())?;
+        // Alive ids sorted so identical logical state encodes to
+        // identical bytes (the in-memory slot map is hash-ordered).
+        let mut ids: Vec<u64> = self.doc_ids().collect();
+        ids.sort_unstable();
+        write_usize(w, ids.len())?;
+        for id in ids {
+            write_u64(w, id)?;
+        }
+        Ok(())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let index = I::read_from(r)?;
+        let alive = BitVec::read_from(r)?;
+        let counting = read_bool(r)?;
+        let ids = read_u64_vec(r)?;
+        DeletionOnlyIndex::from_persist_parts(index, &alive, counting, &ids)
+            .map_err(PersistError::corrupt)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frozen Transform2 shard payload.
+// ---------------------------------------------------------------------
+
+/// Serializes a quiesced shard decomposition (see
+/// `Transform2Index::freeze`): `C0`'s documents in age order, every
+/// static level and top collection with its original position, `L'_r`,
+/// and the scheduling scalars needed to resume exactly where the
+/// snapshot left off.
+pub(crate) fn write_frozen_view<I, W>(w: &mut W, view: &FrozenView<'_, I>) -> std::io::Result<()>
+where
+    I: StaticIndex + Persist,
+    W: Write,
+{
+    write_usize(w, view.n)?;
+    write_usize(w, view.nf)?;
+    write_usize(w, view.deleted_since_maintenance)?;
+    write_usize(w, view.num_levels)?;
+    write_usize(w, view.num_top_slots)?;
+    write_usize(w, view.c0_docs.len())?;
+    for (id, bytes) in &view.c0_docs {
+        write_u64(w, *id)?;
+        write_bytes(w, bytes)?;
+    }
+    write_usize(w, view.levels.len())?;
+    for (i, del) in &view.levels {
+        write_usize(w, *i)?;
+        del.write_to(w)?;
+    }
+    write_usize(w, view.tops.len())?;
+    for (t, top) in &view.tops {
+        write_usize(w, *t)?;
+        top.write_to(w)?;
+    }
+    match view.lr_prime {
+        Some(lr) => {
+            write_bool(w, true)?;
+            lr.write_to(w)
+        }
+        None => write_bool(w, false),
+    }
+}
+
+/// Decodes the owned counterpart of [`write_frozen_view`]'s output.
+pub(crate) fn read_frozen_parts<I, R>(r: &mut R) -> Result<FrozenParts<I>, PersistError>
+where
+    I: StaticIndex + Persist,
+    R: Read,
+{
+    let n = read_usize(r)?;
+    let nf = read_usize(r)?;
+    let deleted_since_maintenance = read_usize(r)?;
+    let num_levels = read_usize(r)?;
+    let num_top_slots = read_usize(r)?;
+    let n_c0 = read_usize(r)?;
+    let mut c0_docs = Vec::with_capacity(n_c0.min(1 << 16));
+    for _ in 0..n_c0 {
+        let id = read_u64(r)?;
+        let bytes = read_bytes(r)?;
+        c0_docs.push((id, bytes));
+    }
+    let n_levels = read_usize(r)?;
+    let mut levels = Vec::with_capacity(n_levels.min(1 << 10));
+    for _ in 0..n_levels {
+        let i = read_usize(r)?;
+        levels.push((i, DeletionOnlyIndex::<I>::read_from(r)?));
+    }
+    let n_tops = read_usize(r)?;
+    let mut tops = Vec::with_capacity(n_tops.min(1 << 10));
+    for _ in 0..n_tops {
+        let t = read_usize(r)?;
+        tops.push((t, DeletionOnlyIndex::<I>::read_from(r)?));
+    }
+    let lr_prime = if read_bool(r)? {
+        Some(DeletionOnlyIndex::<I>::read_from(r)?)
+    } else {
+        None
+    };
+    Ok(FrozenParts {
+        c0_docs,
+        num_levels,
+        levels,
+        num_top_slots,
+        tops,
+        lr_prime,
+        nf,
+        n,
+        deleted_since_maintenance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::{RebuildMode, Transform2Index};
+    use dyndex_succinct::HuffmanWavelet;
+    use dyndex_text::FmIndex;
+
+    type Fm = FmIndex<HuffmanWavelet>;
+
+    fn opts() -> DynOptions {
+        DynOptions {
+            min_capacity: 32,
+            tau: 4,
+            ..DynOptions::default()
+        }
+    }
+
+    #[test]
+    fn dyn_options_roundtrip() {
+        for o in [
+            DynOptions::default(),
+            DynOptions {
+                growth: Growth::Doubling,
+                counting: false,
+                ..DynOptions::default()
+            },
+        ] {
+            let mut buf = Vec::new();
+            o.write_to(&mut buf).unwrap();
+            let back = DynOptions::read_from(&mut std::io::Cursor::new(buf)).unwrap();
+            assert_eq!(back.tau, o.tau);
+            assert_eq!(back.counting, o.counting);
+            assert_eq!(back.growth, o.growth);
+            assert_eq!(back.min_capacity, o.min_capacity);
+        }
+    }
+
+    #[test]
+    fn deletion_only_roundtrip_preserves_order() {
+        let docs: &[(u64, &[u8])] = &[
+            (1, b"abracadabra"),
+            (2, b"bazaar bazaar"),
+            (3, b"cadillac"),
+            (4, b"abra"),
+        ];
+        let mut del = DeletionOnlyIndex::<Fm>::build(docs, &FmConfig { sample_rate: 4 }, true);
+        del.delete(2);
+        let mut buf = Vec::new();
+        del.write_to(&mut buf).unwrap();
+        let back =
+            DeletionOnlyIndex::<Fm>::read_from(&mut std::io::Cursor::new(&buf)).expect("read");
+        assert_eq!(back.num_docs(), del.num_docs());
+        assert_eq!(back.alive_symbols(), del.alive_symbols());
+        assert_eq!(back.dead_symbols(), del.dead_symbols());
+        for p in [b"abra".as_slice(), b"a", b"za", b"qqq"] {
+            // exact order, not just set equality
+            assert_eq!(back.find(p), del.find(p));
+            assert_eq!(back.find_limit(p, 2), del.find_limit(p, 2));
+            assert_eq!(back.count(p), del.count(p));
+        }
+    }
+
+    #[test]
+    fn frozen_shard_roundtrip() {
+        let mut idx =
+            Transform2Index::<Fm>::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        for i in 0..150u64 {
+            idx.insert(
+                i,
+                format!("frozen shard doc {i} {}", "pad".repeat(i as usize % 4)).as_bytes(),
+            );
+        }
+        for i in (0..150u64).step_by(3) {
+            idx.delete(i);
+        }
+        idx.finish_background_work();
+        let view = idx.freeze().expect("quiesced after finish");
+        let mut buf = Vec::new();
+        write_frozen_view(&mut buf, &view).unwrap();
+        drop(view);
+        let parts = read_frozen_parts::<Fm, _>(&mut std::io::Cursor::new(&buf)).expect("read");
+        let back = Transform2Index::<Fm>::thaw(
+            FmConfig { sample_rate: 4 },
+            opts(),
+            RebuildMode::Inline,
+            parts,
+        )
+        .expect("thaw");
+        assert_eq!(back.num_docs(), idx.num_docs());
+        assert_eq!(back.symbol_count(), idx.symbol_count());
+        back.check_invariants();
+        for p in [b"frozen".as_slice(), b"doc 1", b"pad", b"absent"] {
+            assert_eq!(back.count(p), idx.count(p));
+            assert_eq!(back.find(p), idx.find(p), "find order must match");
+            for limit in [1usize, 7, 1000] {
+                assert_eq!(
+                    back.find_limit(p, limit),
+                    idx.find_limit(p, limit),
+                    "find_limit({limit}) must match byte-for-byte"
+                );
+            }
+        }
+        for id in 0..150u64 {
+            assert_eq!(back.extract(id, 0, 64), idx.extract(id, 0, 64));
+        }
+    }
+
+    #[test]
+    fn thaw_rejects_wrong_options() {
+        let mut idx =
+            Transform2Index::<Fm>::new(FmConfig { sample_rate: 4 }, opts(), RebuildMode::Inline);
+        for i in 0..60u64 {
+            idx.insert(i, format!("doc {i}").as_bytes());
+        }
+        idx.finish_background_work();
+        let view = idx.freeze().expect("quiesced");
+        let mut buf = Vec::new();
+        write_frozen_view(&mut buf, &view).unwrap();
+        drop(view);
+        let parts = read_frozen_parts::<Fm, _>(&mut std::io::Cursor::new(&buf)).unwrap();
+        // A wildly different schedule yields a different level count.
+        let wrong = DynOptions {
+            min_capacity: 4096,
+            tau: 2,
+            growth: Growth::Doubling,
+            ..DynOptions::default()
+        };
+        let r = Transform2Index::<Fm>::thaw(
+            FmConfig { sample_rate: 4 },
+            wrong,
+            RebuildMode::Inline,
+            parts,
+        );
+        assert!(r.is_err(), "mismatched options must be rejected");
+    }
+}

@@ -1,0 +1,337 @@
+//! [`DurableStore`]: a [`ShardedStore`] that survives restarts.
+//!
+//! Every mutation is appended to the owning shard's write-ahead log
+//! before it is applied in memory, so the on-disk state (last snapshot
+//! plus WAL tails) always covers the in-memory state. [`DurableStore::open`]
+//! restores the last committed snapshot and replays the tails through
+//! the normal dynamic-buffer path — recovering the exact pre-crash
+//! logical state without rebuilding any static index.
+//!
+//! Queries delegate straight to the wrapped store (same fan-out, same
+//! deterministic merge); only mutations pay the logging detour.
+
+use crate::codec::Persist;
+use crate::error::PersistError;
+use crate::snapshot::{
+    read_manifest, replay_wal, restore_snapshot, write_snapshot, RestoreOptions, SnapshotStats,
+    MANIFEST_FILE,
+};
+use crate::wal::{read_wal_records, wal_path, WalRecord, WalWriter};
+use dyndex_core::StaticIndex;
+use dyndex_store::{ShardedStore, StoreOptions, StoreStats};
+use dyndex_text::Occurrence;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A sharded store with a snapshot directory and per-shard write-ahead
+/// logs. All methods take `&self` (internal synchronization), matching
+/// the wrapped [`ShardedStore`].
+pub struct DurableStore<I>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    store: ShardedStore<I>,
+    dir: PathBuf,
+    /// One log per shard; the mutex also serializes same-shard writers
+    /// so log order matches apply order.
+    wals: Vec<Mutex<WalWriter>>,
+    /// Global mutation sequence; each logged record gets the next value.
+    seq: AtomicU64,
+    /// Bytes on disk of the last committed snapshot.
+    snapshot_bytes: AtomicU64,
+}
+
+impl<I> DurableStore<I>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    /// Creates a fresh durable store in `dir` (which must not already
+    /// hold one): builds the in-memory store, commits an initial empty
+    /// snapshot, and opens the logs.
+    pub fn create(
+        dir: &Path,
+        config: I::Config,
+        options: StoreOptions,
+    ) -> Result<Self, PersistError> {
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(PersistError::manifest(format!(
+                "{} already holds a durable store (use open)",
+                dir.display()
+            )));
+        }
+        let store = ShardedStore::new(config, options);
+        let stats = write_snapshot(&store, dir, 0)?;
+        let wals = Self::open_wals(dir, store.num_shards())?;
+        Ok(DurableStore {
+            store,
+            dir: dir.to_path_buf(),
+            wals,
+            seq: AtomicU64::new(0),
+            snapshot_bytes: AtomicU64::new(stats.bytes_on_disk),
+        })
+    }
+
+    /// Opens an existing durable store: restores the last committed
+    /// snapshot, replays the WAL tails, and resumes logging after the
+    /// highest replayed sequence number.
+    pub fn open(dir: &Path, options: RestoreOptions) -> Result<Self, PersistError> {
+        let manifest = read_manifest(dir)?;
+        let store = restore_snapshot::<I>(dir, &manifest, &options)?;
+        let max_seq = if manifest.wal_seq == crate::snapshot::NO_WAL {
+            // The snapshot was written without WAL coverage (plain
+            // `StorePersist::snapshot`). NO_WAL means "do not replay" —
+            // but if logs with records coexist, whether they pre- or
+            // post-date the snapshot is unknowable; refuse rather than
+            // guess (re-applying covered records would corrupt state).
+            for shard in 0..store.num_shards() {
+                if !read_wal_records(&wal_path(dir, shard))?.is_empty() {
+                    return Err(PersistError::manifest(
+                        "snapshot carries no WAL watermark but write-ahead logs \
+                         contain records; re-snapshot through DurableStore or \
+                         remove the stale wal/ directory",
+                    ));
+                }
+            }
+            0
+        } else {
+            replay_wal(&store, dir, manifest.wal_seq)?
+        };
+        let wals = Self::open_wals(dir, store.num_shards())?;
+        // Same accounting as SnapshotStats::bytes_on_disk: shard files
+        // plus the manifest itself.
+        let snapshot_bytes = manifest.shards.iter().map(|e| e.bytes).sum::<u64>()
+            + std::fs::metadata(dir.join(MANIFEST_FILE))?.len();
+        Ok(DurableStore {
+            store,
+            dir: dir.to_path_buf(),
+            wals,
+            seq: AtomicU64::new(max_seq),
+            snapshot_bytes: AtomicU64::new(snapshot_bytes),
+        })
+    }
+
+    fn open_wals(dir: &Path, num_shards: usize) -> Result<Vec<Mutex<WalWriter>>, PersistError> {
+        (0..num_shards)
+            .map(|s| Ok(Mutex::new(WalWriter::open_append(wal_path(dir, s))?)))
+            .collect()
+    }
+
+    /// The snapshot directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The wrapped in-memory store. Queries through it are fine;
+    /// mutations through it would bypass the log and be lost on restart —
+    /// use this store's own mutation methods.
+    pub fn store(&self) -> &ShardedStore<I> {
+        &self.store
+    }
+
+    fn wal(&self, shard: usize) -> MutexGuard<'_, WalWriter> {
+        self.wals[shard].lock().expect("wal lock poisoned")
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Logged mutations
+    // ------------------------------------------------------------------
+
+    /// Inserts one document (logged, then applied).
+    ///
+    /// # Panics
+    /// Panics if `doc_id` is already present (same contract as
+    /// [`ShardedStore::insert`]) — checked *before* the log is written.
+    pub fn insert(&self, doc_id: u64, bytes: &[u8]) -> Result<(), PersistError> {
+        self.insert_batch(&[(doc_id, bytes.to_vec())])
+    }
+
+    /// Inserts a batch, logging each shard's group to its WAL before
+    /// applying it; groups for different shards proceed in parallel.
+    ///
+    /// # Panics
+    /// Panics if any id is already present or duplicated in the batch
+    /// (checked per shard before that shard's log is written).
+    pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) -> Result<(), PersistError> {
+        let mut groups: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); self.store.num_shards()];
+        for (id, bytes) in docs {
+            groups[self.store.shard_of(*id)].push((*id, bytes.clone()));
+        }
+        self.for_each_group(groups, |shard, group| {
+            let mut wal = self.wal(shard);
+            // Duplicates must be rejected before the log records them —
+            // a record that cannot replay would poison recovery.
+            let mut seen = std::collections::HashSet::with_capacity(group.len());
+            for (id, _) in &group {
+                assert!(seen.insert(*id), "document {id} duplicated in batch");
+                assert!(!self.store.contains(*id), "document {id} already present");
+            }
+            let seq = self.next_seq();
+            let record = WalRecord::InsertBatch(group);
+            wal.append(seq, &record)?;
+            let WalRecord::InsertBatch(docs) = &record else {
+                unreachable!("just constructed");
+            };
+            for (id, bytes) in docs {
+                self.store.insert(*id, bytes);
+            }
+            Ok(0usize)
+        })
+        .map(|_| ())
+    }
+
+    /// Deletes one document (logged, then applied); returns its bytes.
+    pub fn delete(&self, doc_id: u64) -> Result<Option<Vec<u8>>, PersistError> {
+        let shard = self.store.shard_of(doc_id);
+        let mut wal = self.wal(shard);
+        if !self.store.contains(doc_id) {
+            return Ok(None);
+        }
+        let seq = self.next_seq();
+        wal.append(seq, &WalRecord::DeleteBatch(vec![doc_id]))?;
+        Ok(self.store.delete(doc_id))
+    }
+
+    /// Deletes a batch (logged per shard, then applied); returns how
+    /// many ids were present and removed.
+    pub fn delete_batch(&self, ids: &[u64]) -> Result<usize, PersistError> {
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.store.num_shards()];
+        for &id in ids {
+            groups[self.store.shard_of(id)].push(id);
+        }
+        self.for_each_group(groups, |shard, group| {
+            let mut wal = self.wal(shard);
+            let present: Vec<u64> = group
+                .iter()
+                .copied()
+                .filter(|&id| self.store.contains(id))
+                .collect();
+            if present.is_empty() {
+                return Ok(0);
+            }
+            let seq = self.next_seq();
+            wal.append(seq, &WalRecord::DeleteBatch(present.clone()))?;
+            Ok(present
+                .into_iter()
+                .filter(|&id| self.store.delete(id).is_some())
+                .count())
+        })
+    }
+
+    /// Runs `f` for every non-empty shard group on its own scoped
+    /// thread, summing the results (the WAL mutex inside `f` serializes
+    /// same-shard work; different shards proceed in parallel).
+    fn for_each_group<T, F>(&self, groups: Vec<Vec<T>>, f: F) -> Result<usize, PersistError>
+    where
+        T: Send,
+        F: Fn(usize, Vec<T>) -> Result<usize, PersistError> + Sync,
+    {
+        let results: Vec<Result<usize, PersistError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .filter(|(_, g)| !g.is_empty())
+                .map(|(shard, group)| {
+                    let f = &f;
+                    scope.spawn(move || f(shard, group))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("durable write thread panicked"))
+                .collect()
+        });
+        let mut total = 0usize;
+        for r in results {
+            total += r?;
+        }
+        Ok(total)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability control
+    // ------------------------------------------------------------------
+
+    /// Commits a new snapshot generation covering everything applied so
+    /// far, then truncates the logs it covers. Writers are held off (via
+    /// the WAL locks) for the duration.
+    pub fn snapshot(&self) -> Result<SnapshotStats, PersistError> {
+        let mut wals: Vec<MutexGuard<'_, WalWriter>> =
+            (0..self.wals.len()).map(|s| self.wal(s)).collect();
+        let seq = self.seq.load(Ordering::SeqCst);
+        let stats = write_snapshot(&self.store, &self.dir, seq)?;
+        for wal in wals.iter_mut() {
+            wal.truncate()?;
+        }
+        self.snapshot_bytes
+            .store(stats.bytes_on_disk, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// fsyncs every log file (power-failure durability; plain appends
+    /// already survive process crashes).
+    pub fn sync_wal(&self) -> Result<(), PersistError> {
+        for s in 0..self.wals.len() {
+            self.wal(s).sync()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Delegated queries
+    // ------------------------------------------------------------------
+
+    /// See [`ShardedStore::count`].
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        self.store.count(pattern)
+    }
+
+    /// See [`ShardedStore::find`].
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        self.store.find(pattern)
+    }
+
+    /// See [`ShardedStore::find_limit`].
+    pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
+        self.store.find_limit(pattern, limit)
+    }
+
+    /// See [`ShardedStore::extract`].
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        self.store.extract(doc_id, offset, len)
+    }
+
+    /// See [`ShardedStore::contains`].
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.store.contains(doc_id)
+    }
+
+    /// See [`ShardedStore::num_docs`].
+    pub fn num_docs(&self) -> usize {
+        self.store.num_docs()
+    }
+
+    /// See [`ShardedStore::symbol_count`].
+    pub fn symbol_count(&self) -> usize {
+        self.store.symbol_count()
+    }
+
+    /// See [`ShardedStore::flush`].
+    pub fn flush(&self) {
+        self.store.flush();
+    }
+
+    /// Store census with [`StoreStats::snapshot_bytes`] filled in from
+    /// the last committed snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.store.stats();
+        stats.snapshot_bytes = Some(self.snapshot_bytes.load(Ordering::Relaxed));
+        stats
+    }
+}

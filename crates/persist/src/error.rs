@@ -1,0 +1,109 @@
+//! The typed error surface of the persistence layer.
+//!
+//! Restore paths must *never* panic on bad bytes: a truncated file, a
+//! flipped bit, or a stale manifest all surface as a [`PersistError`]
+//! variant so callers can fall back (e.g. to an older snapshot or a full
+//! rebuild) instead of crashing the process they were trying to revive.
+
+use std::fmt;
+
+/// Everything that can go wrong writing or reading durable state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying I/O failure (missing file, permission, short write).
+    Io(std::io::Error),
+    /// The bytes are structurally invalid: bad magic, checksum mismatch,
+    /// truncation, or an internal inconsistency the decoder caught.
+    Corrupt {
+        /// What was being decoded and what failed.
+        context: String,
+    },
+    /// The file was written by an incompatible codec version.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u16,
+        /// Version this build writes and reads.
+        expected: u16,
+    },
+    /// The frame exists and checksums, but holds a different structure
+    /// (or a store of a different index type) than the caller asked for.
+    WrongType {
+        /// Type tag found in the frame header.
+        found: u16,
+        /// Type tag the caller expected.
+        expected: u16,
+    },
+    /// The snapshot manifest is inconsistent with the shard files or the
+    /// caller's request (shard count, routing algorithm, options…).
+    Manifest {
+        /// Human-readable mismatch description.
+        context: String,
+    },
+}
+
+impl PersistError {
+    /// Shorthand for a corruption error.
+    pub(crate) fn corrupt(context: impl Into<String>) -> Self {
+        PersistError::Corrupt {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand for a manifest mismatch.
+    pub(crate) fn manifest(context: impl Into<String>) -> Self {
+        PersistError::Manifest {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persistence I/O error: {e}"),
+            PersistError::Corrupt { context } => write!(f, "corrupt persisted data: {context}"),
+            PersistError::UnsupportedVersion { found, expected } => write!(
+                f,
+                "unsupported persistence format version {found} (this build reads {expected})"
+            ),
+            PersistError::WrongType { found, expected } => write!(
+                f,
+                "persisted structure type {found:#06x} does not match expected {expected:#06x}"
+            ),
+            PersistError::Manifest { context } => write!(f, "snapshot manifest error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = PersistError::corrupt("bitvec tail bits");
+        assert!(e.to_string().contains("bitvec tail bits"));
+        let e = PersistError::UnsupportedVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let io: PersistError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,425 @@
+//! Store-level snapshots: one framed file per shard plus a manifest,
+//! written temp-then-rename so a crash at any point leaves the previous
+//! consistent snapshot readable.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/MANIFEST                     framed Manifest (written LAST)
+//! <dir>/shard-g00000003-0000.bin     framed shard payloads, generation 3
+//! <dir>/shard-g00000003-0001.bin
+//! <dir>/wal/shard-0000.wal           write-ahead logs (DurableStore only)
+//! ```
+//!
+//! Shard files carry the snapshot *generation* in their name, so a new
+//! snapshot never overwrites the files the current manifest points to:
+//! all shard files of generation `g+1` land first, then the manifest is
+//! atomically replaced, then generation-`g` files are garbage-collected.
+//! A kill between any two steps restores from the last committed
+//! manifest.
+
+use crate::codec::{
+    crc32, decode_framed, encode_framed, read_frame, read_str, read_u16, read_u32, read_u64,
+    read_usize, write_file_atomic, write_frame, write_str, write_u16, write_u32, write_u64,
+    write_usize, Persist,
+};
+use crate::core_impls::{read_frozen_parts, write_frozen_view};
+use crate::error::PersistError;
+use crate::wal::{read_wal_records, wal_path, WalRecord};
+use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
+use dyndex_store::{MaintenancePolicy, ShardedStore};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// The manifest's file name inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Routing algorithm id for SplitMix64 hash routing (the only one).
+pub const ROUTE_SPLITMIX64: u16 = 1;
+/// `wal_seq` sentinel: this snapshot was written without a write-ahead
+/// log, so restore must not replay one.
+pub const NO_WAL: u64 = u64::MAX;
+
+const TAG_MANIFEST: u16 = 0x00AA;
+const TAG_SHARD: u16 = 0x00AB;
+
+/// One shard file as recorded by the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardFileEntry {
+    /// File name relative to the snapshot directory.
+    pub file: String,
+    /// Exact byte length.
+    pub bytes: u64,
+    /// CRC-32 of the whole file.
+    pub crc32: u32,
+}
+
+/// The snapshot manifest: everything needed to validate and reassemble
+/// a store, written last for crash atomicity.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// Monotone snapshot generation (names the shard files).
+    pub generation: u64,
+    /// Shard count (restore rebuilds exactly this many).
+    pub num_shards: usize,
+    /// Document-routing algorithm ([`ROUTE_SPLITMIX64`]).
+    pub route_algo: u16,
+    /// [`Persist::TAG`] of the static index type, so a store can only be
+    /// restored as the type it was snapshotted as.
+    pub index_tag: u16,
+    /// The serialized `I::Config` (opaque here; decoded by the caller
+    /// that knows `I`).
+    pub config_bytes: Vec<u8>,
+    /// Dynamization options every shard was built with.
+    pub options: DynOptions,
+    /// WAL records with sequence number `<= wal_seq` are already
+    /// reflected in the shard files; [`NO_WAL`] means no log exists.
+    pub wal_seq: u64,
+    /// Per-shard file entries, in shard order.
+    pub shards: Vec<ShardFileEntry>,
+}
+
+impl Persist for Manifest {
+    const TAG: u16 = TAG_MANIFEST;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_u64(w, self.generation)?;
+        write_usize(w, self.num_shards)?;
+        write_u16(w, self.route_algo)?;
+        write_u16(w, self.index_tag)?;
+        write_usize(w, self.config_bytes.len())?;
+        w.write_all(&self.config_bytes)?;
+        self.options.write_to(w)?;
+        write_u64(w, self.wal_seq)?;
+        write_usize(w, self.shards.len())?;
+        for entry in &self.shards {
+            write_str(w, &entry.file)?;
+            write_u64(w, entry.bytes)?;
+            write_u32(w, entry.crc32)?;
+        }
+        Ok(())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let generation = read_u64(r)?;
+        let num_shards = read_usize(r)?;
+        let route_algo = read_u16(r)?;
+        let index_tag = read_u16(r)?;
+        let config_len = read_usize(r)?;
+        let mut config_bytes = vec![0u8; config_len.min(1 << 20)];
+        if config_len > config_bytes.len() {
+            return Err(PersistError::corrupt("manifest: config blob too large"));
+        }
+        r.read_exact(&mut config_bytes)?;
+        let options = DynOptions::read_from(r)?;
+        let wal_seq = read_u64(r)?;
+        let n = read_usize(r)?;
+        let mut shards = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let file = read_str(r)?;
+            let bytes = read_u64(r)?;
+            let crc = read_u32(r)?;
+            shards.push(ShardFileEntry {
+                file,
+                bytes,
+                crc32: crc,
+            });
+        }
+        Ok(Manifest {
+            generation,
+            num_shards,
+            route_algo,
+            index_tag,
+            config_bytes,
+            options,
+            wal_seq,
+            shards,
+        })
+    }
+}
+
+/// What a completed snapshot wrote.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotStats {
+    /// Generation committed by this snapshot.
+    pub generation: u64,
+    /// Number of shard files.
+    pub shards: usize,
+    /// Total bytes on disk (shard files + manifest).
+    pub bytes_on_disk: u64,
+    /// WAL sequence the snapshot covers ([`NO_WAL`] if none).
+    pub wal_seq: u64,
+}
+
+/// How a restored store should run (everything *about the data* — shard
+/// count, index config, dynamization options — comes from the manifest;
+/// these are the runtime-only choices).
+#[derive(Clone, Copy, Debug)]
+pub struct RestoreOptions {
+    /// Rebuild execution mode for the restored shards.
+    pub mode: RebuildMode,
+    /// Background maintenance driving policy (the scheduler is re-spawned
+    /// under [`MaintenancePolicy::Periodic`]).
+    pub maintenance: MaintenancePolicy,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> Self {
+        RestoreOptions {
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn shard_file_name(generation: u64, shard: usize) -> String {
+    format!("shard-g{generation:08}-{shard:04}.bin")
+}
+
+/// Reads and validates the manifest of a snapshot directory.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, PersistError> {
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+    let manifest: Manifest = decode_framed(&mut std::io::Cursor::new(bytes))?;
+    if manifest.route_algo != ROUTE_SPLITMIX64 {
+        return Err(PersistError::manifest(format!(
+            "unknown routing algorithm {}",
+            manifest.route_algo
+        )));
+    }
+    if manifest.num_shards == 0 || manifest.num_shards != manifest.shards.len() {
+        return Err(PersistError::manifest(format!(
+            "shard count {} inconsistent with {} file entries",
+            manifest.num_shards,
+            manifest.shards.len()
+        )));
+    }
+    Ok(manifest)
+}
+
+/// Best-effort garbage collection: removes shard files of generations
+/// other than `keep` and stale atomic-write temp files.
+fn cleanup_stale(dir: &Path, keep: u64) {
+    let keep_prefix = format!("shard-g{keep:08}-");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_shard = name.starts_with("shard-g") && !name.starts_with(&keep_prefix);
+        let stale_tmp = name.starts_with('.') && name.contains(".tmp.");
+        if stale_shard || stale_tmp {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Serializes every shard of a settled `store` into `dir` and commits a
+/// new manifest generation. `wal_seq` is the highest WAL sequence the
+/// shard state reflects ([`NO_WAL`] for WAL-less stores).
+pub(crate) fn write_snapshot<I>(
+    store: &ShardedStore<I>,
+    dir: &Path,
+    wal_seq: u64,
+) -> Result<SnapshotStats, PersistError>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    std::fs::create_dir_all(dir)?;
+    // Pick the next generation so new shard files never collide with the
+    // ones the committed manifest points to. A *missing* manifest means a
+    // fresh directory, and a corrupt one means the previous snapshot is
+    // already unrecoverable — both safely restart at generation 1. Any
+    // other I/O failure must propagate: falling back would reuse a
+    // committed generation's file names and destroy crash atomicity.
+    let generation = match read_manifest(dir) {
+        Ok(m) => m.generation + 1,
+        Err(PersistError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => 1,
+        Err(e @ PersistError::Io(_)) => return Err(e),
+        Err(_) => 1,
+    };
+    // Hold every shard for the whole serialization pass: the snapshot is
+    // a single point in time across shards.
+    let mut guards = store.lock_all_shards();
+    for guard in guards.iter_mut() {
+        guard.finish_background_work();
+    }
+    let config = guards[0].persist_config().clone();
+    let options = *guards[0].persist_options();
+    let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(guards.len());
+    for guard in guards.iter() {
+        let view = guard
+            .freeze()
+            .expect("finish_background_work leaves the shard quiesced");
+        let mut payload = Vec::new();
+        write_frozen_view(&mut payload, &view)?;
+        let mut framed = Vec::with_capacity(payload.len() + 24);
+        write_frame(&mut framed, TAG_SHARD, &payload)?;
+        encoded.push(framed);
+    }
+    drop(guards);
+
+    let mut entries = Vec::with_capacity(encoded.len());
+    let mut total = 0u64;
+    for (shard, bytes) in encoded.iter().enumerate() {
+        let file = shard_file_name(generation, shard);
+        write_file_atomic(&dir.join(&file), bytes)?;
+        total += bytes.len() as u64;
+        entries.push(ShardFileEntry {
+            file,
+            bytes: bytes.len() as u64,
+            crc32: crc32(bytes),
+        });
+    }
+    let mut config_bytes = Vec::new();
+    config.write_to(&mut config_bytes)?;
+    let manifest = Manifest {
+        generation,
+        num_shards: entries.len(),
+        route_algo: ROUTE_SPLITMIX64,
+        index_tag: I::TAG,
+        config_bytes,
+        options,
+        wal_seq,
+        shards: entries,
+    };
+    let manifest_bytes = encode_framed(&manifest)?;
+    // The commit point: everything before this is invisible to restore.
+    write_file_atomic(&dir.join(MANIFEST_FILE), &manifest_bytes)?;
+    total += manifest_bytes.len() as u64;
+    cleanup_stale(dir, generation);
+    Ok(SnapshotStats {
+        generation,
+        shards: manifest.num_shards,
+        bytes_on_disk: total,
+        wal_seq,
+    })
+}
+
+/// Rebuilds a store from the snapshot files the manifest points to
+/// (no WAL replay — [`replay_wal`] layers that on top).
+pub(crate) fn restore_snapshot<I>(
+    dir: &Path,
+    manifest: &Manifest,
+    options: &RestoreOptions,
+) -> Result<ShardedStore<I>, PersistError>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    if manifest.index_tag != I::TAG {
+        return Err(PersistError::WrongType {
+            found: manifest.index_tag,
+            expected: I::TAG,
+        });
+    }
+    let mut cursor = std::io::Cursor::new(manifest.config_bytes.as_slice());
+    let config = I::Config::read_from(&mut cursor)?;
+    if cursor.position() != manifest.config_bytes.len() as u64 {
+        return Err(PersistError::corrupt("manifest: trailing config bytes"));
+    }
+    let mut shards = Vec::with_capacity(manifest.num_shards);
+    for entry in &manifest.shards {
+        let path = dir.join(&entry.file);
+        let bytes = std::fs::read(&path)?;
+        if bytes.len() as u64 != entry.bytes || crc32(&bytes) != entry.crc32 {
+            return Err(PersistError::corrupt(format!(
+                "shard file {} does not match its manifest entry",
+                entry.file
+            )));
+        }
+        let mut reader = std::io::Cursor::new(bytes);
+        let payload = read_frame(&mut reader, TAG_SHARD)?;
+        let mut payload_reader = std::io::Cursor::new(payload);
+        let parts = read_frozen_parts::<I, _>(&mut payload_reader)?;
+        if payload_reader.position() != payload_reader.get_ref().len() as u64 {
+            return Err(PersistError::corrupt(format!(
+                "shard file {}: trailing payload bytes",
+                entry.file
+            )));
+        }
+        let index = Transform2Index::thaw(config.clone(), manifest.options, options.mode, parts)
+            .map_err(PersistError::corrupt)?;
+        shards.push(index);
+    }
+    Ok(ShardedStore::from_shard_indexes(
+        shards,
+        options.maintenance,
+    ))
+}
+
+/// Replays every WAL record with sequence `> after_seq` through the
+/// store's normal insert/delete path, returning the highest sequence
+/// seen (or `after_seq` if the logs are empty).
+pub(crate) fn replay_wal<I>(
+    store: &ShardedStore<I>,
+    dir: &Path,
+    after_seq: u64,
+) -> Result<u64, PersistError>
+where
+    I: StaticIndex + Sync,
+{
+    let mut max_seq = after_seq;
+    for shard in 0..store.num_shards() {
+        for (seq, record) in read_wal_records(&wal_path(dir, shard))? {
+            max_seq = max_seq.max(seq);
+            if seq <= after_seq {
+                continue;
+            }
+            match record {
+                WalRecord::InsertBatch(docs) => {
+                    for (id, bytes) in docs {
+                        if store.contains(id) {
+                            return Err(PersistError::corrupt(format!(
+                                "wal replays document {id} already present in the snapshot"
+                            )));
+                        }
+                        store.insert(id, &bytes);
+                    }
+                }
+                WalRecord::DeleteBatch(ids) => {
+                    for id in ids {
+                        store.delete(id);
+                    }
+                }
+            }
+        }
+    }
+    Ok(max_seq)
+}
+
+/// Snapshot/restore as methods on [`ShardedStore`].
+///
+/// `snapshot` quiesces the store (all shard locks held, background work
+/// installed) and writes a point-in-time image; `restore` reads the
+/// latest committed manifest, rebuilds every shard, re-spawns the
+/// maintenance scheduler, and — when the directory carries a write-ahead
+/// log (see `DurableStore`) — replays the logged tail through the normal
+/// dynamic-buffer path, recovering the exact pre-crash logical state.
+pub trait StorePersist: Sized {
+    /// Writes a point-in-time snapshot of `self` into `dir`.
+    fn snapshot(&self, dir: &Path) -> Result<SnapshotStats, PersistError>;
+
+    /// Rebuilds a store from the snapshot (plus WAL tail) in `dir`.
+    fn restore(dir: &Path, options: RestoreOptions) -> Result<Self, PersistError>;
+}
+
+impl<I> StorePersist for ShardedStore<I>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    fn snapshot(&self, dir: &Path) -> Result<SnapshotStats, PersistError> {
+        write_snapshot(self, dir, NO_WAL)
+    }
+
+    fn restore(dir: &Path, options: RestoreOptions) -> Result<Self, PersistError> {
+        let manifest = read_manifest(dir)?;
+        let store = restore_snapshot::<I>(dir, &manifest, &options)?;
+        if manifest.wal_seq != NO_WAL {
+            replay_wal(&store, dir, manifest.wal_seq)?;
+        }
+        Ok(store)
+    }
+}

@@ -1,0 +1,376 @@
+//! [`Persist`] implementations for the succinct substrate layer.
+//!
+//! Encoding policy: the *information-carrying* bits (backing words,
+//! packed integers, code tables) are written verbatim; *acceleration*
+//! state — rank/select directories, Huffman decode maps, Elias–Fano
+//! bucket counts — is re-derived on read with a linear scan. That keeps
+//! files minimal and means a decoded structure can never hold a
+//! directory inconsistent with its data.
+
+use crate::codec::{
+    read_bool, read_u32, read_u64, read_u64_vec, read_usize, write_bool, write_u32, write_u64,
+    write_u64_slice, write_usize, Persist,
+};
+use crate::error::PersistError;
+use dyndex_succinct::bits::{bits_for, low_mask};
+use dyndex_succinct::huffman::Code;
+use dyndex_succinct::{BitVec, EliasFano, HuffmanWavelet, IntVec, RankSelect, WaveletMatrix};
+use std::io::{Read, Write};
+
+const WORD_BITS: usize = 64;
+
+/// Validates that `words` is exactly the backing store of a `len`-bit
+/// vector (right word count, zero tail bits).
+fn check_words(words: &[u64], len: usize, what: &str) -> Result<(), PersistError> {
+    if words.len() != len.div_ceil(WORD_BITS) {
+        return Err(PersistError::corrupt(format!(
+            "{what}: word count mismatch"
+        )));
+    }
+    if !len.is_multiple_of(WORD_BITS) {
+        if let Some(&last) = words.last() {
+            if last & !low_mask(len % WORD_BITS) != 0 {
+                return Err(PersistError::corrupt(format!("{what}: tail bits not zero")));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl Persist for BitVec {
+    const TAG: u16 = 0x0001;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.len())?;
+        write_u64_slice(w, self.words())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let len = read_usize(r)?;
+        let words = read_u64_vec(r)?;
+        check_words(&words, len, "bitvec")?;
+        Ok(BitVec::from_raw_parts(words, len))
+    }
+}
+
+impl Persist for IntVec {
+    const TAG: u16 = 0x0002;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write_usize(w, self.width())?;
+        write_usize(w, self.len())?;
+        write_u64_slice(w, self.raw_words())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let width = read_usize(r)?;
+        let len = read_usize(r)?;
+        let data = read_u64_vec(r)?;
+        if !(1..=64).contains(&width) {
+            return Err(PersistError::corrupt("intvec: width out of range"));
+        }
+        let Some(bits) = len.checked_mul(width) else {
+            return Err(PersistError::corrupt("intvec: length overflow"));
+        };
+        if data.len() != bits.div_ceil(WORD_BITS) {
+            return Err(PersistError::corrupt("intvec: word count mismatch"));
+        }
+        if !bits.is_multiple_of(WORD_BITS) {
+            if let Some(&last) = data.last() {
+                if last & !low_mask(bits % WORD_BITS) != 0 {
+                    return Err(PersistError::corrupt("intvec: tail bits not zero"));
+                }
+            }
+        }
+        Ok(IntVec::from_raw_parts(data, width, len))
+    }
+}
+
+impl Persist for RankSelect {
+    const TAG: u16 = 0x0003;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        self.bit_vec().write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        Ok(RankSelect::new(BitVec::read_from(r)?))
+    }
+}
+
+impl Persist for EliasFano {
+    const TAG: u16 = 0x0004;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let (high, low, low_width) = self.persist_parts();
+        high.write_to(w)?;
+        low.write_to(w)?;
+        write_usize(w, low_width)?;
+        write_u64(w, self.universe())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let high = RankSelect::read_from(r)?;
+        let low = IntVec::read_from(r)?;
+        let low_width = read_usize(r)?;
+        let universe = read_u64(r)?;
+        if low.len() != high.count_ones() {
+            return Err(PersistError::corrupt(
+                "elias-fano: low/high length mismatch",
+            ));
+        }
+        if low.width() != low_width {
+            return Err(PersistError::corrupt("elias-fano: low width mismatch"));
+        }
+        Ok(EliasFano::from_persist_parts(
+            high, low, low_width, universe,
+        ))
+    }
+}
+
+impl Persist for WaveletMatrix {
+    const TAG: u16 = 0x0005;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let (levels, width) = self.persist_parts();
+        write_usize(w, self.len())?;
+        write_u32(w, self.sigma())?;
+        write_u32(w, width)?;
+        write_usize(w, levels.len())?;
+        for level in levels {
+            level.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let len = read_usize(r)?;
+        let sigma = read_u32(r)?;
+        let width = read_u32(r)?;
+        let count = read_usize(r)?;
+        if sigma == 0 {
+            return Err(PersistError::corrupt("wavelet: empty alphabet"));
+        }
+        let expect_width = if sigma <= 1 {
+            1
+        } else {
+            bits_for(sigma as u64 - 1)
+        };
+        if width != expect_width || count != width as usize {
+            return Err(PersistError::corrupt("wavelet: level count mismatch"));
+        }
+        let mut levels = Vec::with_capacity(count);
+        for l in 0..count {
+            let rs = RankSelect::read_from(r)?;
+            if rs.len() != len {
+                return Err(PersistError::corrupt(format!(
+                    "wavelet: level {l} length mismatch"
+                )));
+            }
+            levels.push(rs);
+        }
+        Ok(WaveletMatrix::from_persist_parts(levels, len, sigma, width))
+    }
+}
+
+const NO_CHILD_WIRE: u64 = u64::MAX;
+
+fn child_to_wire(c: usize) -> u64 {
+    if c == usize::MAX {
+        NO_CHILD_WIRE
+    } else {
+        c as u64
+    }
+}
+
+fn child_from_wire(c: u64) -> Result<usize, PersistError> {
+    if c == NO_CHILD_WIRE {
+        Ok(usize::MAX)
+    } else {
+        usize::try_from(c).map_err(|_| PersistError::corrupt("huffman: child index overflow"))
+    }
+}
+
+impl Persist for HuffmanWavelet {
+    const TAG: u16 = 0x0006;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let (codes, nodes, root, single) = self.persist_parts();
+        write_usize(w, self.len())?;
+        match single {
+            Some(sym) => {
+                write_bool(w, true)?;
+                write_u32(w, sym)?;
+            }
+            None => write_bool(w, false)?,
+        }
+        write_usize(w, codes.len())?;
+        for code in codes {
+            write_u64(w, code.bits)?;
+            write_u32(w, code.len)?;
+        }
+        write_u64(w, child_to_wire(root))?;
+        write_usize(w, nodes.len())?;
+        for (bits, left, right) in nodes {
+            bits.write_to(w)?;
+            write_u64(w, child_to_wire(left))?;
+            write_u64(w, child_to_wire(right))?;
+        }
+        Ok(())
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let len = read_usize(r)?;
+        let single = if read_bool(r)? {
+            Some(read_u32(r)?)
+        } else {
+            None
+        };
+        let n_codes = read_usize(r)?;
+        let mut codes = Vec::with_capacity(n_codes.min(1 << 16));
+        for _ in 0..n_codes {
+            let bits = read_u64(r)?;
+            let clen = read_u32(r)?;
+            if clen > 64 {
+                return Err(PersistError::corrupt("huffman: code longer than 64 bits"));
+            }
+            codes.push(Code { bits, len: clen });
+        }
+        let root = child_from_wire(read_u64(r)?)?;
+        let n_nodes = read_usize(r)?;
+        let mut nodes = Vec::with_capacity(n_nodes.min(1 << 16));
+        for _ in 0..n_nodes {
+            let bits = RankSelect::read_from(r)?;
+            let left = child_from_wire(read_u64(r)?)?;
+            let right = child_from_wire(read_u64(r)?)?;
+            nodes.push((bits, left, right));
+        }
+        HuffmanWavelet::from_persist_parts(codes, nodes, root, len, single)
+            .map_err(PersistError::corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Persist>(value: &T) -> T {
+        let mut buf = Vec::new();
+        value.write_to(&mut buf).expect("write");
+        let mut cursor = std::io::Cursor::new(&buf);
+        let back = T::read_from(&mut cursor).expect("read");
+        assert_eq!(cursor.position(), buf.len() as u64, "fully consumed");
+        back
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        for n in [0usize, 1, 63, 64, 65, 1000] {
+            let bv = BitVec::from_bits((0..n).map(|i| i % 3 == 1));
+            let back = roundtrip(&bv);
+            assert_eq!(back, bv);
+        }
+    }
+
+    #[test]
+    fn bitvec_rejects_dirty_tail() {
+        let mut buf = Vec::new();
+        BitVec::from_bits((0..10).map(|i| i % 2 == 0))
+            .write_to(&mut buf)
+            .unwrap();
+        *buf.last_mut().unwrap() = 0xFF; // set bits beyond len
+        assert!(BitVec::read_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn intvec_roundtrip() {
+        for width in [1usize, 13, 64] {
+            let mut v = IntVec::new(width);
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
+            for i in 0..200u64 {
+                v.push(i.wrapping_mul(0x9E3779B97F4A7C15) & mask);
+            }
+            let back = roundtrip(&v);
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn rank_select_roundtrip_rebuilds_directory() {
+        let rs = RankSelect::new(BitVec::from_bits((0..3000).map(|i| i % 7 < 3)));
+        let back = roundtrip(&rs);
+        assert_eq!(back.len(), rs.len());
+        for i in (0..=3000).step_by(97) {
+            assert_eq!(back.rank1(i), rs.rank1(i), "rank1({i})");
+        }
+        for k in (0..rs.count_ones()).step_by(131) {
+            assert_eq!(back.select1(k), rs.select1(k), "select1({k})");
+        }
+    }
+
+    #[test]
+    fn elias_fano_roundtrip() {
+        let values: Vec<u64> = (0..500).map(|i| i * 37 + (i % 3)).collect();
+        let ef = EliasFano::new(&values, 20_000);
+        let back = roundtrip(&ef);
+        assert_eq!(back.len(), ef.len());
+        assert_eq!(back.universe(), ef.universe());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(back.get(i), v);
+        }
+        assert_eq!(back.rank(1234), ef.rank(1234));
+        assert_eq!(back.predecessor(9999), ef.predecessor(9999));
+    }
+
+    #[test]
+    fn wavelet_matrix_roundtrip() {
+        let seq: Vec<u32> = (0..1200u64)
+            .map(|i| ((i.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % 23) as u32)
+            .collect();
+        let wm = WaveletMatrix::new(&seq, 23);
+        let back = roundtrip(&wm);
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(back.access(i), s, "access({i})");
+        }
+        for sym in 0..23 {
+            assert_eq!(back.rank(sym, seq.len()), wm.rank(sym, seq.len()));
+            assert_eq!(back.select(sym, 0), wm.select(sym, 0));
+        }
+    }
+
+    #[test]
+    fn huffman_rejects_forged_length() {
+        // A consistent tree with a tampered sequence length must fail
+        // decode (it used to pass and panic on the first query).
+        let seq: Vec<u32> = (0..200u32).map(|i| i % 5).collect();
+        let hw = HuffmanWavelet::new(&seq, 5);
+        let mut buf = Vec::new();
+        hw.write_to(&mut buf).unwrap();
+        buf[..8].copy_from_slice(&(seq.len() as u64 + 7).to_le_bytes());
+        assert!(HuffmanWavelet::read_from(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn huffman_roundtrip_including_degenerate() {
+        for seq in [
+            Vec::<u32>::new(),
+            vec![5; 40],
+            (0..900u32).map(|i| i * 31 % 17).collect::<Vec<_>>(),
+        ] {
+            let hw = HuffmanWavelet::new(&seq, 17);
+            let back = roundtrip(&hw);
+            assert_eq!(back.len(), hw.len());
+            for (i, &s) in seq.iter().enumerate() {
+                assert_eq!(back.access(i), s, "access({i})");
+            }
+            for sym in 0..17u32 {
+                assert_eq!(back.rank(sym, seq.len()), hw.rank(sym, seq.len()));
+                assert_eq!(back.select(sym, 3), hw.select(sym, 3));
+            }
+        }
+    }
+}

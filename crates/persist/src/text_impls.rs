@@ -1,0 +1,129 @@
+//! [`Persist`] implementations for the text layer: the FM-index with its
+//! document-id map, SA/ISA samples, and Elias–Fano document directory.
+//!
+//! Serializing an FM-index is the big cold-start win: construction pays
+//! a suffix sort (`SA-IS`) plus wavelet building over the whole text,
+//! while decoding pays only linear scans to re-derive rank directories.
+
+use crate::codec::{
+    read_u64_vec, read_usize, read_usize_vec, write_u64_slice, write_usize, write_usize_slice,
+    Persist,
+};
+use crate::error::PersistError;
+use dyndex_succinct::{EliasFano, IntVec, RankSelect, Sequence};
+use dyndex_text::fm_index::{FmIndexParts, FmIndexView};
+use dyndex_text::FmIndex;
+use std::io::{Read, Write};
+
+impl<S: Sequence + Persist + Send + 'static> Persist for FmIndex<S> {
+    /// Distinct per BWT representation: `0x0100 | S::TAG`.
+    const TAG: u16 = 0x0100 | S::TAG;
+
+    fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let FmIndexView {
+            bwt,
+            c,
+            marked,
+            sa_samples,
+            inv_samples,
+            sample_rate,
+            n,
+            doc_ids,
+            doc_starts,
+        } = self.persist_view();
+        bwt.write_to(w)?;
+        write_usize_slice(w, c)?;
+        marked.write_to(w)?;
+        sa_samples.write_to(w)?;
+        inv_samples.write_to(w)?;
+        write_usize(w, sample_rate)?;
+        write_usize(w, n)?;
+        write_u64_slice(w, doc_ids)?;
+        doc_starts.write_to(w)
+    }
+
+    fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let bwt = S::read_from(r)?;
+        let c = read_usize_vec(r)?;
+        let marked = RankSelect::read_from(r)?;
+        let sa_samples = IntVec::read_from(r)?;
+        let inv_samples = IntVec::read_from(r)?;
+        let sample_rate = read_usize(r)?;
+        let n = read_usize(r)?;
+        let doc_ids = read_u64_vec(r)?;
+        let doc_starts = EliasFano::read_from(r)?;
+        FmIndex::from_persist_parts(FmIndexParts {
+            bwt,
+            c,
+            marked,
+            sa_samples,
+            inv_samples,
+            sample_rate,
+            n,
+            doc_ids,
+            doc_starts,
+        })
+        .map_err(PersistError::corrupt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_succinct::{HuffmanWavelet, WaveletMatrix};
+
+    const DOCS: &[(u64, &[u8])] = &[
+        (10, b"the quick brown fox jumps over the lazy dog"),
+        (20, b"pack my box with five dozen liquor jugs"),
+        (30, b""),
+        (40, b"aaaaa"),
+    ];
+
+    fn exercise<S: Sequence + Persist + Send + 'static>() {
+        let fm = FmIndex::<S>::build(DOCS, 4);
+        let mut buf = Vec::new();
+        fm.write_to(&mut buf).expect("write");
+        let back = FmIndex::<S>::read_from(&mut std::io::Cursor::new(&buf)).expect("read");
+        for pattern in [b"the".as_slice(), b"qu", b"aa", b"zzz", b" "] {
+            assert_eq!(back.count(pattern), fm.count(pattern));
+            // locate order must match exactly (restored query answers must
+            // be byte-identical, not just set-equal)
+            assert_eq!(back.locate(pattern), fm.locate(pattern));
+        }
+        for (slot, (_, d)) in DOCS.iter().enumerate() {
+            assert_eq!(back.extract(slot, 0, d.len()), *d);
+            assert_eq!(back.doc_len(slot), d.len());
+        }
+        assert_eq!(back.doc_ids(), fm.doc_ids());
+        assert_eq!(back.extract_all_docs(), fm.extract_all_docs());
+    }
+
+    #[test]
+    fn compressed_fm_roundtrip() {
+        exercise::<HuffmanWavelet>();
+    }
+
+    #[test]
+    fn plain_fm_roundtrip() {
+        exercise::<WaveletMatrix>();
+    }
+
+    #[test]
+    fn distinct_tags_per_sequence_type() {
+        assert_ne!(
+            <FmIndex<HuffmanWavelet> as Persist>::TAG,
+            <FmIndex<WaveletMatrix> as Persist>::TAG
+        );
+    }
+
+    #[test]
+    fn truncated_index_fails_cleanly() {
+        let fm = FmIndex::<HuffmanWavelet>::build(DOCS, 4);
+        let mut buf = Vec::new();
+        fm.write_to(&mut buf).expect("write");
+        for cut in [1, buf.len() / 2, buf.len() - 1] {
+            let r = FmIndex::<HuffmanWavelet>::read_from(&mut std::io::Cursor::new(&buf[..cut]));
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Corruption and crash-atomicity: restore must fail with a *typed*
+//! error — never a panic — on truncated or bit-flipped files, and a kill
+//! between a new generation's shard writes and its manifest rename must
+//! restore from the previous consistent snapshot.
+
+use dyndex_core::{DynOptions, FmConfig, RebuildMode};
+use dyndex_persist::{read_manifest, PersistError, RestoreOptions, StorePersist, MANIFEST_FILE};
+use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_text::FmIndexCompressed;
+use std::path::{Path, PathBuf};
+
+type Store = ShardedStore<FmIndexCompressed>;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "dyndex-persist-corrupt-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn opts() -> StoreOptions {
+    StoreOptions {
+        num_shards: 3,
+        index: DynOptions {
+            min_capacity: 32,
+            tau: 4,
+            ..DynOptions::default()
+        },
+        mode: RebuildMode::Inline,
+        maintenance: MaintenancePolicy::Manual,
+    }
+}
+
+fn restore_opts() -> RestoreOptions {
+    RestoreOptions {
+        mode: RebuildMode::Inline,
+        maintenance: MaintenancePolicy::Manual,
+    }
+}
+
+/// A populated, snapshotted store in `dir`.
+fn seeded_snapshot(dir: &Path) -> Store {
+    let store = Store::new(FmConfig { sample_rate: 4 }, opts());
+    for i in 0..80u64 {
+        let doc = format!(
+            "corruption workload doc {i} {}",
+            "tail".repeat(i as usize % 3)
+        );
+        store.insert(i, doc.as_bytes());
+    }
+    store.delete_batch(&(0..80).filter(|i| i % 7 == 0).collect::<Vec<_>>());
+    store.snapshot(dir).expect("snapshot");
+    store
+}
+
+fn first_shard_file(dir: &Path) -> PathBuf {
+    let m = read_manifest(dir).expect("manifest");
+    dir.join(&m.shards[0].file)
+}
+
+#[test]
+fn truncated_shard_file_fails_cleanly() {
+    let dir = TempDir::new("truncate");
+    seeded_snapshot(&dir.0);
+    let shard = first_shard_file(&dir.0);
+    let bytes = std::fs::read(&shard).unwrap();
+    for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&shard, &bytes[..cut]).unwrap();
+        match Store::restore(&dir.0, restore_opts()) {
+            Err(PersistError::Corrupt { .. }) | Err(PersistError::Io(_)) => {}
+            Err(e) => panic!("unexpected error kind at cut {cut}: {e}"),
+            Ok(_) => panic!("restore must fail on truncated shard (cut {cut})"),
+        }
+    }
+}
+
+#[test]
+fn flipped_bit_fails_cleanly() {
+    let dir = TempDir::new("bitflip");
+    seeded_snapshot(&dir.0);
+    let shard = first_shard_file(&dir.0);
+    let clean = std::fs::read(&shard).unwrap();
+    // Flip a byte in several regions: header, early payload, late payload.
+    for pos in [5usize, 40, clean.len() / 2, clean.len() - 2] {
+        let mut bytes = clean.clone();
+        bytes[pos] ^= 0x20;
+        std::fs::write(&shard, &bytes).unwrap();
+        let r = Store::restore(&dir.0, restore_opts());
+        assert!(r.is_err(), "flipped byte at {pos} must fail restore");
+    }
+    // Restoring the clean bytes works again.
+    std::fs::write(&shard, &clean).unwrap();
+    assert!(Store::restore(&dir.0, restore_opts()).is_ok());
+}
+
+#[test]
+fn corrupt_manifest_fails_cleanly() {
+    let dir = TempDir::new("manifest");
+    seeded_snapshot(&dir.0);
+    let manifest = dir.0.join(MANIFEST_FILE);
+    let clean = std::fs::read(&manifest).unwrap();
+    let mut bytes = clean.clone();
+    bytes[clean.len() / 2] ^= 0xFF;
+    std::fs::write(&manifest, &bytes).unwrap();
+    assert!(matches!(
+        Store::restore(&dir.0, restore_opts()),
+        Err(PersistError::Corrupt { .. })
+    ));
+    std::fs::remove_file(&manifest).unwrap();
+    assert!(matches!(
+        Store::restore(&dir.0, restore_opts()),
+        Err(PersistError::Io(_))
+    ));
+}
+
+/// A plain `StorePersist::snapshot` writes a no-WAL-watermark manifest;
+/// if such a manifest ends up in a directory whose logs still hold
+/// records, whether those records pre- or post-date the snapshot is
+/// unknowable — `DurableStore::open` must refuse rather than guess.
+#[test]
+fn open_refuses_no_wal_manifest_with_wal_records() {
+    use dyndex_persist::DurableStore;
+    let dir = TempDir::new("nowal");
+    let durable: DurableStore<FmIndexCompressed> =
+        DurableStore::create(&dir.0, FmConfig { sample_rate: 4 }, opts()).expect("create");
+    durable
+        .insert(1, b"logged but never snapshotted")
+        .expect("insert");
+    // Overwrite the manifest with a WAL-less snapshot of the same state.
+    durable.store().snapshot(&dir.0).expect("plain snapshot");
+    drop(durable);
+    match DurableStore::<FmIndexCompressed>::open(&dir.0, restore_opts()) {
+        Err(PersistError::Manifest { context }) => {
+            assert!(context.contains("watermark"), "got: {context}");
+        }
+        Err(e) => panic!("wrong error kind: {e}"),
+        Ok(_) => panic!("open must refuse a NO_WAL manifest with live WAL records"),
+    }
+}
+
+#[test]
+fn wrong_index_type_is_rejected() {
+    let dir = TempDir::new("wrongtype");
+    seeded_snapshot(&dir.0);
+    let r = ShardedStore::<dyndex_text::FmIndexPlain>::restore(&dir.0, restore_opts());
+    assert!(
+        matches!(r, Err(PersistError::WrongType { .. })),
+        "a compressed-index snapshot must not restore as a plain index"
+    );
+}
+
+/// The kill-between-rename scenario: a crash after writing the next
+/// generation's shard files but *before* the manifest rename leaves the
+/// directory with extra (even garbage) files — restore must ignore them
+/// and come back from the last committed generation.
+#[test]
+fn kill_between_rename_restores_previous_snapshot() {
+    let dir = TempDir::new("killrename");
+    let store = seeded_snapshot(&dir.0);
+    store.flush();
+    let generation = read_manifest(&dir.0).expect("manifest").generation;
+
+    // Simulate the torn next generation: plausible-looking shard files
+    // (garbage and truncated-copy variants) plus a leftover atomic-write
+    // temp file, with the old manifest still in place.
+    let next = generation + 1;
+    std::fs::write(
+        dir.0.join(format!("shard-g{next:08}-0000.bin")),
+        b"garbage from a crashed snapshot",
+    )
+    .unwrap();
+    let real = std::fs::read(first_shard_file(&dir.0)).unwrap();
+    std::fs::write(
+        dir.0.join(format!("shard-g{next:08}-0001.bin")),
+        &real[..real.len() / 3],
+    )
+    .unwrap();
+    std::fs::write(dir.0.join(".MANIFEST.tmp.99999"), b"torn manifest").unwrap();
+
+    let restored = Store::restore(&dir.0, restore_opts()).expect("previous generation restores");
+    assert_eq!(restored.num_docs(), store.num_docs());
+    for p in [b"corruption".as_slice(), b"doc 7", b"tailtail"] {
+        assert_eq!(restored.count(p), store.count(p));
+        assert_eq!(restored.find(p), store.find(p));
+    }
+
+    // The next successful snapshot garbage-collects the torn files.
+    store.snapshot(&dir.0).expect("snapshot after crash");
+    let stale: Vec<String> = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| n.starts_with(&format!("shard-g{generation:08}-")) || n.contains(".tmp."))
+        .collect();
+    assert!(stale.is_empty(), "stale files must be collected: {stale:?}");
+}

@@ -1,0 +1,197 @@
+//! Property tests: snapshot→restore must be a lossless, order-preserving
+//! round trip — the restored store answers `count` / `find` /
+//! `find_limit` / `extract` byte-identically to the live store it was
+//! taken from, for any shard count, document mix, and delete
+//! interleaving; and a `DurableStore` reopened after "losing" its
+//! process recovers the exact logical state from snapshot + WAL tail.
+
+use dyndex_core::{DynOptions, FmConfig, RebuildMode};
+use dyndex_persist::{DurableStore, RestoreOptions, StorePersist};
+use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_text::FmIndexCompressed;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+type Store = ShardedStore<FmIndexCompressed>;
+type Durable = DurableStore<FmIndexCompressed>;
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// Unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let p =
+            std::env::temp_dir().join(format!("dyndex-persist-prop-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        TempDir(p)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn dyn_opts() -> DynOptions {
+    DynOptions {
+        min_capacity: 32,
+        tau: 4,
+        ..DynOptions::default()
+    }
+}
+
+fn fm() -> FmConfig {
+    FmConfig { sample_rate: 4 }
+}
+
+fn store_opts(num_shards: usize) -> StoreOptions {
+    StoreOptions {
+        num_shards,
+        index: dyn_opts(),
+        mode: RebuildMode::Inline,
+        maintenance: MaintenancePolicy::Manual,
+    }
+}
+
+fn restore_opts() -> RestoreOptions {
+    RestoreOptions {
+        mode: RebuildMode::Inline,
+        maintenance: MaintenancePolicy::Manual,
+    }
+}
+
+fn doc_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 0..48)
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::sample::select(b"abcd".to_vec()), 1..5),
+        1..6,
+    )
+}
+
+/// Byte-identical comparison of every query surface.
+fn assert_identical(
+    live: &Store,
+    restored: &Store,
+    patterns: &[Vec<u8>],
+    ids: impl Iterator<Item = u64>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(restored.num_docs(), live.num_docs());
+    prop_assert_eq!(restored.symbol_count(), live.symbol_count());
+    for p in patterns {
+        prop_assert_eq!(restored.count(p), live.count(p));
+        prop_assert_eq!(restored.find(p), live.find(p));
+        for limit in [0usize, 1, 3, 1000] {
+            prop_assert_eq!(restored.find_limit(p, limit), live.find_limit(p, limit));
+        }
+    }
+    for id in ids {
+        prop_assert_eq!(restored.contains(id), live.contains(id));
+        prop_assert_eq!(restored.extract(id, 0, 64), live.extract(id, 0, 64));
+        prop_assert_eq!(restored.extract(id, 2, 5), live.extract(id, 2, 5));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Snapshot → restore round trip on a plain sharded store.
+    #[test]
+    fn snapshot_restore_is_byte_identical(
+        num_shards in 1usize..=5,
+        docs in proptest::collection::vec(doc_strategy(), 1..24),
+        patterns in pattern_strategy(),
+        delete_every in 2u64..5,
+    ) {
+        let store = Store::new(fm(), store_opts(num_shards));
+        for (i, doc) in docs.iter().enumerate() {
+            store.insert(i as u64, doc);
+        }
+        let doomed: Vec<u64> = (0..docs.len() as u64)
+            .filter(|id| id % delete_every == 0)
+            .collect();
+        store.delete_batch(&doomed);
+        store.flush();
+
+        let dir = TempDir::new();
+        let stats = store.snapshot(&dir.0).expect("snapshot");
+        prop_assert_eq!(stats.shards, num_shards);
+        prop_assert!(stats.bytes_on_disk > 0);
+        let restored = Store::restore(&dir.0, restore_opts()).expect("restore");
+        prop_assert_eq!(restored.num_shards(), num_shards);
+        assert_identical(&store, &restored, &patterns, 0..docs.len() as u64)?;
+    }
+
+    /// Snapshotting twice reuses the directory (generation bump) and the
+    /// second snapshot still restores exactly.
+    #[test]
+    fn regenerated_snapshot_restores_latest_state(
+        docs in proptest::collection::vec(doc_strategy(), 2..16),
+        patterns in pattern_strategy(),
+    ) {
+        let store = Store::new(fm(), store_opts(2));
+        let dir = TempDir::new();
+        let half = docs.len() / 2;
+        for (i, doc) in docs[..half].iter().enumerate() {
+            store.insert(i as u64, doc);
+        }
+        let s1 = store.snapshot(&dir.0).expect("snapshot 1");
+        for (i, doc) in docs[half..].iter().enumerate() {
+            store.insert((half + i) as u64, doc);
+        }
+        let s2 = store.snapshot(&dir.0).expect("snapshot 2");
+        prop_assert!(s2.generation > s1.generation);
+        store.flush();
+        let restored = Store::restore(&dir.0, restore_opts()).expect("restore");
+        assert_identical(&store, &restored, &patterns, 0..docs.len() as u64)?;
+    }
+
+    /// A `DurableStore` killed after a mid-workload snapshot (leaving a
+    /// WAL tail of inserts *and* deletes) reopens to the exact state.
+    #[test]
+    fn durable_store_recovers_wal_tail(
+        num_shards in 1usize..=4,
+        docs in proptest::collection::vec(doc_strategy(), 2..20),
+        patterns in pattern_strategy(),
+        snapshot_at in 1usize..10,
+        delete_every in 2u64..4,
+    ) {
+        let dir = TempDir::new();
+        let live = Durable::create(&dir.0, fm(), store_opts(num_shards)).expect("create");
+        let cut = snapshot_at.min(docs.len());
+        let before: Vec<(u64, Vec<u8>)> = docs[..cut]
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i as u64, d.clone()))
+            .collect();
+        live.insert_batch(&before).expect("insert before snapshot");
+        live.snapshot().expect("mid-workload snapshot");
+        // Tail: more inserts plus deletes, logged but never snapshotted.
+        let after: Vec<(u64, Vec<u8>)> = docs[cut..]
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ((cut + i) as u64, d.clone()))
+            .collect();
+        live.insert_batch(&after).expect("insert after snapshot");
+        let doomed: Vec<u64> = (0..docs.len() as u64)
+            .filter(|id| id % delete_every == 1)
+            .collect();
+        live.delete_batch(&doomed).expect("delete after snapshot");
+        live.flush();
+
+        // Crash-recover: reopen purely from disk (snapshot + WAL tail,
+        // never snapshotted) and compare against the never-crashed store.
+        let live_store = live.store();
+        let reopened = Durable::open(&dir.0, restore_opts()).expect("open");
+        assert_identical(live_store, reopened.store(), &patterns, 0..docs.len() as u64)?;
+        prop_assert!(reopened.stats().snapshot_bytes.is_some());
+    }
+}

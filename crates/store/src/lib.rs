@@ -27,7 +27,11 @@
 //!   foreground operations.
 //! * **Observability** — [`ShardedStore::stats`] aggregates per-shard
 //!   document/symbol counts, pending background-job depth, and the full
-//!   per-level census ([`LevelStats`](dyndex_core::LevelStats)).
+//!   per-level census ([`LevelStats`](dyndex_core::LevelStats));
+//!   [`StoreStats`] implements `Display` as a one-line dashboard.
+//! * **Quiescing** — [`ShardedStore::flush`] holds every shard at once
+//!   and installs all background work, yielding the settled state that
+//!   snapshots (`dyndex-persist`) and deterministic tests build on.
 //!
 //! ```
 //! use dyndex_core::{DynOptions, RebuildMode, FmConfig};

@@ -23,6 +23,11 @@ pub struct ShardStats {
 pub struct StoreStats {
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardStats>,
+    /// Bytes on disk of the most recent snapshot, when the store is
+    /// served through a durability layer (`dyndex-persist`'s
+    /// `DurableStore` fills this in; a plain in-memory store reports
+    /// `None`).
+    pub snapshot_bytes: Option<u64>,
 }
 
 impl StoreStats {
@@ -53,6 +58,40 @@ impl StoreStats {
     }
 }
 
+/// Human-scale byte formatting for the dashboard line.
+fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b} B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1} KiB", b as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    /// One readable dashboard line, e.g.
+    /// `4 shards | 1500 docs | 232.4 KiB alive | 0 pending jobs |
+    /// imbalance 1.04 | last snapshot 241.1 KiB on disk`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} shard{} | {} docs | {} alive | {} pending job{} | imbalance {:.2}",
+            self.shards.len(),
+            if self.shards.len() == 1 { "" } else { "s" },
+            self.total_docs(),
+            fmt_bytes(self.total_symbols() as u64),
+            self.pending_jobs(),
+            if self.pending_jobs() == 1 { "" } else { "s" },
+            self.imbalance(),
+        )?;
+        match self.snapshot_bytes {
+            Some(b) => write!(f, " | last snapshot {} on disk", fmt_bytes(b)),
+            None => write!(f, " | no snapshot"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +110,7 @@ mod tests {
     fn aggregation() {
         let stats = StoreStats {
             shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
+            snapshot_bytes: None,
         };
         assert_eq!(stats.total_docs(), 8);
         assert_eq!(stats.total_symbols(), 400);
@@ -80,8 +120,28 @@ mod tests {
 
     #[test]
     fn empty_store_imbalance_is_neutral() {
-        let stats = StoreStats { shards: vec![] };
+        let stats = StoreStats {
+            shards: vec![],
+            snapshot_bytes: None,
+        };
         assert_eq!(stats.imbalance(), 1.0);
         assert_eq!(stats.total_docs(), 0);
+    }
+
+    #[test]
+    fn display_is_one_dashboard_line() {
+        let mut stats = StoreStats {
+            shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
+            snapshot_bytes: None,
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'), "single line: {line}");
+        assert!(line.contains("2 shards"), "{line}");
+        assert!(line.contains("8 docs"), "{line}");
+        assert!(line.contains("1 pending job"), "{line}");
+        assert!(line.contains("no snapshot"), "{line}");
+        stats.snapshot_bytes = Some(2048);
+        let line = stats.to_string();
+        assert!(line.contains("last snapshot 2.0 KiB on disk"), "{line}");
     }
 }

@@ -292,6 +292,57 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     // Maintenance & observability
     // ------------------------------------------------------------------
 
+    /// Quiesce point: acquires every shard's write lock simultaneously
+    /// (in shard order, so concurrent flushes cannot deadlock), which
+    /// waits out any in-flight writer batches, then installs all pending
+    /// background rebuild work. After `flush` returns the store is
+    /// settled — no jobs in flight, no locked or temp structures — which
+    /// is the state snapshots capture and the easiest state to assert
+    /// against in tests.
+    ///
+    /// Unlike [`ShardedStore::finish_background_work`] (which visits
+    /// shards one at a time), `flush` holds all shards at once, so no
+    /// writer can slip a new job into an already-visited shard while a
+    /// later one is still draining.
+    pub fn flush(&self) {
+        let mut guards = self.lock_all_shards();
+        for guard in guards.iter_mut() {
+            guard.finish_background_work();
+        }
+    }
+
+    /// Acquires every shard's write lock in shard order (the persistence
+    /// layer's point-in-time snapshot hook).
+    #[doc(hidden)]
+    pub fn lock_all_shards(&self) -> Vec<RwLockWriteGuard<'_, Transform2Index<I>>> {
+        self.shards
+            .iter()
+            .map(|s| s.write().expect("shard lock poisoned"))
+            .collect()
+    }
+
+    /// Wraps already-built shard indexes (the persistence layer's restore
+    /// path), re-spawning the maintenance scheduler per `maintenance`.
+    ///
+    /// # Panics
+    /// Panics if `indexes` is empty.
+    #[doc(hidden)]
+    pub fn from_shard_indexes(
+        indexes: Vec<Transform2Index<I>>,
+        maintenance: MaintenancePolicy,
+    ) -> Self {
+        assert!(!indexes.is_empty(), "store needs at least one shard");
+        let shards: Arc<Vec<RwLock<Transform2Index<I>>>> =
+            Arc::new(indexes.into_iter().map(RwLock::new).collect());
+        let scheduler = match maintenance {
+            MaintenancePolicy::Manual => None,
+            MaintenancePolicy::Periodic(interval) => {
+                Some(Scheduler::spawn(Arc::clone(&shards), interval))
+            }
+        };
+        ShardedStore { shards, scheduler }
+    }
+
     /// Runs one manual maintenance pass: installs every finished
     /// background job in every shard (without blocking on unfinished
     /// ones). Returns the number of jobs still in flight.
@@ -352,7 +403,10 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 },
             )
             .collect();
-        StoreStats { shards }
+        StoreStats {
+            shards,
+            snapshot_bytes: None,
+        }
     }
 }
 
@@ -547,6 +601,43 @@ mod tests {
         assert_eq!(store.num_shards(), 1);
         assert_eq!(store.count(b"needle"), 10);
         assert_eq!(store.find(b"needle").len(), 10);
+    }
+
+    #[test]
+    fn flush_settles_everything() {
+        let store = Store::new(fm(), small_opts(3, RebuildMode::Background));
+        store.insert_batch(&docs(100));
+        store.flush();
+        assert_eq!(store.pending_background_jobs(), 0, "flush drains all jobs");
+        assert_eq!(store.count(b"needle"), 100);
+        // Flushing an already-settled (or empty) store is a no-op.
+        store.flush();
+        let empty = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        empty.flush();
+        assert_eq!(empty.num_docs(), 0);
+    }
+
+    #[test]
+    fn from_shard_indexes_rewraps_prebuilt_shards() {
+        let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        store.insert_batch(&docs(20));
+        store.flush();
+        let want = store.find(b"needle");
+        let mut guards = store.lock_all_shards();
+        let indexes: Vec<_> = guards
+            .iter_mut()
+            .map(|g| {
+                std::mem::replace(
+                    &mut **g,
+                    Transform2Index::new(fm(), DynOptions::default(), RebuildMode::Inline),
+                )
+            })
+            .collect();
+        drop(guards);
+        let rebuilt = Store::from_shard_indexes(indexes, MaintenancePolicy::Manual);
+        assert_eq!(rebuilt.num_shards(), 2);
+        assert_eq!(rebuilt.find(b"needle"), want);
+        assert_eq!(store.num_docs(), 0, "shards were moved out");
     }
 
     #[test]

@@ -110,6 +110,23 @@ impl BitVec {
         &self.words
     }
 
+    /// Rebuilds a bit vector from backing words (the persistence layer's
+    /// decode path; `words` must be exactly `ceil(len / 64)` long with all
+    /// unused tail bits zero — validate untrusted input first).
+    ///
+    /// # Panics
+    /// Panics if the word count or tail bits violate the invariants.
+    #[doc(hidden)]
+    pub fn from_raw_parts(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), div_ceil(len, WORD_BITS), "word count mismatch");
+        if !len.is_multiple_of(WORD_BITS) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last & !low_mask(len % WORD_BITS), 0, "tail bits not zero");
+            }
+        }
+        BitVec { words, len }
+    }
+
     /// Iterates over all bits.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))

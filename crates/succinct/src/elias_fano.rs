@@ -156,6 +156,36 @@ impl EliasFano {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// Borrowed decomposition `(high, low, low_width)` for the
+    /// persistence encode path.
+    #[doc(hidden)]
+    pub fn persist_parts(&self) -> (&RankSelect, &IntVec, usize) {
+        (&self.high, &self.low, self.low_width)
+    }
+
+    /// Reassembles from parts (persistence decode path; the caller is
+    /// responsible for consistency of untrusted input — `high` must hold
+    /// exactly `len` ones and `low` exactly `len` values of `low_width`
+    /// bits).
+    #[doc(hidden)]
+    pub fn from_persist_parts(
+        high: RankSelect,
+        low: IntVec,
+        low_width: usize,
+        universe: u64,
+    ) -> Self {
+        let len = high.count_ones();
+        assert_eq!(low.len(), len, "low/high length mismatch");
+        assert_eq!(low.width(), low_width, "low width mismatch");
+        EliasFano {
+            high,
+            low,
+            low_width,
+            len,
+            universe,
+        }
+    }
 }
 
 impl SpaceUsage for EliasFano {

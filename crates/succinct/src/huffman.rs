@@ -295,6 +295,93 @@ impl HuffmanWavelet {
         i
     }
 
+    /// Borrowed decomposition for the persistence encode path: the code
+    /// table, per-node `(bits, left, right)` triples (`usize::MAX` = no
+    /// child), the root index (`usize::MAX` when the tree is degenerate),
+    /// and the single-symbol marker.
+    #[doc(hidden)]
+    #[allow(clippy::type_complexity)]
+    pub fn persist_parts(
+        &self,
+    ) -> (
+        &[Code],
+        Vec<(&RankSelect, usize, usize)>,
+        usize,
+        Option<u32>,
+    ) {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| (&n.bits, n.left, n.right))
+            .collect();
+        (&self.codes, nodes, self.root, self.single)
+    }
+
+    /// Reassembles from parts (persistence decode path); the decode map
+    /// is re-derived from the code table rather than trusted.
+    ///
+    /// Returns `Err` (never panics) on structurally inconsistent input —
+    /// the persistence layer surfaces this as a typed corruption error.
+    #[doc(hidden)]
+    pub fn from_persist_parts(
+        codes: Vec<Code>,
+        nodes: Vec<(RankSelect, usize, usize)>,
+        root: usize,
+        len: usize,
+        single: Option<u32>,
+    ) -> Result<Self, String> {
+        let valid_child = |c: usize| c == NO_CHILD || c < nodes.len();
+        if !nodes
+            .iter()
+            .all(|&(_, l, r)| valid_child(l) && valid_child(r))
+        {
+            return Err("huffman node child index out of range".into());
+        }
+        if root != NO_CHILD && root >= nodes.len() {
+            return Err("huffman root index out of range".into());
+        }
+        if root == NO_CHILD && !nodes.is_empty() {
+            return Err("huffman nodes present without a root".into());
+        }
+        if let Some(sym) = single {
+            if sym as usize >= codes.len() {
+                return Err("huffman single symbol out of range".into());
+            }
+            if root != NO_CHILD || !nodes.is_empty() {
+                return Err("huffman single-symbol tree must have no nodes".into());
+            }
+        }
+        // The sequence length must agree with the tree: every symbol of a
+        // non-degenerate sequence passes through the root's bit vector.
+        // An unchecked mismatch would panic on the first query instead of
+        // failing decode.
+        if root != NO_CHILD {
+            if nodes[root].0.len() != len {
+                return Err("huffman root bit vector length mismatch".into());
+            }
+        } else if single.is_none() && len != 0 {
+            return Err("huffman non-empty sequence without a tree".into());
+        }
+        let decode_map = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.len > 0)
+            .map(|(sym, c)| ((c.bits, c.len), sym as u32))
+            .collect();
+        let nodes = nodes
+            .into_iter()
+            .map(|(bits, left, right)| WtNode { bits, left, right })
+            .collect();
+        Ok(HuffmanWavelet {
+            codes,
+            decode_map,
+            nodes,
+            root,
+            len,
+            single,
+        })
+    }
+
     /// Position of the `k`-th occurrence of `sym`, or `None`.
     pub fn select(&self, sym: u32, k: usize) -> Option<usize> {
         if sym as usize >= self.codes.len() {

@@ -129,6 +129,31 @@ impl IntVec {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.len).map(move |i| self.get(i))
     }
+
+    /// The raw packed words (persistence encode path); bits beyond
+    /// `len * width` are guaranteed zero.
+    #[doc(hidden)]
+    pub fn raw_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuilds from packed words (persistence decode path; validate
+    /// untrusted input first — see [`IntVec::raw_words`] invariants).
+    ///
+    /// # Panics
+    /// Panics if `width`, the word count, or tail bits are inconsistent.
+    #[doc(hidden)]
+    pub fn from_raw_parts(data: Vec<u64>, width: usize, len: usize) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        let bits = len * width;
+        assert_eq!(data.len(), div_ceil(bits, WORD_BITS), "word count mismatch");
+        if !bits.is_multiple_of(WORD_BITS) {
+            if let Some(&last) = data.last() {
+                assert_eq!(last & !low_mask(bits % WORD_BITS), 0, "tail bits not zero");
+            }
+        }
+        IntVec { data, width, len }
+    }
 }
 
 impl SpaceUsage for IntVec {

@@ -73,6 +73,13 @@ impl OneBitReporter {
         self.len
     }
 
+    /// Copies the current bits into a plain [`BitVec`] (round-trips with
+    /// [`OneBitReporter::from_bitvec`]; used by the persistence layer,
+    /// which re-derives the directory on load).
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_raw_parts(self.words.clone(), self.len)
+    }
+
     /// Whether the vector is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {

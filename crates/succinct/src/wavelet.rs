@@ -153,6 +153,35 @@ impl WaveletMatrix {
         Some(pos)
     }
 
+    /// Borrowed decomposition `(levels, width)` for the persistence
+    /// encode path (`zeros` is derivable and not exported).
+    #[doc(hidden)]
+    pub fn persist_parts(&self) -> (&[RankSelect], u32) {
+        (&self.levels, self.width)
+    }
+
+    /// Reassembles from parts (persistence decode path); the per-level
+    /// zero counts are re-derived rather than trusted.
+    ///
+    /// # Panics
+    /// Panics if the level count or per-level lengths disagree.
+    #[doc(hidden)]
+    pub fn from_persist_parts(levels: Vec<RankSelect>, len: usize, sigma: u32, width: u32) -> Self {
+        assert!(sigma >= 1, "alphabet must be non-empty");
+        assert_eq!(levels.len(), width as usize, "level count mismatch");
+        for (l, rs) in levels.iter().enumerate() {
+            assert_eq!(rs.len(), len, "level {l} length mismatch");
+        }
+        let zeros = levels.iter().map(|rs| rs.count_zeros()).collect();
+        WaveletMatrix {
+            levels,
+            zeros,
+            len,
+            sigma,
+            width,
+        }
+    }
+
     /// Number of occurrences of every symbol `< sym` in `[0, i)`
     /// (a "partial rank prefix", used for LF-like mappings on demand).
     pub fn rank_lt(&self, sym: u32, i: usize) -> usize {

@@ -28,6 +28,35 @@ pub type FmIndexCompressed = FmIndex<HuffmanWavelet>;
 /// The plain-space FM-index (balanced wavelet matrix over the BWT).
 pub type FmIndexPlain = FmIndex<WaveletMatrix>;
 
+/// Borrowed decomposition of an [`FmIndex`] for the persistence layer's
+/// encode path (field meanings match the struct's).
+#[doc(hidden)]
+pub struct FmIndexView<'a, S: Sequence> {
+    pub bwt: &'a S,
+    pub c: &'a [usize],
+    pub marked: &'a RankSelect,
+    pub sa_samples: &'a IntVec,
+    pub inv_samples: &'a IntVec,
+    pub sample_rate: usize,
+    pub n: usize,
+    pub doc_ids: &'a [u64],
+    pub doc_starts: &'a EliasFano,
+}
+
+/// Owned parts reassembling an [`FmIndex`] (persistence decode path).
+#[doc(hidden)]
+pub struct FmIndexParts<S: Sequence> {
+    pub bwt: S,
+    pub c: Vec<usize>,
+    pub marked: RankSelect,
+    pub sa_samples: IntVec,
+    pub inv_samples: IntVec,
+    pub sample_rate: usize,
+    pub n: usize,
+    pub doc_ids: Vec<u64>,
+    pub doc_starts: EliasFano,
+}
+
 /// A static full-text index over a document collection.
 #[derive(Clone, Debug)]
 pub struct FmIndex<S: Sequence> {
@@ -108,6 +137,57 @@ impl<S: Sequence> FmIndex<S> {
             doc_ids,
             doc_starts,
         }
+    }
+
+    /// Borrowed decomposition for the persistence encode path.
+    #[doc(hidden)]
+    pub fn persist_view(&self) -> FmIndexView<'_, S> {
+        FmIndexView {
+            bwt: &self.bwt,
+            c: &self.c,
+            marked: &self.marked,
+            sa_samples: &self.sa_samples,
+            inv_samples: &self.inv_samples,
+            sample_rate: self.sample_rate,
+            n: self.n,
+            doc_ids: &self.doc_ids,
+            doc_starts: &self.doc_starts,
+        }
+    }
+
+    /// Reassembles from parts (persistence decode path). Returns `Err`
+    /// (never panics) on structurally inconsistent input.
+    #[doc(hidden)]
+    pub fn from_persist_parts(parts: FmIndexParts<S>) -> Result<Self, String> {
+        if parts.sample_rate == 0 {
+            return Err("fm-index sample rate must be positive".into());
+        }
+        if parts.bwt.len() != parts.n || parts.marked.len() != parts.n {
+            return Err("fm-index bwt/marked length mismatch".into());
+        }
+        if parts.c.len() != SIGMA as usize + 1 {
+            return Err("fm-index C array length mismatch".into());
+        }
+        if parts.sa_samples.len() != parts.marked.count_ones() {
+            return Err("fm-index SA sample count mismatch".into());
+        }
+        if parts.inv_samples.len() != parts.n.div_ceil(parts.sample_rate) {
+            return Err("fm-index ISA sample count mismatch".into());
+        }
+        if parts.doc_starts.len() != parts.doc_ids.len() {
+            return Err("fm-index document directory length mismatch".into());
+        }
+        Ok(FmIndex {
+            bwt: parts.bwt,
+            c: parts.c,
+            marked: parts.marked,
+            sa_samples: parts.sa_samples,
+            inv_samples: parts.inv_samples,
+            sample_rate: parts.sample_rate,
+            n: parts.n,
+            doc_ids: parts.doc_ids,
+            doc_starts: parts.doc_starts,
+        })
     }
 
     /// Total encoded text length (including separators and terminator).

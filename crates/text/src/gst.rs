@@ -534,6 +534,36 @@ impl SuffixTree {
         out
     }
 
+    /// All alive documents ordered by insertion age (ascending sentinel
+    /// value). Re-inserting them into a fresh tree in this order assigns
+    /// sentinels in the same relative order, reproducing this tree's
+    /// canonical shape — and therefore its occurrence-enumeration order —
+    /// exactly. The persistence layer relies on this for byte-identical
+    /// restored query answers.
+    #[doc(hidden)]
+    pub fn export_docs_by_age(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut slots: Vec<u32> = self.by_id.values().copied().collect();
+        slots.sort_by_key(|&slot| {
+            *self.docs[slot as usize]
+                .text
+                .last()
+                .expect("alive doc has a sentinel")
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                let d = &self.docs[slot as usize];
+                (
+                    d.id,
+                    d.text[..d.text.len() - 1]
+                        .iter()
+                        .map(|&s| (s - SYM_OFFSET) as u8)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
     // ----- integrity checking (tests / debug builds) -------------------------
 
     /// Exhaustively validates structural invariants. O(total text size).

@@ -88,12 +88,31 @@ fn main() {
             shard.levels.len()
         );
     }
+    println!("dashboard: {stats}");
     println!(
-        "total: {} docs, {} bytes, imbalance {:.2}, scheduler installed {} job(s), heap {} bytes",
-        stats.total_docs(),
-        stats.total_symbols(),
-        stats.imbalance(),
+        "scheduler installed {} job(s), heap {} bytes",
         store.scheduler_installs(),
         store.heap_bytes()
     );
+
+    println!("\n== snapshot to disk, restore in a fresh store ==");
+    let dir = std::env::temp_dir().join(format!("dyndex-sharded-search-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let snap = store.snapshot(&dir).expect("snapshot");
+    println!(
+        "snapshot generation {} wrote {} shard file(s), {} bytes on disk",
+        snap.generation, snap.shards, snap.bytes_on_disk
+    );
+    let restored: ShardedStore<FmIndexCompressed> =
+        ShardedStore::restore(&dir, RestoreOptions::default()).expect("restore");
+    assert_eq!(
+        restored.count(b"service=auth"),
+        store.count(b"service=auth")
+    );
+    assert_eq!(restored.find(b"failed"), store.find(b"failed"));
+    println!(
+        "restored store answers identically: count(\"service=auth\") = {}",
+        restored.count(b"service=auth")
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }

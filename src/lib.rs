@@ -26,6 +26,9 @@
 //! * [`store`] — a sharded, concurrent document store over the dynamic
 //!   indexes: hash routing, parallel query fan-out with deterministic
 //!   merge, batched writes, scheduled background maintenance.
+//! * [`persist`] — durability for the store: a binary codec for every
+//!   static structure, crash-atomic snapshot/restore, and per-shard
+//!   write-ahead logging (`DurableStore`).
 //! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
 //!   rebuild-from-scratch).
 //!
@@ -51,6 +54,7 @@
 
 pub use dyndex_baseline as baseline;
 pub use dyndex_core as core;
+pub use dyndex_persist as persist;
 pub use dyndex_relations as relations;
 pub use dyndex_store as store;
 pub use dyndex_succinct as succinct;
@@ -59,6 +63,7 @@ pub use dyndex_text as text;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use dyndex_core::prelude::*;
+    pub use dyndex_persist::{DurableStore, PersistError, RestoreOptions, StorePersist};
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
     pub use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions, StoreStats};
     pub use dyndex_succinct::SpaceUsage;
