@@ -1,37 +1,46 @@
 //! **Figure 4 harness** (beyond the paper) — shard-count scaling of the
-//! `dyndex-store` layer.
+//! `dyndex-store` layer, pooled vs spawn-per-query fan-out.
 //!
 //! The transformations bound *per-operation* cost; the store layer is
 //! about *throughput*: hash-routed shards take writes in parallel, queries
-//! fan out across shards on scoped threads, and a scheduler thread keeps
-//! rebuild installs off the query path. This harness measures, at a fixed
-//! corpus and a growing shard count:
+//! fan out across shards, and resident workers keep rebuild installs off
+//! the query path. This harness measures, at a fixed corpus, a growing
+//! shard count, and both [`FanOutPolicy`] execution models:
 //!
 //! * bulk-load throughput (batched inserts, one writer thread per shard),
-//! * single-query fan-out latency (count and find; fan-out adds O(shards)
-//!   work, so modest growth is the expected price of sharding),
+//! * single-query fan-out latency (count and find),
 //! * multi-threaded query throughput (4 reader threads),
 //! * mixed churn throughput (batch deletes + inserts with background
-//!   maintenance running).
+//!   maintenance running; fan-out-policy-independent, reported once per
+//!   shard count on the pooled row).
 //!
 //! Expected shape: bulk-load and churn scale up with shards (smaller
-//! per-shard rebuilds, parallel writers). Single-query latency *rises*
-//! with shards at this corpus size: fan-out spawns a scoped thread per
-//! shard, and a thread spawn costs more than a µs-scale per-shard query —
-//! the query-side win only appears once per-shard work dwarfs spawn cost
-//! (a persistent worker pool is a ROADMAP follow-on).
+//! per-shard rebuilds, parallel writers). Under `ScopedSpawn`, single-query
+//! latency *rises* with shards: a thread spawn costs more than a µs-scale
+//! per-shard query, so the spawn tax dominates. `Pooled` replaces the
+//! spawn with a channel send to the shard's resident worker, cutting most
+//! of the per-query fan-out overhead — the headline ratio this harness
+//! prints last.
 
 use dyndex_bench::workloads::*;
 use dyndex_core::prelude::*;
-use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
 use dyndex_text::FmIndexCompressed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 const READER_THREADS: usize = 4;
 
+struct Row {
+    shards: usize,
+    policy: FanOutPolicy,
+    count_ns: f64,
+    find_ns: f64,
+    queries_per_s: f64,
+}
+
 fn main() {
-    println!("=== Fig 4: sharded-store scaling (measured) ===\n");
+    println!("=== Fig 4: sharded-store scaling, pooled vs spawn fan-out (measured) ===\n");
     let n = 1usize << 19;
     let mut r = rng(0xF16_0004 ^ n as u64);
     let text = markov_text(&mut r, n, 26, 3);
@@ -47,26 +56,43 @@ fn main() {
         churn.len()
     );
     println!(
-        "{:<8} {:>14} {:>12} {:>12} {:>14} {:>14}",
-        "shards", "bulk-load", "count", "find", "queries/s", "churn MB/s"
+        "{:<8} {:<8} {:>14} {:>12} {:>12} {:>14} {:>14}",
+        "shards", "fan-out", "bulk-load", "count", "find", "queries/s", "churn MB/s"
     );
-    for &shards in &[1usize, 2, 4, 8] {
-        run_shards(shards, &docs, &patterns, &churn);
+    let mut rows: Vec<Row> = Vec::new();
+    // A 1-shard store has no fan-out: both policies take the identical
+    // direct-read path, so measure it once as the baseline row.
+    rows.push(run_config(
+        1,
+        FanOutPolicy::Pooled,
+        &docs,
+        &patterns,
+        &churn,
+    ));
+    for &shards in &[2usize, 4, 8] {
+        for policy in [FanOutPolicy::Pooled, FanOutPolicy::ScopedSpawn] {
+            rows.push(run_config(shards, policy, &docs, &patterns, &churn));
+        }
     }
     println!();
-    println!("shape checks: bulk-load and churn MB/s rise with shards (parallel");
-    println!("writers, smaller rebuilds); count/find latency and queries/s pay the");
-    println!("fan-out tax — one scoped-thread spawn per shard dominates µs-scale");
-    println!("queries at this corpus size, so sharding wins on the write path here");
-    println!("and on reads only once per-shard query work dwarfs spawn cost.");
+    summarize(&rows);
 }
 
-fn run_shards(
+fn policy_name(shards: usize, policy: FanOutPolicy) -> &'static str {
+    match policy {
+        _ if shards == 1 => "direct",
+        FanOutPolicy::Pooled => "pooled",
+        FanOutPolicy::ScopedSpawn => "spawn",
+    }
+}
+
+fn run_config(
     shards: usize,
+    policy: FanOutPolicy,
     docs: &[(u64, Vec<u8>)],
     patterns: &[Vec<u8>],
     churn: &[(u64, Vec<u8>)],
-) {
+) -> Row {
     let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
         FmConfig { sample_rate: 8 },
         StoreOptions {
@@ -74,6 +100,7 @@ fn run_shards(
             index: DynOptions::default(),
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+            fan_out: policy,
         },
     );
 
@@ -115,29 +142,76 @@ fn run_shards(
     .as_secs_f64();
     let queries_per_s = done.load(Ordering::Relaxed) as f64 / qps;
 
-    // Mixed churn: delete a slice of the corpus, insert the churn batch,
-    // background maintenance running throughout.
-    let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 4 == 0).collect();
-    let churn_bytes: usize = churn.iter().map(|(_, d)| d.len()).sum::<usize>()
-        + doomed
-            .iter()
-            .map(|&id| docs[id as usize].1.len())
-            .sum::<usize>();
-    let t1 = Instant::now();
-    store.delete_batch(&doomed);
-    for chunk in churn.chunks(256) {
-        store.insert_batch(chunk);
-    }
-    store.finish_background_work();
-    let churn_mbs = churn_bytes as f64 / t1.elapsed().as_secs_f64() / 1e6;
+    // Mixed churn: write-path work, identical under either fan-out
+    // policy — measure it once per shard count (on the pooled pass).
+    let churn_cell = if policy == FanOutPolicy::Pooled {
+        let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 4 == 0).collect();
+        let churn_bytes: usize = churn.iter().map(|(_, d)| d.len()).sum::<usize>()
+            + doomed
+                .iter()
+                .map(|&id| docs[id as usize].1.len())
+                .sum::<usize>();
+        let t1 = Instant::now();
+        store.delete_batch(&doomed);
+        for chunk in churn.chunks(256) {
+            store.insert_batch(chunk);
+        }
+        store.finish_background_work();
+        format!(
+            "{:.1}",
+            churn_bytes as f64 / t1.elapsed().as_secs_f64() / 1e6
+        )
+    } else {
+        "-".to_string()
+    };
 
     println!(
-        "{:<8} {:>11.1} MB/s {:>12} {:>12} {:>14.0} {:>14.1}",
+        "{:<8} {:<8} {:>11.1} MB/s {:>12} {:>12} {:>14.0} {:>14}",
         shards,
+        policy_name(shards, policy),
         load_mbs,
         fmt_ns(count_ns),
         fmt_ns(find_ns),
         queries_per_s,
-        churn_mbs
+        churn_cell
     );
+    Row {
+        shards,
+        policy,
+        count_ns,
+        find_ns,
+        queries_per_s,
+    }
+}
+
+/// The headline: pooled-over-spawn ratios per shard count.
+fn summarize(rows: &[Row]) {
+    println!("pooled-vs-spawn (same shard count; >1.0 = pooled wins):");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "shards", "count", "find", "queries/s"
+    );
+    for shards in [2usize, 4, 8] {
+        let get = |policy: FanOutPolicy| {
+            rows.iter()
+                .find(|r| r.shards == shards && r.policy == policy)
+                .expect("both policies measured")
+        };
+        let pooled = get(FanOutPolicy::Pooled);
+        let spawn = get(FanOutPolicy::ScopedSpawn);
+        println!(
+            "{:<8} {:>11.2}x {:>11.2}x {:>11.2}x",
+            shards,
+            spawn.count_ns / pooled.count_ns,
+            spawn.find_ns / pooled.find_ns,
+            pooled.queries_per_s / spawn.queries_per_s,
+        );
+    }
+    println!();
+    println!("shape checks: bulk-load and churn MB/s rise with shards (parallel");
+    println!("writers, smaller rebuilds). Under spawn fan-out, count/find latency");
+    println!("pays one thread spawn per shard per query, which dominates µs-scale");
+    println!("queries; pooled fan-out replaces the spawn with a channel send to the");
+    println!("shard's resident worker, so small-pattern queries keep most of the");
+    println!("single-shard latency while retaining the write-path scaling.");
 }

@@ -29,6 +29,7 @@ fn store_opts() -> StoreOptions {
         index: DynOptions::default(),
         mode: RebuildMode::Background,
         maintenance: MaintenancePolicy::Manual,
+        ..StoreOptions::default()
     }
 }
 
@@ -36,6 +37,7 @@ fn restore_opts() -> RestoreOptions {
     RestoreOptions {
         mode: RebuildMode::Background,
         maintenance: MaintenancePolicy::Manual,
+        ..RestoreOptions::default()
     }
 }
 

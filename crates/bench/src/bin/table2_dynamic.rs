@@ -100,8 +100,8 @@ fn run_size(n: usize) {
         });
         row("transform3", count_ns, find_ns, ins, del);
     }
-    // Sharded store over Transformation 2: 4 shards, parallel fan-out,
-    // background rebuilds installed by the periodic scheduler.
+    // Sharded store over Transformation 2: 4 shards, pooled fan-out,
+    // background rebuilds installed by the resident workers.
     {
         let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
             fm,
@@ -110,6 +110,7 @@ fn run_size(n: usize) {
                 index: opts,
                 mode: RebuildMode::Background,
                 maintenance: MaintenancePolicy::Periodic(std::time::Duration::from_micros(500)),
+                ..StoreOptions::default()
             },
         );
         store.insert_batch(&docs);

@@ -34,6 +34,22 @@ pub const VERSION: u16 = 1;
 /// same traversal order). Implementations re-derive redundant
 /// acceleration state (rank directories, hash maps) on read instead of
 /// trusting it from the wire.
+///
+/// # Examples
+///
+/// Every structure on the persistence path implements it, down to the
+/// dynamization options:
+///
+/// ```
+/// use dyndex_core::DynOptions;
+/// use dyndex_persist::Persist;
+///
+/// let options = DynOptions::default();
+/// let mut bytes = Vec::new();
+/// options.write_to(&mut bytes).unwrap();
+/// let back = DynOptions::read_from(&mut std::io::Cursor::new(bytes)).unwrap();
+/// assert_eq!(back.tau, options.tau);
+/// ```
 pub trait Persist: Sized {
     /// Stable type tag identifying this structure in frames/manifests.
     const TAG: u16;
@@ -73,6 +89,14 @@ const fn crc32_table() -> [u32; 256] {
 static CRC32_TABLE: [u32; 256] = crc32_table();
 
 /// CRC-32 (IEEE) of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// // The standard CRC-32 check value.
+/// assert_eq!(dyndex_persist::codec::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(dyndex_persist::codec::crc32(b""), 0);
+/// ```
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
@@ -221,6 +245,19 @@ pub(crate) fn read_usize_vec<R: Read>(r: &mut R) -> Result<Vec<usize>, PersistEr
 
 /// Serializes `payload` under a `tag`-typed, versioned, checksummed
 /// frame and writes the whole frame to `w`.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_persist::codec::{read_frame, write_frame};
+///
+/// let mut frame = Vec::new();
+/// write_frame(&mut frame, 0x0042, b"payload").unwrap();
+/// let payload = read_frame(&mut std::io::Cursor::new(&frame), 0x0042).unwrap();
+/// assert_eq!(payload, b"payload");
+/// // Asking for a different tag is a typed error, not a panic:
+/// assert!(read_frame(&mut std::io::Cursor::new(&frame), 0x0043).is_err());
+/// ```
 pub fn write_frame<W: Write>(w: &mut W, tag: u16, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&MAGIC)?;
     write_u16(w, VERSION)?;
@@ -267,6 +304,17 @@ pub fn read_frame<R: Read>(r: &mut R, expected_tag: u16) -> Result<Vec<u8>, Pers
 
 /// Frames `value` (payload serialized via [`Persist::write_to`], tag from
 /// [`Persist::TAG`]) into a fresh byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_core::DynOptions;
+/// use dyndex_persist::codec::{decode_framed, encode_framed};
+///
+/// let framed = encode_framed(&DynOptions::default()).unwrap();
+/// let back: DynOptions = decode_framed(&mut std::io::Cursor::new(framed)).unwrap();
+/// assert_eq!(back.min_capacity, DynOptions::default().min_capacity);
+/// ```
 pub fn encode_framed<T: Persist>(value: &T) -> std::io::Result<Vec<u8>> {
     let mut payload = Vec::new();
     value.write_to(&mut payload)?;
@@ -276,7 +324,7 @@ pub fn encode_framed<T: Persist>(value: &T) -> std::io::Result<Vec<u8>> {
 }
 
 /// Decodes a [`Persist`] value from one frame, requiring the payload to
-/// be fully consumed.
+/// be fully consumed (see [`encode_framed`] for a round-trip example).
 pub fn decode_framed<T: Persist, R: Read>(r: &mut R) -> Result<T, PersistError> {
     let payload = read_frame(r, T::TAG)?;
     let mut cursor = std::io::Cursor::new(payload);

@@ -3,9 +3,11 @@
 //! Every mutation is appended to the owning shard's write-ahead log
 //! before it is applied in memory, so the on-disk state (last snapshot
 //! plus WAL tails) always covers the in-memory state. [`DurableStore::open`]
-//! restores the last committed snapshot and replays the tails through
+//! restores the last committed snapshot, replays the tails through
 //! the normal dynamic-buffer path — recovering the exact pre-crash
-//! logical state without rebuilding any static index.
+//! logical state without rebuilding any static index — and re-creates
+//! the store's resident worker pool per
+//! [`RestoreOptions`](crate::RestoreOptions).
 //!
 //! Queries delegate straight to the wrapped store (same fan-out, same
 //! deterministic merge); only mutations pay the logging detour.
@@ -75,8 +77,12 @@ where
     }
 
     /// Opens an existing durable store: restores the last committed
-    /// snapshot, replays the WAL tails, and resumes logging after the
-    /// highest replayed sequence number.
+    /// snapshot, replays the WAL tails, resumes logging after the
+    /// highest replayed sequence number, and re-creates the per-shard
+    /// worker pool (per `options.maintenance` / `options.fan_out`) so
+    /// the reopened store serves pooled queries and background installs
+    /// exactly like the one that wrote the snapshot. See the crate-level
+    /// example for the full create → mutate → reopen round-trip.
     pub fn open(dir: &Path, options: RestoreOptions) -> Result<Self, PersistError> {
         let manifest = read_manifest(dir)?;
         let store = restore_snapshot::<I>(dir, &manifest, &options)?;

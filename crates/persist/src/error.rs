@@ -8,6 +8,17 @@
 use std::fmt;
 
 /// Everything that can go wrong writing or reading durable state.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_persist::PersistError;
+///
+/// let err = PersistError::WrongType { found: 0x2, expected: 0x7 };
+/// assert!(err.to_string().contains("0x0002"));
+/// let io: PersistError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+/// assert!(matches!(io, PersistError::Io(_)));
+/// ```
 #[derive(Debug)]
 pub enum PersistError {
     /// An underlying I/O failure (missing file, permission, short write).

@@ -32,7 +32,7 @@
 //! preserved.
 //!
 //! ```
-//! use dyndex_core::{FmConfig, RebuildMode, DynOptions};
+//! use dyndex_core::{FmConfig, RebuildMode};
 //! use dyndex_persist::{DurableStore, RestoreOptions};
 //! use dyndex_store::{MaintenancePolicy, StoreOptions};
 //! use dyndex_text::FmIndexCompressed;
@@ -43,7 +43,7 @@
 //!     num_shards: 2,
 //!     mode: RebuildMode::Inline,
 //!     maintenance: MaintenancePolicy::Manual,
-//!     index: DynOptions::default(),
+//!     ..StoreOptions::default()
 //! };
 //! let store: DurableStore<FmIndexCompressed> =
 //!     DurableStore::create(&dir, FmConfig { sample_rate: 8 }, options).unwrap();
@@ -55,6 +55,7 @@
 //! let restore_opts = RestoreOptions {
 //!     mode: RebuildMode::Inline,
 //!     maintenance: MaintenancePolicy::Manual,
+//!     ..RestoreOptions::default()
 //! };
 //! let store: DurableStore<FmIndexCompressed> = DurableStore::open(&dir, restore_opts).unwrap();
 //! assert_eq!(store.num_docs(), 2); // snapshot + replayed WAL tail

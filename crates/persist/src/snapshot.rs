@@ -27,7 +27,7 @@ use crate::core_impls::{read_frozen_parts, write_frozen_view};
 use crate::error::PersistError;
 use crate::wal::{read_wal_records, wal_path, WalRecord};
 use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
-use dyndex_store::{MaintenancePolicy, ShardedStore};
+use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::time::Duration;
@@ -154,13 +154,31 @@ pub struct SnapshotStats {
 /// How a restored store should run (everything *about the data* — shard
 /// count, index config, dynamization options — comes from the manifest;
 /// these are the runtime-only choices).
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_core::RebuildMode;
+/// use dyndex_persist::RestoreOptions;
+/// use dyndex_store::{FanOutPolicy, MaintenancePolicy};
+///
+/// // The default restores into the production configuration: background
+/// // rebuilds, a resident worker per shard, pooled query fan-out.
+/// let options = RestoreOptions::default();
+/// assert_eq!(options.mode, RebuildMode::Background);
+/// assert_eq!(options.fan_out, FanOutPolicy::Pooled);
+/// assert!(matches!(options.maintenance, MaintenancePolicy::Periodic(_)));
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct RestoreOptions {
     /// Rebuild execution mode for the restored shards.
     pub mode: RebuildMode,
-    /// Background maintenance driving policy (the scheduler is re-spawned
-    /// under [`MaintenancePolicy::Periodic`]).
+    /// Background maintenance driving policy (the per-shard worker pool
+    /// is re-created under [`MaintenancePolicy::Periodic`]).
     pub maintenance: MaintenancePolicy,
+    /// Query fan-out execution model for the restored store (see
+    /// [`FanOutPolicy`]).
+    pub fan_out: FanOutPolicy,
 }
 
 impl Default for RestoreOptions {
@@ -168,6 +186,7 @@ impl Default for RestoreOptions {
         RestoreOptions {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
+            fan_out: FanOutPolicy::Pooled,
         }
     }
 }
@@ -346,6 +365,7 @@ where
     Ok(ShardedStore::from_shard_indexes(
         shards,
         options.maintenance,
+        options.fan_out,
     ))
 }
 
@@ -393,10 +413,33 @@ where
 ///
 /// `snapshot` quiesces the store (all shard locks held, background work
 /// installed) and writes a point-in-time image; `restore` reads the
-/// latest committed manifest, rebuilds every shard, re-spawns the
-/// maintenance scheduler, and — when the directory carries a write-ahead
-/// log (see `DurableStore`) — replays the logged tail through the normal
-/// dynamic-buffer path, recovering the exact pre-crash logical state.
+/// latest committed manifest, rebuilds every shard, re-creates the
+/// resident worker pool (per [`RestoreOptions::maintenance`] and
+/// [`RestoreOptions::fan_out`]), and — when the directory carries a
+/// write-ahead log (see `DurableStore`) — replays the logged tail
+/// through the normal dynamic-buffer path, recovering the exact
+/// pre-crash logical state.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_core::FmConfig;
+/// use dyndex_persist::{RestoreOptions, StorePersist};
+/// use dyndex_store::{ShardedStore, StoreOptions};
+/// use dyndex_text::FmIndexCompressed;
+///
+/// let dir = std::env::temp_dir().join(format!("dyndex-sp-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let store: ShardedStore<FmIndexCompressed> =
+///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+/// store.insert(1, b"snapshot me");
+/// store.snapshot(&dir).unwrap();
+/// let restored: ShardedStore<FmIndexCompressed> =
+///     ShardedStore::restore(&dir, RestoreOptions::default()).unwrap();
+/// assert_eq!(restored.count(b"snapshot"), 1);
+/// assert_eq!(restored.worker_threads(), restored.num_shards()); // pool re-created
+/// std::fs::remove_dir_all(&dir).unwrap();
+/// ```
 pub trait StorePersist: Sized {
     /// Writes a point-in-time snapshot of `self` into `dir`.
     fn snapshot(&self, dir: &Path) -> Result<SnapshotStats, PersistError>;

@@ -40,6 +40,7 @@ fn opts() -> StoreOptions {
         },
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..StoreOptions::default()
     }
 }
 
@@ -47,6 +48,7 @@ fn restore_opts() -> RestoreOptions {
     RestoreOptions {
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..RestoreOptions::default()
     }
 }
 

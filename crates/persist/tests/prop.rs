@@ -55,6 +55,7 @@ fn store_opts(num_shards: usize) -> StoreOptions {
         index: dyn_opts(),
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..StoreOptions::default()
     }
 }
 
@@ -62,6 +63,7 @@ fn restore_opts() -> RestoreOptions {
     RestoreOptions {
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..RestoreOptions::default()
     }
 }
 

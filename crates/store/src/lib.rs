@@ -5,48 +5,65 @@
 //!
 //! The transformations (`dyndex-core`) dynamize a single collection behind
 //! a single-threaded API. Production traffic wants more: concurrent
-//! readers, parallel query fan-out, batched writes, and rebuild work kept
-//! off the query path. [`ShardedStore`] provides exactly that layer:
+//! readers, parallel query fan-out without per-query thread setup, batched
+//! writes, and rebuild work kept off the query path. [`ShardedStore`]
+//! provides exactly that layer:
 //!
 //! * **Routing** — documents hash-route by id across `N` shards, each an
 //!   independent [`Transform2Index`](dyndex_core::Transform2Index) behind
 //!   its own reader-writer lock. Writers to different shards never
 //!   contend; readers never block readers.
 //! * **Fan-out** — [`ShardedStore::count`] / [`ShardedStore::find`] query
-//!   every shard in parallel on scoped threads and merge deterministically
-//!   (occurrences sorted by `(doc, offset)`), so a sharded store answers
-//!   byte-identically to an unsharded index over the same documents.
+//!   every shard in parallel and merge deterministically (occurrences
+//!   sorted by `(doc, offset)`), so a sharded store answers
+//!   byte-identically to an unsharded index over the same documents. By
+//!   default ([`FanOutPolicy::Pooled`]) each shard's work is submitted as
+//!   a closure-plus-reply-channel to that shard's *resident worker* — one
+//!   channel send instead of one thread spawn per shard per query, which
+//!   is what lets µs-scale queries keep the paper's bounds in practice.
+//!   [`FanOutPolicy::ScopedSpawn`] keeps the spawn-per-query model for
+//!   comparison.
 //! * **Batching** — [`ShardedStore::insert_batch`] /
 //!   [`ShardedStore::delete_batch`] group documents by shard and apply
 //!   each shard's group on its own thread, one lock acquisition per shard.
 //! * **Maintenance** — Transformation 2 rebuilds sub-collections on
 //!   background jobs that must be *installed* by someone holding the
-//!   index. A periodic scheduler thread
-//!   ([`MaintenancePolicy::Periodic`]) drains finished jobs with
-//!   `try_write` (never stalling queries), so installs stop riding on
-//!   foreground operations.
+//!   index. The same resident workers drain their shard's finished jobs
+//!   between requests with `try_write` (never stalling queries), so
+//!   installs stop riding on foreground operations — no separate
+//!   scheduler thread. Under [`MaintenancePolicy::Manual`] no threads
+//!   exist at all and installs are driven by the caller.
 //! * **Observability** — [`ShardedStore::stats`] aggregates per-shard
-//!   document/symbol counts, pending background-job depth, and the full
-//!   per-level census ([`LevelStats`](dyndex_core::LevelStats));
-//!   [`StoreStats`] implements `Display` as a one-line dashboard.
-//! * **Quiescing** — [`ShardedStore::flush`] holds every shard at once
-//!   and installs all background work, yielding the settled state that
-//!   snapshots (`dyndex-persist`) and deterministic tests build on.
+//!   document/symbol counts, pending background-job depth, worker
+//!   request-queue depth and busyness, and the full per-level census
+//!   ([`LevelStats`](dyndex_core::LevelStats)); [`StoreStats`] implements
+//!   `Display` as a one-line dashboard.
+//! * **Quiescing** — [`ShardedStore::flush`] drains every worker's
+//!   request queue, then holds every shard at once and installs all
+//!   background work, yielding the settled state that snapshots
+//!   (`dyndex-persist`) and deterministic tests build on.
+//!
+//! The full-stack walk-through — layer diagram, the life of a query and
+//! an insert through the pool, the rebuild lifecycle, crash recovery —
+//! lives in `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ```
 //! use dyndex_core::{DynOptions, RebuildMode, FmConfig};
-//! use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+//! use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
 //! use dyndex_text::FmIndexCompressed;
+//! use std::time::Duration;
 //!
 //! let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
 //!     FmConfig { sample_rate: 8 },
 //!     StoreOptions {
 //!         num_shards: 4,
-//!         mode: RebuildMode::Inline,
-//!         maintenance: MaintenancePolicy::Manual,
+//!         mode: RebuildMode::Background,
+//!         maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+//!         fan_out: FanOutPolicy::Pooled, // the default: resident workers
 //!         index: DynOptions::default(),
 //!     },
 //! );
+//! assert_eq!(store.worker_threads(), 4); // one resident worker per shard
 //! store.insert(1, b"sharded dynamic document store");
 //! store.insert(2, b"dynamic indexes behind every shard");
 //! assert_eq!(store.count(b"dynamic"), 2);
@@ -55,11 +72,12 @@
 //! assert!(hits.windows(2).all(|w| w[0] <= w[1]), "merge is sorted");
 //! store.delete(1);
 //! assert_eq!(store.count(b"dynamic"), 1);
+//! store.flush(); // drain request queues + install all rebuilds
 //! ```
 
-mod scheduler;
+mod pool;
 mod stats;
 mod store;
 
 pub use stats::{ShardStats, StoreStats};
-pub use store::{MaintenancePolicy, ShardedStore, StoreOptions};
+pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};

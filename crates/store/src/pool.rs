@@ -1,0 +1,219 @@
+//! The resident per-shard worker pool: one long-lived thread pinned to
+//! each shard, serving query jobs from an MPSC request queue and draining
+//! the shard's finished rebuild jobs between requests.
+//!
+//! `fig4_sharding` showed that spawning a scoped thread per shard per
+//! query dominates µs-scale queries — the thread setup costs more than
+//! the per-shard work it carries. The pool amortizes that setup once at
+//! store construction: queries are submitted as boxed closures plus a
+//! reply channel ([`WorkerPool::submit`]), executed on the shard's
+//! resident worker, and merged by the caller exactly as before.
+//!
+//! The pool also absorbs the old periodic maintenance scheduler: when a
+//! worker's queue has been idle for one maintenance tick it polls its
+//! shard with `try_write` and installs any finished background rebuild
+//! jobs — so installs stay off the foreground path without a separate
+//! scheduler thread, and a shard busy serving readers or a writer is
+//! simply skipped until the next tick, never contended.
+
+use dyndex_core::{StaticIndex, Transform2Index};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A unit of work for one shard's worker: a closure run against the
+/// shard's lock slot. Query jobs take the read lock inside the closure
+/// and send their answer through a captured reply channel.
+pub(crate) type Job<I> = Box<dyn FnOnce(&RwLock<Transform2Index<I>>) + Send>;
+
+/// Live per-worker gauges, shared with [`crate::StoreStats`].
+#[derive(Default)]
+pub(crate) struct WorkerGauges {
+    /// Requests waiting in the queue (a dequeued request moves to `busy`
+    /// before this drops, so depth + busy never undercounts).
+    queued: AtomicUsize,
+    /// Whether the worker is currently executing a request.
+    busy: AtomicBool,
+}
+
+struct Worker {
+    gauges: Arc<WorkerGauges>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// One resident worker per shard, plus the shared install counter.
+/// Dropping the pool closes every queue; workers finish the requests
+/// already queued, then exit and are joined.
+pub(crate) struct WorkerPool<I: StaticIndex + Sync> {
+    /// Typed senders, parallel to `workers` (kept separate so `Worker`
+    /// needs no `I` parameter); cleared first during teardown so the
+    /// workers see their queues close before being joined.
+    senders: Vec<Sender<Job<I>>>,
+    workers: Vec<Worker>,
+    /// Rebuild jobs installed by workers (not by foreground operations).
+    installs: Arc<AtomicU64>,
+}
+
+impl<I: StaticIndex + Sync> WorkerPool<I> {
+    /// Spawns one worker per shard, each polling its queue and — after
+    /// `tick` of queue idleness — draining its shard's finished rebuild
+    /// jobs via `try_write`.
+    pub(crate) fn spawn(shards: Arc<Vec<RwLock<Transform2Index<I>>>>, tick: Duration) -> Self {
+        let installs = Arc::new(AtomicU64::new(0));
+        let mut senders = Vec::with_capacity(shards.len());
+        let workers = (0..shards.len())
+            .map(|shard| {
+                let (tx, rx) = mpsc::channel::<Job<I>>();
+                let gauges = Arc::new(WorkerGauges::default());
+                let handle = {
+                    let shards = Arc::clone(&shards);
+                    let gauges = Arc::clone(&gauges);
+                    let installs = Arc::clone(&installs);
+                    std::thread::spawn(move || {
+                        worker_loop(&shards, shard, rx, &gauges, &installs, tick)
+                    })
+                };
+                senders.push(tx);
+                Worker {
+                    gauges,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool {
+            senders,
+            workers,
+            installs,
+        }
+    }
+
+    /// Number of resident workers (= shards).
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues `job` on `shard`'s worker. The job runs after everything
+    /// already queued there; replies travel through whatever channel the
+    /// closure captured.
+    pub(crate) fn submit(&self, shard: usize, job: Job<I>) {
+        let worker = &self.workers[shard];
+        worker.gauges.queued.fetch_add(1, Ordering::Relaxed);
+        if self.senders[shard].send(job).is_err() {
+            // Worker gone (only possible mid-teardown); the dropped job
+            // closes its reply channel, so the caller observes the loss.
+            worker.gauges.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Waits until every request queued before this call has completed:
+    /// submits a no-op rendezvous job to every worker and blocks for all
+    /// replies. The backbone of [`crate::ShardedStore::flush`].
+    pub(crate) fn drain(&self) {
+        let receivers: Vec<Receiver<()>> = (0..self.len())
+            .map(|shard| {
+                let (tx, rx) = mpsc::channel();
+                self.submit(
+                    shard,
+                    Box::new(move |_| {
+                        let _ = tx.send(());
+                    }),
+                );
+                rx
+            })
+            .collect();
+        for rx in receivers {
+            // A disconnect (worker died without running the job) still
+            // means the queue ahead of the rendezvous point is spent.
+            let _ = rx.recv();
+        }
+    }
+
+    /// Requests waiting in `shard`'s queue (excluding one currently
+    /// executing — see [`WorkerPool::worker_busy`]).
+    pub(crate) fn queue_depth(&self, shard: usize) -> usize {
+        self.workers[shard].gauges.queued.load(Ordering::Relaxed)
+    }
+
+    /// Whether `shard`'s worker is executing a request right now.
+    pub(crate) fn worker_busy(&self, shard: usize) -> bool {
+        self.workers[shard].gauges.busy.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild jobs installed by workers so far.
+    pub(crate) fn installs(&self) -> u64 {
+        self.installs.load(Ordering::Relaxed)
+    }
+}
+
+impl<I: StaticIndex + Sync> Drop for WorkerPool<I> {
+    fn drop(&mut self) {
+        // Close every queue first: workers finish what is already queued
+        // (std mpsc delivers buffered messages even after the sender is
+        // dropped), then observe the disconnect and exit.
+        self.senders.clear();
+        for worker in self.workers.iter_mut() {
+            if let Some(handle) = worker.handle.take() {
+                if std::thread::panicking() {
+                    // Already unwinding (e.g. a panicking test dropping
+                    // the store): a second panic here would abort.
+                    let _ = handle.join();
+                } else {
+                    handle.join().expect("shard worker panicked");
+                }
+            }
+        }
+    }
+}
+
+/// The worker body: block on the request queue (up to one maintenance
+/// tick), execute jobs as they arrive, and drain the shard's finished
+/// rebuild work whenever a tick has elapsed since the last drain — on
+/// queue idleness *or* between back-to-back requests.
+fn worker_loop<I: StaticIndex + Sync>(
+    shards: &[RwLock<Transform2Index<I>>],
+    shard: usize,
+    rx: Receiver<Job<I>>,
+    gauges: &WorkerGauges,
+    installs: &AtomicU64,
+    tick: Duration,
+) {
+    let slot = &shards[shard];
+    let mut last_maintain = Instant::now();
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(job) => {
+                gauges.busy.store(true, Ordering::Relaxed);
+                gauges.queued.fetch_sub(1, Ordering::Relaxed);
+                // Jobs wrap their own work in `catch_unwind` and report
+                // panics through their reply channel; a panic escaping
+                // here would only come from the reply send itself, which
+                // is infallible-by-construction. Either way the worker
+                // must survive for the shard to stay serviceable, so
+                // contain anything that slips through.
+                let survived =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(slot))).is_ok();
+                debug_assert!(survived, "query job leaked a panic past its reply channel");
+                gauges.busy.store(false, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        if last_maintain.elapsed() >= tick {
+            last_maintain = Instant::now();
+            // Never contend with foreground work (and never touch a
+            // shard poisoned by a panicked writer): skip unless the
+            // write lock is free and healthy.
+            let Ok(mut index) = slot.try_write() else {
+                continue;
+            };
+            let before = index.work().jobs_completed;
+            index.poll_background_work();
+            let installed = index.work().jobs_completed - before;
+            if installed > 0 {
+                installs.fetch_add(installed, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -14,6 +14,13 @@ pub struct ShardStats {
     /// Background jobs currently in flight (rebuilds + top maintenance) —
     /// the shard's pending-work depth.
     pub pending_jobs: usize,
+    /// Query requests waiting in this shard's worker queue, excluding
+    /// one currently executing — see [`ShardStats::worker_busy`] (0 when
+    /// no worker pool exists — see [`FanOutPolicy`](crate::FanOutPolicy)).
+    pub queued_requests: usize,
+    /// Whether this shard's resident worker was executing a request at
+    /// census time (`false` when no pool exists).
+    pub worker_busy: bool,
     /// Per-structure census (`C0`, levels, locked copies, tops, …).
     pub levels: Vec<LevelStats>,
 }
@@ -46,6 +53,18 @@ impl StoreStats {
         self.shards.iter().map(|s| s.pending_jobs).sum()
     }
 
+    /// Query requests waiting across all worker queues (0 without a
+    /// pool). Cross-reference: [`ShardStats::queued_requests`].
+    pub fn queued_requests(&self) -> usize {
+        self.shards.iter().map(|s| s.queued_requests).sum()
+    }
+
+    /// Workers executing a request at census time (0 without a pool).
+    /// Cross-reference: [`ShardStats::worker_busy`].
+    pub fn busy_workers(&self) -> usize {
+        self.shards.iter().filter(|s| s.worker_busy).count()
+    }
+
     /// Shard-balance ratio: largest shard's symbols over the ideal
     /// per-shard share (1.0 = perfectly even; meaningless when empty).
     pub fn imbalance(&self) -> f64 {
@@ -72,17 +91,18 @@ fn fmt_bytes(b: u64) -> String {
 impl std::fmt::Display for StoreStats {
     /// One readable dashboard line, e.g.
     /// `4 shards | 1500 docs | 232.4 KiB alive | 0 pending jobs |
-    /// imbalance 1.04 | last snapshot 241.1 KiB on disk`.
+    /// 0 queued | imbalance 1.04 | last snapshot 241.1 KiB on disk`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} shard{} | {} docs | {} alive | {} pending job{} | imbalance {:.2}",
+            "{} shard{} | {} docs | {} alive | {} pending job{} | {} queued | imbalance {:.2}",
             self.shards.len(),
             if self.shards.len() == 1 { "" } else { "s" },
             self.total_docs(),
             fmt_bytes(self.total_symbols() as u64),
             self.pending_jobs(),
             if self.pending_jobs() == 1 { "" } else { "s" },
+            self.queued_requests(),
             self.imbalance(),
         )?;
         match self.snapshot_bytes {
@@ -102,6 +122,8 @@ mod tests {
             docs,
             symbols,
             pending_jobs: pending,
+            queued_requests: 2 * i,
+            worker_busy: i % 2 == 1,
             levels: Vec::new(),
         }
     }
@@ -115,6 +137,8 @@ mod tests {
         assert_eq!(stats.total_docs(), 8);
         assert_eq!(stats.total_symbols(), 400);
         assert_eq!(stats.pending_jobs(), 1);
+        assert_eq!(stats.queued_requests(), 2, "shard 1 holds 2 requests");
+        assert_eq!(stats.busy_workers(), 1, "only shard 1's worker is busy");
         assert_eq!(stats.imbalance(), 1.5);
     }
 
@@ -139,6 +163,7 @@ mod tests {
         assert!(line.contains("2 shards"), "{line}");
         assert!(line.contains("8 docs"), "{line}");
         assert!(line.contains("1 pending job"), "{line}");
+        assert!(line.contains("2 queued"), "{line}");
         assert!(line.contains("no snapshot"), "{line}");
         stats.snapshot_bytes = Some(2048);
         let line = stats.to_string();

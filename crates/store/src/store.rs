@@ -1,29 +1,77 @@
-//! [`ShardedStore`]: hash-routed shards of [`Transform2Index`], parallel
-//! query fan-out with deterministic merge, batched writes, and scheduled
-//! background maintenance.
+//! [`ShardedStore`]: hash-routed shards of [`Transform2Index`], query
+//! fan-out over a resident per-shard worker pool with deterministic
+//! merge, batched writes, and background maintenance folded into the
+//! same workers.
 
-use crate::scheduler::Scheduler;
+use crate::pool::WorkerPool;
 use crate::stats::{ShardStats, StoreStats};
 use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 /// How background maintenance is driven.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MaintenancePolicy {
-    /// No scheduler thread. Finished jobs install when a foreground
+    /// No worker threads at all. Finished jobs install when a foreground
     /// operation touches the shard, or when the caller runs
     /// [`ShardedStore::maintain`] / [`ShardedStore::finish_background_work`].
+    /// Queries fan out on scoped threads regardless of
+    /// [`FanOutPolicy`] — the fully deterministic, zero-thread mode that
+    /// tests and snapshots build on.
     Manual,
-    /// A dedicated thread polls every shard at this interval, installing
-    /// finished jobs off the query path (busy shards are skipped via
-    /// `try_write`, never contended).
+    /// One resident worker per shard. Each worker serves that shard's
+    /// query requests and, whenever this interval has elapsed since its
+    /// last drain, installs finished rebuild jobs off the query path
+    /// (busy shards are skipped via `try_write`, never contended).
     Periodic(Duration),
 }
 
+/// How multi-shard queries ([`ShardedStore::count`] /
+/// [`ShardedStore::find`] / [`ShardedStore::find_limit`] /
+/// [`ShardedStore::stats`]) execute across shards.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_store::{FanOutPolicy, StoreOptions};
+///
+/// // Pooled is the default: resident workers, no per-query spawns.
+/// assert_eq!(StoreOptions::default().fan_out, FanOutPolicy::Pooled);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FanOutPolicy {
+    /// Submit each shard's work to that shard's resident worker
+    /// (requires the pool, i.e. [`MaintenancePolicy::Periodic`]): one
+    /// channel send instead of one thread spawn per shard per query.
+    /// Under [`MaintenancePolicy::Manual`] no workers exist, so this
+    /// falls back to [`FanOutPolicy::ScopedSpawn`] — see
+    /// [`ShardedStore::fan_out_policy`] for the effective policy.
+    #[default]
+    Pooled,
+    /// Spawn one scoped thread per shard per query (the pre-pool
+    /// execution model, kept for comparison benchmarks and as the
+    /// zero-resident-thread fallback).
+    ScopedSpawn,
+}
+
 /// Tunables for a [`ShardedStore`].
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_store::{FanOutPolicy, MaintenancePolicy, StoreOptions};
+/// use std::time::Duration;
+///
+/// let options = StoreOptions {
+///     num_shards: 8,
+///     maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+///     fan_out: FanOutPolicy::Pooled,
+///     ..StoreOptions::default()
+/// };
+/// assert_eq!(options.num_shards, 8);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct StoreOptions {
     /// Number of shards (≥ 1). More shards mean more write parallelism
@@ -33,8 +81,11 @@ pub struct StoreOptions {
     pub index: DynOptions,
     /// Rebuild execution mode for every shard.
     pub mode: RebuildMode,
-    /// Background maintenance driving policy.
+    /// Background maintenance driving policy (also decides whether the
+    /// worker pool exists at all — see [`MaintenancePolicy`]).
     pub maintenance: MaintenancePolicy,
+    /// Multi-shard query execution model.
+    pub fan_out: FanOutPolicy,
 }
 
 impl Default for StoreOptions {
@@ -44,6 +95,7 @@ impl Default for StoreOptions {
             index: DynOptions::default(),
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
+            fan_out: FanOutPolicy::Pooled,
         }
     }
 }
@@ -61,12 +113,18 @@ fn route_hash(id: u64) -> u64 {
 ///
 /// All methods take `&self`: shards synchronize internally (one
 /// reader-writer lock each), so a `ShardedStore` can be shared across
-/// threads directly or behind an `Arc`. See the crate docs for the
-/// layer's design and a usage example.
+/// threads directly or behind an `Arc`. Multi-shard queries execute on a
+/// resident per-shard worker pool by default ([`FanOutPolicy`]); the
+/// same workers install background rebuilds between requests. See the
+/// crate docs for the layer's design and `docs/ARCHITECTURE.md` (repo
+/// root) for the full stack walk-through.
 pub struct ShardedStore<I: StaticIndex + Sync> {
     shards: Arc<Vec<RwLock<Transform2Index<I>>>>,
-    /// Periodic maintenance thread; `None` under [`MaintenancePolicy::Manual`].
-    scheduler: Option<Scheduler>,
+    /// Resident workers; `None` under [`MaintenancePolicy::Manual`].
+    pool: Option<WorkerPool<I>>,
+    /// Whether multi-shard queries route through the pool (policy is
+    /// [`FanOutPolicy::Pooled`] *and* the pool exists).
+    pooled_queries: bool,
 }
 
 impl<I: StaticIndex + Sync> ShardedStore<I> {
@@ -75,6 +133,19 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// # Panics
     /// Panics if `options.num_shards` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// assert_eq!(store.num_shards(), 4);
+    /// assert_eq!(store.worker_threads(), 4); // one resident worker per shard
+    /// ```
     pub fn new(config: I::Config, options: StoreOptions) -> Self {
         assert!(options.num_shards >= 1, "store needs at least one shard");
         let shards: Vec<RwLock<Transform2Index<I>>> = (0..options.num_shards)
@@ -86,19 +157,65 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 ))
             })
             .collect();
-        let shards = Arc::new(shards);
-        let scheduler = match options.maintenance {
+        Self::with_shards(Arc::new(shards), options.maintenance, options.fan_out)
+    }
+
+    /// Wires a shard vector to its (optional) worker pool — the single
+    /// construction path shared by [`ShardedStore::new`] and
+    /// [`ShardedStore::from_shard_indexes`].
+    fn with_shards(
+        shards: Arc<Vec<RwLock<Transform2Index<I>>>>,
+        maintenance: MaintenancePolicy,
+        fan_out: FanOutPolicy,
+    ) -> Self {
+        let pool = match maintenance {
             MaintenancePolicy::Manual => None,
-            MaintenancePolicy::Periodic(interval) => {
-                Some(Scheduler::spawn(Arc::clone(&shards), interval))
-            }
+            MaintenancePolicy::Periodic(tick) => Some(WorkerPool::spawn(Arc::clone(&shards), tick)),
         };
-        ShardedStore { shards, scheduler }
+        let pooled_queries = pool.is_some() && fan_out == FanOutPolicy::Pooled;
+        ShardedStore {
+            shards,
+            pool,
+            pooled_queries,
+        }
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of resident worker threads (one per shard under
+    /// [`MaintenancePolicy::Periodic`], zero under
+    /// [`MaintenancePolicy::Manual`]).
+    pub fn worker_threads(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::len)
+    }
+
+    /// The *effective* fan-out policy: [`FanOutPolicy::Pooled`] only
+    /// when a pool exists to carry the queries, otherwise
+    /// [`FanOutPolicy::ScopedSpawn`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let manual: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+    ///     FmConfig { sample_rate: 8 },
+    ///     StoreOptions { maintenance: MaintenancePolicy::Manual, ..StoreOptions::default() },
+    /// );
+    /// // Pooled was requested, but Manual maintenance means no workers:
+    /// assert_eq!(manual.fan_out_policy(), FanOutPolicy::ScopedSpawn);
+    /// ```
+    pub fn fan_out_policy(&self) -> FanOutPolicy {
+        if self.pooled_queries {
+            FanOutPolicy::Pooled
+        } else {
+            FanOutPolicy::ScopedSpawn
+        }
     }
 
     /// The shard `doc_id` routes to (stable for the store's lifetime).
@@ -114,10 +231,19 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         self.shards[s].write().expect("shard lock poisoned")
     }
 
-    /// Runs `f` against every shard in parallel (one scoped thread per
-    /// shard, read locks) and returns the results in shard order — the
-    /// deterministic fan-out backbone of every multi-shard query.
-    fn fan_out<T, F>(&self, f: F) -> Vec<T>
+    /// Whether multi-shard queries should route through the pool. A
+    /// 1-shard store never does: there is no fan-out to amortize, and
+    /// the direct read is cheaper than a queue round-trip.
+    fn use_pool(&self) -> bool {
+        self.pooled_queries && self.shards.len() > 1
+    }
+
+    /// Local fan-out for when [`ShardedStore::use_pool`] is false: the
+    /// single-shard direct read, or one scoped thread per shard. Takes
+    /// `f` by reference, so query closures can borrow their pattern —
+    /// callers only pay an owned pattern on the pooled path, where the
+    /// job outlives the caller's stack frame.
+    fn fan_out_scoped<T, F>(&self, f: &F) -> Vec<T>
     where
         T: Send,
         F: Fn(&Transform2Index<I>) -> T + Sync,
@@ -129,10 +255,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| {
-                    let f = &f;
-                    scope.spawn(move || f(&shard.read().expect("shard lock poisoned")))
-                })
+                .map(|shard| scope.spawn(move || f(&shard.read().expect("shard lock poisoned"))))
                 .collect();
             handles
                 .into_iter()
@@ -141,21 +264,99 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         })
     }
 
+    /// Pooled fan-out (only called when [`ShardedStore::use_pool`]):
+    /// submit one job per shard to its resident worker, each carrying a
+    /// reply channel, then collect in shard order. A panic inside `f`
+    /// (most commonly "shard lock poisoned", after a writer panicked in
+    /// that shard) is caught on the worker — which stays alive and keeps
+    /// serving its queue — shipped back through the reply channel, and
+    /// re-raised **on the caller**, so the failure surfaces exactly
+    /// where it would with scoped threads while the store stays usable
+    /// for every other shard.
+    fn fan_out_pooled<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Transform2Index<I>) -> T + Send + Sync + 'static,
+    {
+        let pool = self.pool.as_ref().expect("use_pool checked by caller");
+        let f = Arc::new(f);
+        let receivers: Vec<mpsc::Receiver<std::thread::Result<T>>> = (0..self.shards.len())
+            .map(|shard| {
+                let f = Arc::clone(&f);
+                let (reply, rx) = mpsc::channel();
+                pool.submit(
+                    shard,
+                    Box::new(move |slot: &RwLock<Transform2Index<I>>| {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(&slot.read().expect("shard lock poisoned"))
+                        }));
+                        let _ = reply.send(result);
+                    }),
+                );
+                rx
+            })
+            .collect();
+        // Collect every shard's reply before propagating any failure, so
+        // one poisoned shard cannot leave another shard's job orphaned
+        // mid-merge.
+        let mut answers = Vec::with_capacity(receivers.len());
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut lost = false;
+        for rx in receivers {
+            match rx.recv() {
+                Ok(Ok(value)) => answers.push(Some(value)),
+                Ok(Err(payload)) => {
+                    panic.get_or_insert(payload);
+                    answers.push(None);
+                }
+                Err(_) => {
+                    lost = true;
+                    answers.push(None);
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!lost, "shard worker exited without answering a query");
+        answers
+            .into_iter()
+            .map(|a| a.expect("every reply collected above"))
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Updates
     // ------------------------------------------------------------------
 
-    /// Inserts a document into its shard.
+    /// Inserts a document into its shard (direct write-lock path — the
+    /// worker pool carries only query fan-out).
     ///
     /// # Panics
     /// Panics if `doc_id` is already present (same contract as
     /// [`Transform2Index::insert`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(7, b"a single document");
+    /// assert!(store.contains(7));
+    /// assert_eq!(store.delete(7), Some(b"a single document".to_vec()));
+    /// assert_eq!(store.delete(7), None);
+    /// ```
     pub fn insert(&self, doc_id: u64, bytes: &[u8]) {
         self.write_shard(self.shard_of(doc_id))
             .insert(doc_id, bytes);
     }
 
-    /// Deletes a document, returning its bytes (`None` if absent).
+    /// Deletes a document, returning its bytes (`None` if absent). See
+    /// [`ShardedStore::insert`] for an example.
     pub fn delete(&self, doc_id: u64) -> Option<Vec<u8>> {
         self.write_shard(self.shard_of(doc_id)).delete(doc_id)
     }
@@ -166,6 +367,20 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// # Panics
     /// Panics if any document id is already present.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"alpha".to_vec()), (2, b"beta".to_vec())]);
+    /// assert_eq!(store.num_docs(), 2);
+    /// assert_eq!(store.delete_batch(&[1, 2, 3]), 2); // 3 was never present
+    /// ```
     pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) {
         let mut groups: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); self.shards.len()];
         for (id, bytes) in docs {
@@ -186,8 +401,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         });
     }
 
-    /// Deletes a batch (grouped like [`ShardedStore::insert_batch`]);
-    /// returns how many of the ids were present and removed.
+    /// Deletes a batch (grouped like [`ShardedStore::insert_batch`], see
+    /// there for an example); returns how many of the ids were present
+    /// and removed.
     pub fn delete_batch(&self, ids: &[u64]) -> usize {
         let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         for &id in ids {
@@ -220,12 +436,14 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Whether `doc_id` is present.
+    /// Whether `doc_id` is present (routed to the owning shard, no
+    /// fan-out; see [`ShardedStore::insert`] for an example).
     pub fn contains(&self, doc_id: u64) -> bool {
         self.read_shard(self.shard_of(doc_id)).contains(doc_id)
     }
 
-    /// Alive documents across all shards.
+    /// Alive documents across all shards (sequential shard visit; see
+    /// [`ShardedStore::insert_batch`] for an example).
     pub fn num_docs(&self) -> usize {
         self.shards
             .iter()
@@ -233,7 +451,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             .sum()
     }
 
-    /// Alive bytes across all shards.
+    /// Alive bytes across all shards (cross-reference:
+    /// [`ShardedStore::num_docs`]).
     pub fn symbol_count(&self) -> usize {
         self.shards
             .iter()
@@ -241,22 +460,60 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             .sum()
     }
 
-    /// Counts occurrences of `pattern`, fanning out across shards in
-    /// parallel.
+    /// Counts occurrences of `pattern`, fanning out across shards (on
+    /// the resident workers by default — see [`FanOutPolicy`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"needle in shard".to_vec()), (2, b"another needle".to_vec())]);
+    /// assert_eq!(store.count(b"needle"), 2);
+    /// assert_eq!(store.count(b"absent"), 0);
+    /// ```
     pub fn count(&self, pattern: &[u8]) -> usize {
-        self.fan_out(|index| index.count(pattern)).into_iter().sum()
+        let per_shard = if self.use_pool() {
+            let pattern = pattern.to_vec();
+            self.fan_out_pooled(move |index| index.count(&pattern))
+        } else {
+            self.fan_out_scoped(&|index: &Transform2Index<I>| index.count(pattern))
+        };
+        per_shard.into_iter().sum()
     }
 
     /// All occurrences of `pattern`, fanned out across shards and merged
     /// deterministically: the result is sorted by `(doc, offset)`, so it
     /// is byte-identical to a sorted unsharded query over the same
-    /// documents regardless of shard count or thread timing.
+    /// documents regardless of shard count, fan-out policy, or thread
+    /// timing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"ab ab".to_vec()), (2, b"ab".to_vec())]);
+    /// let hits = store.find(b"ab");
+    /// assert_eq!(hits.len(), 3);
+    /// assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted by (doc, offset)");
+    /// ```
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
-        let mut merged: Vec<Occurrence> = self
-            .fan_out(|index| index.find(pattern))
-            .into_iter()
-            .flatten()
-            .collect();
+        let per_shard = if self.use_pool() {
+            let pattern = pattern.to_vec();
+            self.fan_out_pooled(move |index| index.find(&pattern))
+        } else {
+            self.fan_out_scoped(&|index: &Transform2Index<I>| index.find(pattern))
+        };
+        let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
         merged
     }
@@ -269,13 +526,31 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// time: deterministic under [`RebuildMode::Inline`] with manual
     /// maintenance, but with background rebuilds the truncation choice
     /// can vary with install timing (the underlying occurrence set is
-    /// always exact — `limit >= count` returns everything).
+    /// always exact — `limit >= count` returns everything). The fan-out
+    /// policy never affects the answer: pooled and scoped execution are
+    /// byte-identical given the same shard layouts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"xy xy xy".to_vec()), (2, b"xy".to_vec())]);
+    /// assert_eq!(store.find_limit(b"xy", 2).len(), 2);
+    /// assert_eq!(store.find_limit(b"xy", 100).len(), 4); // limit >= count: everything
+    /// ```
     pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
-        let mut merged: Vec<Occurrence> = self
-            .fan_out(|index| index.find_limit(pattern, limit))
-            .into_iter()
-            .flatten()
-            .collect();
+        let per_shard = if self.use_pool() {
+            let pattern = pattern.to_vec();
+            self.fan_out_pooled(move |index| index.find_limit(&pattern, limit))
+        } else {
+            self.fan_out_scoped(&|index: &Transform2Index<I>| index.find_limit(pattern, limit))
+        };
+        let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
         merged.truncate(limit);
         merged
@@ -283,6 +558,20 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
 
     /// Extracts up to `len` bytes of a document from `offset` (routed to
     /// the owning shard; no fan-out).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(3, b"zero one two");
+    /// assert_eq!(store.extract(3, 5, 3).as_deref(), Some(b"one".as_slice()));
+    /// assert_eq!(store.extract(4, 0, 3), None);
+    /// ```
     pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
         self.read_shard(self.shard_of(doc_id))
             .extract(doc_id, offset, len)
@@ -292,19 +581,38 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     // Maintenance & observability
     // ------------------------------------------------------------------
 
-    /// Quiesce point: acquires every shard's write lock simultaneously
-    /// (in shard order, so concurrent flushes cannot deadlock), which
-    /// waits out any in-flight writer batches, then installs all pending
-    /// background rebuild work. After `flush` returns the store is
-    /// settled — no jobs in flight, no locked or temp structures — which
-    /// is the state snapshots capture and the easiest state to assert
-    /// against in tests.
+    /// Quiesce point. First drains the worker-pool request queues (every
+    /// query submitted before `flush` began completes), then acquires
+    /// every shard's write lock simultaneously (in shard order, so
+    /// concurrent flushes cannot deadlock) — which waits out any
+    /// in-flight writer batches — and installs all pending background
+    /// rebuild work. After `flush` returns the store is settled: no
+    /// queued requests, no jobs in flight, no locked or temp structures.
+    /// That is the state snapshots capture and the easiest state to
+    /// assert against in tests.
     ///
     /// Unlike [`ShardedStore::finish_background_work`] (which visits
     /// shards one at a time), `flush` holds all shards at once, so no
     /// writer can slip a new job into an already-visited shard while a
     /// later one is still draining.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"settle me".to_vec()), (2, b"me too".to_vec())]);
+    /// store.flush();
+    /// assert_eq!(store.pending_background_jobs(), 0);
+    /// ```
     pub fn flush(&self) {
+        if let Some(pool) = &self.pool {
+            pool.drain();
+        }
         let mut guards = self.lock_all_shards();
         for guard in guards.iter_mut() {
             guard.finish_background_work();
@@ -322,7 +630,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     /// Wraps already-built shard indexes (the persistence layer's restore
-    /// path), re-spawning the maintenance scheduler per `maintenance`.
+    /// path), re-creating the worker pool per `maintenance` + `fan_out`.
     ///
     /// # Panics
     /// Panics if `indexes` is empty.
@@ -330,22 +638,18 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     pub fn from_shard_indexes(
         indexes: Vec<Transform2Index<I>>,
         maintenance: MaintenancePolicy,
+        fan_out: FanOutPolicy,
     ) -> Self {
         assert!(!indexes.is_empty(), "store needs at least one shard");
         let shards: Arc<Vec<RwLock<Transform2Index<I>>>> =
             Arc::new(indexes.into_iter().map(RwLock::new).collect());
-        let scheduler = match maintenance {
-            MaintenancePolicy::Manual => None,
-            MaintenancePolicy::Periodic(interval) => {
-                Some(Scheduler::spawn(Arc::clone(&shards), interval))
-            }
-        };
-        ShardedStore { shards, scheduler }
+        Self::with_shards(shards, maintenance, fan_out)
     }
 
     /// Runs one manual maintenance pass: installs every finished
     /// background job in every shard (without blocking on unfinished
-    /// ones). Returns the number of jobs still in flight.
+    /// ones). Returns the number of jobs still in flight. Cross-reference:
+    /// [`ShardedStore::finish_background_work`] blocks until zero.
     pub fn maintain(&self) -> usize {
         self.shards
             .iter()
@@ -357,14 +661,17 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             .sum()
     }
 
-    /// Blocks until every shard's background work is installed.
+    /// Blocks until every shard's background work is installed (see
+    /// [`ShardedStore::flush`] for the stronger all-shards-at-once
+    /// quiesce, with an example).
     pub fn finish_background_work(&self) {
         for s in 0..self.shards.len() {
             self.write_shard(s).finish_background_work();
         }
     }
 
-    /// Background jobs currently in flight across all shards.
+    /// Background jobs currently in flight across all shards
+    /// (cross-reference: [`ShardedStore::flush`] drives this to zero).
     pub fn pending_background_jobs(&self) -> usize {
         self.shards
             .iter()
@@ -372,25 +679,49 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             .sum()
     }
 
-    /// Jobs installed by the periodic scheduler (0 under
-    /// [`MaintenancePolicy::Manual`]) — how much install work stayed off
-    /// the foreground path.
-    pub fn scheduler_installs(&self) -> u64 {
-        self.scheduler.as_ref().map_or(0, |s| s.installs())
+    /// Rebuild jobs installed by the resident workers between requests
+    /// (0 under [`MaintenancePolicy::Manual`]) — how much install work
+    /// stayed off the foreground path.
+    pub fn pool_installs(&self) -> u64 {
+        self.pool.as_ref().map_or(0, WorkerPool::installs)
     }
 
-    /// Aggregated census: per-shard doc/symbol counts, pending-work
-    /// depth, and the full per-level structure breakdown.
+    /// Aggregated census: per-shard doc/symbol counts, pending-work and
+    /// request-queue depth, worker busyness, and the full per-level
+    /// structure breakdown.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert_batch(&[(1, b"census".to_vec()), (2, b"me".to_vec())]);
+    /// store.flush();
+    /// let stats = store.stats();
+    /// assert_eq!(stats.shards.len(), 4);
+    /// assert_eq!(stats.total_docs(), 2);
+    /// assert_eq!(stats.queued_requests(), 0); // settled after flush
+    /// ```
     pub fn stats(&self) -> StoreStats {
-        let shards = self
-            .fan_out(|index| {
-                (
-                    index.num_docs(),
-                    index.symbol_count(),
-                    index.pending_jobs(),
-                    index.structure_stats(),
-                )
-            })
+        let pool = self.pool.as_ref();
+        let census = |index: &Transform2Index<I>| {
+            (
+                index.num_docs(),
+                index.symbol_count(),
+                index.pending_jobs(),
+                index.structure_stats(),
+            )
+        };
+        let per_shard = if self.use_pool() {
+            self.fan_out_pooled(census)
+        } else {
+            self.fan_out_scoped(&census)
+        };
+        let shards = per_shard
             .into_iter()
             .enumerate()
             .map(
@@ -399,6 +730,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                     docs,
                     symbols,
                     pending_jobs,
+                    queued_requests: pool.map_or(0, |p| p.queue_depth(shard)),
+                    worker_busy: pool.is_some_and(|p| p.worker_busy(shard)),
                     levels,
                 },
             )
@@ -424,6 +757,7 @@ mod tests {
     use super::*;
     use dyndex_core::{FmConfig, NaiveIndex};
     use dyndex_text::FmIndexCompressed;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     type Store = ShardedStore<FmIndexCompressed>;
 
@@ -437,6 +771,14 @@ mod tests {
             },
             mode,
             maintenance: MaintenancePolicy::Manual,
+            fan_out: FanOutPolicy::Pooled,
+        }
+    }
+
+    fn pooled_opts(num_shards: usize, mode: RebuildMode) -> StoreOptions {
+        StoreOptions {
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+            ..small_opts(num_shards, mode)
         }
     }
 
@@ -495,6 +837,54 @@ mod tests {
     }
 
     #[test]
+    fn pooled_fan_out_matches_naive_reference() {
+        let store = Store::new(fm(), pooled_opts(4, RebuildMode::Inline));
+        assert_eq!(store.fan_out_policy(), FanOutPolicy::Pooled);
+        assert_eq!(store.worker_threads(), 4);
+        let mut naive = NaiveIndex::new();
+        for (id, d) in docs(40) {
+            store.insert(id, &d);
+            naive.insert(id, &d);
+        }
+        for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
+            assert_eq!(store.count(pattern), naive.count(pattern));
+            assert_eq!(store.find(pattern), naive.find(pattern));
+        }
+        assert_eq!(store.delete(7), naive.delete(7));
+        assert_eq!(store.find(b"needle"), naive.find(b"needle"));
+    }
+
+    #[test]
+    fn manual_maintenance_falls_back_to_scoped_spawn() {
+        let store = Store::new(fm(), small_opts(3, RebuildMode::Inline));
+        assert_eq!(store.worker_threads(), 0, "Manual spawns no workers");
+        assert_eq!(store.fan_out_policy(), FanOutPolicy::ScopedSpawn);
+        store.insert_batch(&docs(12));
+        assert_eq!(store.count(b"needle"), 12);
+    }
+
+    #[test]
+    fn explicit_scoped_spawn_keeps_workers_for_maintenance_only() {
+        let store = Store::new(
+            fm(),
+            StoreOptions {
+                fan_out: FanOutPolicy::ScopedSpawn,
+                ..pooled_opts(3, RebuildMode::Background)
+            },
+        );
+        assert_eq!(store.worker_threads(), 3, "workers still run maintenance");
+        assert_eq!(store.fan_out_policy(), FanOutPolicy::ScopedSpawn);
+        store.insert_batch(&docs(120));
+        // Only the workers' between-request drains can install these.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while store.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(store.pending_background_jobs(), 0, "workers must drain");
+        assert_eq!(store.count(b"needle"), 120);
+    }
+
+    #[test]
     fn batches_match_singles() {
         let batch = docs(60);
         let batched = Store::new(fm(), small_opts(4, RebuildMode::Inline));
@@ -533,6 +923,35 @@ mod tests {
     }
 
     #[test]
+    fn pooled_answers_are_byte_identical_to_scoped() {
+        // Same op sequence, Inline rebuilds → identical shard layouts, so
+        // even find_limit truncation must agree byte-for-byte between the
+        // two execution models.
+        let pooled = Store::new(fm(), pooled_opts(4, RebuildMode::Inline));
+        let scoped = Store::new(
+            fm(),
+            StoreOptions {
+                fan_out: FanOutPolicy::ScopedSpawn,
+                ..pooled_opts(4, RebuildMode::Inline)
+            },
+        );
+        let batch = docs(50);
+        pooled.insert_batch(&batch);
+        scoped.insert_batch(&batch);
+        for pattern in [b"needle".as_slice(), b"pad", b"document 4", b"absent"] {
+            assert_eq!(pooled.count(pattern), scoped.count(pattern));
+            assert_eq!(pooled.find(pattern), scoped.find(pattern));
+            for limit in [0usize, 1, 7, 50, 500] {
+                assert_eq!(
+                    pooled.find_limit(pattern, limit),
+                    scoped.find_limit(pattern, limit),
+                    "find_limit({limit})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn extract_routes_to_owning_shard() {
         let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
         store.insert(9, b"zero one two three");
@@ -552,6 +971,8 @@ mod tests {
         assert_eq!(stats.total_docs(), 80);
         assert_eq!(stats.total_symbols(), symbols);
         assert_eq!(stats.pending_jobs(), 0);
+        assert_eq!(stats.queued_requests(), 0, "no pool under Manual");
+        assert_eq!(stats.busy_workers(), 0);
         assert!(stats.shards.iter().all(|s| !s.levels.is_empty()));
         assert!(stats.imbalance() >= 1.0);
     }
@@ -574,22 +995,17 @@ mod tests {
     }
 
     #[test]
-    fn periodic_scheduler_drains_without_foreground_ops() {
-        let store = Store::new(
-            fm(),
-            StoreOptions {
-                maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
-                ..small_opts(4, RebuildMode::Background)
-            },
-        );
+    fn workers_drain_rebuilds_without_foreground_ops() {
+        let store = Store::new(fm(), pooled_opts(4, RebuildMode::Background));
         store.insert_batch(&docs(150));
-        // No foreground operations from here on: only the scheduler can
-        // install the in-flight rebuilds.
+        // No foreground operations from here on: only the workers'
+        // between-request maintenance can install the in-flight rebuilds.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while store.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert_eq!(store.pending_background_jobs(), 0, "scheduler must drain");
+        assert_eq!(store.pending_background_jobs(), 0, "workers must drain");
+        assert!(store.pool_installs() > 0, "installs attributed to the pool");
         assert_eq!(store.count(b"needle"), 150);
         assert_eq!(store.find(b"needle").len(), 150);
     }
@@ -618,6 +1034,36 @@ mod tests {
     }
 
     #[test]
+    fn flush_waits_for_queued_requests() {
+        // Regression for the "all-shards quiesce" contract: a request
+        // already sitting in a worker's queue when flush() starts must
+        // complete before flush() returns.
+        let store = Store::new(fm(), pooled_opts(2, RebuildMode::Inline));
+        store.insert_batch(&docs(10));
+        let ran = Arc::new(AtomicBool::new(false));
+        let t0 = std::time::Instant::now();
+        for shard in 0..store.num_shards() {
+            let ran = Arc::clone(&ran);
+            store.pool.as_ref().expect("pooled store").submit(
+                shard,
+                Box::new(move |_slot| {
+                    std::thread::sleep(Duration::from_millis(25));
+                    ran.store(true, Ordering::Release);
+                }),
+            );
+        }
+        store.flush();
+        assert!(
+            ran.load(Ordering::Acquire),
+            "flush returned before the queued request completed"
+        );
+        // Every sleep job started after t0 and the flush barrier queues
+        // behind it, so flush cannot return earlier than t0 + 25ms.
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(store.stats().queued_requests(), 0);
+    }
+
+    #[test]
     fn from_shard_indexes_rewraps_prebuilt_shards() {
         let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
         store.insert_batch(&docs(20));
@@ -634,8 +1080,14 @@ mod tests {
             })
             .collect();
         drop(guards);
-        let rebuilt = Store::from_shard_indexes(indexes, MaintenancePolicy::Manual);
+        let rebuilt = Store::from_shard_indexes(
+            indexes,
+            MaintenancePolicy::Periodic(Duration::from_micros(200)),
+            FanOutPolicy::Pooled,
+        );
         assert_eq!(rebuilt.num_shards(), 2);
+        assert_eq!(rebuilt.worker_threads(), 2, "pool re-created");
+        assert_eq!(rebuilt.fan_out_policy(), FanOutPolicy::Pooled);
         assert_eq!(rebuilt.find(b"needle"), want);
         assert_eq!(store.num_docs(), 0, "shards were moved out");
     }
@@ -644,6 +1096,14 @@ mod tests {
     #[should_panic(expected = "already present")]
     fn duplicate_insert_panics() {
         let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        store.insert(1, b"first");
+        store.insert(1, b"second");
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_insert_panics_with_pool_running() {
+        let store = Store::new(fm(), pooled_opts(2, RebuildMode::Inline));
         store.insert(1, b"first");
         store.insert(1, b"second");
     }

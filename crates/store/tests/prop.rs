@@ -29,6 +29,7 @@ fn store_opts(num_shards: usize) -> StoreOptions {
         index: dyn_opts(),
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..StoreOptions::default()
     }
 }
 

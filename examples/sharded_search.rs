@@ -4,8 +4,9 @@
 //!
 //! Demonstrates the `dyndex-store` layer: documents hash-route across
 //! shards (each an independent Transformation-2 index), writes batch by
-//! shard, queries fan out in parallel and merge deterministically, and a
-//! scheduler thread installs background rebuilds off the query path.
+//! shard, queries fan out to one resident worker per shard and merge
+//! deterministically, and the same workers install background rebuilds
+//! off the query path between requests.
 
 use dyndex::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,7 +40,7 @@ fn main() {
         store.insert_batch(chunk);
     }
     println!(
-        "loaded {} docs / {} bytes; {} rebuild jobs pending (scheduler drains them)",
+        "loaded {} docs / {} bytes; {} rebuild jobs pending (workers drain them)",
         store.num_docs(),
         store.symbol_count(),
         store.pending_background_jobs()
@@ -90,8 +91,8 @@ fn main() {
     }
     println!("dashboard: {stats}");
     println!(
-        "scheduler installed {} job(s), heap {} bytes",
-        store.scheduler_installs(),
+        "workers installed {} job(s) between requests, heap {} bytes",
+        store.pool_installs(),
         store.heap_bytes()
     );
 

@@ -24,13 +24,19 @@
 //! * [`relations`] — compressed dynamic binary relations (Thm 2) and
 //!   directed graphs (Thm 3).
 //! * [`store`] — a sharded, concurrent document store over the dynamic
-//!   indexes: hash routing, parallel query fan-out with deterministic
-//!   merge, batched writes, scheduled background maintenance.
+//!   indexes: hash routing, query fan-out on a resident per-shard worker
+//!   pool with deterministic merge, batched writes, background
+//!   maintenance folded into the same workers.
 //! * [`persist`] — durability for the store: a binary codec for every
 //!   static structure, crash-atomic snapshot/restore, and per-shard
 //!   write-ahead logging (`DurableStore`).
 //! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
 //!   rebuild-from-scratch).
+//!
+//! How the layers fit together — the layer diagram, the life of a query
+//! and an insert through the store's worker pool, the Transformation-2
+//! rebuild lifecycle, and the crash-recovery story — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 //!
 //! ## Quickstart
 //!
@@ -65,7 +71,9 @@ pub mod prelude {
     pub use dyndex_core::prelude::*;
     pub use dyndex_persist::{DurableStore, PersistError, RestoreOptions, StorePersist};
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
-    pub use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions, StoreStats};
+    pub use dyndex_store::{
+        FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions, StoreStats,
+    };
     pub use dyndex_succinct::SpaceUsage;
     pub use dyndex_text::Occurrence;
 }

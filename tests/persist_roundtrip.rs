@@ -7,6 +7,7 @@
 use dyndex::prelude::*;
 use dyndex_bench::workloads::{markov_text, planted_patterns, rng, split_documents, DEFAULT_SEED};
 use std::path::PathBuf;
+use std::time::Duration;
 
 type Durable = DurableStore<FmIndexCompressed>;
 type Store = ShardedStore<FmIndexCompressed>;
@@ -57,6 +58,7 @@ fn deterministic_opts(num_shards: usize) -> StoreOptions {
         index: DynOptions::default(),
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..StoreOptions::default()
     }
 }
 
@@ -64,6 +66,7 @@ fn deterministic_restore() -> RestoreOptions {
     RestoreOptions {
         mode: RebuildMode::Inline,
         maintenance: MaintenancePolicy::Manual,
+        ..RestoreOptions::default()
     }
 }
 
@@ -153,6 +156,7 @@ fn plain_store_snapshot_under_background_mode() {
             index: DynOptions::default(),
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Manual,
+            ..StoreOptions::default()
         },
     );
     for chunk in docs.chunks(48) {
@@ -170,6 +174,7 @@ fn plain_store_snapshot_under_background_mode() {
         RestoreOptions {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Manual,
+            ..RestoreOptions::default()
         },
     )
     .expect("restore");
@@ -180,4 +185,127 @@ fn plain_store_snapshot_under_background_mode() {
     // restored layout mirrors the frozen one exactly, so find_limit
     // matches too).
     assert_byte_identical(&store, &restored, &patterns, docs.len() as u64);
+}
+
+// ----------------------------------------------------------------------
+// Worker-pool re-creation through the restore paths
+// ----------------------------------------------------------------------
+
+/// `StorePersist::restore` must re-create the resident worker pool: the
+/// restored store runs one worker per shard, serves pooled fan-out, and
+/// its workers install background rebuilds with no manual maintenance
+/// calls at all.
+#[test]
+fn restore_recreates_worker_pool() {
+    let (docs, patterns) = workload();
+    let dir = TempDir::new("pool-restore");
+    let store = Store::new(fm(), deterministic_opts(3));
+    for chunk in docs.chunks(48) {
+        store.insert_batch(chunk);
+    }
+    store.snapshot(&dir.0).expect("snapshot");
+    assert_eq!(store.worker_threads(), 0, "Manual source has no workers");
+
+    let restored = Store::restore(
+        &dir.0,
+        RestoreOptions {
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+            fan_out: FanOutPolicy::Pooled,
+        },
+    )
+    .expect("restore");
+    assert_eq!(
+        restored.worker_threads(),
+        3,
+        "one worker per restored shard"
+    );
+    assert_eq!(restored.fan_out_policy(), FanOutPolicy::Pooled);
+    for pattern in &patterns {
+        assert_eq!(restored.count(pattern), store.count(pattern));
+        assert_eq!(restored.find(pattern), store.find(pattern));
+    }
+
+    // New writes spawn background rebuilds; only the restored workers
+    // can install them (no maintain()/finish_background_work() here).
+    let extra: Vec<(u64, Vec<u8>)> = (0..40u64)
+        .map(|i| (5_000_000 + i, format!("post restore doc {i}").into_bytes()))
+        .collect();
+    restored.insert_batch(&extra);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while restored.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        restored.pending_background_jobs(),
+        0,
+        "restored workers must drain rebuilds on their own"
+    );
+    assert_eq!(restored.count(b"post restore"), 40);
+}
+
+/// `DurableStore::open` must hand back a store whose pool is live again:
+/// pooled queries, per-shard workers, and self-draining maintenance,
+/// with the WAL tail replayed underneath.
+#[test]
+fn open_recreates_worker_pool() {
+    let (docs, patterns) = workload();
+    let dir = TempDir::new("pool-open");
+    let live = Durable::create(
+        &dir.0,
+        fm(),
+        StoreOptions {
+            num_shards: 4,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+            fan_out: FanOutPolicy::Pooled,
+        },
+    )
+    .expect("create");
+    let half = docs.len() / 2;
+    for chunk in docs[..half].chunks(32) {
+        live.insert_batch(chunk).expect("insert");
+    }
+    live.snapshot().expect("snapshot");
+    for chunk in docs[half..].chunks(32) {
+        live.insert_batch(chunk).expect("wal tail");
+    }
+    live.flush();
+    let want: Vec<usize> = patterns.iter().map(|p| live.count(p)).collect();
+    drop(live); // "crash": joins the old pool
+
+    let reopened = Durable::open(
+        &dir.0,
+        RestoreOptions {
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+            fan_out: FanOutPolicy::Pooled,
+        },
+    )
+    .expect("open");
+    assert_eq!(reopened.store().worker_threads(), 4, "pool re-created");
+    assert_eq!(reopened.store().fan_out_policy(), FanOutPolicy::Pooled);
+    for (pattern, want) in patterns.iter().zip(want) {
+        assert_eq!(reopened.count(pattern), want, "snapshot + WAL tail");
+    }
+    // The reopened workers drain new rebuild work unprompted.
+    reopened
+        .insert_batch(
+            &(0..30u64)
+                .map(|i| (6_000_000 + i, format!("after reopen {i}").into_bytes()))
+                .collect::<Vec<_>>(),
+        )
+        .expect("insert after open");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while reopened.store().pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(reopened.store().pending_background_jobs(), 0);
+    assert_eq!(reopened.count(b"after reopen"), 30);
+    let line = reopened.stats().to_string();
+    assert!(
+        line.contains("queued"),
+        "dashboard shows queue gauge: {line}"
+    );
 }

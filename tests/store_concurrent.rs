@@ -6,6 +6,7 @@
 use dyndex::prelude::*;
 use dyndex_bench::workloads::{markov_text, planted_patterns, rng, split_documents, DEFAULT_SEED};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 type Store = ShardedStore<FmIndexCompressed>;
@@ -61,6 +62,7 @@ fn sharded_matches_unsharded_with_jobs_in_flight() {
             index: DynOptions::default(),
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Manual,
+            ..StoreOptions::default()
         },
     );
     let mut reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Background);
@@ -117,6 +119,7 @@ fn concurrent_readers_during_writes_and_maintenance() {
             index: DynOptions::default(),
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+            ..StoreOptions::default()
         },
     );
     let total_occurrences: usize = patterns
@@ -168,4 +171,220 @@ fn concurrent_readers_during_writes_and_maintenance() {
     reference.finish_background_work();
     assert_store_matches(&store, &reference, &patterns, "after concurrent run");
     assert_eq!(store.num_docs(), docs.len());
+}
+
+// ----------------------------------------------------------------------
+// Worker-pool lifecycle (FanOutPolicy::Pooled)
+// ----------------------------------------------------------------------
+
+fn pooled_opts(mode: RebuildMode) -> StoreOptions {
+    StoreOptions {
+        num_shards: 4,
+        index: DynOptions::default(),
+        mode,
+        maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
+        fan_out: FanOutPolicy::Pooled,
+    }
+}
+
+/// Acceptance criterion for the pool: a store fanning out on resident
+/// workers answers `count`/`find` byte-identically to an unsharded
+/// `Transform2Index` on the `DEFAULT_SEED` workload — with rebuild jobs
+/// in flight and the workers installing them concurrently — and its
+/// `find_limit` truncation is byte-identical to a `ScopedSpawn` twin
+/// driven through the identical op sequence.
+#[test]
+fn pooled_store_matches_unsharded_on_default_seed() {
+    let (docs, patterns) = workload();
+    // Inline rebuilds: shard layout is a pure function of the op
+    // sequence, so the pooled and scoped twins stay layout-identical
+    // and even truncated find_limit answers must agree byte-for-byte.
+    let pooled = Store::new(fm(), pooled_opts(RebuildMode::Inline));
+    let scoped = Store::new(
+        fm(),
+        StoreOptions {
+            fan_out: FanOutPolicy::ScopedSpawn,
+            ..pooled_opts(RebuildMode::Inline)
+        },
+    );
+    assert_eq!(pooled.worker_threads(), 4);
+    assert_eq!(pooled.fan_out_policy(), FanOutPolicy::Pooled);
+    assert_eq!(scoped.fan_out_policy(), FanOutPolicy::ScopedSpawn);
+    let mut reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Inline);
+
+    for chunk in docs.chunks(24) {
+        pooled.insert_batch(chunk);
+        scoped.insert_batch(chunk);
+        for (id, bytes) in chunk {
+            reference.insert(*id, bytes);
+        }
+    }
+    let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 3 == 0).collect();
+    assert_eq!(pooled.delete_batch(&doomed), doomed.len());
+    assert_eq!(scoped.delete_batch(&doomed), doomed.len());
+    for id in &doomed {
+        reference.delete(*id);
+    }
+
+    assert_store_matches(&pooled, &reference, &patterns, "pooled vs unsharded");
+    for pattern in &patterns {
+        for limit in [0usize, 1, 5, 17, 1000, usize::MAX] {
+            assert_eq!(
+                pooled.find_limit(pattern, limit),
+                scoped.find_limit(pattern, limit),
+                "pooled vs scoped find_limit({limit}), pattern {:?}",
+                String::from_utf8_lossy(pattern)
+            );
+        }
+    }
+
+    // Same acceptance under background rebuilds with jobs in flight:
+    // exact count/find while the workers race the queries on installs.
+    let bg = Store::new(fm(), pooled_opts(RebuildMode::Background));
+    let mut bg_reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Background);
+    for chunk in docs.chunks(24) {
+        bg.insert_batch(chunk);
+        for (id, bytes) in chunk {
+            bg_reference.insert(*id, bytes);
+        }
+        assert_store_matches(&bg, &bg_reference, &patterns[..3], "pooled mid-insert");
+    }
+    assert_store_matches(&bg, &bg_reference, &patterns, "pooled after inserts");
+}
+
+/// Dropping the store while other threads still hold clones and are
+/// mid-query must tear the pool down cleanly: queued jobs finish, the
+/// workers observe their closed queues, and every join succeeds (a hang
+/// here fails the suite's timeout; a worker panic aborts the drop).
+#[test]
+fn pool_drop_with_queries_in_flight() {
+    let (docs, patterns) = workload();
+    let patterns = Arc::new(patterns);
+    let store = Arc::new(Store::new(fm(), pooled_opts(RebuildMode::Background)));
+    for chunk in docs.chunks(64) {
+        store.insert_batch(chunk);
+    }
+    let queries = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let store = Arc::clone(&store);
+        let queries = Arc::clone(&queries);
+        let patterns = Arc::clone(&patterns);
+        handles.push(std::thread::spawn(move || {
+            for round in 0..30 {
+                let pattern = &patterns[(t + round) % patterns.len()];
+                std::hint::black_box(store.count(pattern));
+                std::hint::black_box(store.find_limit(pattern, 3));
+                queries.fetch_add(1, Ordering::Relaxed);
+            }
+            // The last finisher drops the store (and joins the pool) here.
+        }));
+    }
+    // Main gives up its handle while readers are still querying.
+    drop(store);
+    for handle in handles {
+        handle.join().expect("reader thread panicked");
+    }
+    assert_eq!(queries.load(Ordering::Relaxed), 4 * 30);
+}
+
+/// Worker panic containment: a writer panic poisons one shard's lock;
+/// fan-out queries touching that shard surface the poisoning as a caller
+/// panic (shipped through the reply channel — the same error surface as
+/// scoped threads), while the worker itself survives: single-shard
+/// operations on healthy shards keep working, repeated fan-outs keep
+/// failing fast instead of hanging, and the pool still tears down
+/// cleanly at drop.
+#[test]
+fn worker_panic_containment_keeps_healthy_shards_usable() {
+    let store = Store::new(fm(), pooled_opts(RebuildMode::Inline));
+    for id in 0..32u64 {
+        store.insert(id, format!("containment doc {id}").as_bytes());
+    }
+    let poisoned_shard = store.shard_of(0);
+    // A healthy document routed to any other shard.
+    let healthy = (1..32u64)
+        .find(|&id| store.shard_of(id) != poisoned_shard)
+        .unwrap();
+
+    // Poison: duplicate insert panics while the shard's write guard is
+    // held, poisoning that one RwLock.
+    let write_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        store.insert(0, b"duplicate");
+    }))
+    .expect_err("duplicate insert must panic");
+    let msg = panic_message(write_panic.as_ref());
+    assert!(msg.contains("already present"), "unexpected panic: {msg}");
+
+    // Fan-out across all shards now hits the poisoned lock; the worker
+    // catches the panic, replies with it, and the caller re-raises it.
+    for attempt in 0..2 {
+        let query_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.count(b"containment");
+        }))
+        .expect_err("fan-out over a poisoned shard must panic");
+        let msg = panic_message(query_panic.as_ref());
+        assert!(
+            msg.contains("poisoned"),
+            "attempt {attempt}: poisoning must surface as the error, got: {msg}"
+        );
+    }
+
+    // The store stays usable for every other shard.
+    assert!(store.contains(healthy));
+    assert!(store.extract(healthy, 0, 11).is_some());
+    let mut fresh = 1_000u64;
+    while store.shard_of(fresh) == poisoned_shard {
+        fresh += 1;
+    }
+    store.insert(fresh, b"inserted after the poisoning");
+    assert!(store.contains(fresh));
+    // Workers are all still alive (containment, not crash-and-respawn).
+    assert_eq!(store.worker_threads(), 4);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Regression for the `flush` contract: with readers hammering the
+/// worker queues from other threads, `flush` must still return (drain
+/// the queues without deadlocking against them) and leave the store
+/// settled — zero pending rebuild jobs — every time.
+#[test]
+fn flush_drains_request_queues_under_concurrent_readers() {
+    let (docs, patterns) = workload();
+    let store = Store::new(fm(), pooled_opts(RebuildMode::Background));
+    for chunk in docs.chunks(32) {
+        store.insert_batch(chunk);
+    }
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Acquire) {
+                    for pattern in &patterns {
+                        std::hint::black_box(store.count(pattern));
+                    }
+                }
+            });
+        }
+        for _ in 0..5 {
+            store.flush();
+            assert_eq!(
+                store.pending_background_jobs(),
+                0,
+                "flush must leave no rebuild jobs in flight"
+            );
+        }
+        stop.store(true, Ordering::Release);
+    });
+    // Queues empty once the readers are gone and the last flush settled.
+    assert_eq!(store.stats().queued_requests(), 0);
 }
