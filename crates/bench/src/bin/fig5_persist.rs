@@ -9,14 +9,20 @@
 //! Transformation 2 exists to amortize.
 //!
 //! Also measured: snapshot write cost and bytes on disk (the space price
-//! of durability), and restore with a WAL tail (snapshot + logged
-//! mutations replayed through the normal dynamic-buffer path).
+//! of durability); restore with a WAL tail (snapshot + logged mutations
+//! replayed through the normal dynamic-buffer path); **delta snapshots**
+//! (a second snapshot after mutating a minority of shards writes only
+//! the changed levels); and **concurrent-reader stall** — queries served
+//! while a snapshot runs, `SnapshotMode::Background` (per-shard freeze +
+//! worker-pool serialization) vs `SnapshotMode::StopTheWorld` (all shard
+//! locks held across serialization).
 
 use dyndex_bench::workloads::*;
 use dyndex_core::{DynOptions, FmConfig, RebuildMode};
-use dyndex_persist::{DurableStore, RestoreOptions, StorePersist};
-use dyndex_store::{MaintenancePolicy, ShardedStore, StoreOptions};
+use dyndex_persist::{DurableStore, RestoreOptions, SnapshotMode, StorePersist};
+use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
 use dyndex_text::FmIndexCompressed;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 type Store = ShardedStore<FmIndexCompressed>;
 type Durable = DurableStore<FmIndexCompressed>;
@@ -77,6 +83,10 @@ fn main() {
         let dir = scratch_dir(&format!("plain-{n}"));
         let mut disk_bytes = 0u64;
         let snapshot_ns = measure_ns(3, || {
+            // Wipe between runs so every measured snapshot is a *full*
+            // write — otherwise generations 2+ are near-free deltas
+            // (measured separately below).
+            let _ = std::fs::remove_dir_all(&dir);
             let stats = store.snapshot(&dir).expect("snapshot");
             disk_bytes = stats.bytes_on_disk;
             stats.generation
@@ -131,8 +141,125 @@ fn main() {
     println!("stats: {}", live.stats());
     let _ = std::fs::remove_dir_all(&dir);
 
-    println!("\nshape checks: restore beats rebuild and the gap widens with n");
+    delta_snapshots();
+    reader_stall();
+
+    println!("\nshape checks: restore beats rebuild and the gap widens with n;");
     println!("(rebuild pays SA-IS + wavelet construction; restore pays file reads");
     println!("plus linear rank-directory re-derivation). WAL-tail opens sit between");
     println!("pure restore and pure rebuild, scaling with the logged fraction.");
+    println!("Delta snapshots write a small fraction of the full snapshot after a");
+    println!("minority-of-shards mutation; Background-mode snapshots serve queries");
+    println!("throughout while StopTheWorld stalls them for the whole write.");
+}
+
+/// Delta vs full: snapshot, mutate only documents routed to shard 0,
+/// snapshot again — the second generation reuses every untouched level.
+fn delta_snapshots() {
+    println!("\n--- delta snapshots: re-snapshot after mutating 1 of {SHARDS} shards ---");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "bytes", "full-write", "delta-write", "reused", "savings", "delta-t"
+    );
+    for &n in &[1usize << 16, 1 << 18] {
+        let mut r = rng(0xF16_0007 ^ n as u64);
+        let text = markov_text(&mut r, n, 26, 3);
+        let docs = split_documents(&mut r, &text, 128, 1024, 0);
+        let store = Store::new(FmConfig::default(), store_opts());
+        for chunk in docs.chunks(256) {
+            store.insert_batch(chunk);
+        }
+        store.flush();
+        let dir = scratch_dir(&format!("delta-{n}"));
+        let first = store.snapshot(&dir).expect("first snapshot");
+
+        // Mutate a minority of shards: delete a handful of shard-0 docs.
+        // One measured run — a repeat would be a *zero*-change snapshot
+        // (nothing mutated since), not the advertised one-shard delta.
+        let doomed: Vec<u64> = docs
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|&id| store.shard_of(id) == 0)
+            .take(8)
+            .collect();
+        store.delete_batch(&doomed);
+        store.flush();
+        let t0 = std::time::Instant::now();
+        let second = store.snapshot(&dir).expect("delta snapshot");
+        let delta_ns = t0.elapsed().as_nanos() as f64;
+        let total = second.bytes_written + second.bytes_reused;
+        println!(
+            "{:<10} {:>13.1}K {:>13.1}K {:>11.1}K {:>11.0}% {:>10}",
+            n,
+            first.bytes_written as f64 / 1024.0,
+            second.bytes_written as f64 / 1024.0,
+            second.bytes_reused as f64 / 1024.0,
+            100.0 * second.bytes_reused as f64 / total.max(1) as f64,
+            fmt_ns(delta_ns),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Reader stall: queries served (and worst query latency seen) while a
+/// snapshot of the same store runs, per [`SnapshotMode`].
+fn reader_stall() {
+    println!("\n--- concurrent-reader stall during one snapshot (pooled store) ---");
+    println!(
+        "{:<14} {:>14} {:>16} {:>16}",
+        "mode", "snapshot", "queries-served", "worst-query"
+    );
+    let n = 1usize << 20;
+    let mut r = rng(0xF16_0008);
+    let text = markov_text(&mut r, n, 26, 3);
+    let docs = split_documents(&mut r, &text, 128, 1024, 0);
+    let patterns = planted_patterns(&mut r, &docs, 8, 4);
+    let store = Store::new(
+        FmConfig::default(),
+        StoreOptions {
+            fan_out: FanOutPolicy::Pooled,
+            maintenance: MaintenancePolicy::Periodic(std::time::Duration::from_millis(1)),
+            ..store_opts()
+        },
+    );
+    for chunk in docs.chunks(256) {
+        store.insert_batch(chunk);
+    }
+    store.flush();
+    for (mode, tag) in [
+        (SnapshotMode::Background, "background"),
+        (SnapshotMode::StopTheWorld, "stop-the-world"),
+    ] {
+        // A fresh directory per mode: every level is written, so both
+        // modes pay the same serialization volume.
+        let dir = scratch_dir(&format!("stall-{tag}"));
+        let done = AtomicBool::new(false);
+        let mut served = 0u64;
+        let mut worst_ns = 0.0f64;
+        let mut snap_ns = 0.0f64;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let t0 = std::time::Instant::now();
+                store.snapshot_with(&dir, mode).expect("snapshot");
+                snap_ns = t0.elapsed().as_nanos() as f64;
+                done.store(true, Ordering::Release);
+            });
+            let mut i = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(store.count(&patterns[i % patterns.len()]));
+                worst_ns = worst_ns.max(t0.elapsed().as_nanos() as f64);
+                served += 1;
+                i += 1;
+            }
+        });
+        println!(
+            "{:<14} {:>14} {:>16} {:>16}",
+            tag,
+            fmt_ns(snap_ns),
+            served,
+            fmt_ns(worst_ns),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

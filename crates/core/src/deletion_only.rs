@@ -15,11 +15,19 @@ use crate::traits::StaticIndex;
 use dyndex_succinct::{FlipRank, OneBitReporter, SpaceUsage};
 use dyndex_text::Occurrence;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A static index plus lazy deletions.
-#[derive(Clone, Debug)]
+///
+/// The wrapped static index is held behind an [`Arc`]: it is immutable
+/// for the wrapper's whole lifetime (only the deletion bitmap mutates),
+/// so clones share it. That makes [`Clone`] cheap enough for
+/// copy-on-write level sharing in `Transform2Index` — a clone pays for
+/// the bitmap structures and the slot map, never for the suffix-array /
+/// wavelet payload.
+#[derive(Debug)]
 pub struct DeletionOnlyIndex<I: StaticIndex> {
-    index: I,
+    index: Arc<I>,
     /// The paper's `B`/`V`: alive suffix rows.
     alive: OneBitReporter,
     /// Theorem 1: rank over `B` for counting (present iff counting enabled).
@@ -30,6 +38,21 @@ pub struct DeletionOnlyIndex<I: StaticIndex> {
     dead_symbols: usize,
     /// Bytes belonging to alive documents.
     alive_symbols: usize,
+}
+
+/// Manual impl: sharing the `Arc` means `I` itself never needs `Clone`
+/// (the derive would demand it), and the static payload is never copied.
+impl<I: StaticIndex> Clone for DeletionOnlyIndex<I> {
+    fn clone(&self) -> Self {
+        DeletionOnlyIndex {
+            index: Arc::clone(&self.index),
+            alive: self.alive.clone(),
+            counts: self.counts.clone(),
+            slots: self.slots.clone(),
+            dead_symbols: self.dead_symbols,
+            alive_symbols: self.alive_symbols,
+        }
+    }
 }
 
 impl<I: StaticIndex> DeletionOnlyIndex<I> {
@@ -50,7 +73,7 @@ impl<I: StaticIndex> DeletionOnlyIndex<I> {
             .collect();
         let alive_symbols = index.symbol_count();
         DeletionOnlyIndex {
-            index,
+            index: Arc::new(index),
             alive: OneBitReporter::new_all_ones(rows),
             counts: counting.then(|| FlipRank::new(rows, true)),
             slots,
@@ -226,7 +249,7 @@ impl<I: StaticIndex> DeletionOnlyIndex<I> {
             slots,
             dead_symbols: total - alive_symbols,
             alive_symbols,
-            index,
+            index: Arc::new(index),
         })
     }
 

@@ -16,7 +16,12 @@ use dyndex_succinct::{Sequence, SpaceUsage};
 use dyndex_text::{FmIndex, Occurrence, SaIndex};
 
 /// A static full-text index over a document collection.
-pub trait StaticIndex: SpaceUsage + Send + Sized + 'static {
+///
+/// `Sync` is a supertrait: static structures are immutable once built,
+/// shared across query threads by the store layer, and `Arc`-shared
+/// between a live index and its frozen snapshots by the persistence
+/// layer.
+pub trait StaticIndex: SpaceUsage + Send + Sync + Sized + 'static {
     /// Build-time configuration (e.g. the locate sample rate `s`).
     type Config: Clone + Send + Sync + 'static;
 
@@ -67,7 +72,7 @@ impl Default for FmConfig {
     }
 }
 
-impl<S: Sequence + Send + 'static> StaticIndex for FmIndex<S> {
+impl<S: Sequence + Send + Sync + 'static> StaticIndex for FmIndex<S> {
     type Config = FmConfig;
 
     fn build(docs: &[(u64, &[u8])], config: &FmConfig) -> Self {

@@ -35,6 +35,7 @@ use crate::traits::StaticIndex;
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::{Occurrence, SuffixTree};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// How background rebuild jobs execute.
@@ -150,14 +151,60 @@ enum TopJobKind {
     MergeTops(usize, usize),
 }
 
+/// An installed static structure stamped with the **level epoch** it was
+/// installed (or last mutated) under.
+///
+/// The structure itself lives behind an [`Arc`] so a frozen snapshot can
+/// share it with the live index at zero copy cost: freezing clones the
+/// `Arc`, and any later delete-bitmap mutation goes through
+/// [`Arc::make_mut`] — copy-on-write, paying only for the bitmap
+/// structures (the static payload inside [`DeletionOnlyIndex`] is itself
+/// `Arc`-shared) and only while a snapshot actually holds the old
+/// version.
+///
+/// Epochs are monotone per index: every install, merge, and
+/// delete-bitmap mutation stamps a fresh value, so two structures with
+/// the same epoch are byte-identical — the property incremental
+/// snapshots use to skip re-serializing unchanged levels.
+#[derive(Debug)]
+struct Stamped<I: StaticIndex> {
+    index: Arc<DeletionOnlyIndex<I>>,
+    epoch: u64,
+}
+
+impl<I: StaticIndex> Stamped<I> {
+    fn new(index: DeletionOnlyIndex<I>, epoch: u64) -> Self {
+        Stamped {
+            index: Arc::new(index),
+            epoch,
+        }
+    }
+
+    /// Deletes `doc_id` (copy-on-write if a snapshot shares the
+    /// structure) and, on success, re-stamps with `new_epoch`.
+    fn delete(&mut self, doc_id: u64, new_epoch: u64) -> Option<Vec<u8>> {
+        let bytes = Arc::make_mut(&mut self.index).delete(doc_id)?;
+        self.epoch = new_epoch;
+        Some(bytes)
+    }
+}
+
+impl<I: StaticIndex> std::ops::Deref for Stamped<I> {
+    type Target = DeletionOnlyIndex<I>;
+
+    fn deref(&self) -> &DeletionOnlyIndex<I> {
+        &self.index
+    }
+}
+
 /// One static level: current, locked, and temp structures.
 #[derive(Debug)]
 struct Level<I: StaticIndex> {
-    cur: Option<DeletionOnlyIndex<I>>,
-    locked: Option<DeletionOnlyIndex<I>>,
+    cur: Option<Stamped<I>>,
+    locked: Option<Stamped<I>>,
     /// One-document index for the insertion that triggered the level's
     /// in-flight rebuild (the paper's `Temp_i`).
-    temp: Option<DeletionOnlyIndex<I>>,
+    temp: Option<Stamped<I>>,
 }
 
 impl<I: StaticIndex> Default for Level<I> {
@@ -170,46 +217,57 @@ impl<I: StaticIndex> Default for Level<I> {
     }
 }
 
-/// Borrowed decomposition of a fully-quiesced [`Transform2Index`] — no
-/// jobs in flight, no locked/temp structures — used by the persistence
-/// layer's encode path. Level/top entries carry their original position
-/// so a thawed index reproduces the exact structure layout (and therefore
-/// the exact query-traversal order).
-#[doc(hidden)]
-pub struct FrozenView<'a, I: StaticIndex> {
+/// Which slot a frozen structure occupies in the Transformation-2
+/// layout. Positions are preserved exactly so a thawed index reproduces
+/// the original query-traversal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FrozenSlot {
+    /// Static level `C_i` (1-based; level 0 holds no `C_i`).
+    Level(usize),
+    /// Top collection slot `t` (0-based into the top-slot table).
+    Top(usize),
+    /// `L'_r`, the old `C_r` awaiting top maintenance.
+    LrPrime,
+}
+
+/// One frozen static structure: its slot, its level epoch, and a shared
+/// handle to the structure itself.
+pub struct FrozenLevel<I: StaticIndex> {
+    /// Where the structure sits in the layout.
+    pub slot: FrozenSlot,
+    /// The epoch it was stamped with (identical epoch ⇒ identical bytes).
+    pub epoch: u64,
+    /// The structure, shared with the live index (copy-on-write there).
+    pub index: Arc<DeletionOnlyIndex<I>>,
+}
+
+/// Owned decomposition of a fully-quiesced [`Transform2Index`] — no jobs
+/// in flight, no locked/temp structures. Freezing costs O(levels)
+/// `Arc` clones, so the producing shard's lock is needed only for the
+/// clone instant, never across serialization; the live index keeps
+/// mutating behind copy-on-write while a snapshot serializes this.
+///
+/// Also the persistence decode path's assembly type: `thaw` consumes one.
+pub struct FrozenSnapshot<I: StaticIndex> {
     /// `C0` documents in insertion-age order (see
     /// `SuffixTree::export_docs_by_age`).
     pub c0_docs: Vec<(u64, Vec<u8>)>,
     /// Total level count (`schedule.caps.len()`), for validation.
     pub num_levels: usize,
-    /// `(level index, C_i)` for every populated level.
-    pub levels: Vec<(usize, &'a DeletionOnlyIndex<I>)>,
     /// Total top-slot count, including empty slots.
     pub num_top_slots: usize,
-    /// `(slot, T)` for every live top collection.
-    pub tops: Vec<(usize, &'a DeletionOnlyIndex<I>)>,
-    /// `L'_r`, if present.
-    pub lr_prime: Option<&'a DeletionOnlyIndex<I>>,
+    /// Every populated static structure with its slot and epoch.
+    pub levels: Vec<FrozenLevel<I>>,
     /// The capacity schedule's reference size.
     pub nf: usize,
     /// Total alive bytes.
     pub n: usize,
     /// Lemma 1 pacing accumulator.
     pub deleted_since_maintenance: usize,
-}
-
-/// Owned counterpart of [`FrozenView`] (persistence decode path).
-#[doc(hidden)]
-pub struct FrozenParts<I: StaticIndex> {
-    pub c0_docs: Vec<(u64, Vec<u8>)>,
-    pub num_levels: usize,
-    pub levels: Vec<(usize, DeletionOnlyIndex<I>)>,
-    pub num_top_slots: usize,
-    pub tops: Vec<(usize, DeletionOnlyIndex<I>)>,
-    pub lr_prime: Option<DeletionOnlyIndex<I>>,
-    pub nf: usize,
-    pub n: usize,
-    pub deleted_since_maintenance: usize,
+    /// The epoch counter's value at freeze time; a thawed index resumes
+    /// stamping strictly above it (and above every entry's epoch), so
+    /// restored stores keep reusing unchanged level files.
+    pub epoch_counter: u64,
 }
 
 /// A fully-dynamic document index with worst-case update cost
@@ -223,11 +281,11 @@ pub struct Transform2Index<I: StaticIndex> {
     /// (for `j == r`: a new top from `L_r ∪ Temp_top`).
     jobs: Vec<Option<Job<I>>>,
     /// Top collections `T_1..T_g` (None = discarded slot).
-    tops: Vec<Option<DeletionOnlyIndex<I>>>,
+    tops: Vec<Option<Stamped<I>>>,
     /// Temp index for a top-bound insertion.
-    temp_top: Option<DeletionOnlyIndex<I>>,
+    temp_top: Option<Stamped<I>>,
     /// `L'_r`: an old `C_r` awaiting top maintenance.
-    lr_prime: Option<DeletionOnlyIndex<I>>,
+    lr_prime: Option<Stamped<I>>,
     /// The single in-flight top-maintenance job.
     top_job: Option<(TopJobKind, Job<I>)>,
     schedule: CapacitySchedule,
@@ -238,6 +296,10 @@ pub struct Transform2Index<I: StaticIndex> {
     n: usize,
     /// Deleted symbols since the last top-maintenance step (Lemma 1 pacing).
     deleted_since_maintenance: usize,
+    /// Monotone level-epoch counter: bumped on every install, merge, and
+    /// delete-bitmap mutation (see [`Stamped`]); snapshots use it to
+    /// detect unchanged structures.
+    level_epoch: u64,
     work: UpdateWork,
 }
 
@@ -262,6 +324,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             locations: HashMap::new(),
             n: 0,
             deleted_since_maintenance: 0,
+            level_epoch: 0,
             work: UpdateWork::default(),
         }
     }
@@ -298,6 +361,12 @@ impl<I: StaticIndex> Transform2Index<I> {
     /// The paper's top-size unit `nf/τ`.
     fn top_unit(&self) -> usize {
         (self.schedule.nf / self.options.tau).max(self.options.min_capacity)
+    }
+
+    /// Hands out the next level epoch (see [`Stamped`]).
+    fn bump_epoch(&mut self) -> u64 {
+        self.level_epoch += 1;
+        self.level_epoch
     }
 
     // ------------------------------------------------------------------
@@ -343,7 +412,8 @@ impl<I: StaticIndex> Transform2Index<I> {
             for id in index.doc_ids() {
                 self.locations.insert(id, Loc::Cur(target));
             }
-            self.levels[target].cur = Some(index);
+            let epoch = self.bump_epoch();
+            self.levels[target].cur = Some(Stamped::new(index, epoch));
             self.levels[j].locked = None;
             self.levels[target].temp = None;
         } else {
@@ -352,7 +422,8 @@ impl<I: StaticIndex> Transform2Index<I> {
             for id in index.doc_ids() {
                 self.locations.insert(id, Loc::Top(slot));
             }
-            self.tops[slot] = Some(index);
+            let epoch = self.bump_epoch();
+            self.tops[slot] = Some(Stamped::new(index, epoch));
             self.levels[j].locked = None;
             self.temp_top = None;
         }
@@ -385,33 +456,41 @@ impl<I: StaticIndex> Transform2Index<I> {
         };
         let (index, _) = job.join();
         self.work.jobs_completed += 1;
+        let epoch = self.bump_epoch();
+        let stamped = |index: DeletionOnlyIndex<I>| {
+            if index.is_empty() {
+                None
+            } else {
+                Some(Stamped::new(index, epoch))
+            }
+        };
         match kind {
             TopJobKind::Replace(t) => {
                 for id in index.doc_ids() {
                     self.locations.insert(id, Loc::Top(t));
                 }
-                self.tops[t] = if index.is_empty() { None } else { Some(index) };
+                self.tops[t] = stamped(index);
             }
             TopJobKind::FromLrPrime => {
                 let slot = self.alloc_top_slot();
                 for id in index.doc_ids() {
                     self.locations.insert(id, Loc::Top(slot));
                 }
-                self.tops[slot] = if index.is_empty() { None } else { Some(index) };
+                self.tops[slot] = stamped(index);
                 self.lr_prime = None;
             }
             TopJobKind::MergeLrPrime(t) => {
                 for id in index.doc_ids() {
                     self.locations.insert(id, Loc::Top(t));
                 }
-                self.tops[t] = if index.is_empty() { None } else { Some(index) };
+                self.tops[t] = stamped(index);
                 self.lr_prime = None;
             }
             TopJobKind::MergeTops(a, b) => {
                 for id in index.doc_ids() {
                     self.locations.insert(id, Loc::Top(a));
                 }
-                self.tops[a] = if index.is_empty() { None } else { Some(index) };
+                self.tops[a] = stamped(index);
                 self.tops[b] = None;
             }
         }
@@ -441,7 +520,8 @@ impl<I: StaticIndex> Transform2Index<I> {
             let index =
                 DeletionOnlyIndex::build(&[(doc_id, bytes)], &self.config, self.options.counting);
             let slot = self.alloc_top_slot();
-            self.tops[slot] = Some(index);
+            let epoch = self.bump_epoch();
+            self.tops[slot] = Some(Stamped::new(index, epoch));
             self.locations.insert(doc_id, Loc::Top(slot));
             self.work.count_rebuild(bytes.len());
             return;
@@ -534,11 +614,9 @@ impl<I: StaticIndex> Transform2Index<I> {
                 self.locations.insert(*id, Loc::Cur(target));
             }
             let refs: Vec<(u64, &[u8])> = all.iter().map(|(id, d)| (*id, d.as_slice())).collect();
-            self.levels[target].cur = Some(DeletionOnlyIndex::build(
-                &refs,
-                &self.config,
-                self.options.counting,
-            ));
+            let built = DeletionOnlyIndex::build(&refs, &self.config, self.options.counting);
+            let epoch = self.bump_epoch();
+            self.levels[target].cur = Some(Stamped::new(built, epoch));
             self.work.count_rebuild(total);
             return;
         }
@@ -550,11 +628,9 @@ impl<I: StaticIndex> Transform2Index<I> {
                 self.locations.insert(*did, Loc::Cur(target));
             }
             let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
-            self.levels[target].cur = Some(DeletionOnlyIndex::build(
-                &refs,
-                &self.config,
-                self.options.counting,
-            ));
+            let built = DeletionOnlyIndex::build(&refs, &self.config, self.options.counting);
+            let epoch = self.bump_epoch();
+            self.levels[target].cur = Some(Stamped::new(built, epoch));
             self.levels[j].locked = None;
             self.work.count_rebuild(total);
             return;
@@ -563,7 +639,8 @@ impl<I: StaticIndex> Transform2Index<I> {
             // Temp_{j+1}: the new document must be queryable immediately.
             let temp =
                 DeletionOnlyIndex::build(&[(id, bytes)], &self.config, self.options.counting);
-            self.levels[target].temp = Some(temp);
+            let epoch = self.bump_epoch();
+            self.levels[target].temp = Some(Stamped::new(temp, epoch));
             self.locations.insert(id, Loc::Temp(target));
             docs.push((id, bytes.to_vec()));
             self.work.count_symbols(bytes.len());
@@ -593,7 +670,8 @@ impl<I: StaticIndex> Transform2Index<I> {
         if let Some((id, bytes)) = new_doc {
             let temp =
                 DeletionOnlyIndex::build(&[(id, bytes)], &self.config, self.options.counting);
-            self.temp_top = Some(temp);
+            let epoch = self.bump_epoch();
+            self.temp_top = Some(Stamped::new(temp, epoch));
             self.locations.insert(id, Loc::TempTop);
             docs.push((id, bytes.to_vec()));
             self.work.count_symbols(bytes.len());
@@ -625,11 +703,12 @@ impl<I: StaticIndex> Transform2Index<I> {
         let bytes = match loc {
             Loc::C0 => self.c0.delete(doc_id).expect("location map out of sync"),
             Loc::Cur(i) => {
+                let epoch = self.bump_epoch();
                 let bytes = self.levels[i]
                     .cur
                     .as_mut()
                     .expect("location map out of sync")
-                    .delete(doc_id)
+                    .delete(doc_id, epoch)
                     .expect("location map out of sync");
                 // If a job is about to replace C_i (jobs[i-1] targets i) or
                 // reads it (jobs[i] extracted it at spawn)… extraction
@@ -647,11 +726,12 @@ impl<I: StaticIndex> Transform2Index<I> {
                 bytes
             }
             Loc::Locked(j) => {
+                let epoch = self.bump_epoch();
                 let bytes = self.levels[j]
                     .locked
                     .as_mut()
                     .expect("location map out of sync")
-                    .delete(doc_id)
+                    .delete(doc_id, epoch)
                     .expect("location map out of sync");
                 if let Some(job) = self.jobs[j].as_mut() {
                     job.pending_deletes.push(doc_id);
@@ -659,11 +739,12 @@ impl<I: StaticIndex> Transform2Index<I> {
                 bytes
             }
             Loc::Temp(t) => {
+                let epoch = self.bump_epoch();
                 let bytes = self.levels[t]
                     .temp
                     .as_mut()
                     .expect("location map out of sync")
-                    .delete(doc_id)
+                    .delete(doc_id, epoch)
                     .expect("location map out of sync");
                 if t >= 1 {
                     if let Some(job) = self.jobs[t - 1].as_mut() {
@@ -673,11 +754,12 @@ impl<I: StaticIndex> Transform2Index<I> {
                 bytes
             }
             Loc::TempTop => {
+                let epoch = self.bump_epoch();
                 let bytes = self
                     .temp_top
                     .as_mut()
                     .expect("location map out of sync")
-                    .delete(doc_id)
+                    .delete(doc_id, epoch)
                     .expect("location map out of sync");
                 let r = self.r();
                 if let Some(job) = self.jobs[r].as_mut() {
@@ -686,8 +768,9 @@ impl<I: StaticIndex> Transform2Index<I> {
                 bytes
             }
             Loc::Top(t) => {
+                let epoch = self.bump_epoch();
                 let top = self.tops[t].as_mut().expect("location map out of sync");
-                let bytes = top.delete(doc_id).expect("location map out of sync");
+                let bytes = top.delete(doc_id, epoch).expect("location map out of sync");
                 let emptied = top.is_empty();
                 // Forward to an in-flight job that snapshotted this top
                 // *before* discarding an emptied structure — skipping the
@@ -707,11 +790,12 @@ impl<I: StaticIndex> Transform2Index<I> {
                 bytes
             }
             Loc::LrPrime => {
+                let epoch = self.bump_epoch();
                 let bytes = self
                     .lr_prime
                     .as_mut()
                     .expect("location map out of sync")
-                    .delete(doc_id)
+                    .delete(doc_id, epoch)
                     .expect("location map out of sync");
                 // A top job may have snapshotted L'_r; forward the delete.
                 if let Some((kind, job)) = self.top_job.as_mut() {
@@ -1075,12 +1159,15 @@ impl<I: StaticIndex> Transform2Index<I> {
         &self.options
     }
 
-    /// Borrowed decomposition for snapshotting, or `None` unless the
-    /// index is fully quiesced (run [`Transform2Index::finish_background_work`]
-    /// first): any in-flight job, locked copy, or temp index means the
-    /// state is mid-rebuild and not snapshotable.
+    /// Owned decomposition for snapshotting — O(levels) `Arc` clones and
+    /// a `C0` export, so the caller's lock on this index is needed only
+    /// for the duration of this call, never across serialization.
+    /// Returns `None` unless the index is fully quiesced (run
+    /// [`Transform2Index::finish_background_work`] first): any in-flight
+    /// job, locked copy, or temp index means the state is mid-rebuild
+    /// and not snapshotable.
     #[doc(hidden)]
-    pub fn freeze(&self) -> Option<FrozenView<'_, I>> {
+    pub fn freeze(&self) -> Option<FrozenSnapshot<I>> {
         let quiesced = self.jobs.iter().all(|j| j.is_none())
             && self.top_job.is_none()
             && self.temp_top.is_none()
@@ -1092,43 +1179,57 @@ impl<I: StaticIndex> Transform2Index<I> {
             return None;
         }
         debug_assert!(self.levels[0].cur.is_none(), "level 0 holds no C_i");
-        let levels = self
-            .levels
-            .iter()
-            .enumerate()
-            .skip(1)
-            .filter_map(|(i, l)| l.cur.as_ref().map(|c| (i, c)))
-            .collect();
-        let tops = self
-            .tops
-            .iter()
-            .enumerate()
-            .filter_map(|(t, top)| top.as_ref().map(|tt| (t, tt)))
-            .collect();
-        Some(FrozenView {
+        let mut levels = Vec::new();
+        for (i, l) in self.levels.iter().enumerate().skip(1) {
+            if let Some(c) = &l.cur {
+                levels.push(FrozenLevel {
+                    slot: FrozenSlot::Level(i),
+                    epoch: c.epoch,
+                    index: Arc::clone(&c.index),
+                });
+            }
+        }
+        for (t, top) in self.tops.iter().enumerate() {
+            if let Some(tt) = top {
+                levels.push(FrozenLevel {
+                    slot: FrozenSlot::Top(t),
+                    epoch: tt.epoch,
+                    index: Arc::clone(&tt.index),
+                });
+            }
+        }
+        if let Some(lr) = &self.lr_prime {
+            levels.push(FrozenLevel {
+                slot: FrozenSlot::LrPrime,
+                epoch: lr.epoch,
+                index: Arc::clone(&lr.index),
+            });
+        }
+        Some(FrozenSnapshot {
             c0_docs: self.c0.export_docs_by_age(),
             num_levels: self.levels.len(),
-            levels,
             num_top_slots: self.tops.len(),
-            tops,
-            lr_prime: self.lr_prime.as_ref(),
+            levels,
             nf: self.schedule.nf,
             n: self.n,
             deleted_since_maintenance: self.deleted_since_maintenance,
+            epoch_counter: self.level_epoch,
         })
     }
 
-    /// Rebuilds an index from frozen parts (persistence decode path).
-    /// The capacity schedule, location map, and `C0` suffix tree are all
-    /// re-derived; `options` must match the ones the snapshot was taken
-    /// under (the persistence manifest records them). Returns `Err`
-    /// (never panics) on structurally inconsistent input.
+    /// Rebuilds an index from a frozen snapshot (persistence decode
+    /// path). The capacity schedule, location map, and `C0` suffix tree
+    /// are all re-derived; `options` must match the ones the snapshot
+    /// was taken under (the persistence manifest records them). The
+    /// epoch counter resumes strictly above every frozen epoch, so a
+    /// restored index keeps producing reusable delta snapshots. Returns
+    /// `Err` (never panics) on structurally inconsistent input.
     #[doc(hidden)]
     pub fn thaw(
         config: I::Config,
         options: DynOptions,
         mode: RebuildMode,
-        parts: FrozenParts<I>,
+        parts: FrozenSnapshot<I>,
     ) -> Result<Self, String> {
         let schedule = CapacitySchedule::new_truncated(parts.nf, &options);
         if schedule.caps.len() != parts.num_levels {
@@ -1149,33 +1250,46 @@ impl<I: StaticIndex> Transform2Index<I> {
             track(*id, Loc::C0)?;
         }
         let mut levels: Vec<Level<I>> = (0..parts.num_levels).map(|_| Level::default()).collect();
-        for (i, del) in parts.levels {
-            if i == 0 || i >= parts.num_levels {
-                return Err(format!("level index {i} out of range"));
-            }
-            for id in del.doc_ids() {
-                track(id, Loc::Cur(i))?;
-            }
-            if levels[i].cur.replace(del).is_some() {
-                return Err(format!("level {i} appears twice"));
-            }
-        }
-        let mut tops: Vec<Option<DeletionOnlyIndex<I>>> =
-            (0..parts.num_top_slots).map(|_| None).collect();
-        for (t, top) in parts.tops {
-            if t >= parts.num_top_slots {
-                return Err(format!("top slot {t} out of range"));
-            }
-            for id in top.doc_ids() {
-                track(id, Loc::Top(t))?;
-            }
-            if tops[t].replace(top).is_some() {
-                return Err(format!("top slot {t} appears twice"));
-            }
-        }
-        if let Some(lr) = &parts.lr_prime {
-            for id in lr.doc_ids() {
-                track(id, Loc::LrPrime)?;
+        let mut tops: Vec<Option<Stamped<I>>> = (0..parts.num_top_slots).map(|_| None).collect();
+        let mut lr_prime: Option<Stamped<I>> = None;
+        let mut level_epoch = parts.epoch_counter;
+        for entry in parts.levels {
+            level_epoch = level_epoch.max(entry.epoch);
+            let stamped = Stamped {
+                index: entry.index,
+                epoch: entry.epoch,
+            };
+            match entry.slot {
+                FrozenSlot::Level(i) => {
+                    if i == 0 || i >= parts.num_levels {
+                        return Err(format!("level index {i} out of range"));
+                    }
+                    for id in stamped.doc_ids() {
+                        track(id, Loc::Cur(i))?;
+                    }
+                    if levels[i].cur.replace(stamped).is_some() {
+                        return Err(format!("level {i} appears twice"));
+                    }
+                }
+                FrozenSlot::Top(t) => {
+                    if t >= parts.num_top_slots {
+                        return Err(format!("top slot {t} out of range"));
+                    }
+                    for id in stamped.doc_ids() {
+                        track(id, Loc::Top(t))?;
+                    }
+                    if tops[t].replace(stamped).is_some() {
+                        return Err(format!("top slot {t} appears twice"));
+                    }
+                }
+                FrozenSlot::LrPrime => {
+                    for id in stamped.doc_ids() {
+                        track(id, Loc::LrPrime)?;
+                    }
+                    if lr_prime.replace(stamped).is_some() {
+                        return Err("L'_r appears twice".into());
+                    }
+                }
             }
         }
         let mut c0 = SuffixTree::new();
@@ -1189,7 +1303,7 @@ impl<I: StaticIndex> Transform2Index<I> {
         for top in tops.iter().flatten() {
             total += top.alive_symbols();
         }
-        total += parts.lr_prime.as_ref().map_or(0, |l| l.alive_symbols());
+        total += lr_prime.as_ref().map_or(0, |l| l.alive_symbols());
         if total != parts.n {
             return Err(format!(
                 "symbol accounting mismatch: structures hold {total}, snapshot says {}",
@@ -1203,7 +1317,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             jobs,
             tops,
             temp_top: None,
-            lr_prime: parts.lr_prime,
+            lr_prime,
             top_job: None,
             schedule,
             config,
@@ -1212,6 +1326,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             locations,
             n: parts.n,
             deleted_since_maintenance: parts.deleted_since_maintenance,
+            level_epoch,
             work: UpdateWork::default(),
         })
     }

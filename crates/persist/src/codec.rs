@@ -339,10 +339,32 @@ pub fn decode_framed<T: Persist, R: Read>(r: &mut R) -> Result<T, PersistError> 
 // Crash-atomic file writes.
 // ---------------------------------------------------------------------
 
+/// fsyncs a directory, making previously completed renames inside it
+/// durable against power loss. Unlike the best-effort directory sync
+/// inside [`write_file_atomic`], failures here propagate — this is what
+/// the snapshot layer calls at its manifest commit point, where a
+/// silently skipped sync could lose the commit to a power failure even
+/// though every data file survived. On platforms that refuse to open
+/// or fsync directories (e.g. Windows) this degrades to a no-op rather
+/// than failing every snapshot: the rename-based commit is still
+/// process-crash safe there, just not power-failure durable.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), PersistError> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
 /// Writes `bytes` to `path` atomically: write to a same-directory temp
-/// file, fsync it, rename over `path`, then fsync the directory. A crash
-/// at any point leaves either the old file or the new one — never a
-/// torn mix.
+/// file, fsync it, rename over `path`, then fsync the directory
+/// (best-effort — the snapshot commit path follows up with a mandatory,
+/// error-propagating directory fsync). A crash at any point leaves
+/// either the old file or the new one — never a torn mix.
 pub fn write_file_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), PersistError> {
     let dir = path
         .parent()

@@ -8,7 +8,7 @@ use crate::codec::{
     write_bytes, write_f64, write_u64, write_u8, write_usize, Persist,
 };
 use crate::error::PersistError;
-use dyndex_core::transform2::{FrozenParts, FrozenView};
+use dyndex_core::transform2::FrozenSnapshot;
 use dyndex_core::{DeletionOnlyIndex, DynOptions, FmConfig, Growth, StaticIndex};
 use dyndex_succinct::BitVec;
 use std::io::{Read, Write};
@@ -119,59 +119,55 @@ impl<I: StaticIndex + Persist> Persist for DeletionOnlyIndex<I> {
 }
 
 // ---------------------------------------------------------------------
-// Frozen Transform2 shard payload.
+// Per-shard snapshot meta (C0 + scheduling scalars).
 // ---------------------------------------------------------------------
 
-/// Serializes a quiesced shard decomposition (see
-/// `Transform2Index::freeze`): `C0`'s documents in age order, every
-/// static level and top collection with its original position, `L'_r`,
-/// and the scheduling scalars needed to resume exactly where the
-/// snapshot left off.
-pub(crate) fn write_frozen_view<I, W>(w: &mut W, view: &FrozenView<'_, I>) -> std::io::Result<()>
+/// The non-level part of a frozen shard, decoded: everything a shard's
+/// snapshot carries *besides* the per-level content files — `C0`'s
+/// documents in age order and the scheduling scalars needed to resume
+/// exactly where the snapshot left off. The static structures
+/// themselves live in their own `(shard, level, epoch)`-named files so
+/// unchanged ones can be shared between snapshot generations (see
+/// `snapshot.rs`).
+pub(crate) struct ShardMeta {
+    pub c0_docs: Vec<(u64, Vec<u8>)>,
+    pub num_levels: usize,
+    pub num_top_slots: usize,
+    pub nf: usize,
+    pub n: usize,
+    pub deleted_since_maintenance: usize,
+    pub epoch_counter: u64,
+}
+
+/// Serializes the meta part of a quiesced shard decomposition (see
+/// `Transform2Index::freeze`).
+pub(crate) fn write_shard_meta<I, W>(w: &mut W, frozen: &FrozenSnapshot<I>) -> std::io::Result<()>
 where
-    I: StaticIndex + Persist,
+    I: StaticIndex,
     W: Write,
 {
-    write_usize(w, view.n)?;
-    write_usize(w, view.nf)?;
-    write_usize(w, view.deleted_since_maintenance)?;
-    write_usize(w, view.num_levels)?;
-    write_usize(w, view.num_top_slots)?;
-    write_usize(w, view.c0_docs.len())?;
-    for (id, bytes) in &view.c0_docs {
+    write_usize(w, frozen.n)?;
+    write_usize(w, frozen.nf)?;
+    write_usize(w, frozen.deleted_since_maintenance)?;
+    write_usize(w, frozen.num_levels)?;
+    write_usize(w, frozen.num_top_slots)?;
+    write_u64(w, frozen.epoch_counter)?;
+    write_usize(w, frozen.c0_docs.len())?;
+    for (id, bytes) in &frozen.c0_docs {
         write_u64(w, *id)?;
         write_bytes(w, bytes)?;
     }
-    write_usize(w, view.levels.len())?;
-    for (i, del) in &view.levels {
-        write_usize(w, *i)?;
-        del.write_to(w)?;
-    }
-    write_usize(w, view.tops.len())?;
-    for (t, top) in &view.tops {
-        write_usize(w, *t)?;
-        top.write_to(w)?;
-    }
-    match view.lr_prime {
-        Some(lr) => {
-            write_bool(w, true)?;
-            lr.write_to(w)
-        }
-        None => write_bool(w, false),
-    }
+    Ok(())
 }
 
-/// Decodes the owned counterpart of [`write_frozen_view`]'s output.
-pub(crate) fn read_frozen_parts<I, R>(r: &mut R) -> Result<FrozenParts<I>, PersistError>
-where
-    I: StaticIndex + Persist,
-    R: Read,
-{
+/// Decodes the counterpart of [`write_shard_meta`]'s output.
+pub(crate) fn read_shard_meta<R: Read>(r: &mut R) -> Result<ShardMeta, PersistError> {
     let n = read_usize(r)?;
     let nf = read_usize(r)?;
     let deleted_since_maintenance = read_usize(r)?;
     let num_levels = read_usize(r)?;
     let num_top_slots = read_usize(r)?;
+    let epoch_counter = read_u64(r)?;
     let n_c0 = read_usize(r)?;
     let mut c0_docs = Vec::with_capacity(n_c0.min(1 << 16));
     for _ in 0..n_c0 {
@@ -179,33 +175,14 @@ where
         let bytes = read_bytes(r)?;
         c0_docs.push((id, bytes));
     }
-    let n_levels = read_usize(r)?;
-    let mut levels = Vec::with_capacity(n_levels.min(1 << 10));
-    for _ in 0..n_levels {
-        let i = read_usize(r)?;
-        levels.push((i, DeletionOnlyIndex::<I>::read_from(r)?));
-    }
-    let n_tops = read_usize(r)?;
-    let mut tops = Vec::with_capacity(n_tops.min(1 << 10));
-    for _ in 0..n_tops {
-        let t = read_usize(r)?;
-        tops.push((t, DeletionOnlyIndex::<I>::read_from(r)?));
-    }
-    let lr_prime = if read_bool(r)? {
-        Some(DeletionOnlyIndex::<I>::read_from(r)?)
-    } else {
-        None
-    };
-    Ok(FrozenParts {
+    Ok(ShardMeta {
         c0_docs,
         num_levels,
-        levels,
         num_top_slots,
-        tops,
-        lr_prime,
         nf,
         n,
         deleted_since_maintenance,
+        epoch_counter,
     })
 }
 
@@ -271,6 +248,40 @@ mod tests {
         }
     }
 
+    /// Serializes a frozen shard the way the snapshot layer does — one
+    /// meta payload plus one `Persist` payload per level — and
+    /// reassembles it into an owned [`FrozenSnapshot`].
+    fn roundtrip_frozen(frozen: &FrozenSnapshot<Fm>) -> FrozenSnapshot<Fm> {
+        let mut meta_buf = Vec::new();
+        write_shard_meta(&mut meta_buf, frozen).unwrap();
+        let meta = read_shard_meta(&mut std::io::Cursor::new(&meta_buf)).expect("meta read");
+        let levels = frozen
+            .levels
+            .iter()
+            .map(|level| {
+                let mut buf = Vec::new();
+                level.index.write_to(&mut buf).unwrap();
+                let back = DeletionOnlyIndex::<Fm>::read_from(&mut std::io::Cursor::new(&buf))
+                    .expect("level read");
+                dyndex_core::transform2::FrozenLevel {
+                    slot: level.slot,
+                    epoch: level.epoch,
+                    index: std::sync::Arc::new(back),
+                }
+            })
+            .collect();
+        FrozenSnapshot {
+            c0_docs: meta.c0_docs,
+            num_levels: meta.num_levels,
+            num_top_slots: meta.num_top_slots,
+            levels,
+            nf: meta.nf,
+            n: meta.n,
+            deleted_since_maintenance: meta.deleted_since_maintenance,
+            epoch_counter: meta.epoch_counter,
+        }
+    }
+
     #[test]
     fn frozen_shard_roundtrip() {
         let mut idx =
@@ -285,11 +296,9 @@ mod tests {
             idx.delete(i);
         }
         idx.finish_background_work();
-        let view = idx.freeze().expect("quiesced after finish");
-        let mut buf = Vec::new();
-        write_frozen_view(&mut buf, &view).unwrap();
-        drop(view);
-        let parts = read_frozen_parts::<Fm, _>(&mut std::io::Cursor::new(&buf)).expect("read");
+        let frozen = idx.freeze().expect("quiesced after finish");
+        let parts = roundtrip_frozen(&frozen);
+        drop(frozen);
         let back = Transform2Index::<Fm>::thaw(
             FmConfig { sample_rate: 4 },
             opts(),
@@ -324,11 +333,9 @@ mod tests {
             idx.insert(i, format!("doc {i}").as_bytes());
         }
         idx.finish_background_work();
-        let view = idx.freeze().expect("quiesced");
-        let mut buf = Vec::new();
-        write_frozen_view(&mut buf, &view).unwrap();
-        drop(view);
-        let parts = read_frozen_parts::<Fm, _>(&mut std::io::Cursor::new(&buf)).unwrap();
+        let frozen = idx.freeze().expect("quiesced");
+        let parts = roundtrip_frozen(&frozen);
+        drop(frozen);
         // A wildly different schedule yields a different level count.
         let wrong = DynOptions {
             min_capacity: 4096,

@@ -15,10 +15,10 @@
 use crate::codec::Persist;
 use crate::error::PersistError;
 use crate::snapshot::{
-    read_manifest, replay_wal, restore_snapshot, write_snapshot, RestoreOptions, SnapshotStats,
-    MANIFEST_FILE,
+    read_manifest, replay_wal, restore_snapshot, write_snapshot, RestoreOptions, SnapshotMode,
+    SnapshotStats, MANIFEST_FILE,
 };
-use crate::wal::{read_wal_records, wal_path, WalRecord, WalWriter};
+use crate::wal::{read_wal_records, wal_path, WalOptions, WalRecord, WalWriter};
 use dyndex_core::StaticIndex;
 use dyndex_store::{ShardedStore, StoreOptions, StoreStats};
 use dyndex_text::Occurrence;
@@ -52,11 +52,26 @@ where
 {
     /// Creates a fresh durable store in `dir` (which must not already
     /// hold one): builds the in-memory store, commits an initial empty
-    /// snapshot, and opens the logs.
+    /// snapshot, and opens the logs with the default [`WalOptions`]
+    /// (snapshot-paced fsync; see [`DurableStore::create_with_wal`] for
+    /// per-record or group-commit durability).
     pub fn create(
         dir: &Path,
         config: I::Config,
         options: StoreOptions,
+    ) -> Result<Self, PersistError> {
+        Self::create_with_wal(dir, config, options, WalOptions::default())
+    }
+
+    /// [`DurableStore::create`] with an explicit write-ahead-log fsync
+    /// policy (see [`SyncPolicy`](crate::SyncPolicy)): `PerRecord` for
+    /// no-loss power-failure durability, `EveryN` for group commit,
+    /// `OnSnapshot` (default) for snapshot-paced durability.
+    pub fn create_with_wal(
+        dir: &Path,
+        config: I::Config,
+        options: StoreOptions,
+        wal: WalOptions,
     ) -> Result<Self, PersistError> {
         if dir.join(MANIFEST_FILE).exists() {
             return Err(PersistError::manifest(format!(
@@ -65,8 +80,8 @@ where
             )));
         }
         let store = ShardedStore::new(config, options);
-        let stats = write_snapshot(&store, dir, 0)?;
-        let wals = Self::open_wals(dir, store.num_shards())?;
+        let stats = write_snapshot(&store, dir, 0, SnapshotMode::default())?;
+        let wals = Self::open_wals(dir, store.num_shards(), wal)?;
         Ok(DurableStore {
             store,
             dir: dir.to_path_buf(),
@@ -105,11 +120,11 @@ where
         } else {
             replay_wal(&store, dir, manifest.wal_seq)?
         };
-        let wals = Self::open_wals(dir, store.num_shards())?;
-        // Same accounting as SnapshotStats::bytes_on_disk: shard files
-        // plus the manifest itself.
-        let snapshot_bytes = manifest.shards.iter().map(|e| e.bytes).sum::<u64>()
-            + std::fs::metadata(dir.join(MANIFEST_FILE))?.len();
+        let wals = Self::open_wals(dir, store.num_shards(), options.wal)?;
+        // Same accounting as SnapshotStats::bytes_on_disk: every
+        // referenced file (meta + level) plus the manifest itself.
+        let snapshot_bytes =
+            manifest.referenced_bytes() + std::fs::metadata(dir.join(MANIFEST_FILE))?.len();
         Ok(DurableStore {
             store,
             dir: dir.to_path_buf(),
@@ -119,9 +134,18 @@ where
         })
     }
 
-    fn open_wals(dir: &Path, num_shards: usize) -> Result<Vec<Mutex<WalWriter>>, PersistError> {
+    fn open_wals(
+        dir: &Path,
+        num_shards: usize,
+        options: WalOptions,
+    ) -> Result<Vec<Mutex<WalWriter>>, PersistError> {
         (0..num_shards)
-            .map(|s| Ok(Mutex::new(WalWriter::open_append(wal_path(dir, s))?)))
+            .map(|s| {
+                Ok(Mutex::new(WalWriter::open_append(
+                    wal_path(dir, s),
+                    options,
+                )?))
+            })
             .collect()
     }
 
@@ -265,13 +289,23 @@ where
     // ------------------------------------------------------------------
 
     /// Commits a new snapshot generation covering everything applied so
-    /// far, then truncates the logs it covers. Writers are held off (via
-    /// the WAL locks) for the duration.
+    /// far (re-serializing only changed levels — see the snapshot module
+    /// docs), then truncates the logs it covers. Uses the default
+    /// [`SnapshotMode::Background`]: writers are held off via the WAL
+    /// locks (which also makes the per-shard cut globally consistent),
+    /// but readers keep querying throughout — serialization runs on the
+    /// worker pool, interleaved with query service.
     pub fn snapshot(&self) -> Result<SnapshotStats, PersistError> {
+        self.snapshot_with(SnapshotMode::default())
+    }
+
+    /// [`DurableStore::snapshot`] with an explicit [`SnapshotMode`]
+    /// (`StopTheWorld` additionally blocks readers for the duration).
+    pub fn snapshot_with(&self, mode: SnapshotMode) -> Result<SnapshotStats, PersistError> {
         let mut wals: Vec<MutexGuard<'_, WalWriter>> =
             (0..self.wals.len()).map(|s| self.wal(s)).collect();
         let seq = self.seq.load(Ordering::SeqCst);
-        let stats = write_snapshot(&self.store, &self.dir, seq)?;
+        let stats = write_snapshot(&self.store, &self.dir, seq, mode)?;
         for wal in wals.iter_mut() {
             wal.truncate()?;
         }

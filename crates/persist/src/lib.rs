@@ -77,6 +77,7 @@ pub use codec::Persist;
 pub use durable::DurableStore;
 pub use error::PersistError;
 pub use snapshot::{
-    read_manifest, Manifest, RestoreOptions, ShardFileEntry, SnapshotStats, StorePersist,
-    MANIFEST_FILE, NO_WAL, ROUTE_SPLITMIX64,
+    read_manifest, LevelFileEntry, Manifest, RestoreOptions, ShardFileEntry, ShardManifest,
+    SnapshotMode, SnapshotStats, StorePersist, MANIFEST_FILE, NO_WAL, ROUTE_SPLITMIX64,
 };
+pub use wal::{SyncPolicy, WalOptions};

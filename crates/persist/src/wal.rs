@@ -24,6 +24,46 @@ use std::path::{Path, PathBuf};
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
 
+/// When the write-ahead log fsyncs, trading mutation latency for
+/// power-failure durability. Plain appends always reach the OS before
+/// the mutation returns (process-crash durable); the policy decides how
+/// often the OS buffer is forced to stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every appended record: no acknowledged mutation is
+    /// ever lost to a power failure, at one fsync per logged batch.
+    PerRecord,
+    /// Group commit: fsync once every `n` appended records (an `n` of 0
+    /// or 1 behaves like [`SyncPolicy::PerRecord`]). A power failure can
+    /// lose at most the last `n-1` acknowledged records per shard.
+    EveryN(u32),
+    /// Never fsync on append (the default, and the historical
+    /// behavior): appends survive process crashes only; power-failure
+    /// durability comes from committed snapshots and explicit
+    /// `sync_wal()` calls.
+    #[default]
+    OnSnapshot,
+}
+
+/// Write-ahead-log tunables (see [`SyncPolicy`]).
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_persist::{SyncPolicy, WalOptions};
+///
+/// // Default: appends are process-crash durable, fsync only at
+/// // snapshots / explicit sync_wal().
+/// assert_eq!(WalOptions::default().sync, SyncPolicy::OnSnapshot);
+/// let group_commit = WalOptions { sync: SyncPolicy::EveryN(64) };
+/// assert_eq!(group_commit.sync, SyncPolicy::EveryN(64));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalOptions {
+    /// fsync cadence for appended records.
+    pub sync: SyncPolicy,
+}
+
 /// One logged batch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum WalRecord {
@@ -120,14 +160,18 @@ pub(crate) fn read_wal_records(path: &Path) -> Result<Vec<(u64, WalRecord)>, Per
     Ok(out)
 }
 
-/// Append handle for one shard's log.
+/// Append handle for one shard's log, carrying the fsync policy and the
+/// group-commit accumulator.
 pub(crate) struct WalWriter {
     file: std::fs::File,
+    options: WalOptions,
+    /// Records appended since the last fsync (group commit).
+    unsynced: u32,
 }
 
 impl WalWriter {
     /// Opens (creating if absent) the log for appending.
-    pub(crate) fn open_append(path: PathBuf) -> Result<Self, PersistError> {
+    pub(crate) fn open_append(path: PathBuf, options: WalOptions) -> Result<Self, PersistError> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
@@ -135,12 +179,17 @@ impl WalWriter {
             .create(true)
             .append(true)
             .open(&path)?;
-        Ok(WalWriter { file })
+        Ok(WalWriter {
+            file,
+            options,
+            unsynced: 0,
+        })
     }
 
     /// Appends one record. The bytes reach the OS before this returns
-    /// (single `write_all`), so the log survives process crashes; call
-    /// [`WalWriter::sync`] for power-failure durability.
+    /// (single `write_all`), so the log survives process crashes; the
+    /// [`SyncPolicy`] decides whether this append also pays an fsync
+    /// (per record, per group of N, or never — see [`WalWriter::sync`]).
     pub(crate) fn append(&mut self, seq: u64, record: &WalRecord) -> Result<(), PersistError> {
         let payload = encode_payload(seq, record);
         let mut framed = Vec::with_capacity(payload.len() + 8);
@@ -148,12 +197,24 @@ impl WalWriter {
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
         self.file.write_all(&framed)?;
+        self.unsynced = self.unsynced.saturating_add(1);
+        let due = match self.options.sync {
+            SyncPolicy::PerRecord => true,
+            // Group commit: the Nth un-synced record pays one fsync for
+            // the whole batch (0 and 1 degenerate to per-record).
+            SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            SyncPolicy::OnSnapshot => false,
+        };
+        if due {
+            self.sync()?;
+        }
         Ok(())
     }
 
-    /// fsyncs the log file.
+    /// fsyncs the log file and resets the group-commit accumulator.
     pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
         self.file.sync_data()?;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -163,6 +224,7 @@ impl WalWriter {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
+        self.unsynced = 0;
         Ok(())
     }
 }
@@ -196,7 +258,7 @@ mod tests {
     fn append_read_roundtrip() {
         let dir = TempDir::new("roundtrip");
         let path = wal_path(&dir.0, 0);
-        let mut w = WalWriter::open_append(path.clone()).unwrap();
+        let mut w = WalWriter::open_append(path.clone(), WalOptions::default()).unwrap();
         let r1 = WalRecord::InsertBatch(vec![(1, b"one".to_vec()), (2, b"two".to_vec())]);
         let r2 = WalRecord::DeleteBatch(vec![1]);
         w.append(1, &r1).unwrap();
@@ -207,7 +269,7 @@ mod tests {
         assert_eq!(got, vec![(1, r1.clone()), (2, r2.clone())]);
         // Reopen appends after existing records.
         drop(w);
-        let mut w = WalWriter::open_append(path.clone()).unwrap();
+        let mut w = WalWriter::open_append(path.clone(), WalOptions::default()).unwrap();
         w.append(3, &r1).unwrap();
         assert_eq!(read_wal_records(&path).unwrap().len(), 3);
         w.truncate().unwrap();
@@ -220,7 +282,7 @@ mod tests {
     fn torn_tail_is_ignored() {
         let dir = TempDir::new("torn");
         let path = wal_path(&dir.0, 0);
-        let mut w = WalWriter::open_append(path.clone()).unwrap();
+        let mut w = WalWriter::open_append(path.clone(), WalOptions::default()).unwrap();
         w.append(1, &WalRecord::DeleteBatch(vec![9])).unwrap();
         w.append(2, &WalRecord::DeleteBatch(vec![10])).unwrap();
         drop(w);

@@ -67,9 +67,15 @@ fn seeded_snapshot(dir: &Path) -> Store {
     store
 }
 
+/// The first shard's first level content file (falling back to its meta
+/// file for level-less shards) — the corruption targets below.
 fn first_shard_file(dir: &Path) -> PathBuf {
     let m = read_manifest(dir).expect("manifest");
-    dir.join(&m.shards[0].file)
+    let shard = &m.shards[0];
+    match shard.levels.first() {
+        Some(level) => dir.join(&level.entry.file),
+        None => dir.join(&shard.meta.file),
+    }
 }
 
 #[test]
@@ -207,4 +213,174 @@ fn kill_between_rename_restores_previous_snapshot() {
         .filter(|n| n.starts_with(&format!("shard-g{generation:08}-")) || n.contains(".tmp."))
         .collect();
     assert!(stale.is_empty(), "stale files must be collected: {stale:?}");
+}
+
+/// Crash atomicity of *delta* snapshots: generation 2 reuses most of
+/// generation 1's level files; a kill between generation 3's level-file
+/// writes and its manifest commit must restore generation 2 — including
+/// every level file it shares with generation 1 — exactly.
+#[test]
+fn kill_between_level_writes_restores_previous_generation_with_reused_files() {
+    let dir = TempDir::new("killdelta");
+    let store = seeded_snapshot(&dir.0); // generation 1: full write
+    store.flush();
+
+    // Mutate a minority of shards, then commit a delta generation 2.
+    let doomed: Vec<u64> = (1..80).filter(|&id| store.shard_of(id) == 0).collect();
+    store.delete_batch(&doomed);
+    store.flush();
+    let second = store.snapshot(&dir.0).expect("delta snapshot");
+    assert!(
+        second.levels_reused > 0,
+        "scenario requires cross-generation file sharing: {second}"
+    );
+    let manifest = read_manifest(&dir.0).expect("manifest");
+    assert_eq!(manifest.generation, 2);
+    // Generation 2 must reference files written by generation 1.
+    let gen1_refs: Vec<String> = manifest
+        .shards
+        .iter()
+        .flat_map(|s| s.levels.iter())
+        .filter(|l| l.entry.file.starts_with("level-g00000001-"))
+        .map(|l| l.entry.file.clone())
+        .collect();
+    assert!(!gen1_refs.is_empty(), "gen 2 must share gen 1 level files");
+
+    // Simulate a crash mid-generation-3: some level files and a meta
+    // file landed (garbage and truncated variants), plus a torn
+    // atomic-write temp — but the manifest rename never happened.
+    std::fs::write(
+        dir.0.join("level-g00000003-0000-e00000000000000ff.bin"),
+        b"garbage level from a crashed snapshot",
+    )
+    .unwrap();
+    let real = std::fs::read(first_shard_file(&dir.0)).unwrap();
+    std::fs::write(
+        dir.0.join("level-g00000003-0001-e0000000000000100.bin"),
+        &real[..real.len() / 3],
+    )
+    .unwrap();
+    std::fs::write(dir.0.join("shard-g00000003-0000.bin"), b"torn meta").unwrap();
+    std::fs::write(dir.0.join(".MANIFEST.tmp.424242"), b"torn manifest").unwrap();
+
+    // Restore comes back from generation 2 with the reused files intact.
+    let restored = Store::restore(&dir.0, restore_opts()).expect("generation 2 restores");
+    assert_eq!(restored.num_docs(), store.num_docs());
+    for p in [b"corruption".as_slice(), b"doc 7", b"tailtail"] {
+        assert_eq!(restored.count(p), store.count(p));
+        assert_eq!(restored.find(p), store.find(p));
+    }
+
+    // The next committed snapshot collects the torn generation-3 files
+    // but keeps every file the new manifest references — including the
+    // generation-1 level files still shared.
+    let third = store.snapshot(&dir.0).expect("snapshot after crash");
+    assert!(third.levels_reused > 0);
+    let manifest = read_manifest(&dir.0).expect("manifest");
+    let referenced: std::collections::HashSet<String> = manifest
+        .shards
+        .iter()
+        .flat_map(|s| {
+            std::iter::once(s.meta.file.clone())
+                .chain(s.levels.iter().map(|l| l.entry.file.clone()))
+        })
+        .collect();
+    for file in &referenced {
+        assert!(
+            dir.0.join(file).is_file(),
+            "referenced file {file} must survive GC"
+        );
+    }
+    let stray: Vec<String> = std::fs::read_dir(&dir.0)
+        .unwrap()
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|n| {
+            (n.starts_with("shard-g") || n.starts_with("level-g") || n.contains(".tmp."))
+                && !referenced.contains(n)
+        })
+        .collect();
+    assert!(
+        stray.is_empty(),
+        "unreferenced files must be GC'd: {stray:?}"
+    );
+}
+
+/// A snapshot written by a *different* store into the same directory
+/// must not reuse the previous store's level files (epochs are
+/// per-store counters — equal epochs from different stores are
+/// unrelated bytes): it falls back to a full write, and both before
+/// and after remain restorable.
+#[test]
+fn different_store_never_reuses_foreign_level_files() {
+    let dir = TempDir::new("foreign");
+    seeded_snapshot(&dir.0);
+
+    // A different store with different content snapshots into the same
+    // directory.
+    let other = Store::new(FmConfig { sample_rate: 4 }, opts());
+    for i in 0..60u64 {
+        other.insert(i, format!("other corpus item {i}").as_bytes());
+    }
+    other.flush();
+    let stats = other.snapshot(&dir.0).expect("foreign snapshot");
+    assert_eq!(
+        stats.levels_reused, 0,
+        "foreign epochs must never match: {stats}"
+    );
+    assert_eq!(stats.bytes_reused, 0);
+
+    let restored = Store::restore(&dir.0, restore_opts()).expect("restore");
+    assert_eq!(restored.num_docs(), other.num_docs());
+    assert_eq!(
+        restored.count(b"other corpus"),
+        other.count(b"other corpus")
+    );
+}
+
+/// Fork detection: a restore *clone* of a snapshot diverges from the
+/// original store, and both keep snapshotting into the same directory.
+/// Each commit mints a fresh id that the writer's state then descends
+/// from; whichever store is not on the directory's committed lineage
+/// must take a full write — its epochs and the other store's level
+/// files describe different bytes, and reusing them would commit a
+/// silently corrupt snapshot.
+#[test]
+fn diverged_restore_never_reuses_stale_level_files() {
+    let dir = TempDir::new("fork");
+    let store = seeded_snapshot(&dir.0); // generation 1
+    store.flush();
+    let clone = Store::restore(&dir.0, restore_opts()).expect("restore clone");
+
+    // The original diverges and commits generation 2 (on-lineage: delta
+    // reuse is still correct here).
+    let s_doomed: Vec<u64> = (1..80).filter(|&id| store.shard_of(id) == 1).collect();
+    store.delete_batch(&s_doomed);
+    store.flush();
+    let second = store.snapshot(&dir.0).expect("original's delta snapshot");
+    assert!(
+        second.levels_reused > 0,
+        "on-lineage writer reuses: {second}"
+    );
+
+    // The clone diverges *differently* and snapshots next: it descends
+    // from generation 1, but the directory is now at generation 2 — the
+    // fork must force a full write.
+    let c_doomed: Vec<u64> = (1..80).filter(|&id| clone.shard_of(id) == 2).collect();
+    clone.delete_batch(&c_doomed);
+    clone.flush();
+    let forked = clone.snapshot(&dir.0).expect("clone's snapshot");
+    assert_eq!(
+        forked.levels_reused, 0,
+        "diverged clone must never reuse the original's files: {forked}"
+    );
+    assert_eq!(forked.bytes_reused, 0);
+
+    // And the committed snapshot is the clone's exact state.
+    let restored = Store::restore(&dir.0, restore_opts()).expect("restore");
+    assert_eq!(restored.num_docs(), clone.num_docs());
+    for p in [b"corruption".as_slice(), b"doc 7", b"tailtail"] {
+        assert_eq!(restored.count(p), clone.count(p));
+        assert_eq!(restored.find(p), clone.find(p));
+    }
 }

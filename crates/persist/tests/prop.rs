@@ -196,4 +196,60 @@ proptest! {
         assert_identical(live_store, reopened.store(), &patterns, 0..docs.len() as u64)?;
         prop_assert!(reopened.stats().snapshot_bytes.is_some());
     }
+
+    /// Interleaved insert/delete/snapshot/restore cycles — the store
+    /// that continues into each next cycle is the *restored* one, so
+    /// delta reuse, epoch-counter resumption, and cross-generation file
+    /// sharing are all on the path — and every cycle's restored store
+    /// must stay byte-identical to an unsharded `Transform2Index`
+    /// driven through the identical op sequence.
+    #[test]
+    fn interleaved_snapshot_cycles_match_unsharded(
+        num_shards in 1usize..=4,
+        cycles in proptest::collection::vec(
+            (proptest::collection::vec(doc_strategy(), 1..8), 2u64..5),
+            1..4,
+        ),
+        patterns in pattern_strategy(),
+    ) {
+        use dyndex_core::Transform2Index;
+        let dir = TempDir::new();
+        let mut store = Store::new(fm(), store_opts(num_shards));
+        let mut reference: Transform2Index<FmIndexCompressed> =
+            Transform2Index::new(fm(), dyn_opts(), RebuildMode::Inline);
+        let mut next_id = 0u64;
+        for (docs, delete_every) in cycles {
+            for doc in &docs {
+                store.insert(next_id, doc);
+                reference.insert(next_id, doc);
+                next_id += 1;
+            }
+            let doomed: Vec<u64> = (0..next_id)
+                .filter(|&id| id % delete_every == 0 && store.contains(id))
+                .collect();
+            store.delete_batch(&doomed);
+            for id in &doomed {
+                reference.delete(*id);
+            }
+            store.flush();
+            reference.finish_background_work();
+
+            store.snapshot(&dir.0).expect("snapshot");
+            let restored = Store::restore(&dir.0, restore_opts()).expect("restore");
+            // Byte-identical to the live sharded store it snapshotted…
+            assert_identical(&store, &restored, &patterns, 0..next_id)?;
+            // …and answer-identical to the unsharded reference.
+            for p in &patterns {
+                prop_assert_eq!(restored.count(p), reference.count(p));
+                let mut single = reference.find(p);
+                single.sort();
+                prop_assert_eq!(restored.find(p), single);
+            }
+            for id in 0..next_id {
+                prop_assert_eq!(restored.contains(id), reference.contains(id));
+                prop_assert_eq!(restored.extract(id, 0, 64), reference.extract(id, 0, 64));
+            }
+            store = restored;
+        }
+    }
 }

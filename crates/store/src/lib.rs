@@ -81,3 +81,6 @@ mod store;
 
 pub use stats::{ShardStats, StoreStats};
 pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
+
+#[doc(hidden)]
+pub use store::fresh_uid;

@@ -35,6 +35,9 @@ pub struct StoreStats {
     /// `DurableStore` fills this in; a plain in-memory store reports
     /// `None`).
     pub snapshot_bytes: Option<u64>,
+    /// Whether a background snapshot had serialization work queued or
+    /// running on the worker pool at census time.
+    pub snapshot_in_progress: bool,
 }
 
 impl StoreStats {
@@ -106,9 +109,13 @@ impl std::fmt::Display for StoreStats {
             self.imbalance(),
         )?;
         match self.snapshot_bytes {
-            Some(b) => write!(f, " | last snapshot {} on disk", fmt_bytes(b)),
-            None => write!(f, " | no snapshot"),
+            Some(b) => write!(f, " | last snapshot {} on disk", fmt_bytes(b))?,
+            None => write!(f, " | no snapshot")?,
         }
+        if self.snapshot_in_progress {
+            write!(f, " | snapshot in progress")?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +140,7 @@ mod tests {
         let stats = StoreStats {
             shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
             snapshot_bytes: None,
+            snapshot_in_progress: false,
         };
         assert_eq!(stats.total_docs(), 8);
         assert_eq!(stats.total_symbols(), 400);
@@ -147,6 +155,7 @@ mod tests {
         let stats = StoreStats {
             shards: vec![],
             snapshot_bytes: None,
+            snapshot_in_progress: false,
         };
         assert_eq!(stats.imbalance(), 1.0);
         assert_eq!(stats.total_docs(), 0);
@@ -157,6 +166,7 @@ mod tests {
         let mut stats = StoreStats {
             shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
             snapshot_bytes: None,
+            snapshot_in_progress: false,
         };
         let line = stats.to_string();
         assert!(!line.contains('\n'), "single line: {line}");
@@ -168,5 +178,10 @@ mod tests {
         stats.snapshot_bytes = Some(2048);
         let line = stats.to_string();
         assert!(line.contains("last snapshot 2.0 KiB on disk"), "{line}");
+        assert!(!line.contains("snapshot in progress"), "{line}");
+        stats.snapshot_in_progress = true;
+        let line = stats.to_string();
+        assert!(line.contains("snapshot in progress"), "{line}");
+        assert!(!line.contains('\n'), "single line: {line}");
     }
 }

@@ -5,9 +5,11 @@
 
 use crate::pool::WorkerPool;
 use crate::stats::{ShardStats, StoreStats};
+use dyndex_core::transform2::FrozenSnapshot;
 use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
@@ -109,6 +111,21 @@ fn route_hash(id: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A practically unique id (wall-clock nanos ⊕ pid ⊕ a process-global
+/// counter, dispersed through SplitMix64). The persistence layer mints
+/// one per snapshot commit and uses the store's recorded lineage to
+/// decide whether incremental snapshots may reuse committed level
+/// files — epoch counters from divergent histories must never be
+/// compared.
+pub fn fresh_uid() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    route_hash(nanos ^ ((std::process::id() as u64) << 32) ^ seq.wrapping_mul(0x9E37_79B9))
+}
+
 /// A sharded, concurrent document store over dynamic indexes.
 ///
 /// All methods take `&self`: shards synchronize internally (one
@@ -125,6 +142,16 @@ pub struct ShardedStore<I: StaticIndex + Sync> {
     /// Whether multi-shard queries route through the pool (policy is
     /// [`FanOutPolicy::Pooled`] *and* the pool exists).
     pooled_queries: bool,
+    /// Whether a background snapshot currently has serialization work
+    /// queued or running (set by the persistence layer; surfaced in
+    /// [`StoreStats`]).
+    snapshot_in_progress: AtomicBool,
+    /// Snapshot lineage: the commit id of the last snapshot this
+    /// store's state descends from — the one it last wrote, or the one
+    /// it was restored from (see [`fresh_uid`]). A fresh store starts
+    /// with a never-committed id, so its first snapshot into any
+    /// directory is a full write.
+    lineage: AtomicU64,
 }
 
 impl<I: StaticIndex + Sync> ShardedStore<I> {
@@ -177,6 +204,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             shards,
             pool,
             pooled_queries,
+            snapshot_in_progress: AtomicBool::new(false),
+            lineage: AtomicU64::new(fresh_uid()),
         }
     }
 
@@ -620,13 +649,82 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     /// Acquires every shard's write lock in shard order (the persistence
-    /// layer's point-in-time snapshot hook).
+    /// layer's stop-the-world snapshot hook).
     #[doc(hidden)]
     pub fn lock_all_shards(&self) -> Vec<RwLockWriteGuard<'_, Transform2Index<I>>> {
         self.shards
             .iter()
             .map(|s| s.write().expect("shard lock poisoned"))
             .collect()
+    }
+
+    /// Acquires one shard's write lock (persistence-layer hook; pair
+    /// with [`ShardedStore::lock_all_shards`]).
+    #[doc(hidden)]
+    pub fn lock_shard(&self, shard: usize) -> RwLockWriteGuard<'_, Transform2Index<I>> {
+        self.write_shard(shard)
+    }
+
+    /// Quiesces one shard and clones its frozen decomposition — the
+    /// background-snapshot hook. The shard's write lock is held only for
+    /// the quiesce (finishing that shard's in-flight rebuilds) plus
+    /// O(levels) `Arc` clones; every other shard keeps serving reads and
+    /// writes throughout, and serialization of the returned snapshot
+    /// happens entirely off-lock.
+    #[doc(hidden)]
+    pub fn freeze_shard(&self, shard: usize) -> FrozenSnapshot<I> {
+        let mut guard = self.write_shard(shard);
+        guard.finish_background_work();
+        guard
+            .freeze()
+            .expect("finish_background_work leaves the shard quiesced")
+    }
+
+    /// Enqueues `f` on `shard`'s resident worker, interleaved with that
+    /// shard's query service (the persistence layer runs snapshot
+    /// serialization here). Returns `false` — without running `f` — when
+    /// no pool exists ([`MaintenancePolicy::Manual`]); the caller then
+    /// runs the work inline.
+    #[doc(hidden)]
+    pub fn submit_background_job(&self, shard: usize, f: Box<dyn FnOnce() + Send>) -> bool {
+        match &self.pool {
+            Some(pool) => {
+                pool.submit(shard, Box::new(move |_slot| f()));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Flags a background snapshot as queued/running (persistence-layer
+    /// hook; surfaced as [`StoreStats::snapshot_in_progress`]).
+    #[doc(hidden)]
+    pub fn set_snapshot_in_progress(&self, value: bool) {
+        self.snapshot_in_progress.store(value, Ordering::Release);
+    }
+
+    /// Whether a background snapshot currently has serialization work
+    /// queued or running on the worker pool.
+    pub fn snapshot_in_progress(&self) -> bool {
+        self.snapshot_in_progress.load(Ordering::Acquire)
+    }
+
+    /// The commit id of the snapshot this store's state descends from
+    /// (persistence-layer hook: delta snapshots reuse level files only
+    /// when the directory's committed snapshot matches this lineage —
+    /// fork detection against diverged copies).
+    #[doc(hidden)]
+    pub fn snapshot_lineage(&self) -> u64 {
+        self.lineage.load(Ordering::Relaxed)
+    }
+
+    /// Records the snapshot commit this store's state now descends from
+    /// (persistence-layer hook: called after a successful snapshot
+    /// commit and on restore), so the next snapshot into the same
+    /// directory keeps reusing unchanged files.
+    #[doc(hidden)]
+    pub fn set_snapshot_lineage(&self, commit_uid: u64) {
+        self.lineage.store(commit_uid, Ordering::Relaxed);
     }
 
     /// Wraps already-built shard indexes (the persistence layer's restore
@@ -739,6 +837,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         StoreStats {
             shards,
             snapshot_bytes: None,
+            snapshot_in_progress: self.snapshot_in_progress(),
         }
     }
 }

@@ -69,7 +69,10 @@ pub use dyndex_text as text;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use dyndex_core::prelude::*;
-    pub use dyndex_persist::{DurableStore, PersistError, RestoreOptions, StorePersist};
+    pub use dyndex_persist::{
+        DurableStore, PersistError, RestoreOptions, SnapshotMode, StorePersist, SyncPolicy,
+        WalOptions,
+    };
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
     pub use dyndex_store::{
         FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions, StoreStats,

@@ -212,6 +212,7 @@ fn restore_recreates_worker_pool() {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
             fan_out: FanOutPolicy::Pooled,
+            ..RestoreOptions::default()
         },
     )
     .expect("restore");
@@ -281,6 +282,7 @@ fn open_recreates_worker_pool() {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
             fan_out: FanOutPolicy::Pooled,
+            ..RestoreOptions::default()
         },
     )
     .expect("open");
@@ -308,4 +310,92 @@ fn open_recreates_worker_pool() {
         line.contains("queued"),
         "dashboard shows queue gauge: {line}"
     );
+}
+
+/// Acceptance criterion for delta snapshots: a second snapshot after
+/// mutating only a minority of shards reuses the untouched shards'
+/// committed level files — `bytes_reused > 0`, measurably fewer bytes
+/// written than the first snapshot — and still restores byte-identically
+/// on the `DEFAULT_SEED` workload. A third snapshot with *nothing*
+/// changed reuses every level file, including across restore (the
+/// restored store resumes the writer's epochs and identity).
+#[test]
+fn delta_snapshot_reuses_unchanged_levels() {
+    let (docs, patterns) = workload();
+    let dir = TempDir::new("delta");
+    let store = Store::new(fm(), deterministic_opts(4));
+    for chunk in docs.chunks(32) {
+        store.insert_batch(chunk);
+    }
+    store.flush();
+
+    let first = store.snapshot(&dir.0).expect("first snapshot");
+    assert_eq!(first.levels_reused, 0, "nothing to reuse on a fresh dir");
+    assert!(
+        first.levels_written > 0,
+        "populated shards must have levels"
+    );
+    assert!(first.bytes_written > 0);
+    assert_eq!(first.bytes_reused, 0);
+
+    // Mutate only documents routed to shard 0 — a minority of shards.
+    let shard0: Vec<u64> = (0..docs.len() as u64)
+        .filter(|&id| store.shard_of(id) == 0)
+        .take(8)
+        .collect();
+    assert!(!shard0.is_empty());
+    assert_eq!(store.delete_batch(&shard0), shard0.len());
+    store.flush();
+
+    let second = store.snapshot(&dir.0).expect("second snapshot");
+    assert_eq!(second.generation, first.generation + 1);
+    assert!(
+        second.bytes_reused > 0,
+        "untouched shards' levels must be reused: {second}"
+    );
+    assert!(second.levels_reused > 0, "{second}");
+    assert!(
+        second.bytes_written < first.bytes_written,
+        "delta snapshot must write measurably fewer bytes: \
+         first wrote {}, second wrote {}",
+        first.bytes_written,
+        second.bytes_written
+    );
+
+    // Nothing changed since the second snapshot: every level is reused,
+    // in stop-the-world mode too (delta is mode-independent).
+    let third = store
+        .snapshot_with(&dir.0, SnapshotMode::StopTheWorld)
+        .expect("third snapshot");
+    assert_eq!(third.levels_written, 0, "{third}");
+    assert_eq!(
+        third.levels_reused,
+        second.levels_reused + second.levels_written
+    );
+    let line = third.to_string();
+    assert!(line.contains("levels reused"), "Display: {line}");
+    assert!(line.contains("delta savings"), "Display: {line}");
+
+    // The delta-restored store answers byte-identically.
+    let restored = Store::restore(&dir.0, deterministic_restore()).expect("restore");
+    assert_byte_identical(&store, &restored, &patterns, docs.len() as u64);
+
+    // A restored store descends from the committed snapshot: its next
+    // snapshot still reuses every unchanged level file.
+    let fourth = restored.snapshot(&dir.0).expect("snapshot after restore");
+    assert_eq!(
+        fourth.levels_written, 0,
+        "restore must preserve epochs + snapshot lineage: {fourth}"
+    );
+    assert!(fourth.bytes_reused > 0);
+
+    // The original store's state now *forks* the directory's history
+    // (the restored clone committed generation 4 after it): its next
+    // snapshot must detect the fork and refuse to reuse, falling back
+    // to a full write rather than pairing its epochs with the clone's
+    // files.
+    let fifth = store.snapshot(&dir.0).expect("snapshot after fork");
+    assert_eq!(fifth.levels_reused, 0, "fork must disable reuse: {fifth}");
+    let reread = Store::restore(&dir.0, deterministic_restore()).expect("restore after fork");
+    assert_byte_identical(&store, &reread, &patterns, docs.len() as u64);
 }
