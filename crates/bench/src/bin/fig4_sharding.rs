@@ -12,7 +12,11 @@
 //! * multi-threaded query throughput (4 reader threads),
 //! * mixed churn throughput (batch deletes + inserts with background
 //!   maintenance running; fan-out-policy-independent, reported once per
-//!   shard count on the pooled row).
+//!   shard count on the pooled row),
+//! * readers-under-sustained-writes: reader throughput measured twice —
+//!   idle writers vs a thread streaming batched inserts — proving the
+//!   epoch-published view read path keeps readers off the shard locks
+//!   (the retained fraction is the table's last column).
 //!
 //! Expected shape: bulk-load and churn scale up with shards (smaller
 //! per-shard rebuilds, parallel writers). Under `ScopedSpawn`, single-query
@@ -76,6 +80,96 @@ fn main() {
     }
     println!();
     summarize(&rows);
+    println!();
+    readers_under_writes(&docs, &patterns, &churn);
+}
+
+/// Readers-under-sustained-writes: quantifies the lock-free read path.
+/// For each shard count, reader throughput is measured over the same
+/// wall-clock window twice — once with writers idle, once while a writer
+/// thread streams batched inserts into the same shards. Queries answer
+/// from each shard's epoch-published view (never the shard `RwLock`), so
+/// the sustained-writes column must retain most of the idle throughput
+/// instead of collapsing to writer-release pacing.
+fn readers_under_writes(docs: &[(u64, Vec<u8>)], patterns: &[Vec<u8>], churn: &[(u64, Vec<u8>)]) {
+    println!("readers under sustained writes (pooled fan-out, {READER_THREADS} reader threads):");
+    println!(
+        "{:<8} {:>16} {:>16} {:>10}",
+        "shards", "idle queries/s", "write queries/s", "retained"
+    );
+    for &shards in &[1usize, 2, 4, 8] {
+        let store: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+            FmConfig { sample_rate: 8 },
+            StoreOptions {
+                num_shards: shards,
+                index: DynOptions::default(),
+                mode: RebuildMode::Background,
+                maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+                fan_out: FanOutPolicy::Pooled,
+            },
+        );
+        for chunk in docs.chunks(256) {
+            store.insert_batch(chunk).expect("insert batch");
+        }
+        store.flush();
+
+        let window = Duration::from_millis(150);
+        let measure_readers = |write: bool| -> f64 {
+            let done = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let (store, done) = (&store, &done);
+                let t0 = Instant::now();
+                for _ in 0..READER_THREADS {
+                    scope.spawn(move || {
+                        while t0.elapsed() < window {
+                            for p in patterns {
+                                std::hint::black_box(store.count(p));
+                                done.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+                if write {
+                    scope.spawn(move || {
+                        // Sustained writer: stream churn batches (fresh
+                        // ids per round) until the window closes, holding
+                        // shard write locks for real rebuild work.
+                        let mut round = 0u64;
+                        while t0.elapsed() < window {
+                            let rebased: Vec<(u64, Vec<u8>)> = churn
+                                .iter()
+                                .map(|(id, d)| (id + 10_000_000 * (round + 1), d.clone()))
+                                .collect();
+                            for chunk in rebased.chunks(64) {
+                                store.insert_batch(chunk).expect("sustained insert");
+                                if t0.elapsed() >= window {
+                                    break;
+                                }
+                            }
+                            round += 1;
+                        }
+                    });
+                }
+            });
+            done.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+        };
+
+        let idle = measure_readers(false);
+        let under_writes = measure_readers(true);
+        println!(
+            "{:<8} {:>16.0} {:>16.0} {:>9.0}%",
+            shards,
+            idle,
+            under_writes,
+            100.0 * under_writes / idle
+        );
+    }
+    println!();
+    println!("shape check: readers never stall on the writer's lock — they load the");
+    println!("shard's published view with one atomic op — so the retained fraction");
+    println!("reflects CPU/memory-bandwidth sharing with the writer threads, not");
+    println!("lock waits: reader progress is continuous even mid-install, where the");
+    println!("lock-based read path serialized readers behind every rebuild install.");
 }
 
 fn policy_name(shards: usize, policy: FanOutPolicy) -> &'static str {
@@ -108,7 +202,7 @@ fn run_config(
     let bytes: usize = docs.iter().map(|(_, d)| d.len()).sum();
     let t0 = Instant::now();
     for chunk in docs.chunks(256) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).expect("insert batch");
     }
     store.finish_background_work();
     let load_mbs = bytes as f64 / t0.elapsed().as_secs_f64() / 1e6;
@@ -152,9 +246,9 @@ fn run_config(
                 .map(|&id| docs[id as usize].1.len())
                 .sum::<usize>();
         let t1 = Instant::now();
-        store.delete_batch(&doomed);
+        store.delete_batch(&doomed).expect("delete batch");
         for chunk in churn.chunks(256) {
-            store.insert_batch(chunk);
+            store.insert_batch(chunk).expect("insert churn");
         }
         store.finish_background_work();
         format!(

@@ -69,7 +69,7 @@ fn main() {
         let rebuild_ns = measure_ns(3, || {
             let store = Store::new(FmConfig::default(), store_opts());
             for chunk in docs.chunks(256) {
-                store.insert_batch(chunk);
+                store.insert_batch(chunk).expect("insert batch");
             }
             store.flush();
             store.count(&patterns[0])
@@ -78,7 +78,7 @@ fn main() {
         // Write the snapshot once (and measure the write itself).
         let store = Store::new(FmConfig::default(), store_opts());
         for chunk in docs.chunks(256) {
-            store.insert_batch(chunk);
+            store.insert_batch(chunk).expect("insert batch");
         }
         let dir = scratch_dir(&format!("plain-{n}"));
         let mut disk_bytes = 0u64;
@@ -167,7 +167,7 @@ fn delta_snapshots() {
         let docs = split_documents(&mut r, &text, 128, 1024, 0);
         let store = Store::new(FmConfig::default(), store_opts());
         for chunk in docs.chunks(256) {
-            store.insert_batch(chunk);
+            store.insert_batch(chunk).expect("insert batch");
         }
         store.flush();
         let dir = scratch_dir(&format!("delta-{n}"));
@@ -182,7 +182,7 @@ fn delta_snapshots() {
             .filter(|&id| store.shard_of(id) == 0)
             .take(8)
             .collect();
-        store.delete_batch(&doomed);
+        store.delete_batch(&doomed).expect("delete batch");
         store.flush();
         let t0 = std::time::Instant::now();
         let second = store.snapshot(&dir).expect("delta snapshot");
@@ -223,7 +223,7 @@ fn reader_stall() {
         },
     );
     for chunk in docs.chunks(256) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).expect("insert batch");
     }
     store.flush();
     for (mode, tag) in [

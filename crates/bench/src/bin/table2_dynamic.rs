@@ -113,16 +113,16 @@ fn run_size(n: usize) {
                 ..StoreOptions::default()
             },
         );
-        store.insert_batch(&docs);
+        store.insert_batch(&docs).expect("insert batch");
         store.finish_background_work();
         let count_ns = measure_ns(7, || patterns.iter().map(|p| store.count(p)).sum::<usize>())
             / patterns.len() as f64;
         let find_ns = measure_ns(3, || {
             patterns.iter().map(|p| store.find(p).len()).sum::<usize>()
         }) / patterns.len() as f64;
-        let ins = time_inserts(&extra, |id, d| store.insert(id, d));
+        let ins = time_inserts(&extra, |id, d| store.insert(id, d).expect("insert"));
         let del = time_deletes(&extra, |id| {
-            store.delete(id);
+            store.delete(id).expect("delete");
         });
         row("sharded x4", count_ns, find_ns, ins, del);
     }

@@ -45,7 +45,7 @@ pub use naive::NaiveIndex;
 pub use stats::{LevelStats, UpdateWork};
 pub use traits::{FmConfig, StaticIndex};
 pub use transform1::Transform1Index;
-pub use transform2::{RebuildMode, Transform2Index};
+pub use transform2::{RebuildMode, ShardView, Transform2Index};
 pub use transform3::{new_transform3, transform3_options, Transform3Index};
 
 /// Convenient glob-import surface.
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::naive::NaiveIndex;
     pub use crate::traits::{FmConfig, StaticIndex};
     pub use crate::transform1::Transform1Index;
-    pub use crate::transform2::{RebuildMode, Transform2Index};
+    pub use crate::transform2::{RebuildMode, ShardView, Transform2Index};
     pub use crate::transform3::{new_transform3, Transform3Index};
     pub use dyndex_text::{FmIndexCompressed, FmIndexPlain, Occurrence, SaIndex};
 }

@@ -300,6 +300,13 @@ pub struct Transform2Index<I: StaticIndex> {
     /// delete-bitmap mutation (see [`Stamped`]); snapshots use it to
     /// detect unchanged structures.
     level_epoch: u64,
+    /// Bumped on every `C0` mutation so [`Transform2Index::snapshot_view`]
+    /// can reuse the previously-frozen `C0` overlay when nothing changed.
+    c0_version: u64,
+    /// Cache for the frozen `C0` overlay: `(c0_version it captures, copy)`.
+    c0_frozen: Option<(u64, Arc<SuffixTree>)>,
+    /// Monotone publication counter handed to each [`ShardView`].
+    view_seq: u64,
     work: UpdateWork,
 }
 
@@ -325,6 +332,9 @@ impl<I: StaticIndex> Transform2Index<I> {
             n: 0,
             deleted_since_maintenance: 0,
             level_epoch: 0,
+            c0_version: 0,
+            c0_frozen: None,
+            view_seq: 0,
             work: UpdateWork::default(),
         }
     }
@@ -529,6 +539,7 @@ impl<I: StaticIndex> Transform2Index<I> {
         // C0 when it fits.
         if self.c0.symbol_count() + bytes.len() <= self.schedule.cap(0) {
             self.c0.insert(doc_id, bytes);
+            self.c0_version += 1;
             self.locations.insert(doc_id, Loc::C0);
             self.work.count_symbols(bytes.len());
             return;
@@ -585,6 +596,7 @@ impl<I: StaticIndex> Transform2Index<I> {
         if j == 0 {
             docs.extend(self.c0.export_docs());
             self.c0 = SuffixTree::new();
+            self.c0_version += 1;
         } else if let Some(cur) = self.levels[j].cur.take() {
             docs.extend(cur.export_alive_docs());
             // C_j is locked: queries keep using it as L_j.
@@ -701,7 +713,10 @@ impl<I: StaticIndex> Transform2Index<I> {
         self.work.begin_op();
         self.locations.remove(&doc_id);
         let bytes = match loc {
-            Loc::C0 => self.c0.delete(doc_id).expect("location map out of sync"),
+            Loc::C0 => {
+                self.c0_version += 1;
+                self.c0.delete(doc_id).expect("location map out of sync")
+            }
             Loc::Cur(i) => {
                 let epoch = self.bump_epoch();
                 let bytes = self.levels[i]
@@ -1143,6 +1158,100 @@ impl<I: StaticIndex> Transform2Index<I> {
         out
     }
 
+    /// Captures an immutable, shareable [`ShardView`] of the current
+    /// queryable state.
+    ///
+    /// Cost is O(levels) `Arc` clones plus — only when `C0` changed since
+    /// the previous call — one `C0` copy (`C0` is the one genuinely
+    /// mutable structure, and it is capacity-bounded, so the copy is
+    /// small). Everything else is already an [`Arc`]'d epoch-stamped
+    /// structure: later delete-bitmap mutations on the live index go
+    /// through [`Arc::make_mut`], so the view keeps the pre-mutation
+    /// version at copy-on-write cost.
+    ///
+    /// Each call stamps a strictly increasing [`ShardView::epoch`].
+    ///
+    /// ```
+    /// use dyndex_core::{DynOptions, FmConfig, RebuildMode, Transform2Index};
+    /// use dyndex_text::FmIndexPlain;
+    ///
+    /// let mut index: Transform2Index<FmIndexPlain> = Transform2Index::new(
+    ///     FmConfig { sample_rate: 4 },
+    ///     DynOptions::default(),
+    ///     RebuildMode::Inline,
+    /// );
+    /// index.insert(1, b"immutable views");
+    /// let view = index.snapshot_view();
+    /// index.insert(2, b"later writes are invisible to the view");
+    /// assert_eq!(view.count(b"view"), 1);
+    /// assert_eq!(index.count(b"view"), 2);
+    /// assert!(index.snapshot_view().epoch() > view.epoch());
+    /// ```
+    pub fn snapshot_view(&mut self) -> ShardView<I> {
+        self.view_seq += 1;
+        let c0 = match &self.c0_frozen {
+            Some((version, frozen)) if *version == self.c0_version => Arc::clone(frozen),
+            _ => {
+                let frozen = Arc::new(self.c0.clone());
+                self.c0_frozen = Some((self.c0_version, Arc::clone(&frozen)));
+                frozen
+            }
+        };
+        let mut structures = Vec::new();
+        for (i, level) in self.levels.iter().enumerate() {
+            for (slot, stamped) in [
+                (ViewSlot::Cur(i), &level.cur),
+                (ViewSlot::Locked(i), &level.locked),
+                (ViewSlot::Temp(i), &level.temp),
+            ] {
+                if let Some(s) = stamped {
+                    let capacity = match slot {
+                        ViewSlot::Temp(_) => 0,
+                        _ => self.schedule.cap(i),
+                    };
+                    structures.push(ViewStructure {
+                        slot,
+                        capacity,
+                        index: Arc::clone(&s.index),
+                    });
+                }
+            }
+        }
+        for (t, top) in self.tops.iter().enumerate() {
+            if let Some(tt) = top {
+                structures.push(ViewStructure {
+                    slot: ViewSlot::Top(t),
+                    capacity: 4 * self.top_unit(),
+                    index: Arc::clone(&tt.index),
+                });
+            }
+        }
+        if let Some(tt) = &self.temp_top {
+            structures.push(ViewStructure {
+                slot: ViewSlot::TempTop,
+                capacity: 0,
+                index: Arc::clone(&tt.index),
+            });
+        }
+        if let Some(lr) = &self.lr_prime {
+            structures.push(ViewStructure {
+                slot: ViewSlot::LrPrime,
+                capacity: self.schedule.cap(self.r()),
+                index: Arc::clone(&lr.index),
+            });
+        }
+        ShardView {
+            c0,
+            structures,
+            c0_capacity: self.schedule.cap(0),
+            num_docs: self.locations.len(),
+            symbols: self.n,
+            pending_jobs: self.pending_jobs(),
+            heap_bytes: self.heap_bytes(),
+            epoch: self.view_seq,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Persistence (freeze / thaw)
     // ------------------------------------------------------------------
@@ -1327,6 +1436,9 @@ impl<I: StaticIndex> Transform2Index<I> {
             n: parts.n,
             deleted_since_maintenance: parts.deleted_since_maintenance,
             level_epoch,
+            c0_version: 0,
+            c0_frozen: None,
+            view_seq: 0,
             work: UpdateWork::default(),
         })
     }
@@ -1390,6 +1502,202 @@ impl<I: StaticIndex> SpaceUsage for Transform2Index<I> {
             sum += del.heap_bytes();
         }
         sum + self.locations.len() * 24
+    }
+}
+
+/// Which Transformation-2 slot a [`ShardView`] structure was captured
+/// from (drives the census names and ordering).
+#[derive(Clone, Copy, Debug)]
+enum ViewSlot {
+    Cur(usize),
+    Locked(usize),
+    Temp(usize),
+    Top(usize),
+    TempTop,
+    LrPrime,
+}
+
+/// One captured static structure inside a [`ShardView`].
+struct ViewStructure<I: StaticIndex> {
+    slot: ViewSlot,
+    capacity: usize,
+    index: Arc<DeletionOnlyIndex<I>>,
+}
+
+impl<I: StaticIndex> ViewStructure<I> {
+    fn name(&self) -> String {
+        match self.slot {
+            ViewSlot::Cur(i) => format!("C{i}"),
+            ViewSlot::Locked(i) => format!("L{i}"),
+            ViewSlot::Temp(i) => format!("Temp{i}"),
+            ViewSlot::Top(t) => format!("T{}", t + 1),
+            ViewSlot::TempTop => "TempTop".into(),
+            ViewSlot::LrPrime => "L'r".into(),
+        }
+    }
+}
+
+/// An immutable, shareable snapshot of one [`Transform2Index`]'s
+/// queryable state — the unit the sharded store (`dyndex-store`)
+/// publishes through an atomically-swapped pointer so readers never take
+/// the shard lock.
+///
+/// A view holds `Arc` handles to every static structure (levels `C_i`,
+/// locked copies `L_i`, temp indexes, tops `T_1..T_g`, `L'_r`) plus a
+/// frozen copy of the small mutable `C0` buffer, in the exact
+/// query-traversal order of [`Transform2Index::find_limit`]. Queries
+/// against the view therefore answer **byte-identically** to the index
+/// at the instant [`Transform2Index::snapshot_view`] was called, and
+/// stay valid — and internally consistent — no matter what the live
+/// index does afterwards (deletes copy-on-write via [`Arc::make_mut`],
+/// installs swap whole `Arc`s).
+///
+/// Views are cheap to capture (see [`Transform2Index::snapshot_view`])
+/// and carry a strictly increasing [`ShardView::epoch`], which readers
+/// use to assert publication monotonicity.
+pub struct ShardView<I: StaticIndex> {
+    c0: Arc<SuffixTree>,
+    /// All captured structures in query-traversal order.
+    structures: Vec<ViewStructure<I>>,
+    c0_capacity: usize,
+    num_docs: usize,
+    symbols: usize,
+    pending_jobs: usize,
+    heap_bytes: usize,
+    epoch: u64,
+}
+
+impl<I: StaticIndex> ShardView<I> {
+    /// All occurrences of `pattern` — same traversal as
+    /// [`Transform2Index::find`].
+    pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
+        self.find_limit(pattern, usize::MAX)
+    }
+
+    /// Up to `limit` occurrences — same early-terminating traversal as
+    /// [`Transform2Index::find_limit`].
+    pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        out.extend(self.c0.find(pattern));
+        out.truncate(limit);
+        if out.len() == limit {
+            return out;
+        }
+        for s in &self.structures {
+            out.extend(s.index.find_limit(pattern, limit - out.len()));
+            if out.len() == limit {
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Counts occurrences of `pattern`.
+    pub fn count(&self, pattern: &[u8]) -> usize {
+        let mut total = self.c0.count(pattern);
+        for s in &self.structures {
+            total += s.index.count(pattern);
+        }
+        total
+    }
+
+    /// Whether `doc_id` was alive when the view was captured.
+    pub fn contains(&self, doc_id: u64) -> bool {
+        self.c0.contains_doc(doc_id) || self.structures.iter().any(|s| s.index.contains(doc_id))
+    }
+
+    /// Extracts up to `len` bytes of a document from `offset`, as of the
+    /// capture instant.
+    pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
+        if let Some(bytes) = self.c0.doc_bytes(doc_id) {
+            let a = offset.min(bytes.len());
+            let b = (offset + len).min(bytes.len());
+            return Some(bytes[a..b].to_vec());
+        }
+        self.structures
+            .iter()
+            .find_map(|s| s.index.extract(doc_id, offset, len))
+    }
+
+    /// Number of alive documents at capture.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Total alive bytes at capture.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols
+    }
+
+    /// Background jobs in flight at capture.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending_jobs
+    }
+
+    /// The strictly increasing publication counter this view was stamped
+    /// with (monotone per index — readers use it to assert they never
+    /// observe an older view after a newer one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Census of every captured structure — same rows and order as
+    /// [`Transform2Index::structure_stats`] at the capture instant.
+    pub fn structure_stats(&self) -> Vec<LevelStats> {
+        let mut out = vec![LevelStats {
+            name: "C0".into(),
+            capacity: self.c0_capacity,
+            alive_symbols: self.c0.symbol_count(),
+            dead_symbols: self.c0.retained_dead_symbols(),
+            docs: self.c0.num_docs(),
+        }];
+        let row = |s: &ViewStructure<I>| LevelStats {
+            name: s.name(),
+            capacity: s.capacity,
+            alive_symbols: s.index.alive_symbols(),
+            dead_symbols: s.index.dead_symbols(),
+            docs: s.index.num_docs(),
+        };
+        // The live census lists L'_r before TempTop (the reverse of query
+        // order); reproduce that exactly.
+        for s in &self.structures {
+            if !matches!(s.slot, ViewSlot::TempTop | ViewSlot::LrPrime) {
+                out.push(row(s));
+            }
+        }
+        for s in &self.structures {
+            if matches!(s.slot, ViewSlot::LrPrime) {
+                out.push(row(s));
+            }
+        }
+        for s in &self.structures {
+            if matches!(s.slot, ViewSlot::TempTop) {
+                out.push(row(s));
+            }
+        }
+        out
+    }
+}
+
+impl<I: StaticIndex> SpaceUsage for ShardView<I> {
+    /// Heap bytes of the captured state (recorded at capture; the view
+    /// shares, not duplicates, the live structures).
+    fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+}
+
+impl<I: StaticIndex> std::fmt::Debug for ShardView<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardView")
+            .field("epoch", &self.epoch)
+            .field("num_docs", &self.num_docs)
+            .field("symbols", &self.symbols)
+            .field("structures", &self.structures.len())
+            .finish()
     }
 }
 

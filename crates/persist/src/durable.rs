@@ -209,7 +209,7 @@ where
                 unreachable!("just constructed");
             };
             for (id, bytes) in docs {
-                self.store.insert(*id, bytes);
+                self.store.insert(*id, bytes)?;
             }
             Ok(0usize)
         })
@@ -225,7 +225,7 @@ where
         }
         let seq = self.next_seq();
         wal.append(seq, &WalRecord::DeleteBatch(vec![doc_id]))?;
-        Ok(self.store.delete(doc_id))
+        Ok(self.store.delete(doc_id)?)
     }
 
     /// Deletes a batch (logged per shard, then applied); returns how
@@ -247,10 +247,13 @@ where
             }
             let seq = self.next_seq();
             wal.append(seq, &WalRecord::DeleteBatch(present.clone()))?;
-            Ok(present
-                .into_iter()
-                .filter(|&id| self.store.delete(id).is_some())
-                .count())
+            let mut removed = 0usize;
+            for id in present {
+                if self.store.delete(id)?.is_some() {
+                    removed += 1;
+                }
+            }
+            Ok(removed)
         })
     }
 
@@ -373,5 +376,26 @@ where
         let mut stats = self.store.stats();
         stats.snapshot_bytes = Some(self.snapshot_bytes.load(Ordering::Relaxed));
         stats
+    }
+}
+
+impl<I> Drop for DurableStore<I>
+where
+    I: StaticIndex + Sync + Persist,
+    I::Config: Persist,
+{
+    /// Best-effort close of every shard's log: under group-commit or
+    /// snapshot-paced fsync policies, acknowledged records may still sit
+    /// in the page cache — a cleanly dropped store must not leave them
+    /// exposed to the next power failure. Errors are swallowed (callers
+    /// wanting to observe the final sync use
+    /// [`DurableStore::sync_wal`] before dropping).
+    fn drop(&mut self) {
+        for wal in &mut self.wals {
+            let writer = wal
+                .get_mut()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = writer.close();
+        }
     }
 }

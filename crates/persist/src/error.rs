@@ -50,6 +50,14 @@ pub enum PersistError {
         /// Human-readable mismatch description.
         context: String,
     },
+    /// The in-memory store refused the mutation because a previous
+    /// writer panicked in the target shard
+    /// ([`ShardPoisoned`](dyndex_store::ShardPoisoned)). The shard's
+    /// last published view keeps serving reads; nothing was logged.
+    Poisoned {
+        /// The shard whose writer panicked.
+        shard: usize,
+    },
 }
 
 impl PersistError {
@@ -82,6 +90,10 @@ impl fmt::Display for PersistError {
                 "persisted structure type {found:#06x} does not match expected {expected:#06x}"
             ),
             PersistError::Manifest { context } => write!(f, "snapshot manifest error: {context}"),
+            PersistError::Poisoned { shard } => write!(
+                f,
+                "shard {shard} is poisoned by a panicked writer; mutation refused"
+            ),
         }
     }
 }
@@ -98,6 +110,12 @@ impl std::error::Error for PersistError {
 impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
+    }
+}
+
+impl From<dyndex_store::ShardPoisoned> for PersistError {
+    fn from(e: dyndex_store::ShardPoisoned) -> Self {
+        PersistError::Poisoned { shard: e.shard }
     }
 }
 

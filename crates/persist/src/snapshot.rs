@@ -896,12 +896,12 @@ where
                                 "wal replays document {id} already present in the snapshot"
                             )));
                         }
-                        store.insert(id, &bytes);
+                        store.insert(id, &bytes)?;
                     }
                 }
                 WalRecord::DeleteBatch(ids) => {
                     for id in ids {
-                        store.delete(id);
+                        store.delete(id)?;
                     }
                 }
             }

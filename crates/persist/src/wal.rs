@@ -227,6 +227,27 @@ impl WalWriter {
         self.unsynced = 0;
         Ok(())
     }
+
+    /// Flushes the buffered tail to stable storage before the writer
+    /// goes away: under [`SyncPolicy::EveryN`] / [`SyncPolicy::OnSnapshot`]
+    /// up to a group (or everything since the last snapshot) may sit
+    /// un-fsynced in the page cache, and a clean shutdown must not leave
+    /// acknowledged records exposed to the next power failure. Errors
+    /// propagate so callers can surface a failed final sync.
+    pub(crate) fn close(&mut self) -> Result<(), PersistError> {
+        if self.unsynced > 0 {
+            self.sync()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WalWriter {
+    /// Best-effort tail sync for writers dropped without an explicit
+    /// [`WalWriter::close`] (errors cannot propagate from a destructor).
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
 }
 
 /// The log file for shard `s` under `dir`.

@@ -60,9 +60,11 @@ fn seeded_snapshot(dir: &Path) -> Store {
             "corruption workload doc {i} {}",
             "tail".repeat(i as usize % 3)
         );
-        store.insert(i, doc.as_bytes());
+        store.insert(i, doc.as_bytes()).unwrap();
     }
-    store.delete_batch(&(0..80).filter(|i| i % 7 == 0).collect::<Vec<_>>());
+    store
+        .delete_batch(&(0..80).filter(|i| i % 7 == 0).collect::<Vec<_>>())
+        .unwrap();
     store.snapshot(dir).expect("snapshot");
     store
 }
@@ -227,7 +229,7 @@ fn kill_between_level_writes_restores_previous_generation_with_reused_files() {
 
     // Mutate a minority of shards, then commit a delta generation 2.
     let doomed: Vec<u64> = (1..80).filter(|&id| store.shard_of(id) == 0).collect();
-    store.delete_batch(&doomed);
+    store.delete_batch(&doomed).unwrap();
     store.flush();
     let second = store.snapshot(&dir.0).expect("delta snapshot");
     assert!(
@@ -320,7 +322,9 @@ fn different_store_never_reuses_foreign_level_files() {
     // directory.
     let other = Store::new(FmConfig { sample_rate: 4 }, opts());
     for i in 0..60u64 {
-        other.insert(i, format!("other corpus item {i}").as_bytes());
+        other
+            .insert(i, format!("other corpus item {i}").as_bytes())
+            .unwrap();
     }
     other.flush();
     let stats = other.snapshot(&dir.0).expect("foreign snapshot");
@@ -355,7 +359,7 @@ fn diverged_restore_never_reuses_stale_level_files() {
     // The original diverges and commits generation 2 (on-lineage: delta
     // reuse is still correct here).
     let s_doomed: Vec<u64> = (1..80).filter(|&id| store.shard_of(id) == 1).collect();
-    store.delete_batch(&s_doomed);
+    store.delete_batch(&s_doomed).unwrap();
     store.flush();
     let second = store.snapshot(&dir.0).expect("original's delta snapshot");
     assert!(
@@ -367,7 +371,7 @@ fn diverged_restore_never_reuses_stale_level_files() {
     // from generation 1, but the directory is now at generation 2 — the
     // fork must force a full write.
     let c_doomed: Vec<u64> = (1..80).filter(|&id| clone.shard_of(id) == 2).collect();
-    clone.delete_batch(&c_doomed);
+    clone.delete_batch(&c_doomed).unwrap();
     clone.flush();
     let forked = clone.snapshot(&dir.0).expect("clone's snapshot");
     assert_eq!(
@@ -382,5 +386,54 @@ fn diverged_restore_never_reuses_stale_level_files() {
     for p in [b"corruption".as_slice(), b"doc 7", b"tailtail"] {
         assert_eq!(restored.count(p), clone.count(p));
         assert_eq!(restored.find(p), clone.find(p));
+    }
+}
+
+/// Regression for the buffered-tail shutdown bug: under group-commit
+/// (`SyncPolicy::EveryN`) or snapshot-paced (`SyncPolicy::OnSnapshot`)
+/// policies, records appended since the last fsync sat only in the page
+/// cache when a `DurableStore` was dropped — `WalWriter` had no close
+/// path. Dropping the store must now sync every log's tail (via
+/// `WalWriter::close`, called best-effort from `DurableStore`'s `Drop`),
+/// so a clean drop-then-reopen recovers every acknowledged mutation with
+/// no fsync left pending.
+#[test]
+fn dropped_durable_store_syncs_wal_tail_on_close() {
+    use dyndex_persist::{DurableStore, SyncPolicy, WalOptions};
+
+    for (policy, tag) in [
+        (SyncPolicy::EveryN(64), "every-n"),
+        (SyncPolicy::OnSnapshot, "on-snapshot"),
+    ] {
+        let dir = TempDir::new(&format!("drop-sync-{tag}"));
+        {
+            let durable: DurableStore<FmIndexCompressed> = DurableStore::create_with_wal(
+                &dir.0,
+                FmConfig { sample_rate: 4 },
+                opts(),
+                WalOptions { sync: policy },
+            )
+            .expect("create");
+            // Far fewer than 64 records: under EveryN the whole tail is
+            // un-fsynced, under OnSnapshot everything since create is.
+            for i in 0..10u64 {
+                durable
+                    .insert(i, format!("tail record {i} ({tag})").as_bytes())
+                    .expect("insert");
+            }
+            durable.delete(3).expect("delete");
+            // Dropped here without an explicit sync_wal()/snapshot():
+            // Drop must close (sync) each shard's log.
+        }
+        let reopened: DurableStore<FmIndexCompressed> =
+            DurableStore::open(&dir.0, restore_opts()).expect("reopen after clean drop");
+        assert_eq!(reopened.num_docs(), 9, "{tag}: all acknowledged mutations");
+        assert!(!reopened.contains(3), "{tag}: delete recovered");
+        assert_eq!(reopened.count(b"tail record"), 9);
+        // The reopened store keeps accepting and logging mutations.
+        reopened
+            .insert(100, b"tail record after reopen")
+            .expect("insert after reopen");
+        assert_eq!(reopened.count(b"tail record"), 10);
     }
 }

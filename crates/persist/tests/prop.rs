@@ -115,12 +115,12 @@ proptest! {
     ) {
         let store = Store::new(fm(), store_opts(num_shards));
         for (i, doc) in docs.iter().enumerate() {
-            store.insert(i as u64, doc);
+            store.insert(i as u64, doc).unwrap();
         }
         let doomed: Vec<u64> = (0..docs.len() as u64)
             .filter(|id| id % delete_every == 0)
             .collect();
-        store.delete_batch(&doomed);
+        store.delete_batch(&doomed).unwrap();
         store.flush();
 
         let dir = TempDir::new();
@@ -143,11 +143,11 @@ proptest! {
         let dir = TempDir::new();
         let half = docs.len() / 2;
         for (i, doc) in docs[..half].iter().enumerate() {
-            store.insert(i as u64, doc);
+            store.insert(i as u64, doc).unwrap();
         }
         let s1 = store.snapshot(&dir.0).expect("snapshot 1");
         for (i, doc) in docs[half..].iter().enumerate() {
-            store.insert((half + i) as u64, doc);
+            store.insert((half + i) as u64, doc).unwrap();
         }
         let s2 = store.snapshot(&dir.0).expect("snapshot 2");
         prop_assert!(s2.generation > s1.generation);
@@ -220,14 +220,14 @@ proptest! {
         let mut next_id = 0u64;
         for (docs, delete_every) in cycles {
             for doc in &docs {
-                store.insert(next_id, doc);
+                store.insert(next_id, doc).unwrap();
                 reference.insert(next_id, doc);
                 next_id += 1;
             }
             let doomed: Vec<u64> = (0..next_id)
                 .filter(|&id| id % delete_every == 0 && store.contains(id))
                 .collect();
-            store.delete_batch(&doomed);
+            store.delete_batch(&doomed).unwrap();
             for id in &doomed {
                 reference.delete(*id);
             }

@@ -11,11 +11,16 @@
 //!
 //! * **Routing** — documents hash-route by id across `N` shards, each an
 //!   independent [`Transform2Index`](dyndex_core::Transform2Index) behind
-//!   its own reader-writer lock. Writers to different shards never
-//!   contend; readers never block readers.
+//!   its own writer lock. Writers to different shards never contend.
+//! * **Lock-free reads** — every shard *publishes* its read state as an
+//!   immutable [`ShardView`](dyndex_core::ShardView) in an atomically
+//!   swapped cell with epoch-based reclamation. Queries load the current
+//!   view with one atomic op and never acquire the shard lock, so readers
+//!   proceed even while a writer holds a shard — and keep answering from
+//!   the last published view if a writer panics ([`ShardPoisoned`]).
 //! * **Fan-out** — [`ShardedStore::count`] / [`ShardedStore::find`] query
-//!   every shard in parallel and merge deterministically (occurrences
-//!   sorted by `(doc, offset)`), so a sharded store answers
+//!   every shard's view in parallel and merge deterministically
+//!   (occurrences sorted by `(doc, offset)`), so a sharded store answers
 //!   byte-identically to an unsharded index over the same documents. By
 //!   default ([`FanOutPolicy::Pooled`]) each shard's work is submitted as
 //!   a closure-plus-reply-channel to that shard's *resident worker* — one
@@ -64,21 +69,24 @@
 //!     },
 //! );
 //! assert_eq!(store.worker_threads(), 4); // one resident worker per shard
-//! store.insert(1, b"sharded dynamic document store");
-//! store.insert(2, b"dynamic indexes behind every shard");
+//! store.insert(1, b"sharded dynamic document store").unwrap();
+//! store.insert(2, b"dynamic indexes behind every shard").unwrap();
 //! assert_eq!(store.count(b"dynamic"), 2);
 //! let hits = store.find(b"shard");
 //! assert_eq!(hits.len(), 2);
 //! assert!(hits.windows(2).all(|w| w[0] <= w[1]), "merge is sorted");
-//! store.delete(1);
+//! store.delete(1).unwrap();
 //! assert_eq!(store.count(b"dynamic"), 1);
 //! store.flush(); // drain request queues + install all rebuilds
 //! ```
 
+mod epoch;
 mod pool;
+mod shard;
 mod stats;
 mod store;
 
+pub use shard::{ShardGuard, ShardPoisoned};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
 

@@ -16,17 +16,19 @@
 //! scheduler thread, and a shard busy serving readers or a writer is
 //! simply skipped until the next tick, never contended.
 
-use dyndex_core::{StaticIndex, Transform2Index};
+use crate::shard::ShardSlot;
+use dyndex_core::StaticIndex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// A unit of work for one shard's worker: a closure run against the
-/// shard's lock slot. Query jobs take the read lock inside the closure
-/// and send their answer through a captured reply channel.
-pub(crate) type Job<I> = Box<dyn FnOnce(&RwLock<Transform2Index<I>>) + Send>;
+/// shard's slot. Query jobs load the shard's published view inside the
+/// closure — no lock — and send their answer through a captured reply
+/// channel.
+pub(crate) type Job<I> = Box<dyn FnOnce(&ShardSlot<I>) + Send>;
 
 /// Live per-worker gauges, shared with [`crate::StoreStats`].
 #[derive(Default)]
@@ -60,7 +62,7 @@ impl<I: StaticIndex + Sync> WorkerPool<I> {
     /// Spawns one worker per shard, each polling its queue and — after
     /// `tick` of queue idleness — draining its shard's finished rebuild
     /// jobs via `try_write`.
-    pub(crate) fn spawn(shards: Arc<Vec<RwLock<Transform2Index<I>>>>, tick: Duration) -> Self {
+    pub(crate) fn spawn(shards: Arc<Vec<ShardSlot<I>>>, tick: Duration) -> Self {
         let installs = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(shards.len());
         let workers = (0..shards.len())
@@ -130,15 +132,16 @@ impl<I: StaticIndex + Sync> WorkerPool<I> {
         }
     }
 
-    /// Requests waiting in `shard`'s queue (excluding one currently
-    /// executing — see [`WorkerPool::worker_busy`]).
-    pub(crate) fn queue_depth(&self, shard: usize) -> usize {
-        self.workers[shard].gauges.queued.load(Ordering::Relaxed)
-    }
-
-    /// Whether `shard`'s worker is executing a request right now.
-    pub(crate) fn worker_busy(&self, shard: usize) -> bool {
-        self.workers[shard].gauges.busy.load(Ordering::Relaxed)
+    /// One-pass read of `shard`'s gauges: `(queued_requests, busy)` from
+    /// the same instant — the census never mixes a queue depth and a busy
+    /// flag observed across separate visits. Queued excludes the request
+    /// currently executing (that one is the `busy` flag).
+    pub(crate) fn shard_gauges(&self, shard: usize) -> (usize, bool) {
+        let gauges = &self.workers[shard].gauges;
+        (
+            gauges.queued.load(Ordering::Relaxed),
+            gauges.busy.load(Ordering::Relaxed),
+        )
     }
 
     /// Rebuild jobs installed by workers so far.
@@ -172,7 +175,7 @@ impl<I: StaticIndex + Sync> Drop for WorkerPool<I> {
 /// rebuild work whenever a tick has elapsed since the last drain — on
 /// queue idleness *or* between back-to-back requests.
 fn worker_loop<I: StaticIndex + Sync>(
-    shards: &[RwLock<Transform2Index<I>>],
+    shards: &[ShardSlot<I>],
     shard: usize,
     rx: Receiver<Job<I>>,
     gauges: &WorkerGauges,
@@ -204,8 +207,10 @@ fn worker_loop<I: StaticIndex + Sync>(
             last_maintain = Instant::now();
             // Never contend with foreground work (and never touch a
             // shard poisoned by a panicked writer): skip unless the
-            // write lock is free and healthy.
-            let Ok(mut index) = slot.try_write() else {
+            // write lock is free and healthy. Dropping the guard
+            // republishes the shard's view, so installs become visible
+            // to the lock-free read path immediately.
+            let Some(mut index) = slot.try_write() else {
                 continue;
             };
             let before = index.work().jobs_completed;

@@ -1,0 +1,125 @@
+//! One shard's state pair: the writer-side [`Transform2Index`] behind its
+//! `RwLock`, and the reader-side [`ShardView`] published through an
+//! epoch-reclaimed [`ViewCell`].
+//!
+//! The contract, enforced by construction:
+//!
+//! * **Readers never touch the lock.** Every query loads the current
+//!   view with one atomic op ([`ShardSlot::view`]) and runs against that
+//!   immutable snapshot.
+//! * **Writers publish on release.** The only way to mutate a shard is
+//!   through a [`ShardGuard`]; when the guard drops after a successful
+//!   mutation it captures a fresh view and installs it with one pointer
+//!   swap — readers see either the old or the new view, never a torn
+//!   intermediate.
+//! * **Panics never publish.** If the guard is dropped mid-unwind
+//!   (a panicked writer), no view is captured: the lock poisons as
+//!   usual, but readers keep serving the last *good* view forever, and
+//!   later writers get a typed [`ShardPoisoned`] error instead of a
+//!   cascading panic.
+
+use crate::epoch::ViewCell;
+use dyndex_core::{ShardView, StaticIndex, Transform2Index};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, RwLock, RwLockWriteGuard};
+
+/// Error returned by writer entry points when a previous writer panicked
+/// mid-mutation in the target shard, leaving its `RwLock` poisoned. The
+/// shard's last published view keeps answering queries; only further
+/// writes to that one shard are refused (other shards are unaffected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPoisoned {
+    /// The shard whose writer panicked.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for ShardPoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} is poisoned by a panicked writer; reads keep serving \
+             the last published view, writes to this shard are refused",
+            self.shard
+        )
+    }
+}
+
+impl std::error::Error for ShardPoisoned {}
+
+/// One shard: writer index + published reader view.
+pub(crate) struct ShardSlot<I: StaticIndex + Sync> {
+    shard: usize,
+    index: RwLock<Transform2Index<I>>,
+    view: ViewCell<ShardView<I>>,
+}
+
+impl<I: StaticIndex + Sync> ShardSlot<I> {
+    /// Wraps `index` and publishes its initial view.
+    pub(crate) fn new(shard: usize, mut index: Transform2Index<I>) -> Self {
+        let view = ViewCell::new(Arc::new(index.snapshot_view()));
+        ShardSlot {
+            shard,
+            index: RwLock::new(index),
+            view,
+        }
+    }
+
+    /// The shard's currently-published immutable view (one atomic load;
+    /// never blocks, never observes the lock).
+    pub(crate) fn view(&self) -> Arc<ShardView<I>> {
+        self.view.load()
+    }
+
+    /// Write access; republishes the view when the guard drops cleanly.
+    pub(crate) fn write(&self) -> Result<ShardGuard<'_, I>, ShardPoisoned> {
+        match self.index.write() {
+            Ok(guard) => Ok(ShardGuard { slot: self, guard }),
+            Err(_) => Err(ShardPoisoned { shard: self.shard }),
+        }
+    }
+
+    /// Non-blocking write access: `None` when the lock is contended *or*
+    /// poisoned (maintenance paths skip either way).
+    pub(crate) fn try_write(&self) -> Option<ShardGuard<'_, I>> {
+        match self.index.try_write() {
+            Ok(guard) => Some(ShardGuard { slot: self, guard }),
+            Err(_) => None,
+        }
+    }
+}
+
+/// A write guard over one shard's [`Transform2Index`] that publishes a
+/// fresh [`ShardView`] when dropped — unless the thread is unwinding, in
+/// which case the half-mutated state is never made visible to readers.
+pub struct ShardGuard<'a, I: StaticIndex + Sync> {
+    slot: &'a ShardSlot<I>,
+    guard: RwLockWriteGuard<'a, Transform2Index<I>>,
+}
+
+impl<I: StaticIndex + Sync> Deref for ShardGuard<'_, I> {
+    type Target = Transform2Index<I>;
+
+    fn deref(&self) -> &Transform2Index<I> {
+        &self.guard
+    }
+}
+
+impl<I: StaticIndex + Sync> DerefMut for ShardGuard<'_, I> {
+    fn deref_mut(&mut self) -> &mut Transform2Index<I> {
+        &mut self.guard
+    }
+}
+
+impl<I: StaticIndex + Sync> Drop for ShardGuard<'_, I> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // A panicked writer may have left the index mid-mutation:
+            // readers must keep the last good view, so publish nothing.
+            return;
+        }
+        // Capture-then-swap happens while the write lock is still held
+        // (the inner guard drops after this body), so publications are
+        // serialized and view epochs stay strictly monotone.
+        self.slot.view.store(Arc::new(self.guard.snapshot_view()));
+    }
+}

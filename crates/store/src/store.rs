@@ -4,13 +4,14 @@
 //! same workers.
 
 use crate::pool::WorkerPool;
+use crate::shard::{ShardGuard, ShardPoisoned, ShardSlot};
 use crate::stats::{ShardStats, StoreStats};
 use dyndex_core::transform2::FrozenSnapshot;
-use dyndex_core::{DynOptions, RebuildMode, StaticIndex, Transform2Index};
+use dyndex_core::{DynOptions, RebuildMode, ShardView, StaticIndex, Transform2Index};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// How background maintenance is driven.
@@ -128,15 +129,20 @@ pub fn fresh_uid() -> u64 {
 
 /// A sharded, concurrent document store over dynamic indexes.
 ///
-/// All methods take `&self`: shards synchronize internally (one
-/// reader-writer lock each), so a `ShardedStore` can be shared across
-/// threads directly or behind an `Arc`. Multi-shard queries execute on a
-/// resident per-shard worker pool by default ([`FanOutPolicy`]); the
-/// same workers install background rebuilds between requests. See the
-/// crate docs for the layer's design and `docs/ARCHITECTURE.md` (repo
-/// root) for the full stack walk-through.
+/// All methods take `&self`, so a `ShardedStore` can be shared across
+/// threads directly or behind an `Arc`. Each shard keeps its writer
+/// state behind a write lock and *publishes* its read state as an
+/// immutable [`ShardView`] through an atomically-swapped cell: every
+/// query loads the current view with one atomic op and never touches
+/// the shard lock, so readers cannot contend with writers (and keep
+/// answering even after a writer panic — see [`ShardPoisoned`]).
+/// Multi-shard queries execute on a resident per-shard worker pool by
+/// default ([`FanOutPolicy`]); the same workers install background
+/// rebuilds between requests. See the crate docs for the layer's design
+/// and `docs/ARCHITECTURE.md` (repo root) for the full stack
+/// walk-through.
 pub struct ShardedStore<I: StaticIndex + Sync> {
-    shards: Arc<Vec<RwLock<Transform2Index<I>>>>,
+    shards: Arc<Vec<ShardSlot<I>>>,
     /// Resident workers; `None` under [`MaintenancePolicy::Manual`].
     pool: Option<WorkerPool<I>>,
     /// Whether multi-shard queries route through the pool (policy is
@@ -175,13 +181,12 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// ```
     pub fn new(config: I::Config, options: StoreOptions) -> Self {
         assert!(options.num_shards >= 1, "store needs at least one shard");
-        let shards: Vec<RwLock<Transform2Index<I>>> = (0..options.num_shards)
-            .map(|_| {
-                RwLock::new(Transform2Index::new(
-                    config.clone(),
-                    options.index,
-                    options.mode,
-                ))
+        let shards: Vec<ShardSlot<I>> = (0..options.num_shards)
+            .map(|shard| {
+                ShardSlot::new(
+                    shard,
+                    Transform2Index::new(config.clone(), options.index, options.mode),
+                )
             })
             .collect();
         Self::with_shards(Arc::new(shards), options.maintenance, options.fan_out)
@@ -191,7 +196,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// construction path shared by [`ShardedStore::new`] and
     /// [`ShardedStore::from_shard_indexes`].
     fn with_shards(
-        shards: Arc<Vec<RwLock<Transform2Index<I>>>>,
+        shards: Arc<Vec<ShardSlot<I>>>,
         maintenance: MaintenancePolicy,
         fan_out: FanOutPolicy,
     ) -> Self {
@@ -252,12 +257,31 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         (route_hash(doc_id) % self.shards.len() as u64) as usize
     }
 
-    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, Transform2Index<I>> {
-        self.shards[s].read().expect("shard lock poisoned")
+    /// The shard's currently-published immutable [`ShardView`] — the
+    /// whole read path: one atomic load, no lock. Public so callers can
+    /// pin a consistent snapshot of one shard across several queries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(1, b"pin a consistent snapshot").unwrap();
+    /// let view = store.shard_view(store.shard_of(1));
+    /// store.delete(1).unwrap();
+    /// assert_eq!(view.count(b"snapshot"), 1, "the pinned view is immutable");
+    /// assert_eq!(store.count(b"snapshot"), 0, "fresh queries see the delete");
+    /// ```
+    pub fn shard_view(&self, shard: usize) -> Arc<ShardView<I>> {
+        self.shards[shard].view()
     }
 
-    fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, Transform2Index<I>> {
-        self.shards[s].write().expect("shard lock poisoned")
+    fn write_shard(&self, s: usize) -> Result<ShardGuard<'_, I>, ShardPoisoned> {
+        self.shards[s].write()
     }
 
     /// Whether multi-shard queries should route through the pool. A
@@ -268,23 +292,24 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     /// Local fan-out for when [`ShardedStore::use_pool`] is false: the
-    /// single-shard direct read, or one scoped thread per shard. Takes
-    /// `f` by reference, so query closures can borrow their pattern —
-    /// callers only pay an owned pattern on the pooled path, where the
-    /// job outlives the caller's stack frame.
+    /// single-shard direct query, or one scoped thread per shard — each
+    /// against the shard's published view, never the lock. Takes `f` by
+    /// reference, so query closures can borrow their pattern — callers
+    /// only pay an owned pattern on the pooled path, where the job
+    /// outlives the caller's stack frame.
     fn fan_out_scoped<T, F>(&self, f: &F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&Transform2Index<I>) -> T + Sync,
+        F: Fn(&ShardView<I>) -> T + Sync,
     {
         if self.shards.len() == 1 {
-            return vec![f(&self.read_shard(0))];
+            return vec![f(&self.shards[0].view())];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|shard| scope.spawn(move || f(&shard.read().expect("shard lock poisoned"))))
+                .map(|slot| scope.spawn(move || f(&slot.view())))
                 .collect();
             handles
                 .into_iter()
@@ -295,17 +320,17 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
 
     /// Pooled fan-out (only called when [`ShardedStore::use_pool`]):
     /// submit one job per shard to its resident worker, each carrying a
-    /// reply channel, then collect in shard order. A panic inside `f`
-    /// (most commonly "shard lock poisoned", after a writer panicked in
-    /// that shard) is caught on the worker — which stays alive and keeps
-    /// serving its queue — shipped back through the reply channel, and
-    /// re-raised **on the caller**, so the failure surfaces exactly
-    /// where it would with scoped threads while the store stays usable
-    /// for every other shard.
+    /// reply channel, then collect in shard order. Jobs query the
+    /// shard's *published view*, so queued queries proceed even while a
+    /// writer holds — or has poisoned — the shard lock. A panic inside
+    /// `f` is caught on the worker — which stays alive and keeps serving
+    /// its queue — shipped back through the reply channel, and re-raised
+    /// **on the caller**, so a failure surfaces exactly where it would
+    /// with scoped threads while the store stays usable for every shard.
     fn fan_out_pooled<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send + 'static,
-        F: Fn(&Transform2Index<I>) -> T + Send + Sync + 'static,
+        F: Fn(&ShardView<I>) -> T + Send + Sync + 'static,
     {
         let pool = self.pool.as_ref().expect("use_pool checked by caller");
         let f = Arc::new(f);
@@ -315,9 +340,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 let (reply, rx) = mpsc::channel();
                 pool.submit(
                     shard,
-                    Box::new(move |slot: &RwLock<Transform2Index<I>>| {
+                    Box::new(move |slot: &ShardSlot<I>| {
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&slot.read().expect("shard lock poisoned"))
+                            f(&slot.view())
                         }));
                         let _ = reply.send(result);
                     }),
@@ -359,7 +384,14 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     // ------------------------------------------------------------------
 
     /// Inserts a document into its shard (direct write-lock path — the
-    /// worker pool carries only query fan-out).
+    /// worker pool carries only query fan-out). On success the shard's
+    /// view is republished, so the document is immediately visible to
+    /// the lock-free read path.
+    ///
+    /// # Errors
+    /// Returns [`ShardPoisoned`] if a previous writer panicked in this
+    /// document's shard — reads there keep serving the last published
+    /// view, and every other shard still accepts writes.
     ///
     /// # Panics
     /// Panics if `doc_id` is already present (same contract as
@@ -374,25 +406,32 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert(7, b"a single document");
+    /// store.insert(7, b"a single document").unwrap();
     /// assert!(store.contains(7));
-    /// assert_eq!(store.delete(7), Some(b"a single document".to_vec()));
-    /// assert_eq!(store.delete(7), None);
+    /// assert_eq!(store.delete(7).unwrap(), Some(b"a single document".to_vec()));
+    /// assert_eq!(store.delete(7).unwrap(), None);
     /// ```
-    pub fn insert(&self, doc_id: u64, bytes: &[u8]) {
-        self.write_shard(self.shard_of(doc_id))
+    pub fn insert(&self, doc_id: u64, bytes: &[u8]) -> Result<(), ShardPoisoned> {
+        self.write_shard(self.shard_of(doc_id))?
             .insert(doc_id, bytes);
+        Ok(())
     }
 
-    /// Deletes a document, returning its bytes (`None` if absent). See
-    /// [`ShardedStore::insert`] for an example.
-    pub fn delete(&self, doc_id: u64) -> Option<Vec<u8>> {
-        self.write_shard(self.shard_of(doc_id)).delete(doc_id)
+    /// Deletes a document, returning its bytes (`Ok(None)` if absent).
+    /// See [`ShardedStore::insert`] for an example and the
+    /// [`ShardPoisoned`] error contract.
+    pub fn delete(&self, doc_id: u64) -> Result<Option<Vec<u8>>, ShardPoisoned> {
+        Ok(self.write_shard(self.shard_of(doc_id))?.delete(doc_id))
     }
 
     /// Inserts a batch, grouped by shard and applied with one thread (and
     /// one lock acquisition) per shard — writers to different shards
     /// proceed in parallel.
+    ///
+    /// # Errors
+    /// Returns the first (lowest-shard) [`ShardPoisoned`] if any target
+    /// shard's previous writer panicked; groups routed to healthy shards
+    /// are still applied.
     ///
     /// # Panics
     /// Panics if any document id is already present.
@@ -406,34 +445,49 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"alpha".to_vec()), (2, b"beta".to_vec())]);
+    /// store.insert_batch(&[(1, b"alpha".to_vec()), (2, b"beta".to_vec())]).unwrap();
     /// assert_eq!(store.num_docs(), 2);
-    /// assert_eq!(store.delete_batch(&[1, 2, 3]), 2); // 3 was never present
+    /// assert_eq!(store.delete_batch(&[1, 2, 3]).unwrap(), 2); // 3 was never present
     /// ```
-    pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) {
+    pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) -> Result<(), ShardPoisoned> {
         let mut groups: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); self.shards.len()];
         for (id, bytes) in docs {
             groups[self.shard_of(*id)].push((*id, bytes.as_slice()));
         }
         std::thread::scope(|scope| {
-            for (shard, group) in self.shards.iter().zip(groups) {
-                if group.is_empty() {
-                    continue;
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(groups)
+                .filter(|(_, group)| !group.is_empty())
+                .map(|(slot, group)| {
+                    scope.spawn(move || -> Result<(), ShardPoisoned> {
+                        let mut index = slot.write()?;
+                        for (id, bytes) in group {
+                            index.insert(id, bytes);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            let mut result = Ok(());
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(poisoned)) => result = result.and(Err(poisoned)),
+                    // A duplicate insert keeps its panic contract.
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
-                scope.spawn(move || {
-                    let mut index = shard.write().expect("shard lock poisoned");
-                    for (id, bytes) in group {
-                        index.insert(id, bytes);
-                    }
-                });
             }
-        });
+            result
+        })
     }
 
     /// Deletes a batch (grouped like [`ShardedStore::insert_batch`], see
     /// there for an example); returns how many of the ids were present
-    /// and removed.
-    pub fn delete_batch(&self, ids: &[u64]) -> usize {
+    /// and removed. On [`ShardPoisoned`], deletions routed to healthy
+    /// shards are still applied (their count is not reported).
+    pub fn delete_batch(&self, ids: &[u64]) -> Result<usize, ShardPoisoned> {
         let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         for &id in ids {
             groups[self.shard_of(id)].push(id);
@@ -444,20 +498,26 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 .iter()
                 .zip(groups)
                 .filter(|(_, group)| !group.is_empty())
-                .map(|(shard, group)| {
-                    scope.spawn(move || {
-                        let mut index = shard.write().expect("shard lock poisoned");
-                        group
+                .map(|(slot, group)| {
+                    scope.spawn(move || -> Result<usize, ShardPoisoned> {
+                        let mut index = slot.write()?;
+                        Ok(group
                             .into_iter()
                             .filter(|&id| index.delete(id).is_some())
-                            .count()
+                            .count())
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard write thread panicked"))
-                .sum()
+            let mut removed = 0usize;
+            let mut result = Ok(());
+            for handle in handles {
+                match handle.join() {
+                    Ok(Ok(n)) => removed += n,
+                    Ok(Err(poisoned)) => result = result.and(Err(poisoned)),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            result.map(|()| removed)
         })
     }
 
@@ -465,28 +525,23 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Whether `doc_id` is present (routed to the owning shard, no
-    /// fan-out; see [`ShardedStore::insert`] for an example).
+    /// Whether `doc_id` is present, per the owning shard's published
+    /// view (no fan-out, no lock; see [`ShardedStore::insert`] for an
+    /// example).
     pub fn contains(&self, doc_id: u64) -> bool {
-        self.read_shard(self.shard_of(doc_id)).contains(doc_id)
+        self.shards[self.shard_of(doc_id)].view().contains(doc_id)
     }
 
-    /// Alive documents across all shards (sequential shard visit; see
+    /// Alive documents across all shards (one view load per shard; see
     /// [`ShardedStore::insert_batch`] for an example).
     pub fn num_docs(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").num_docs())
-            .sum()
+        self.shards.iter().map(|s| s.view().num_docs()).sum()
     }
 
     /// Alive bytes across all shards (cross-reference:
     /// [`ShardedStore::num_docs`]).
     pub fn symbol_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").symbol_count())
-            .sum()
+        self.shards.iter().map(|s| s.view().symbol_count()).sum()
     }
 
     /// Counts occurrences of `pattern`, fanning out across shards (on
@@ -501,16 +556,16 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"needle in shard".to_vec()), (2, b"another needle".to_vec())]);
+    /// store.insert_batch(&[(1, b"needle in shard".to_vec()), (2, b"another needle".to_vec())]).unwrap();
     /// assert_eq!(store.count(b"needle"), 2);
     /// assert_eq!(store.count(b"absent"), 0);
     /// ```
     pub fn count(&self, pattern: &[u8]) -> usize {
         let per_shard = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |index| index.count(&pattern))
+            self.fan_out_pooled(move |view| view.count(&pattern))
         } else {
-            self.fan_out_scoped(&|index: &Transform2Index<I>| index.count(pattern))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.count(pattern))
         };
         per_shard.into_iter().sum()
     }
@@ -530,7 +585,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"ab ab".to_vec()), (2, b"ab".to_vec())]);
+    /// store.insert_batch(&[(1, b"ab ab".to_vec()), (2, b"ab".to_vec())]).unwrap();
     /// let hits = store.find(b"ab");
     /// assert_eq!(hits.len(), 3);
     /// assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted by (doc, offset)");
@@ -538,9 +593,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
         let per_shard = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |index| index.find(&pattern))
+            self.fan_out_pooled(move |view| view.find(&pattern))
         } else {
-            self.fan_out_scoped(&|index: &Transform2Index<I>| index.find(pattern))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.find(pattern))
         };
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
@@ -568,16 +623,16 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"xy xy xy".to_vec()), (2, b"xy".to_vec())]);
+    /// store.insert_batch(&[(1, b"xy xy xy".to_vec()), (2, b"xy".to_vec())]).unwrap();
     /// assert_eq!(store.find_limit(b"xy", 2).len(), 2);
     /// assert_eq!(store.find_limit(b"xy", 100).len(), 4); // limit >= count: everything
     /// ```
     pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
         let per_shard = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |index| index.find_limit(&pattern, limit))
+            self.fan_out_pooled(move |view| view.find_limit(&pattern, limit))
         } else {
-            self.fan_out_scoped(&|index: &Transform2Index<I>| index.find_limit(pattern, limit))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.find_limit(pattern, limit))
         };
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
@@ -585,8 +640,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         merged
     }
 
-    /// Extracts up to `len` bytes of a document from `offset` (routed to
-    /// the owning shard; no fan-out).
+    /// Extracts up to `len` bytes of a document from `offset` (per the
+    /// owning shard's published view; no fan-out, no lock).
     ///
     /// # Examples
     ///
@@ -597,12 +652,13 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert(3, b"zero one two");
+    /// store.insert(3, b"zero one two").unwrap();
     /// assert_eq!(store.extract(3, 5, 3).as_deref(), Some(b"one".as_slice()));
     /// assert_eq!(store.extract(4, 0, 3), None);
     /// ```
     pub fn extract(&self, doc_id: u64, offset: usize, len: usize) -> Option<Vec<u8>> {
-        self.read_shard(self.shard_of(doc_id))
+        self.shards[self.shard_of(doc_id)]
+            .view()
             .extract(doc_id, offset, len)
     }
 
@@ -634,7 +690,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"settle me".to_vec()), (2, b"me too".to_vec())]);
+    /// store.insert_batch(&[(1, b"settle me".to_vec()), (2, b"me too".to_vec())]).unwrap();
     /// store.flush();
     /// assert_eq!(store.pending_background_jobs(), 0);
     /// ```
@@ -642,16 +698,24 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         if let Some(pool) = &self.pool {
             pool.drain();
         }
-        let mut guards = self.lock_all_shards();
+        // Poisoned shards are skipped: their writer state is frozen at
+        // the last published view and cannot be quiesced.
+        let mut guards: Vec<ShardGuard<'_, I>> =
+            self.shards.iter().filter_map(|s| s.write().ok()).collect();
         for guard in guards.iter_mut() {
             guard.finish_background_work();
         }
     }
 
     /// Acquires every shard's write lock in shard order (the persistence
-    /// layer's stop-the-world snapshot hook).
+    /// layer's stop-the-world snapshot hook). Each returned guard
+    /// republishes its shard's view on drop.
+    ///
+    /// # Panics
+    /// Panics if any shard is poisoned (snapshotting a shard whose
+    /// writer panicked mid-mutation would capture torn state).
     #[doc(hidden)]
-    pub fn lock_all_shards(&self) -> Vec<RwLockWriteGuard<'_, Transform2Index<I>>> {
+    pub fn lock_all_shards(&self) -> Vec<ShardGuard<'_, I>> {
         self.shards
             .iter()
             .map(|s| s.write().expect("shard lock poisoned"))
@@ -659,10 +723,11 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     /// Acquires one shard's write lock (persistence-layer hook; pair
-    /// with [`ShardedStore::lock_all_shards`]).
+    /// with [`ShardedStore::lock_all_shards`]). The guard republishes
+    /// the shard's view on drop.
     #[doc(hidden)]
-    pub fn lock_shard(&self, shard: usize) -> RwLockWriteGuard<'_, Transform2Index<I>> {
-        self.write_shard(shard)
+    pub fn lock_shard(&self, shard: usize) -> ShardGuard<'_, I> {
+        self.shards[shard].write().expect("shard lock poisoned")
     }
 
     /// Quiesces one shard and clones its frozen decomposition — the
@@ -673,7 +738,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// happens entirely off-lock.
     #[doc(hidden)]
     pub fn freeze_shard(&self, shard: usize) -> FrozenSnapshot<I> {
-        let mut guard = self.write_shard(shard);
+        let mut guard = self.shards[shard].write().expect("shard lock poisoned");
         guard.finish_background_work();
         guard
             .freeze()
@@ -728,7 +793,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     /// Wraps already-built shard indexes (the persistence layer's restore
-    /// path), re-creating the worker pool per `maintenance` + `fan_out`.
+    /// path), re-creating the worker pool per `maintenance` + `fan_out`
+    /// and publishing each shard's initial view — a restored store's
+    /// lock-free read path answers from the restored state immediately.
     ///
     /// # Panics
     /// Panics if `indexes` is empty.
@@ -739,8 +806,13 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         fan_out: FanOutPolicy,
     ) -> Self {
         assert!(!indexes.is_empty(), "store needs at least one shard");
-        let shards: Arc<Vec<RwLock<Transform2Index<I>>>> =
-            Arc::new(indexes.into_iter().map(RwLock::new).collect());
+        let shards: Arc<Vec<ShardSlot<I>>> = Arc::new(
+            indexes
+                .into_iter()
+                .enumerate()
+                .map(|(shard, index)| ShardSlot::new(shard, index))
+                .collect(),
+        );
         Self::with_shards(shards, maintenance, fan_out)
     }
 
@@ -751,10 +823,11 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     pub fn maintain(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.write()
-                    .expect("shard lock poisoned")
-                    .poll_background_work()
+            .map(|slot| match slot.write() {
+                Ok(mut guard) => guard.poll_background_work(),
+                // Poisoned: nothing can install; report the last
+                // published pending count.
+                Err(_) => slot.view().pending_jobs(),
             })
             .sum()
     }
@@ -763,18 +836,17 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// [`ShardedStore::flush`] for the stronger all-shards-at-once
     /// quiesce, with an example).
     pub fn finish_background_work(&self) {
-        for s in 0..self.shards.len() {
-            self.write_shard(s).finish_background_work();
+        for slot in self.shards.iter() {
+            if let Ok(mut guard) = slot.write() {
+                guard.finish_background_work();
+            }
         }
     }
 
     /// Background jobs currently in flight across all shards
     /// (cross-reference: [`ShardedStore::flush`] drives this to zero).
     pub fn pending_background_jobs(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").pending_jobs())
-            .sum()
+        self.shards.iter().map(|s| s.view().pending_jobs()).sum()
     }
 
     /// Rebuild jobs installed by the resident workers between requests
@@ -797,7 +869,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     ///
     /// let store: ShardedStore<FmIndexCompressed> =
     ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
-    /// store.insert_batch(&[(1, b"census".to_vec()), (2, b"me".to_vec())]);
+    /// store.insert_batch(&[(1, b"census".to_vec()), (2, b"me".to_vec())]).unwrap();
     /// store.flush();
     /// let stats = store.stats();
     /// assert_eq!(stats.shards.len(), 4);
@@ -806,33 +878,28 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// ```
     pub fn stats(&self) -> StoreStats {
         let pool = self.pool.as_ref();
-        let census = |index: &Transform2Index<I>| {
-            (
-                index.num_docs(),
-                index.symbol_count(),
-                index.pending_jobs(),
-                index.structure_stats(),
-            )
-        };
-        let per_shard = if self.use_pool() {
-            self.fan_out_pooled(census)
-        } else {
-            self.fan_out_scoped(&census)
-        };
-        let shards = per_shard
-            .into_iter()
+        let shards = self
+            .shards
+            .iter()
             .enumerate()
-            .map(
-                |(shard, (docs, symbols, pending_jobs, levels))| ShardStats {
+            .map(|(shard, slot)| {
+                // One pass per shard: a single view load carries the
+                // whole index census, and the paired queue-depth/busy
+                // gauges are read together from the pool handle — never
+                // two separate lock acquisitions at different instants.
+                let view = slot.view();
+                let (queued_requests, worker_busy) =
+                    pool.map_or((0, false), |p| p.shard_gauges(shard));
+                ShardStats {
                     shard,
-                    docs,
-                    symbols,
-                    pending_jobs,
-                    queued_requests: pool.map_or(0, |p| p.queue_depth(shard)),
-                    worker_busy: pool.is_some_and(|p| p.worker_busy(shard)),
-                    levels,
-                },
-            )
+                    docs: view.num_docs(),
+                    symbols: view.symbol_count(),
+                    pending_jobs: view.pending_jobs(),
+                    queued_requests,
+                    worker_busy,
+                    levels: view.structure_stats(),
+                }
+            })
             .collect();
         StoreStats {
             shards,
@@ -844,10 +911,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
 
 impl<I: StaticIndex + Sync> SpaceUsage for ShardedStore<I> {
     fn heap_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock poisoned").heap_bytes())
-            .sum()
+        self.shards.iter().map(|s| s.view().heap_bytes()).sum()
     }
 }
 
@@ -918,7 +982,7 @@ mod tests {
         let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
         let mut naive = NaiveIndex::new();
         for (id, d) in docs(40) {
-            store.insert(id, &d);
+            store.insert(id, &d).unwrap();
             naive.insert(id, &d);
         }
         for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
@@ -929,10 +993,10 @@ mod tests {
         }
         assert_eq!(store.num_docs(), 40);
         assert!(store.contains(7));
-        assert_eq!(store.delete(7), naive.delete(7));
+        assert_eq!(store.delete(7).unwrap(), naive.delete(7));
         assert!(!store.contains(7));
         assert_eq!(store.find(b"needle"), naive.find(b"needle"));
-        assert_eq!(store.delete(7), None);
+        assert_eq!(store.delete(7).unwrap(), None);
     }
 
     #[test]
@@ -942,14 +1006,14 @@ mod tests {
         assert_eq!(store.worker_threads(), 4);
         let mut naive = NaiveIndex::new();
         for (id, d) in docs(40) {
-            store.insert(id, &d);
+            store.insert(id, &d).unwrap();
             naive.insert(id, &d);
         }
         for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
             assert_eq!(store.count(pattern), naive.count(pattern));
             assert_eq!(store.find(pattern), naive.find(pattern));
         }
-        assert_eq!(store.delete(7), naive.delete(7));
+        assert_eq!(store.delete(7).unwrap(), naive.delete(7));
         assert_eq!(store.find(b"needle"), naive.find(b"needle"));
     }
 
@@ -958,7 +1022,7 @@ mod tests {
         let store = Store::new(fm(), small_opts(3, RebuildMode::Inline));
         assert_eq!(store.worker_threads(), 0, "Manual spawns no workers");
         assert_eq!(store.fan_out_policy(), FanOutPolicy::ScopedSpawn);
-        store.insert_batch(&docs(12));
+        store.insert_batch(&docs(12)).unwrap();
         assert_eq!(store.count(b"needle"), 12);
     }
 
@@ -973,7 +1037,7 @@ mod tests {
         );
         assert_eq!(store.worker_threads(), 3, "workers still run maintenance");
         assert_eq!(store.fan_out_policy(), FanOutPolicy::ScopedSpawn);
-        store.insert_batch(&docs(120));
+        store.insert_batch(&docs(120)).unwrap();
         // Only the workers' between-request drains can install these.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while store.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
@@ -987,19 +1051,19 @@ mod tests {
     fn batches_match_singles() {
         let batch = docs(60);
         let batched = Store::new(fm(), small_opts(4, RebuildMode::Inline));
-        batched.insert_batch(&batch);
+        batched.insert_batch(&batch).unwrap();
         let single = Store::new(fm(), small_opts(4, RebuildMode::Inline));
         for (id, d) in &batch {
-            single.insert(*id, d);
+            single.insert(*id, d).unwrap();
         }
         assert_eq!(batched.num_docs(), single.num_docs());
         assert_eq!(batched.symbol_count(), single.symbol_count());
         assert_eq!(batched.find(b"needle"), single.find(b"needle"));
 
         let ids: Vec<u64> = (0..30).chain(100..110).collect();
-        assert_eq!(batched.delete_batch(&ids), 30, "10 ids are absent");
+        assert_eq!(batched.delete_batch(&ids).unwrap(), 30, "10 ids are absent");
         for id in 0..30u64 {
-            single.delete(id);
+            single.delete(id).unwrap();
         }
         assert_eq!(batched.find(b"needle"), single.find(b"needle"));
         assert_eq!(batched.num_docs(), 30);
@@ -1008,7 +1072,7 @@ mod tests {
     #[test]
     fn find_limit_caps_and_sorts() {
         let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
-        store.insert_batch(&docs(50));
+        store.insert_batch(&docs(50)).unwrap();
         let all = store.find(b"needle");
         assert_eq!(all.len(), 50);
         for k in [0usize, 1, 13, 50, 200] {
@@ -1035,8 +1099,8 @@ mod tests {
             },
         );
         let batch = docs(50);
-        pooled.insert_batch(&batch);
-        scoped.insert_batch(&batch);
+        pooled.insert_batch(&batch).unwrap();
+        scoped.insert_batch(&batch).unwrap();
         for pattern in [b"needle".as_slice(), b"pad", b"document 4", b"absent"] {
             assert_eq!(pooled.count(pattern), scoped.count(pattern));
             assert_eq!(pooled.find(pattern), scoped.find(pattern));
@@ -1053,7 +1117,7 @@ mod tests {
     #[test]
     fn extract_routes_to_owning_shard() {
         let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
-        store.insert(9, b"zero one two three");
+        store.insert(9, b"zero one two three").unwrap();
         assert_eq!(store.extract(9, 5, 3).as_deref(), Some(b"one".as_slice()));
         assert_eq!(store.extract(10, 0, 4), None);
     }
@@ -1063,7 +1127,7 @@ mod tests {
         let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
         let batch = docs(80);
         let symbols: usize = batch.iter().map(|(_, d)| d.len()).sum();
-        store.insert_batch(&batch);
+        store.insert_batch(&batch).unwrap();
         store.finish_background_work();
         let stats = store.stats();
         assert_eq!(stats.shards.len(), 4);
@@ -1079,7 +1143,7 @@ mod tests {
     #[test]
     fn manual_maintenance_drains_background_jobs() {
         let store = Store::new(fm(), small_opts(3, RebuildMode::Background));
-        store.insert_batch(&docs(120));
+        store.insert_batch(&docs(120)).unwrap();
         // Drain without foreground operations: poll until all installs
         // land (bounded; background builds are small and finish quickly).
         let mut pending = store.maintain();
@@ -1096,7 +1160,7 @@ mod tests {
     #[test]
     fn workers_drain_rebuilds_without_foreground_ops() {
         let store = Store::new(fm(), pooled_opts(4, RebuildMode::Background));
-        store.insert_batch(&docs(150));
+        store.insert_batch(&docs(150)).unwrap();
         // No foreground operations from here on: only the workers'
         // between-request maintenance can install the in-flight rebuilds.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -1112,7 +1176,7 @@ mod tests {
     #[test]
     fn single_shard_store_works() {
         let store = Store::new(fm(), small_opts(1, RebuildMode::Inline));
-        store.insert_batch(&docs(10));
+        store.insert_batch(&docs(10)).unwrap();
         assert_eq!(store.num_shards(), 1);
         assert_eq!(store.count(b"needle"), 10);
         assert_eq!(store.find(b"needle").len(), 10);
@@ -1121,7 +1185,7 @@ mod tests {
     #[test]
     fn flush_settles_everything() {
         let store = Store::new(fm(), small_opts(3, RebuildMode::Background));
-        store.insert_batch(&docs(100));
+        store.insert_batch(&docs(100)).unwrap();
         store.flush();
         assert_eq!(store.pending_background_jobs(), 0, "flush drains all jobs");
         assert_eq!(store.count(b"needle"), 100);
@@ -1138,7 +1202,7 @@ mod tests {
         // already sitting in a worker's queue when flush() starts must
         // complete before flush() returns.
         let store = Store::new(fm(), pooled_opts(2, RebuildMode::Inline));
-        store.insert_batch(&docs(10));
+        store.insert_batch(&docs(10)).unwrap();
         let ran = Arc::new(AtomicBool::new(false));
         let t0 = std::time::Instant::now();
         for shard in 0..store.num_shards() {
@@ -1165,7 +1229,7 @@ mod tests {
     #[test]
     fn from_shard_indexes_rewraps_prebuilt_shards() {
         let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
-        store.insert_batch(&docs(20));
+        store.insert_batch(&docs(20)).unwrap();
         store.flush();
         let want = store.find(b"needle");
         let mut guards = store.lock_all_shards();
@@ -1195,15 +1259,15 @@ mod tests {
     #[should_panic(expected = "already present")]
     fn duplicate_insert_panics() {
         let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
-        store.insert(1, b"first");
-        store.insert(1, b"second");
+        store.insert(1, b"first").unwrap();
+        let _ = store.insert(1, b"second");
     }
 
     #[test]
     #[should_panic(expected = "already present")]
     fn duplicate_insert_panics_with_pool_running() {
         let store = Store::new(fm(), pooled_opts(2, RebuildMode::Inline));
-        store.insert(1, b"first");
-        store.insert(1, b"second");
+        store.insert(1, b"first").unwrap();
+        let _ = store.insert(1, b"second");
     }
 }

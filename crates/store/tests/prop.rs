@@ -55,7 +55,7 @@ proptest! {
         let store = Store::new(fm(), store_opts(num_shards));
         let mut reference = Reference::new(fm(), dyn_opts(), RebuildMode::Inline);
         for (i, doc) in docs.iter().enumerate() {
-            store.insert(i as u64, doc);
+            store.insert(i as u64, doc).unwrap();
             reference.insert(i as u64, doc);
         }
         let check = |store: &Store, reference: &Reference| -> Result<(), TestCaseError> {
@@ -77,7 +77,7 @@ proptest! {
         };
         check(&store, &reference)?;
         for id in (0..docs.len() as u64).filter(|id| id % delete_every == 0) {
-            prop_assert_eq!(store.delete(id), reference.delete(id));
+            prop_assert_eq!(store.delete(id).unwrap(), reference.delete(id));
         }
         check(&store, &reference)?;
     }
@@ -93,7 +93,7 @@ proptest! {
     ) {
         let store = Store::new(fm(), store_opts(num_shards));
         for (i, doc) in docs.iter().enumerate() {
-            store.insert(i as u64, doc);
+            store.insert(i as u64, doc).unwrap();
         }
         let all = store.find(&pattern);
         let capped = store.find_limit(&pattern, limit);

@@ -37,7 +37,7 @@ fn main() {
         })
         .collect();
     for chunk in batch.chunks(128) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).expect("insert batch");
     }
     println!(
         "loaded {} docs / {} bytes; {} rebuild jobs pending (workers drain them)",
@@ -70,7 +70,7 @@ fn main() {
 
     println!("\n== churn: drop completed requests, keep querying ==");
     let doomed: Vec<u64> = (0..2_000u64).filter(|i| (i / 3) % 4 == 1).collect();
-    let removed = store.delete_batch(&doomed);
+    let removed = store.delete_batch(&doomed).expect("delete batch");
     println!(
         "deleted {removed} docs; count(\"completed\") = {}",
         store.count(b"completed")

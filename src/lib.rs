@@ -75,7 +75,7 @@ pub mod prelude {
     };
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
     pub use dyndex_store::{
-        FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions, StoreStats,
+        FanOutPolicy, MaintenancePolicy, ShardPoisoned, ShardedStore, StoreOptions, StoreStats,
     };
     pub use dyndex_succinct::SpaceUsage;
     pub use dyndex_text::Occurrence;

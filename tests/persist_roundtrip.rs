@@ -160,10 +160,10 @@ fn plain_store_snapshot_under_background_mode() {
         },
     );
     for chunk in docs.chunks(48) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 5 == 2).collect();
-    store.delete_batch(&doomed);
+    store.delete_batch(&doomed).unwrap();
 
     let dir = TempDir::new("plain");
     // snapshot() quiesces internally; no explicit flush needed.
@@ -201,7 +201,7 @@ fn restore_recreates_worker_pool() {
     let dir = TempDir::new("pool-restore");
     let store = Store::new(fm(), deterministic_opts(3));
     for chunk in docs.chunks(48) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     store.snapshot(&dir.0).expect("snapshot");
     assert_eq!(store.worker_threads(), 0, "Manual source has no workers");
@@ -232,7 +232,7 @@ fn restore_recreates_worker_pool() {
     let extra: Vec<(u64, Vec<u8>)> = (0..40u64)
         .map(|i| (5_000_000 + i, format!("post restore doc {i}").into_bytes()))
         .collect();
-    restored.insert_batch(&extra);
+    restored.insert_batch(&extra).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while restored.pending_background_jobs() > 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(1));
@@ -325,7 +325,7 @@ fn delta_snapshot_reuses_unchanged_levels() {
     let dir = TempDir::new("delta");
     let store = Store::new(fm(), deterministic_opts(4));
     for chunk in docs.chunks(32) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     store.flush();
 
@@ -344,7 +344,7 @@ fn delta_snapshot_reuses_unchanged_levels() {
         .take(8)
         .collect();
     assert!(!shard0.is_empty());
-    assert_eq!(store.delete_batch(&shard0), shard0.len());
+    assert_eq!(store.delete_batch(&shard0).unwrap(), shard0.len());
     store.flush();
 
     let second = store.snapshot(&dir.0).expect("second snapshot");

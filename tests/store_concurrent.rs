@@ -69,7 +69,7 @@ fn sharded_matches_unsharded_with_jobs_in_flight() {
 
     let mut saw_pending = 0usize;
     for chunk in docs.chunks(24) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
         for (id, bytes) in chunk {
             reference.insert(*id, bytes);
         }
@@ -88,7 +88,7 @@ fn sharded_matches_unsharded_with_jobs_in_flight() {
 
     // Delete a third of the documents through the batch path.
     let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 3 == 0).collect();
-    assert_eq!(store.delete_batch(&doomed), doomed.len());
+    assert_eq!(store.delete_batch(&doomed).unwrap(), doomed.len());
     for id in &doomed {
         reference.delete(*id);
     }
@@ -153,7 +153,7 @@ fn concurrent_readers_during_writes_and_maintenance() {
             });
         }
         for chunk in docs.chunks(16) {
-            store.insert_batch(chunk);
+            store.insert_batch(chunk).unwrap();
         }
         writer_done.store(true, Ordering::Release);
     });
@@ -213,15 +213,15 @@ fn pooled_store_matches_unsharded_on_default_seed() {
     let mut reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Inline);
 
     for chunk in docs.chunks(24) {
-        pooled.insert_batch(chunk);
-        scoped.insert_batch(chunk);
+        pooled.insert_batch(chunk).unwrap();
+        scoped.insert_batch(chunk).unwrap();
         for (id, bytes) in chunk {
             reference.insert(*id, bytes);
         }
     }
     let doomed: Vec<u64> = (0..docs.len() as u64).filter(|id| id % 3 == 0).collect();
-    assert_eq!(pooled.delete_batch(&doomed), doomed.len());
-    assert_eq!(scoped.delete_batch(&doomed), doomed.len());
+    assert_eq!(pooled.delete_batch(&doomed).unwrap(), doomed.len());
+    assert_eq!(scoped.delete_batch(&doomed).unwrap(), doomed.len());
     for id in &doomed {
         reference.delete(*id);
     }
@@ -243,7 +243,7 @@ fn pooled_store_matches_unsharded_on_default_seed() {
     let bg = Store::new(fm(), pooled_opts(RebuildMode::Background));
     let mut bg_reference = Reference::new(fm(), DynOptions::default(), RebuildMode::Background);
     for chunk in docs.chunks(24) {
-        bg.insert_batch(chunk);
+        bg.insert_batch(chunk).unwrap();
         for (id, bytes) in chunk {
             bg_reference.insert(*id, bytes);
         }
@@ -262,7 +262,7 @@ fn pool_drop_with_queries_in_flight() {
     let patterns = Arc::new(patterns);
     let store = Arc::new(Store::new(fm(), pooled_opts(RebuildMode::Background)));
     for chunk in docs.chunks(64) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     let queries = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
@@ -288,19 +288,24 @@ fn pool_drop_with_queries_in_flight() {
     assert_eq!(queries.load(Ordering::Relaxed), 4 * 30);
 }
 
-/// Worker panic containment: a writer panic poisons one shard's lock;
-/// fan-out queries touching that shard surface the poisoning as a caller
-/// panic (shipped through the reply channel — the same error surface as
-/// scoped threads), while the worker itself survives: single-shard
-/// operations on healthy shards keep working, repeated fan-outs keep
-/// failing fast instead of hanging, and the pool still tears down
-/// cleanly at drop.
+/// Writer-panic containment under the view-published read path: a writer
+/// panic poisons one shard's lock, but readers never touch that lock —
+/// every query keeps answering from the shard's last published view.
+/// Writes to the poisoned shard are refused with a typed
+/// [`ShardPoisoned`] error (not a cascading panic), other shards keep
+/// accepting writes, the workers all survive, and `flush` skips the
+/// poisoned shard instead of panicking.
 #[test]
-fn worker_panic_containment_keeps_healthy_shards_usable() {
+fn poisoned_writer_keeps_reads_serving_last_view() {
     let store = Store::new(fm(), pooled_opts(RebuildMode::Inline));
     for id in 0..32u64 {
-        store.insert(id, format!("containment doc {id}").as_bytes());
+        store
+            .insert(id, format!("containment doc {id}").as_bytes())
+            .unwrap();
     }
+    let count_before = store.count(b"containment");
+    assert_eq!(count_before, 32);
+    let hits_before = store.find(b"containment");
     let poisoned_shard = store.shard_of(0);
     // A healthy document routed to any other shard.
     let healthy = (1..32u64)
@@ -308,39 +313,63 @@ fn worker_panic_containment_keeps_healthy_shards_usable() {
         .unwrap();
 
     // Poison: duplicate insert panics while the shard's write guard is
-    // held, poisoning that one RwLock.
+    // held, poisoning that one RwLock. The guard's Drop sees the unwind
+    // and publishes nothing, so the shard's view stays at the last good
+    // state.
     let write_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        store.insert(0, b"duplicate");
+        let _ = store.insert(0, b"duplicate");
     }))
     .expect_err("duplicate insert must panic");
     let msg = panic_message(write_panic.as_ref());
     assert!(msg.contains("already present"), "unexpected panic: {msg}");
 
-    // Fan-out across all shards now hits the poisoned lock; the worker
-    // catches the panic, replies with it, and the caller re-raises it.
+    // The regression this test pins down: fan-out queries used to
+    // `.expect("shard lock poisoned")`-panic store-wide. Now `find`
+    // answers exactly from the last published views, repeatedly.
     for attempt in 0..2 {
-        let query_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            store.count(b"containment");
-        }))
-        .expect_err("fan-out over a poisoned shard must panic");
-        let msg = panic_message(query_panic.as_ref());
-        assert!(
-            msg.contains("poisoned"),
-            "attempt {attempt}: poisoning must surface as the error, got: {msg}"
+        assert_eq!(
+            store.count(b"containment"),
+            count_before,
+            "attempt {attempt}: reads must keep serving the last view"
         );
+        assert_eq!(store.find(b"containment"), hits_before);
     }
+    assert!(store.contains(0), "poisoned shard still serves point reads");
+    assert!(store.extract(0, 0, 11).is_some());
 
-    // The store stays usable for every other shard.
+    // Writes to the poisoned shard fail fast with the typed error.
+    let mut same = 1_000u64;
+    while store.shard_of(same) != poisoned_shard {
+        same += 1;
+    }
+    assert_eq!(
+        store.insert(same, b"refused"),
+        Err(ShardPoisoned {
+            shard: poisoned_shard
+        })
+    );
+    assert_eq!(
+        store.delete(0),
+        Err(ShardPoisoned {
+            shard: poisoned_shard
+        })
+    );
+
+    // Every other shard keeps accepting writes.
     assert!(store.contains(healthy));
-    assert!(store.extract(healthy, 0, 11).is_some());
-    let mut fresh = 1_000u64;
+    let mut fresh = 2_000u64;
     while store.shard_of(fresh) == poisoned_shard {
         fresh += 1;
     }
-    store.insert(fresh, b"inserted after the poisoning");
+    store
+        .insert(fresh, b"containment doc inserted after the poisoning")
+        .unwrap();
     assert!(store.contains(fresh));
-    // Workers are all still alive (containment, not crash-and-respawn).
+    assert_eq!(store.count(b"containment"), count_before + 1);
+    // Workers are all still alive (containment, not crash-and-respawn),
+    // and flush quiesces the healthy shards without panicking.
     assert_eq!(store.worker_threads(), 4);
+    store.flush();
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -362,7 +391,7 @@ fn flush_drains_request_queues_under_concurrent_readers() {
     let (docs, patterns) = workload();
     let store = Store::new(fm(), pooled_opts(RebuildMode::Background));
     for chunk in docs.chunks(32) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -387,6 +416,190 @@ fn flush_drains_request_queues_under_concurrent_readers() {
     });
     // Queues empty once the readers are gone and the last flush settled.
     assert_eq!(store.stats().queued_requests(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Epoch-published views (lock-free read path)
+// ----------------------------------------------------------------------
+
+/// The headline acceptance criterion: queries execute without acquiring
+/// the shard `RwLock`. Proven directly — this thread holds a shard's
+/// write lock while a full fan-out `find` (which includes that shard)
+/// completes with exact answers. Under the old lock-based read path this
+/// deadlocks; under view publication the workers answer from the last
+/// published views.
+#[test]
+fn find_completes_while_shard_write_lock_is_held() {
+    let (docs, patterns) = workload();
+    let store = Store::new(fm(), pooled_opts(RebuildMode::Inline));
+    for chunk in docs.chunks(64) {
+        store.insert_batch(chunk).unwrap();
+    }
+    store.flush();
+    let want: Vec<_> = patterns.iter().map(|p| store.find(p)).collect();
+
+    for shard in 0..store.num_shards() {
+        let guard = store.lock_shard(shard);
+        for (pattern, want) in patterns.iter().zip(&want) {
+            assert_eq!(
+                &store.find(pattern),
+                want,
+                "find must complete exactly while shard {shard} is write-locked"
+            );
+            assert_eq!(store.count(pattern), want.len());
+        }
+        drop(guard);
+    }
+}
+
+/// Deterministic interleaving of view install vs a pinned reader: a
+/// loaded view is an immutable snapshot — later writes never mutate it
+/// ("old"), a reload observes them ("new"), and there is no third,
+/// torn possibility. View epochs increase strictly across installs.
+#[test]
+fn pinned_view_is_immutable_and_epochs_increase() {
+    let store = Store::new(
+        fm(),
+        StoreOptions {
+            num_shards: 1,
+            index: DynOptions::default(),
+            mode: RebuildMode::Inline,
+            maintenance: MaintenancePolicy::Manual,
+            fan_out: FanOutPolicy::ScopedSpawn,
+        },
+    );
+    store.insert(1, b"pinned alpha").unwrap();
+    let old = store.shard_view(0);
+    let old_epoch = old.epoch();
+    assert_eq!(old.count(b"alpha"), 1);
+
+    // Interleave three installs (insert, insert, delete) against the
+    // pinned view: it must answer from its snapshot throughout.
+    store.insert(2, b"pinned beta").unwrap();
+    assert_eq!(old.count(b"pinned"), 1, "pinned view never sees the insert");
+    store.insert(3, b"pinned gamma").unwrap();
+    store.delete(1).unwrap();
+    assert_eq!(old.count(b"alpha"), 1, "pinned view never sees the delete");
+    assert_eq!(old.num_docs(), 1);
+
+    // A fresh load observes everything, under a strictly larger epoch.
+    let new = store.shard_view(0);
+    assert!(
+        new.epoch() > old_epoch,
+        "epochs must increase: {} -> {}",
+        old_epoch,
+        new.epoch()
+    );
+    assert_eq!(new.count(b"alpha"), 0);
+    assert_eq!(new.count(b"pinned"), 2);
+    assert_eq!(new.num_docs(), 2);
+}
+
+/// Concurrent readers racing a writer can never observe a torn view.
+/// Every inserted document contains both the token `alphaq` and the
+/// token `betaq`, so *within any single view* the two counts are equal —
+/// a reader that caught a half-installed state would see them differ.
+/// Per-reader epoch monotonicity is asserted on the same loads.
+#[test]
+fn concurrent_view_loads_are_never_torn() {
+    let store = Store::new(
+        fm(),
+        StoreOptions {
+            num_shards: 1,
+            index: DynOptions::default(),
+            mode: RebuildMode::Background,
+            maintenance: MaintenancePolicy::Manual,
+            fan_out: FanOutPolicy::ScopedSpawn,
+        },
+    );
+    let writer_done = AtomicBool::new(false);
+    let loads = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut last_epoch = 0u64;
+                let mut last_docs = 0usize;
+                while !writer_done.load(Ordering::Acquire) {
+                    let view = store.shard_view(0);
+                    assert_eq!(
+                        view.count(b"alphaq"),
+                        view.count(b"betaq"),
+                        "a single view must be internally consistent"
+                    );
+                    assert!(
+                        view.epoch() >= last_epoch,
+                        "epochs must be monotone per reader: {} then {}",
+                        last_epoch,
+                        view.epoch()
+                    );
+                    // Monotone insert-only workload: doc counts can only
+                    // grow along a reader's view sequence.
+                    assert!(view.num_docs() >= last_docs);
+                    last_epoch = view.epoch();
+                    last_docs = view.num_docs();
+                    loads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for id in 0..300u64 {
+            store
+                .insert(id, format!("alphaq {id} betaq").as_bytes())
+                .unwrap();
+            if id % 16 == 0 {
+                store.maintain();
+            }
+        }
+        store.finish_background_work();
+        writer_done.store(true, Ordering::Release);
+    });
+    assert!(loads.load(Ordering::Relaxed) > 0, "readers must have raced");
+    let view = store.shard_view(0);
+    assert_eq!(view.count(b"alphaq"), 300);
+    assert_eq!(view.num_docs(), 300);
+}
+
+/// Long read/write soak over the epoch-published views: several readers
+/// hammer views (consistency + epoch monotonicity per load) while a
+/// writer churns inserts and deletes for a few seconds. Run with
+/// `cargo test -- --ignored read_write_soak`.
+#[test]
+#[ignore = "multi-second soak; run explicitly"]
+fn read_write_soak() {
+    let store = Store::new(fm(), pooled_opts(RebuildMode::Background));
+    let writer_done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            scope.spawn(|| {
+                let mut last = vec![0u64; store.num_shards()];
+                while !writer_done.load(Ordering::Acquire) {
+                    for (shard, last_epoch) in last.iter_mut().enumerate() {
+                        let view = store.shard_view(shard);
+                        assert_eq!(view.count(b"soakalpha"), view.count(b"soakbeta"));
+                        assert!(view.epoch() >= *last_epoch, "epoch regressed");
+                        *last_epoch = view.epoch();
+                    }
+                    std::hint::black_box(store.find_limit(b"soakalpha", 7));
+                }
+            });
+            let _ = t;
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut id = 0u64;
+        while std::time::Instant::now() < deadline {
+            store
+                .insert(id, format!("soakalpha {id} soakbeta").as_bytes())
+                .unwrap();
+            if id >= 64 && id.is_multiple_of(4) {
+                store.delete(id - 64).unwrap();
+            }
+            id += 1;
+        }
+        writer_done.store(true, Ordering::Release);
+    });
+    store.flush();
+    let alive = store.num_docs();
+    assert_eq!(store.count(b"soakalpha"), alive);
+    assert_eq!(store.count(b"soakbeta"), alive);
 }
 
 // ----------------------------------------------------------------------
@@ -425,7 +638,7 @@ fn background_snapshot_holds_at_most_one_shard_lock() {
     let (docs, patterns) = workload();
     let store = Arc::new(Store::new(fm(), pooled_opts(RebuildMode::Inline)));
     for chunk in docs.chunks(64) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     store.flush();
     let dir = SnapshotTempDir::new("one-lock");
@@ -485,7 +698,7 @@ fn queries_complete_while_background_snapshot_serializes() {
     let (docs, patterns) = workload();
     let store = Arc::new(Store::new(fm(), pooled_opts(RebuildMode::Inline)));
     for chunk in docs.chunks(64) {
-        store.insert_batch(chunk);
+        store.insert_batch(chunk).unwrap();
     }
     store.flush();
     let want: Vec<usize> = patterns.iter().map(|p| store.count(p)).collect();
