@@ -106,6 +106,7 @@ fn readers_under_writes(docs: &[(u64, Vec<u8>)], patterns: &[Vec<u8>], churn: &[
                 mode: RebuildMode::Background,
                 maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
                 fan_out: FanOutPolicy::Pooled,
+                ..StoreOptions::default()
             },
         );
         for chunk in docs.chunks(256) {
@@ -195,6 +196,7 @@ fn run_config(
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
             fan_out: policy,
+            ..StoreOptions::default()
         },
     );
 

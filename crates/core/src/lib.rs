@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod deletion_only;
+pub mod metrics;
 pub mod naive;
 pub mod stats;
 pub mod traits;
@@ -41,6 +42,7 @@ pub mod transform3;
 
 pub use config::{CapacitySchedule, DynOptions, Growth};
 pub use deletion_only::DeletionOnlyIndex;
+pub use metrics::CoreMetrics;
 pub use naive::NaiveIndex;
 pub use stats::{LevelStats, UpdateWork};
 pub use traits::{FmConfig, StaticIndex};

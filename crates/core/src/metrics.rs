@@ -1,0 +1,70 @@
+//! Telemetry handles for the core rebuild machinery.
+//!
+//! [`CoreMetrics`] bundles the counters/histograms a [`Transform2Index`]
+//! records into when one is attached via
+//! [`Transform2Index::set_metrics`]. The handles are shared `Arc`s from a
+//! [`MetricsRegistry`], so every shard of a store records into the same
+//! series, and a detached index (`metrics == None`) pays nothing — not
+//! even a clock read.
+//!
+//! [`Transform2Index`]: crate::transform2::Transform2Index
+//! [`Transform2Index::set_metrics`]: crate::transform2::Transform2Index::set_metrics
+
+use std::sync::Arc;
+
+use dyndex_obs::{Counter, Histogram, MetricsRegistry, Unit};
+
+/// Shared handles for core-layer instrumentation: rebuild/merge job
+/// durations, level/top installs, and `C0` freeze behavior.
+#[derive(Debug)]
+pub struct CoreMetrics {
+    /// Wall-clock duration of each static rebuild/merge job, in nanos
+    /// (recorded on the build thread for background jobs).
+    pub rebuild_duration: Arc<Histogram>,
+    /// Finished level jobs installed (`N_{j+1}` replacing `C_{j+1}` or
+    /// becoming a fresh top).
+    pub level_installs: Arc<Counter>,
+    /// Finished top-maintenance jobs installed (purges and merges).
+    pub top_installs: Arc<Counter>,
+    /// `snapshot_view` calls that had to deep-copy `C0` (it changed since
+    /// the last published view).
+    pub c0_freeze_copies: Arc<Counter>,
+    /// `snapshot_view` calls that reused the cached frozen `C0` `Arc`.
+    pub c0_freeze_reused: Arc<Counter>,
+}
+
+impl CoreMetrics {
+    /// Registers (or re-binds to) the core metric series in `registry`.
+    /// `stripes` sizes the rebuild-duration histogram's recording lanes —
+    /// pass the shard count so concurrent background builds don't contend.
+    pub fn register(registry: &MetricsRegistry, stripes: usize) -> Arc<Self> {
+        Arc::new(CoreMetrics {
+            rebuild_duration: registry.histogram(
+                "dyndex_core_rebuild_duration",
+                "wall-clock duration of static rebuild/merge jobs",
+                Unit::Nanos,
+                stripes,
+            ),
+            level_installs: registry.counter(
+                "dyndex_core_level_installs",
+                "finished level rebuild jobs installed",
+                Unit::Count,
+            ),
+            top_installs: registry.counter(
+                "dyndex_core_top_installs",
+                "finished top-maintenance jobs installed",
+                Unit::Count,
+            ),
+            c0_freeze_copies: registry.counter(
+                "dyndex_core_c0_freeze_copies",
+                "view publications that deep-copied C0",
+                Unit::Count,
+            ),
+            c0_freeze_reused: registry.counter(
+                "dyndex_core_c0_freeze_reused",
+                "view publications that reused the cached frozen C0",
+                Unit::Count,
+            ),
+        })
+    }
+}

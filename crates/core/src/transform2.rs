@@ -30,6 +30,7 @@
 
 use crate::config::{CapacitySchedule, DynOptions};
 use crate::deletion_only::DeletionOnlyIndex;
+use crate::metrics::CoreMetrics;
 use crate::stats::{LevelStats, UpdateWork};
 use crate::traits::StaticIndex;
 use dyndex_succinct::SpaceUsage;
@@ -37,6 +38,7 @@ use dyndex_text::{Occurrence, SuffixTree};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How background rebuild jobs execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,26 +80,34 @@ impl<I: StaticIndex> Job<I> {
         config: &I::Config,
         counting: bool,
         mode: RebuildMode,
+        metrics: Option<Arc<CoreMetrics>>,
     ) -> Self {
         let symbols: usize = docs.iter().map(|(_, d)| d.len()).sum();
-        match mode {
-            RebuildMode::Inline => {
-                let refs: Vec<(u64, &[u8])> =
-                    docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
-                Job {
-                    handle: None,
-                    ready: Some(DeletionOnlyIndex::build(&refs, config, counting)),
-                    pending_deletes: Vec::new(),
-                    symbols,
+        // Build duration is recorded where the build runs: on the spawned
+        // thread for background jobs, inline otherwise. A detached index
+        // (metrics == None) never reads the clock.
+        let build = move |docs: &[(u64, Vec<u8>)], config: &I::Config| {
+            let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
+            match &metrics {
+                Some(m) => {
+                    let start = Instant::now();
+                    let index = DeletionOnlyIndex::build(&refs, config, counting);
+                    m.rebuild_duration.record(start.elapsed().as_nanos() as u64);
+                    index
                 }
+                None => DeletionOnlyIndex::build(&refs, config, counting),
             }
+        };
+        match mode {
+            RebuildMode::Inline => Job {
+                handle: None,
+                ready: Some(build(&docs, config)),
+                pending_deletes: Vec::new(),
+                symbols,
+            },
             RebuildMode::Background => {
                 let config = config.clone();
-                let handle = std::thread::spawn(move || {
-                    let refs: Vec<(u64, &[u8])> =
-                        docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
-                    DeletionOnlyIndex::build(&refs, &config, counting)
-                });
+                let handle = std::thread::spawn(move || build(&docs, &config));
                 Job {
                     handle: Some(handle),
                     ready: None,
@@ -308,6 +318,9 @@ pub struct Transform2Index<I: StaticIndex> {
     /// Monotone publication counter handed to each [`ShardView`].
     view_seq: u64,
     work: UpdateWork,
+    /// Optional telemetry sink shared across shards; `None` = record
+    /// nothing (no clock reads, no atomics).
+    metrics: Option<Arc<CoreMetrics>>,
 }
 
 impl<I: StaticIndex> Transform2Index<I> {
@@ -336,7 +349,15 @@ impl<I: StaticIndex> Transform2Index<I> {
             c0_frozen: None,
             view_seq: 0,
             work: UpdateWork::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a shared telemetry sink. Rebuild
+    /// durations, install counts, and `C0` freeze behavior are recorded
+    /// into it from then on.
+    pub fn set_metrics(&mut self, metrics: Option<Arc<CoreMetrics>>) {
+        self.metrics = metrics;
     }
 
     /// Number of alive documents.
@@ -416,6 +437,9 @@ impl<I: StaticIndex> Transform2Index<I> {
         let symbols = job.symbols;
         let (index, _) = job.join();
         self.work.jobs_completed += 1;
+        if let Some(m) = &self.metrics {
+            m.level_installs.inc();
+        }
         let target = j + 1;
         if target <= self.r() {
             // N_{j+1} replaces C_{j+1}; L_j and Temp_{j+1} retire.
@@ -466,6 +490,9 @@ impl<I: StaticIndex> Transform2Index<I> {
         };
         let (index, _) = job.join();
         self.work.jobs_completed += 1;
+        if let Some(m) = &self.metrics {
+            m.top_installs.inc();
+        }
         let epoch = self.bump_epoch();
         let stamped = |index: DeletionOnlyIndex<I>| {
             if index.is_empty() {
@@ -662,6 +689,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             &self.config,
             self.options.counting,
             self.mode,
+            self.metrics.clone(),
         ));
         self.work.jobs_started += 1;
     }
@@ -697,6 +725,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             &self.config,
             self.options.counting,
             self.mode,
+            self.metrics.clone(),
         ));
         self.work.jobs_started += 1;
     }
@@ -878,7 +907,13 @@ impl<I: StaticIndex> Transform2Index<I> {
             if lr.alive_symbols() >= unit / 2 {
                 // Large enough to stand alone as a new top.
                 let docs = lr.export_alive_docs();
-                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                let job = Job::spawn(
+                    docs,
+                    &self.config,
+                    self.options.counting,
+                    self.mode,
+                    self.metrics.clone(),
+                );
                 self.top_job = Some((TopJobKind::FromLrPrime, job));
                 self.work.jobs_started += 1;
                 return;
@@ -899,7 +934,13 @@ impl<I: StaticIndex> Transform2Index<I> {
                         .expect("selected above")
                         .export_alive_docs(),
                 );
-                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                let job = Job::spawn(
+                    docs,
+                    &self.config,
+                    self.options.counting,
+                    self.mode,
+                    self.metrics.clone(),
+                );
                 self.top_job = Some((TopJobKind::MergeLrPrime(t), job));
                 self.work.jobs_started += 1;
                 return;
@@ -907,7 +948,13 @@ impl<I: StaticIndex> Transform2Index<I> {
             // No top to merge with: stand alone regardless of size.
             let docs = lr.export_alive_docs();
             if !docs.is_empty() {
-                let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+                let job = Job::spawn(
+                    docs,
+                    &self.config,
+                    self.options.counting,
+                    self.mode,
+                    self.metrics.clone(),
+                );
                 self.top_job = Some((TopJobKind::FromLrPrime, job));
                 self.work.jobs_started += 1;
             } else {
@@ -929,7 +976,13 @@ impl<I: StaticIndex> Transform2Index<I> {
             let (a, b) = (by_size[0], by_size[1]);
             let mut docs = self.tops[a].as_ref().expect("live top").export_alive_docs();
             docs.extend(self.tops[b].as_ref().expect("live top").export_alive_docs());
-            let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+            let job = Job::spawn(
+                docs,
+                &self.config,
+                self.options.counting,
+                self.mode,
+                self.metrics.clone(),
+            );
             self.top_job = Some((TopJobKind::MergeTops(a.min(b), a.max(b)), job));
             self.work.jobs_started += 1;
             return;
@@ -944,7 +997,13 @@ impl<I: StaticIndex> Transform2Index<I> {
                 return;
             }
             let docs = top.export_alive_docs();
-            let job = Job::spawn(docs, &self.config, self.options.counting, self.mode);
+            let job = Job::spawn(
+                docs,
+                &self.config,
+                self.options.counting,
+                self.mode,
+                self.metrics.clone(),
+            );
             self.top_job = Some((TopJobKind::Replace(t), job));
             self.work.jobs_started += 1;
             self.work.purges += 1;
@@ -1190,8 +1249,16 @@ impl<I: StaticIndex> Transform2Index<I> {
     pub fn snapshot_view(&mut self) -> ShardView<I> {
         self.view_seq += 1;
         let c0 = match &self.c0_frozen {
-            Some((version, frozen)) if *version == self.c0_version => Arc::clone(frozen),
+            Some((version, frozen)) if *version == self.c0_version => {
+                if let Some(m) = &self.metrics {
+                    m.c0_freeze_reused.inc();
+                }
+                Arc::clone(frozen)
+            }
             _ => {
+                if let Some(m) = &self.metrics {
+                    m.c0_freeze_copies.inc();
+                }
                 let frozen = Arc::new(self.c0.clone());
                 self.c0_frozen = Some((self.c0_version, Arc::clone(&frozen)));
                 frozen
@@ -1440,6 +1507,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             c0_frozen: None,
             view_seq: 0,
             work: UpdateWork::default(),
+            metrics: None,
         })
     }
 

@@ -1,0 +1,44 @@
+//! Zero-dependency telemetry for dyndex: lock-free metrics, log-bucketed
+//! latency histograms, bounded query tracing, and Prometheus-style text
+//! exposition.
+//!
+//! Like the `Persist` codec, this crate is std-only by design — the registry
+//! must work offline, embedded in benches and tests, with nothing to vendor.
+//!
+//! Three layers:
+//!
+//! - **Primitives** ([`Counter`], [`Gauge`], [`Histogram`]): plain atomics,
+//!   wait-free recording, no allocation on the hot path. Histograms stripe
+//!   their buckets (per thread or per shard via [`Histogram::record_at`]) so
+//!   concurrent recorders don't share cache lines, and snapshots merge
+//!   losslessly ([`HistogramSnapshot::merge`]).
+//! - **Registry** ([`MetricsRegistry`]): named get-or-create handles plus
+//!   [`MetricsRegistry::render_text`] exposition. Re-registering a name
+//!   returns the same handle — a restored store pointed at the old registry
+//!   keeps accumulating into the same series.
+//! - **Tracer** ([`Tracer`]): a bounded ring buffer of per-query
+//!   [`QuerySpan`]s (route → queue-wait → shard-execute → merge, with the
+//!   view epoch range the read served from).
+//!
+//! ```
+//! use dyndex_obs::{MetricsRegistry, Unit};
+//!
+//! let registry = MetricsRegistry::new();
+//! let latency = registry.histogram("query_nanos", "query latency", Unit::Nanos, 8);
+//! latency.record(1_200);
+//! latency.record(3_400);
+//! let snap = latency.snapshot();
+//! assert_eq!(snap.count(), 2);
+//! assert!(snap.percentile(0.99) >= 3_400);
+//! println!("{}", registry.render_text());
+//! ```
+
+mod metrics;
+mod recorder;
+mod registry;
+mod trace;
+
+pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use recorder::{NoopRecorder, Recorder};
+pub use registry::{MetricsRegistry, Unit};
+pub use trace::{QueryKind, QuerySpan, Tracer};

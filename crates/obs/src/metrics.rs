@@ -1,0 +1,410 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and the striped
+//! log-bucketed [`Histogram`].
+//!
+//! All three are plain `AtomicU64` structures with `Relaxed` ordering: they
+//! are statistics, not synchronization. Recording never blocks, never
+//! allocates, and never takes a lock; readers take a consistent-enough
+//! point-in-time [`HistogramSnapshot`] by summing the stripes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use dyndex_obs::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(41);
+/// assert_eq!(c.get(), 42);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (queue depths, garbage backlog, worker busyness).
+///
+/// ```
+/// use dyndex_obs::Gauge;
+/// let g = Gauge::new();
+/// g.set(7);
+/// assert_eq!(g.get(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two, giving a
+/// worst-case relative bucket width of 1/8 = 12.5%.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Values 0..8 get exact unit buckets; each of the remaining 61 octaves
+/// (msb 3..=63) contributes 8 sub-buckets: 8 + 61*8 = 496.
+pub(crate) const NUM_BUCKETS: usize = SUB + 61 * SUB;
+
+/// One cache-line-ish stripe of bucket counters plus its own count/sum/max.
+#[derive(Debug)]
+struct Stripe {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Maps a value to its bucket index. Values below 8 land in exact unit
+/// buckets; larger values keep their top `SUB_BITS + 1` significant bits.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        ((shift as usize + 1) * SUB) + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `index`.
+#[inline]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        (index as u64, index as u64)
+    } else {
+        let shift = (index / SUB - 1) as u32;
+        let sub = (index % SUB) as u64;
+        let lo = (sub + SUB as u64) << shift;
+        (lo, lo + ((1u64 << shift) - 1))
+    }
+}
+
+/// Picks a stable per-thread stripe index so concurrent recorders rarely
+/// contend on the same cache lines.
+fn thread_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// A mergeable log-bucketed histogram with wait-free recording.
+///
+/// Recording adds to one of `stripes` independent bucket arrays (chosen by
+/// thread, or explicitly via [`Histogram::record_at`] for per-shard
+/// striping), so N recorders scale without cache-line ping-pong. Buckets are
+/// log-linear: exact below 8, then 8 sub-buckets per power of two (≤12.5%
+/// relative error) up to `u64::MAX`.
+///
+/// ```
+/// use dyndex_obs::Histogram;
+/// let h = Histogram::new(4);
+/// for v in [1u64, 10, 100, 1000, 10_000] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 5);
+/// assert_eq!(snap.max(), 10_000);
+/// assert!(snap.percentile(0.50) >= 100);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    stripes: Box<[Stripe]>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `stripes` independent recording lanes
+    /// (rounded up to a power of two, minimum 1).
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        Self {
+            stripes: (0..n).map(|_| Stripe::new()).collect(),
+        }
+    }
+
+    /// Records one value on this thread's stripe.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let mask = self.stripes.len() - 1;
+        self.stripes[thread_stripe() & mask].record(v);
+    }
+
+    /// Records one value on the stripe selected by `hint` (e.g. a shard
+    /// index), avoiding contention when recorders are already partitioned.
+    #[inline]
+    pub fn record_at(&self, hint: usize, v: u64) {
+        let mask = self.stripes.len() - 1;
+        self.stripes[hint & mask].record(v);
+    }
+
+    /// Sums all stripes into an immutable point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for stripe in self.stripes.iter() {
+            for (acc, b) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            count += stripe.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(stripe.sum.load(Ordering::Relaxed));
+            max = max.max(stripe.max.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+}
+
+/// An immutable summed view of a [`Histogram`]: supports percentile readout
+/// and lossless merging with other snapshots.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0 if empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Value at quantile `q` in `[0.0, 1.0]`: the inclusive upper bound of
+    /// the bucket containing the q-th ranked sample, clamped to the observed
+    /// maximum (so percentiles never exceed `max()` and are monotone in `q`).
+    /// Returns 0 for an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`; the result is identical to a snapshot of
+    /// a histogram that recorded both underlying streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            let i = bucket_of(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_value() {
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            assert!(lo <= v && v <= hi, "v={v} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_line() {
+        // Adjacent buckets are contiguous and non-overlapping.
+        let mut prev_hi: Option<u64> = None;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap/overlap at bucket {i}");
+            }
+            assert!(lo <= hi);
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [100u64, 12_345, 1 << 30, u64::MAX / 3] {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            // Width is at most lo/8, i.e. 12.5% relative error.
+            assert!((hi - lo) as f64 <= lo as f64 / 8.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_basic() {
+        let h = Histogram::new(1);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1000);
+        let p50 = s.percentile(0.5);
+        assert!((450..=560).contains(&p50), "p50={p50}");
+        let p99 = s.percentile(0.99);
+        assert!((980..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(s.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new(2).snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn striped_recording_sums() {
+        let h = Histogram::new(8);
+        for shard in 0..8usize {
+            for _ in 0..10 {
+                h.record_at(shard, 42);
+            }
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 80);
+        assert_eq!(s.sum(), 80 * 42);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let a = Histogram::new(1);
+        let b = Histogram::new(1);
+        let all = Histogram::new(1);
+        for v in [3u64, 9, 81, 6561] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 25, 625] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        let u = all.snapshot();
+        assert_eq!(m.count(), u.count());
+        assert_eq!(m.sum(), u.sum());
+        assert_eq!(m.max(), u.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(m.percentile(q), u.percentile(q));
+        }
+    }
+}

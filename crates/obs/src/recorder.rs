@@ -1,0 +1,116 @@
+//! The [`Recorder`] abstraction: a sink for latency/count observations with
+//! a free no-op default.
+//!
+//! Instrumented code can be generic over `R: Recorder` (or hold a concrete
+//! [`NoopRecorder`]) so that with telemetry disabled every call body is an
+//! empty inlineable function — no clock reads, no atomics, no branches left
+//! after optimization. `dyndex-store`'s `Telemetry::Disabled` mode is built
+//! on exactly this: its instrumentation points collapse to the no-op path.
+
+use crate::metrics::{Counter, Histogram};
+
+/// A sink for observations. Every method has a no-op default body, so a
+/// disabled recorder costs nothing.
+///
+/// ```
+/// use dyndex_obs::{Histogram, NoopRecorder, Recorder};
+///
+/// fn timed_op<R: Recorder>(rec: &R) -> u64 {
+///     let out = 40 + 2; // the real work
+///     rec.observe(1_250); // e.g. elapsed nanos
+///     out
+/// }
+///
+/// // Full recording...
+/// let hist = Histogram::new(1);
+/// assert_eq!(timed_op(&hist), 42);
+/// assert_eq!(hist.snapshot().count(), 1);
+/// // ...or provably free when disabled.
+/// assert_eq!(timed_op(&NoopRecorder), 42);
+/// assert!(!NoopRecorder.enabled());
+/// ```
+pub trait Recorder {
+    /// Whether observations are consumed. Callers may skip expensive
+    /// measurement (e.g. `Instant::now()`) when this returns `false`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records one observation (a latency in nanos, a size in bytes, ...).
+    #[inline]
+    fn observe(&self, _value: u64) {}
+
+    /// Records one observation on a striped lane selected by `hint`.
+    #[inline]
+    fn observe_at(&self, _hint: usize, value: u64) {
+        self.observe(value);
+    }
+}
+
+/// The always-disabled recorder: every method is an empty default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl Recorder for Histogram {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn observe(&self, value: u64) {
+        self.record(value);
+    }
+
+    #[inline]
+    fn observe_at(&self, hint: usize, value: u64) {
+        self.record_at(hint, value);
+    }
+}
+
+impl Recorder for Counter {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn observe(&self, value: u64) {
+        self.add(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_free() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.observe(123);
+        r.observe_at(4, 123);
+    }
+
+    #[test]
+    fn histogram_recorder_records() {
+        let h = Histogram::new(2);
+        assert!(Recorder::enabled(&h));
+        Recorder::observe(&h, 10);
+        Recorder::observe_at(&h, 1, 20);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.sum(), 30);
+    }
+
+    #[test]
+    fn counter_recorder_adds() {
+        let c = Counter::new();
+        Recorder::observe(&c, 5);
+        Recorder::observe(&c, 7);
+        assert_eq!(c.get(), 12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Named metric registry with Prometheus-style text exposition.
+//!
+//! Registration is get-or-create by name: registering the same name twice
+//! returns the *same* handle, which is what lets a restored store keep
+//! recording into the registry its predecessor used.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// The unit a metric's raw `u64` values are measured in; controls how
+/// [`MetricsRegistry::render_text`] scales them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Nanoseconds; rendered as fractional seconds.
+    Nanos,
+    /// Bytes; rendered as-is.
+    Bytes,
+    /// Dimensionless count; rendered as-is.
+    Count,
+}
+
+impl Unit {
+    fn render(self, v: u64, out: &mut String) {
+        match self {
+            Unit::Nanos => {
+                let _ = write!(out, "{:.9}", v as f64 / 1e9);
+            }
+            Unit::Bytes | Unit::Count => {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    help: String,
+    unit: Unit,
+    metric: Metric,
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Handles are `Arc`s: cheap to clone, safe to record on from any thread
+/// with no lock held. The registry lock is only taken at registration and
+/// exposition time, never on the record path.
+///
+/// ```
+/// use dyndex_obs::{MetricsRegistry, Unit};
+/// let reg = MetricsRegistry::new();
+/// let hits = reg.counter("cache_hits", "cache hit count", Unit::Count);
+/// hits.add(3);
+/// // Same name -> same handle: counts accumulate across re-registration.
+/// reg.counter("cache_hits", "cache hit count", Unit::Count).inc();
+/// assert_eq!(hits.get(), 4);
+/// assert!(reg.render_text().contains("cache_hits 4"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str, unit: Unit) -> Arc<Counter> {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            unit,
+            metric: Metric::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str, unit: Unit) -> Arc<Gauge> {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            unit,
+            metric: Metric::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it with `stripes`
+    /// recording lanes if absent (an existing histogram keeps its stripes).
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str, unit: Unit, stripes: usize) -> Arc<Histogram> {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            unit,
+            metric: Metric::Histogram(Arc::new(Histogram::new(stripes))),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Looks up an existing histogram by name without creating one.
+    pub fn find_histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        let entries = self.entries.lock().unwrap();
+        match entries.get(name).map(|e| &e.metric) {
+            Some(Metric::Histogram(h)) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition style, sorted by
+    /// name. Counters and gauges emit one sample; histograms emit a summary
+    /// (`quantile` 0.5/0.9/0.99/0.999 plus `_sum`, `_count`, `_max`).
+    /// `Nanos` metrics are scaled to seconds.
+    pub fn render_text(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut out = String::new();
+        for (name, entry) in entries.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = write!(out, "{name} ");
+                    entry.unit.render(c.get(), &mut out);
+                    out.push('\n');
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = write!(out, "{name} ");
+                    entry.unit.render(g.get(), &mut out);
+                    out.push('\n');
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} summary");
+                    let snap = h.snapshot();
+                    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)]
+                    {
+                        let _ = write!(out, "{name}{{quantile=\"{label}\"}} ");
+                        entry.unit.render(snap.percentile(q), &mut out);
+                        out.push('\n');
+                    }
+                    let _ = write!(out, "{name}_sum ");
+                    entry.unit.render(snap.sum(), &mut out);
+                    out.push('\n');
+                    let _ = writeln!(out, "{name}_count {}", snap.count());
+                    let _ = write!(out, "{name}_max ");
+                    entry.unit.render(snap.max(), &mut out);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_handle() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", "help", Unit::Count);
+        let b = reg.counter("x", "other help ignored", Unit::Count);
+        a.add(5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", "h", Unit::Count);
+        reg.gauge("x", "h", Unit::Count);
+    }
+
+    #[test]
+    fn render_scales_nanos_to_seconds() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", Unit::Nanos, 1);
+        h.record(1_500_000_000);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE lat summary"), "{text}");
+        assert!(text.contains("lat_count 1"), "{text}");
+        assert!(text.contains("lat_max 1.5"), "{text}");
+    }
+
+    #[test]
+    fn render_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("b_gauge", "g", Unit::Count).set(2);
+        reg.counter("a_counter", "c", Unit::Count).inc();
+        let text = reg.render_text();
+        let a = text.find("a_counter").unwrap();
+        let b = text.find("b_gauge").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE a_counter counter"));
+        assert!(text.contains("# TYPE b_gauge gauge"));
+    }
+
+    #[test]
+    fn find_histogram_does_not_create() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.find_histogram("missing").is_none());
+        reg.histogram("present", "h", Unit::Nanos, 2);
+        assert!(reg.find_histogram("present").is_some());
+    }
+}

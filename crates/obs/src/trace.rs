@@ -1,0 +1,234 @@
+//! Bounded ring-buffer query tracer.
+//!
+//! Each query records one [`QuerySpan`] breaking its latency into the four
+//! stages of the fan-out path — route → queue-wait → shard-execute → merge —
+//! together with the range of view epochs the read served from. The buffer
+//! is bounded: when full, the oldest span is dropped and counted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Which store query produced a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `ShardedStore::count`.
+    Count,
+    /// `ShardedStore::find`.
+    Find,
+    /// `ShardedStore::find_limit`.
+    FindLimit,
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryKind::Count => f.write_str("count"),
+            QueryKind::Find => f.write_str("find"),
+            QueryKind::FindLimit => f.write_str("find_limit"),
+        }
+    }
+}
+
+/// One query's latency breakdown and the view epochs it read.
+#[derive(Debug, Clone)]
+pub struct QuerySpan {
+    /// Which query API produced this span.
+    pub kind: QueryKind,
+    /// Time spent hashing/routing and submitting shard jobs, in nanoseconds.
+    pub route_nanos: u64,
+    /// Worst per-shard wait between submit and a pool worker picking the job
+    /// up, in nanoseconds (0 for scoped-spawn fan-out).
+    pub queue_nanos: u64,
+    /// Worst per-shard execution time against the published view.
+    pub execute_nanos: u64,
+    /// Time spent collecting and merging per-shard results.
+    pub merge_nanos: u64,
+    /// Smallest view epoch any shard served from.
+    pub min_epoch: u64,
+    /// Largest view epoch any shard served from.
+    pub max_epoch: u64,
+    /// Number of shards fanned out to.
+    pub shards: usize,
+    /// Result cardinality (match count or hits returned).
+    pub results: usize,
+}
+
+impl QuerySpan {
+    /// Total latency across all stages, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.route_nanos + self.queue_nanos + self.execute_nanos + self.merge_nanos
+    }
+}
+
+impl std::fmt::Display for QuerySpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} shards, epochs {}..={}] route {}ns | queue {}ns | execute {}ns | merge {}ns -> {} results",
+            self.kind,
+            self.shards,
+            self.min_epoch,
+            self.max_epoch,
+            self.route_nanos,
+            self.queue_nanos,
+            self.execute_nanos,
+            self.merge_nanos,
+            self.results
+        )
+    }
+}
+
+/// A bounded ring buffer of the most recent [`QuerySpan`]s.
+///
+/// Recording uses `try_lock`: if a reader currently holds the buffer, the
+/// span is dropped (and counted) rather than blocking the query path.
+///
+/// ```
+/// use dyndex_obs::{QueryKind, QuerySpan, Tracer};
+/// let tracer = Tracer::new(2);
+/// for i in 0..3u64 {
+///     tracer.record(QuerySpan {
+///         kind: QueryKind::Count,
+///         route_nanos: i,
+///         queue_nanos: 0,
+///         execute_nanos: 0,
+///         merge_nanos: 0,
+///         min_epoch: 1,
+///         max_epoch: 1,
+///         shards: 1,
+///         results: 0,
+///     });
+/// }
+/// let recent = tracer.recent();
+/// assert_eq!(recent.len(), 2); // oldest span evicted
+/// assert_eq!(recent[0].route_nanos, 1);
+/// assert_eq!(tracer.recorded(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    capacity: usize,
+    spans: Mutex<VecDeque<QuerySpan>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Tracer {
+    /// Creates a tracer keeping at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            spans: Mutex::new(VecDeque::with_capacity(capacity)),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a span, evicting the oldest when full. Never blocks: if the
+    /// buffer is contended the span is counted as dropped instead.
+    pub fn record(&self, span: QuerySpan) {
+        match self.spans.try_lock() {
+            Ok(mut spans) => {
+                if spans.len() == self.capacity {
+                    spans.pop_front();
+                }
+                spans.push_back(span);
+                self.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The retained spans, oldest first.
+    pub fn recent(&self) -> Vec<QuerySpan> {
+        self.spans.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Total spans ever recorded (including ones since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to buffer contention (never blocks the query path).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(tag: u64) -> QuerySpan {
+        QuerySpan {
+            kind: QueryKind::Find,
+            route_nanos: tag,
+            queue_nanos: 10,
+            execute_nanos: 100,
+            merge_nanos: 5,
+            min_epoch: 3,
+            max_epoch: 4,
+            shards: 8,
+            results: 2,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let t = Tracer::new(3);
+        for i in 0..10 {
+            t.record(span(i));
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(
+            recent.iter().map(|s| s.route_nanos).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let t = Tracer::new(0);
+        t.record(span(1));
+        t.record(span(2));
+        assert_eq!(t.recent().len(), 1);
+        assert_eq!(t.recent()[0].route_nanos, 2);
+    }
+
+    #[test]
+    fn total_sums_stages() {
+        assert_eq!(span(7).total_nanos(), 7 + 10 + 100 + 5);
+    }
+
+    #[test]
+    fn display_mentions_stages() {
+        let text = span(1).to_string();
+        assert!(text.contains("route"), "{text}");
+        assert!(text.contains("queue"), "{text}");
+        assert!(text.contains("execute"), "{text}");
+        assert!(text.contains("merge"), "{text}");
+        assert!(text.contains("epochs 3..=4"), "{text}");
+    }
+
+    #[test]
+    fn contended_record_drops_not_blocks() {
+        let t = Tracer::new(4);
+        let guard = t.spans.lock().unwrap();
+        t.record(span(1));
+        drop(guard);
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.dropped(), 1);
+        assert!(t.recent().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the histogram core (satellite: bucket bounds,
+//! percentile monotonicity, concurrent no-loss, merge == concat).
+
+use std::sync::Arc;
+use std::thread;
+
+use dyndex_obs::{bucket_bounds, bucket_of, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded value lands in a bucket whose bounds contain it.
+    #[test]
+    fn values_land_within_bucket_bounds(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        for &v in &values {
+            let (lo, hi) = bucket_bounds(bucket_of(v));
+            prop_assert!(lo <= v && v <= hi, "v={} outside [{}, {}]", v, lo, hi);
+        }
+        let h = Histogram::new(1);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.snapshot().count(), values.len() as u64);
+    }
+
+    /// Percentiles are monotone non-decreasing in q and never exceed max.
+    #[test]
+    fn percentiles_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let h = Histogram::new(2);
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let true_max = values.iter().copied().max().unwrap();
+        prop_assert_eq!(s.max(), true_max);
+        let mut prev = 0u64;
+        for i in 0..=100u32 {
+            let p = s.percentile(f64::from(i) / 100.0);
+            prop_assert!(p >= prev, "percentile dropped at q={}: {} < {}", i, p, prev);
+            prop_assert!(p <= true_max);
+            prev = p;
+        }
+        prop_assert_eq!(s.percentile(1.0), true_max);
+    }
+
+    /// Concurrent recording from N threads loses no counts and no sum.
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        per_thread in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 1..50), 2..6)
+    ) {
+        let h = Arc::new(Histogram::new(per_thread.len()));
+        let expect_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expect_sum: u64 = per_thread
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, &v| acc.wrapping_add(v));
+        let handles: Vec<_> = per_thread
+            .into_iter()
+            .map(|values| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), expect_count);
+        prop_assert_eq!(s.sum(), expect_sum);
+    }
+
+    /// Merging two snapshots equals snapshotting the concatenated stream.
+    #[test]
+    fn merge_equals_concatenated_stream(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let ha = Histogram::new(1);
+        let hb = Histogram::new(3);
+        let hall = Histogram::new(2);
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let all = hall.snapshot();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert_eq!(merged.sum(), all.sum());
+        prop_assert_eq!(merged.max(), all.max());
+        for i in 0..=20u32 {
+            let q = f64::from(i) / 20.0;
+            prop_assert_eq!(merged.percentile(q), all.percentile(q));
+        }
+    }
+}

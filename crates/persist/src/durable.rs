@@ -18,13 +18,15 @@ use crate::snapshot::{
     read_manifest, replay_wal, restore_snapshot, write_snapshot, RestoreOptions, SnapshotMode,
     SnapshotStats, MANIFEST_FILE,
 };
-use crate::wal::{read_wal_records, wal_path, WalOptions, WalRecord, WalWriter};
+use crate::wal::{read_wal_records, wal_path, WalMetrics, WalOptions, WalRecord, WalWriter};
 use dyndex_core::StaticIndex;
+use dyndex_obs::{MetricsRegistry, QuerySpan};
 use dyndex_store::{ShardedStore, StoreOptions, StoreStats};
 use dyndex_text::Occurrence;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// A sharded store with a snapshot directory and per-shard write-ahead
 /// logs. All methods take `&self` (internal synchronization), matching
@@ -81,7 +83,7 @@ where
         }
         let store = ShardedStore::new(config, options);
         let stats = write_snapshot(&store, dir, 0, SnapshotMode::default())?;
-        let wals = Self::open_wals(dir, store.num_shards(), wal)?;
+        let wals = Self::open_wals(dir, &store, wal)?;
         Ok(DurableStore {
             store,
             dir: dir.to_path_buf(),
@@ -120,7 +122,7 @@ where
         } else {
             replay_wal(&store, dir, manifest.wal_seq)?
         };
-        let wals = Self::open_wals(dir, store.num_shards(), options.wal)?;
+        let wals = Self::open_wals(dir, &store, options.wal)?;
         // Same accounting as SnapshotStats::bytes_on_disk: every
         // referenced file (meta + level) plus the manifest itself.
         let snapshot_bytes =
@@ -134,17 +136,22 @@ where
         })
     }
 
+    /// Opens one log per shard, pointing each writer at the store's WAL
+    /// latency histograms when telemetry is enabled.
     fn open_wals(
         dir: &Path,
-        num_shards: usize,
+        store: &ShardedStore<I>,
         options: WalOptions,
     ) -> Result<Vec<Mutex<WalWriter>>, PersistError> {
+        let num_shards = store.num_shards();
+        let metrics = store
+            .metrics()
+            .map(|registry| WalMetrics::register(&registry, num_shards));
         (0..num_shards)
             .map(|s| {
-                Ok(Mutex::new(WalWriter::open_append(
-                    wal_path(dir, s),
-                    options,
-                )?))
+                let mut writer = WalWriter::open_append(wal_path(dir, s), options)?;
+                writer.set_metrics(metrics.clone(), s);
+                Ok(Mutex::new(writer))
             })
             .collect()
     }
@@ -305,6 +312,7 @@ where
     /// [`DurableStore::snapshot`] with an explicit [`SnapshotMode`]
     /// (`StopTheWorld` additionally blocks readers for the duration).
     pub fn snapshot_with(&self, mode: SnapshotMode) -> Result<SnapshotStats, PersistError> {
+        let started = Instant::now();
         let mut wals: Vec<MutexGuard<'_, WalWriter>> =
             (0..self.wals.len()).map(|s| self.wal(s)).collect();
         let seq = self.seq.load(Ordering::SeqCst);
@@ -314,6 +322,11 @@ where
         }
         self.snapshot_bytes
             .store(stats.bytes_on_disk, Ordering::Relaxed);
+        self.store.record_snapshot_metrics(
+            started.elapsed().as_nanos() as u64,
+            stats.bytes_written,
+            stats.bytes_reused,
+        );
         Ok(stats)
     }
 
@@ -371,11 +384,36 @@ where
     }
 
     /// Store census with [`StoreStats::snapshot_bytes`] filled in from
-    /// the last committed snapshot.
+    /// the last committed snapshot and — when telemetry is enabled and
+    /// fsyncs have been recorded — the WAL fsync p99.
     pub fn stats(&self) -> StoreStats {
         let mut stats = self.store.stats();
         stats.snapshot_bytes = Some(self.snapshot_bytes.load(Ordering::Relaxed));
+        if let Some(registry) = self.store.metrics() {
+            stats.wal_fsync_p99 = registry
+                .find_histogram("dyndex_wal_fsync_duration")
+                .map(|h| h.snapshot())
+                .filter(|s| s.count() > 0)
+                .map(|s| Duration::from_nanos(s.percentile(0.99)));
+        }
         stats
+    }
+
+    /// See [`ShardedStore::metrics`]. The registry also carries the WAL
+    /// series (`dyndex_wal_append_duration`, `dyndex_wal_fsync_duration`)
+    /// and the snapshot series this layer records.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.store.metrics()
+    }
+
+    /// See [`ShardedStore::render_metrics`].
+    pub fn render_metrics(&self) -> Option<String> {
+        self.store.render_metrics()
+    }
+
+    /// See [`ShardedStore::recent_spans`].
+    pub fn recent_spans(&self) -> Vec<QuerySpan> {
+        self.store.recent_spans()
     }
 }
 

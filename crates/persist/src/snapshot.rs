@@ -60,7 +60,7 @@ use crate::error::PersistError;
 use crate::wal::{read_wal_records, wal_path, WalOptions, WalRecord};
 use dyndex_core::transform2::{FrozenLevel, FrozenSlot, FrozenSnapshot};
 use dyndex_core::{DeletionOnlyIndex, DynOptions, RebuildMode, StaticIndex, Transform2Index};
-use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore};
+use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::path::Path;
@@ -394,7 +394,7 @@ impl std::fmt::Display for SnapshotStats {
 /// assert!(matches!(options.maintenance, MaintenancePolicy::Periodic(_)));
 /// assert_eq!(options.wal.sync, SyncPolicy::OnSnapshot);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RestoreOptions {
     /// Rebuild execution mode for the restored shards.
     pub mode: RebuildMode,
@@ -407,6 +407,11 @@ pub struct RestoreOptions {
     /// Write-ahead-log fsync policy for the reopened logs
     /// (`DurableStore::open`; ignored by plain `restore`).
     pub wal: WalOptions,
+    /// Telemetry policy for the restored store. Pass
+    /// [`Telemetry::Shared`] with the predecessor's registry and the
+    /// restored store keeps accumulating into the same metric series
+    /// (registration is get-or-create by name).
+    pub telemetry: Telemetry,
 }
 
 impl Default for RestoreOptions {
@@ -416,6 +421,7 @@ impl Default for RestoreOptions {
             maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
             fan_out: FanOutPolicy::Pooled,
             wal: WalOptions::default(),
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -862,7 +868,12 @@ where
             .map_err(PersistError::corrupt)?;
         shards.push(index);
     }
-    let store = ShardedStore::from_shard_indexes(shards, options.maintenance, options.fan_out);
+    let store = ShardedStore::from_shard_indexes(
+        shards,
+        options.maintenance,
+        options.fan_out,
+        &options.telemetry,
+    );
     // The restored state descends from this commit: its next snapshot
     // into the same directory can reuse every unchanged level file —
     // unless someone else commits in between (fork detection).

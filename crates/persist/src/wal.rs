@@ -18,8 +18,11 @@ use crate::codec::{
     crc32, read_bytes, read_u64, read_u8, read_usize, write_bytes, write_u64, write_u8, write_usize,
 };
 use crate::error::PersistError;
+use dyndex_obs::{Histogram, MetricsRegistry, Unit};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
@@ -160,6 +163,38 @@ pub(crate) fn read_wal_records(path: &Path) -> Result<Vec<(u64, WalRecord)>, Per
     Ok(out)
 }
 
+/// Latency handles the log records through when its owning store has
+/// telemetry enabled (`None` otherwise — zero clock reads).
+#[derive(Clone)]
+pub(crate) struct WalMetrics {
+    /// Full append latency: encode + frame + `write_all` (+ the fsync
+    /// when the [`SyncPolicy`] makes this append pay one).
+    pub append: Arc<Histogram>,
+    /// `sync_data` latency, wherever it is paid (per record, group
+    /// commit, snapshot truncation, explicit `sync_wal`, close).
+    pub fsync: Arc<Histogram>,
+}
+
+impl WalMetrics {
+    /// Get-or-creates the WAL series in `registry`, striped per shard.
+    pub(crate) fn register(registry: &MetricsRegistry, shards: usize) -> Self {
+        WalMetrics {
+            append: registry.histogram(
+                "dyndex_wal_append_duration",
+                "write-ahead-log record append latency (fsync included when the policy charges it)",
+                Unit::Nanos,
+                shards,
+            ),
+            fsync: registry.histogram(
+                "dyndex_wal_fsync_duration",
+                "write-ahead-log fsync latency",
+                Unit::Nanos,
+                shards,
+            ),
+        }
+    }
+}
+
 /// Append handle for one shard's log, carrying the fsync policy and the
 /// group-commit accumulator.
 pub(crate) struct WalWriter {
@@ -167,6 +202,11 @@ pub(crate) struct WalWriter {
     options: WalOptions,
     /// Records appended since the last fsync (group commit).
     unsynced: u32,
+    /// Latency recording, when the owning store has telemetry enabled.
+    metrics: Option<WalMetrics>,
+    /// Histogram stripe hint — the shard index, so each shard's log
+    /// records contention-free.
+    shard: usize,
 }
 
 impl WalWriter {
@@ -183,7 +223,15 @@ impl WalWriter {
             file,
             options,
             unsynced: 0,
+            metrics: None,
+            shard: 0,
         })
+    }
+
+    /// Points this writer at latency histograms (shard = stripe hint).
+    pub(crate) fn set_metrics(&mut self, metrics: Option<WalMetrics>, shard: usize) {
+        self.metrics = metrics;
+        self.shard = shard;
     }
 
     /// Appends one record. The bytes reach the OS before this returns
@@ -191,6 +239,7 @@ impl WalWriter {
     /// [`SyncPolicy`] decides whether this append also pays an fsync
     /// (per record, per group of N, or never — see [`WalWriter::sync`]).
     pub(crate) fn append(&mut self, seq: u64, record: &WalRecord) -> Result<(), PersistError> {
+        let started = self.metrics.is_some().then(Instant::now);
         let payload = encode_payload(seq, record);
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -208,13 +257,22 @@ impl WalWriter {
         if due {
             self.sync()?;
         }
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.append
+                .record_at(self.shard, started.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
     /// fsyncs the log file and resets the group-commit accumulator.
     pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
+        let started = self.metrics.is_some().then(Instant::now);
         self.file.sync_data()?;
         self.unsynced = 0;
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.fsync
+                .record_at(self.shard, started.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -223,9 +281,9 @@ impl WalWriter {
     pub(crate) fn truncate(&mut self) -> Result<(), PersistError> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
-        self.file.sync_data()?;
-        self.unsynced = 0;
-        Ok(())
+        // Through sync() so the truncation's fsync lands in the
+        // latency histogram like every other one.
+        self.sync()
     }
 
     /// Flushes the buffered tail to stable storage before the writer

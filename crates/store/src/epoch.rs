@@ -56,6 +56,8 @@ struct Domain {
     free: Mutex<Vec<usize>>,
     /// Values retired but not yet provably unreachable.
     garbage: Mutex<Vec<Retired>>,
+    /// Cumulative [`collect`] passes (telemetry).
+    passes: AtomicU64,
 }
 
 /// Mutex poisoning cannot leave these structures torn (no panicking code
@@ -71,6 +73,7 @@ fn domain() -> &'static Domain {
         slots: Mutex::new(Vec::new()),
         free: Mutex::new(Vec::new()),
         garbage: Mutex::new(Vec::new()),
+        passes: AtomicU64::new(0),
     })
 }
 
@@ -115,6 +118,7 @@ thread_local! {
 /// Frees every retired value whose retire epoch is provably below all
 /// pinned readers. Actual drops happen after both locks are released.
 fn collect(d: &Domain) {
+    d.passes.fetch_add(1, Ordering::Relaxed);
     let min_pinned = {
         let slots = lock(&d.slots);
         slots
@@ -136,6 +140,13 @@ fn collect(d: &Domain) {
         }
     }
     drop(freed);
+}
+
+/// Point-in-time reclamation telemetry: `(retired values not yet freed,
+/// cumulative collect passes)`. Process-global, like the domain itself.
+pub(crate) fn epoch_stats() -> (usize, u64) {
+    let d = domain();
+    (lock(&d.garbage).len(), d.passes.load(Ordering::Relaxed))
 }
 
 /// An atomically-swapped `Arc<T>` cell with epoch-reclaimed reads: one

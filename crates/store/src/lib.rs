@@ -54,7 +54,7 @@
 //!
 //! ```
 //! use dyndex_core::{DynOptions, RebuildMode, FmConfig};
-//! use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
+//! use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions, Telemetry};
 //! use dyndex_text::FmIndexCompressed;
 //! use std::time::Duration;
 //!
@@ -66,6 +66,7 @@
 //!         maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
 //!         fan_out: FanOutPolicy::Pooled, // the default: resident workers
 //!         index: DynOptions::default(),
+//!         telemetry: Telemetry::Enabled, // the default: private registry
 //!     },
 //! );
 //! assert_eq!(store.worker_threads(), 4); // one resident worker per shard
@@ -85,10 +86,17 @@ mod pool;
 mod shard;
 mod stats;
 mod store;
+mod telemetry;
 
 pub use shard::{ShardGuard, ShardPoisoned};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
+pub use telemetry::Telemetry;
+
+// Telemetry vocabulary types, re-exported so store users need not name
+// `dyndex-obs` directly: the registry handle [`ShardedStore::metrics`]
+// returns and the span type [`ShardedStore::recent_spans`] yields.
+pub use dyndex_obs::{MetricsRegistry, QueryKind, QuerySpan};
 
 #[doc(hidden)]
 pub use store::fresh_uid;

@@ -1,6 +1,7 @@
 //! Aggregated store observability: per-shard and whole-store censuses.
 
 use dyndex_core::LevelStats;
+use std::time::Duration;
 
 /// Point-in-time census of one shard.
 #[derive(Clone, Debug)]
@@ -38,6 +39,16 @@ pub struct StoreStats {
     /// Whether a background snapshot had serialization work queued or
     /// running on the worker pool at census time.
     pub snapshot_in_progress: bool,
+    /// p99 end-to-end query latency, when telemetry is enabled and at
+    /// least one query has been recorded.
+    pub query_p99: Option<Duration>,
+    /// p99 WAL fsync latency, when the store is served through a
+    /// durability layer with telemetry enabled and at least one fsync
+    /// has been recorded.
+    pub wal_fsync_p99: Option<Duration>,
+    /// Retired shard views awaiting epoch reclamation (process-global,
+    /// point-in-time).
+    pub retired_garbage: usize,
 }
 
 impl StoreStats {
@@ -69,11 +80,13 @@ impl StoreStats {
     }
 
     /// Shard-balance ratio: largest shard's symbols over the ideal
-    /// per-shard share (1.0 = perfectly even; meaningless when empty).
+    /// per-shard share (1.0 = perfectly even). An empty or zero-doc
+    /// store has no balance to measure and reports 0.0 — never NaN and
+    /// never a divide-by-zero panic.
     pub fn imbalance(&self) -> f64 {
         let total = self.total_symbols();
         if total == 0 || self.shards.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         let max = self.shards.iter().map(|s| s.symbols).max().unwrap_or(0);
         max as f64 * self.shards.len() as f64 / total as f64
@@ -91,10 +104,27 @@ fn fmt_bytes(b: u64) -> String {
     }
 }
 
+/// Human-scale latency formatting for the dashboard line.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
 impl std::fmt::Display for StoreStats {
     /// One readable dashboard line, e.g.
     /// `4 shards | 1500 docs | 232.4 KiB alive | 0 pending jobs |
-    /// 0 queued | imbalance 1.04 | last snapshot 241.1 KiB on disk`.
+    /// 0 queued | imbalance 1.04 | p99 query 48.2µs | p99 fsync 1.3ms |
+    /// 2 retired views | last snapshot 241.1 KiB on disk`.
+    ///
+    /// The latency fields appear only when telemetry recorded them.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -107,6 +137,18 @@ impl std::fmt::Display for StoreStats {
             if self.pending_jobs() == 1 { "" } else { "s" },
             self.queued_requests(),
             self.imbalance(),
+        )?;
+        if let Some(p99) = self.query_p99 {
+            write!(f, " | p99 query {}", fmt_duration(p99))?;
+        }
+        if let Some(p99) = self.wal_fsync_p99 {
+            write!(f, " | p99 fsync {}", fmt_duration(p99))?;
+        }
+        write!(
+            f,
+            " | {} retired view{}",
+            self.retired_garbage,
+            if self.retired_garbage == 1 { "" } else { "s" },
         )?;
         match self.snapshot_bytes {
             Some(b) => write!(f, " | last snapshot {} on disk", fmt_bytes(b))?,
@@ -141,6 +183,9 @@ mod tests {
             shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
             snapshot_bytes: None,
             snapshot_in_progress: false,
+            query_p99: None,
+            wal_fsync_p99: None,
+            retired_garbage: 0,
         };
         assert_eq!(stats.total_docs(), 8);
         assert_eq!(stats.total_symbols(), 400);
@@ -151,14 +196,31 @@ mod tests {
     }
 
     #[test]
-    fn empty_store_imbalance_is_neutral() {
-        let stats = StoreStats {
+    fn empty_store_imbalance_is_zero_not_nan() {
+        let empty = StoreStats {
             shards: vec![],
             snapshot_bytes: None,
             snapshot_in_progress: false,
+            query_p99: None,
+            wal_fsync_p99: None,
+            retired_garbage: 0,
         };
-        assert_eq!(stats.imbalance(), 1.0);
-        assert_eq!(stats.total_docs(), 0);
+        assert_eq!(empty.imbalance(), 0.0);
+        assert!(!empty.imbalance().is_nan());
+        assert_eq!(empty.total_docs(), 0);
+
+        // Shards exist but hold nothing: still 0.0, not NaN or a panic.
+        let zero_docs = StoreStats {
+            shards: vec![shard(0, 0, 0, 0), shard(1, 0, 0, 0)],
+            snapshot_bytes: None,
+            snapshot_in_progress: false,
+            query_p99: None,
+            wal_fsync_p99: None,
+            retired_garbage: 0,
+        };
+        assert_eq!(zero_docs.imbalance(), 0.0);
+        assert!(!zero_docs.imbalance().is_nan());
+        assert!(zero_docs.to_string().contains("imbalance 0.00"));
     }
 
     #[test]
@@ -167,6 +229,9 @@ mod tests {
             shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
             snapshot_bytes: None,
             snapshot_in_progress: false,
+            query_p99: None,
+            wal_fsync_p99: None,
+            retired_garbage: 0,
         };
         let line = stats.to_string();
         assert!(!line.contains('\n'), "single line: {line}");
@@ -175,6 +240,8 @@ mod tests {
         assert!(line.contains("1 pending job"), "{line}");
         assert!(line.contains("2 queued"), "{line}");
         assert!(line.contains("no snapshot"), "{line}");
+        assert!(line.contains("0 retired views"), "{line}");
+        assert!(!line.contains("p99"), "absent until recorded: {line}");
         stats.snapshot_bytes = Some(2048);
         let line = stats.to_string();
         assert!(line.contains("last snapshot 2.0 KiB on disk"), "{line}");
@@ -183,5 +250,30 @@ mod tests {
         let line = stats.to_string();
         assert!(line.contains("snapshot in progress"), "{line}");
         assert!(!line.contains('\n'), "single line: {line}");
+    }
+
+    #[test]
+    fn display_includes_telemetry_when_present() {
+        let stats = StoreStats {
+            shards: vec![shard(0, 3, 300, 1), shard(1, 5, 100, 0)],
+            snapshot_bytes: None,
+            snapshot_in_progress: false,
+            query_p99: Some(Duration::from_micros(48)),
+            wal_fsync_p99: Some(Duration::from_micros(1300)),
+            retired_garbage: 2,
+        };
+        let line = stats.to_string();
+        assert!(!line.contains('\n'), "single line: {line}");
+        assert!(line.contains("p99 query 48.0µs"), "{line}");
+        assert!(line.contains("p99 fsync 1.3ms"), "{line}");
+        assert!(line.contains("2 retired views"), "{line}");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(750)), "750ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_500)), "1.5µs");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.5ms");
+        assert_eq!(fmt_duration(Duration::from_millis(1_250)), "1.25s");
     }
 }

@@ -6,13 +6,15 @@
 use crate::pool::WorkerPool;
 use crate::shard::{ShardGuard, ShardPoisoned, ShardSlot};
 use crate::stats::{ShardStats, StoreStats};
+use crate::telemetry::{FanOutProbe, ShardProbe, StoreTelemetry, Telemetry};
 use dyndex_core::transform2::FrozenSnapshot;
 use dyndex_core::{DynOptions, RebuildMode, ShardView, StaticIndex, Transform2Index};
+use dyndex_obs::{MetricsRegistry, QueryKind, QuerySpan};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How background maintenance is driven.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,7 +77,7 @@ pub enum FanOutPolicy {
 /// };
 /// assert_eq!(options.num_shards, 8);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreOptions {
     /// Number of shards (≥ 1). More shards mean more write parallelism
     /// and smaller rebuilds, at O(num_shards) fan-out cost per query.
@@ -89,6 +91,9 @@ pub struct StoreOptions {
     pub maintenance: MaintenancePolicy,
     /// Multi-shard query execution model.
     pub fan_out: FanOutPolicy,
+    /// Telemetry policy: record into a fresh registry (default), a
+    /// shared one, or nothing at all — see [`Telemetry`].
+    pub telemetry: Telemetry,
 }
 
 impl Default for StoreOptions {
@@ -99,6 +104,7 @@ impl Default for StoreOptions {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
             fan_out: FanOutPolicy::Pooled,
+            telemetry: Telemetry::default(),
         }
     }
 }
@@ -158,6 +164,9 @@ pub struct ShardedStore<I: StaticIndex + Sync> {
     /// with a never-committed id, so its first snapshot into any
     /// directory is a full write.
     lineage: AtomicU64,
+    /// Telemetry handles; `None` under [`Telemetry::Disabled`] — every
+    /// instrumentation point is then one branch, no clock reads.
+    telemetry: Option<Arc<StoreTelemetry>>,
 }
 
 impl<I: StaticIndex + Sync> ShardedStore<I> {
@@ -181,25 +190,42 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// ```
     pub fn new(config: I::Config, options: StoreOptions) -> Self {
         assert!(options.num_shards >= 1, "store needs at least one shard");
-        let shards: Vec<ShardSlot<I>> = (0..options.num_shards)
-            .map(|shard| {
-                ShardSlot::new(
-                    shard,
-                    Transform2Index::new(config.clone(), options.index, options.mode),
-                )
-            })
+        let indexes: Vec<Transform2Index<I>> = (0..options.num_shards)
+            .map(|_| Transform2Index::new(config.clone(), options.index, options.mode))
             .collect();
-        Self::with_shards(Arc::new(shards), options.maintenance, options.fan_out)
+        Self::with_shards(
+            indexes,
+            options.maintenance,
+            options.fan_out,
+            &options.telemetry,
+        )
     }
 
-    /// Wires a shard vector to its (optional) worker pool — the single
-    /// construction path shared by [`ShardedStore::new`] and
-    /// [`ShardedStore::from_shard_indexes`].
+    /// Wires shard indexes to their slots, telemetry, and (optional)
+    /// worker pool — the single construction path shared by
+    /// [`ShardedStore::new`] and [`ShardedStore::from_shard_indexes`].
+    /// Telemetry attaches *before* the initial views publish, so even
+    /// construction-time freezes and rebuilds are recorded.
     fn with_shards(
-        shards: Arc<Vec<ShardSlot<I>>>,
+        mut indexes: Vec<Transform2Index<I>>,
         maintenance: MaintenancePolicy,
         fan_out: FanOutPolicy,
+        telemetry: &Telemetry,
     ) -> Self {
+        assert!(!indexes.is_empty(), "store needs at least one shard");
+        let telemetry = StoreTelemetry::from_policy(telemetry, indexes.len());
+        if let Some(t) = &telemetry {
+            for index in indexes.iter_mut() {
+                index.set_metrics(Some(Arc::clone(&t.core)));
+            }
+        }
+        let shards: Arc<Vec<ShardSlot<I>>> = Arc::new(
+            indexes
+                .into_iter()
+                .enumerate()
+                .map(|(shard, index)| ShardSlot::new(shard, index))
+                .collect(),
+        );
         let pool = match maintenance {
             MaintenancePolicy::Manual => None,
             MaintenancePolicy::Periodic(tick) => Some(WorkerPool::spawn(Arc::clone(&shards), tick)),
@@ -211,6 +237,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             pooled_queries,
             snapshot_in_progress: AtomicBool::new(false),
             lineage: AtomicU64::new(fresh_uid()),
+            telemetry,
         }
     }
 
@@ -296,26 +323,61 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// against the shard's published view, never the lock. Takes `f` by
     /// reference, so query closures can borrow their pattern — callers
     /// only pay an owned pattern on the pooled path, where the job
-    /// outlives the caller's stack frame.
-    fn fan_out_scoped<T, F>(&self, f: &F) -> Vec<T>
+    /// outlives the caller's stack frame. With telemetry on, each thread
+    /// times its own execution (queue wait is definitionally zero here:
+    /// threads start executing at spawn).
+    fn fan_out_scoped<T, F>(&self, f: &F) -> (Vec<T>, FanOutProbe)
     where
         T: Send,
         F: Fn(&ShardView<I>) -> T + Sync,
     {
-        if self.shards.len() == 1 {
-            return vec![f(&self.shards[0].view())];
+        let telemetry = self.telemetry.as_deref();
+        let run = |shard: usize, slot: &ShardSlot<I>| -> (T, Option<ShardProbe>) {
+            let view = slot.view();
+            match telemetry {
+                Some(t) => {
+                    let start = Instant::now();
+                    let out = f(&view);
+                    let execute_nanos = start.elapsed().as_nanos() as u64;
+                    t.query_execute.record_at(shard, execute_nanos);
+                    (
+                        out,
+                        Some(ShardProbe {
+                            queue_nanos: 0,
+                            execute_nanos,
+                            epoch: view.epoch(),
+                        }),
+                    )
+                }
+                None => (f(&view), None),
+            }
+        };
+        let results: Vec<(T, Option<ShardProbe>)> = if self.shards.len() == 1 {
+            vec![run(0, &self.shards[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let run = &run;
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(shard, slot)| scope.spawn(move || run(shard, slot)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard query thread panicked"))
+                    .collect()
+            })
+        };
+        let mut probe = FanOutProbe::default();
+        let mut answers = Vec::with_capacity(results.len());
+        for (value, shard_probe) in results {
+            if let Some(p) = shard_probe {
+                probe.absorb(p);
+            }
+            answers.push(value);
         }
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|slot| scope.spawn(move || f(&slot.view())))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard query thread panicked"))
-                .collect()
-        })
+        (answers, probe)
     }
 
     /// Pooled fan-out (only called when [`ShardedStore::use_pool`]):
@@ -327,29 +389,61 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// its queue — shipped back through the reply channel, and re-raised
     /// **on the caller**, so a failure surfaces exactly where it would
     /// with scoped threads while the store stays usable for every shard.
-    fn fan_out_pooled<T, F>(&self, f: F) -> Vec<T>
+    fn fan_out_pooled<T, F>(&self, f: F) -> (Vec<T>, FanOutProbe)
     where
         T: Send + 'static,
         F: Fn(&ShardView<I>) -> T + Send + Sync + 'static,
     {
         let pool = self.pool.as_ref().expect("use_pool checked by caller");
+        let route_start = self.telemetry.as_ref().map(|_| Instant::now());
         let f = Arc::new(f);
-        let receivers: Vec<mpsc::Receiver<std::thread::Result<T>>> = (0..self.shards.len())
+        type Reply<T> = std::thread::Result<(T, Option<ShardProbe>)>;
+        let receivers: Vec<mpsc::Receiver<Reply<T>>> = (0..self.shards.len())
             .map(|shard| {
                 let f = Arc::clone(&f);
+                let telemetry = self.telemetry.clone();
                 let (reply, rx) = mpsc::channel();
+                // Queue wait is measured from the submit instant to the
+                // worker picking the job up; both per-shard latencies are
+                // recorded *on the worker*, onto that shard's histogram
+                // stripe, keeping the caller's merge path clean.
+                let submitted = telemetry.as_ref().map(|_| Instant::now());
                 pool.submit(
                     shard,
                     Box::new(move |slot: &ShardSlot<I>| {
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(&slot.view())
-                        }));
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                match (&telemetry, submitted) {
+                                    (Some(t), Some(submitted)) => {
+                                        let queue_nanos = submitted.elapsed().as_nanos() as u64;
+                                        let view = slot.view();
+                                        let exec_start = Instant::now();
+                                        let out = f(&view);
+                                        let execute_nanos = exec_start.elapsed().as_nanos() as u64;
+                                        t.query_queue_wait.record_at(shard, queue_nanos);
+                                        t.query_execute.record_at(shard, execute_nanos);
+                                        (
+                                            out,
+                                            Some(ShardProbe {
+                                                queue_nanos,
+                                                execute_nanos,
+                                                epoch: view.epoch(),
+                                            }),
+                                        )
+                                    }
+                                    _ => (f(&slot.view()), None),
+                                }
+                            }));
                         let _ = reply.send(result);
                     }),
                 );
                 rx
             })
             .collect();
+        let mut probe = FanOutProbe {
+            route_nanos: route_start.map_or(0, |s| s.elapsed().as_nanos() as u64),
+            ..FanOutProbe::default()
+        };
         // Collect every shard's reply before propagating any failure, so
         // one poisoned shard cannot leave another shard's job orphaned
         // mid-merge.
@@ -358,7 +452,12 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         let mut lost = false;
         for rx in receivers {
             match rx.recv() {
-                Ok(Ok(value)) => answers.push(Some(value)),
+                Ok(Ok((value, shard_probe))) => {
+                    if let Some(p) = shard_probe {
+                        probe.absorb(p);
+                    }
+                    answers.push(Some(value));
+                }
                 Ok(Err(payload)) => {
                     panic.get_or_insert(payload);
                     answers.push(None);
@@ -373,10 +472,11 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             std::panic::resume_unwind(payload);
         }
         assert!(!lost, "shard worker exited without answering a query");
-        answers
+        let answers = answers
             .into_iter()
             .map(|a| a.expect("every reply collected above"))
-            .collect()
+            .collect();
+        (answers, probe)
     }
 
     // ------------------------------------------------------------------
@@ -412,16 +512,53 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.delete(7).unwrap(), None);
     /// ```
     pub fn insert(&self, doc_id: u64, bytes: &[u8]) -> Result<(), ShardPoisoned> {
-        self.write_shard(self.shard_of(doc_id))?
-            .insert(doc_id, bytes);
-        Ok(())
+        let shard = self.shard_of(doc_id);
+        let Some(t) = self.telemetry.clone() else {
+            self.write_shard(shard)?.insert(doc_id, bytes);
+            return Ok(());
+        };
+        let start = Instant::now();
+        match self.write_shard(shard) {
+            Ok(mut guard) => {
+                guard.insert(doc_id, bytes);
+                drop(guard); // republish before stopping the clock
+                t.insert_duration
+                    .record_at(shard, start.elapsed().as_nanos() as u64);
+                t.docs_inserted.inc();
+                Ok(())
+            }
+            Err(poisoned) => {
+                t.shard_poisoned.inc();
+                Err(poisoned)
+            }
+        }
     }
 
     /// Deletes a document, returning its bytes (`Ok(None)` if absent).
     /// See [`ShardedStore::insert`] for an example and the
     /// [`ShardPoisoned`] error contract.
     pub fn delete(&self, doc_id: u64) -> Result<Option<Vec<u8>>, ShardPoisoned> {
-        Ok(self.write_shard(self.shard_of(doc_id))?.delete(doc_id))
+        let shard = self.shard_of(doc_id);
+        let Some(t) = self.telemetry.clone() else {
+            return Ok(self.write_shard(shard)?.delete(doc_id));
+        };
+        let start = Instant::now();
+        match self.write_shard(shard) {
+            Ok(mut guard) => {
+                let removed = guard.delete(doc_id);
+                drop(guard);
+                t.delete_duration
+                    .record_at(shard, start.elapsed().as_nanos() as u64);
+                if removed.is_some() {
+                    t.docs_deleted.inc();
+                }
+                Ok(removed)
+            }
+            Err(poisoned) => {
+                t.shard_poisoned.inc();
+                Err(poisoned)
+            }
+        }
     }
 
     /// Inserts a batch, grouped by shard and applied with one thread (and
@@ -450,6 +587,20 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.delete_batch(&[1, 2, 3]).unwrap(), 2); // 3 was never present
     /// ```
     pub fn insert_batch(&self, docs: &[(u64, Vec<u8>)]) -> Result<(), ShardPoisoned> {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let result = self.insert_batch_inner(docs);
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.insert_duration
+                .record(started.elapsed().as_nanos() as u64);
+            match &result {
+                Ok(()) => t.docs_inserted.add(docs.len() as u64),
+                Err(_) => t.shard_poisoned.inc(),
+            }
+        }
+        result
+    }
+
+    fn insert_batch_inner(&self, docs: &[(u64, Vec<u8>)]) -> Result<(), ShardPoisoned> {
         let mut groups: Vec<Vec<(u64, &[u8])>> = vec![Vec::new(); self.shards.len()];
         for (id, bytes) in docs {
             groups[self.shard_of(*id)].push((*id, bytes.as_slice()));
@@ -488,6 +639,20 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// and removed. On [`ShardPoisoned`], deletions routed to healthy
     /// shards are still applied (their count is not reported).
     pub fn delete_batch(&self, ids: &[u64]) -> Result<usize, ShardPoisoned> {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let result = self.delete_batch_inner(ids);
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.delete_duration
+                .record(started.elapsed().as_nanos() as u64);
+            match &result {
+                Ok(removed) => t.docs_deleted.add(*removed as u64),
+                Err(_) => t.shard_poisoned.inc(),
+            }
+        }
+        result
+    }
+
+    fn delete_batch_inner(&self, ids: &[u64]) -> Result<usize, ShardPoisoned> {
         let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.shards.len()];
         for &id in ids {
             groups[self.shard_of(id)].push(id);
@@ -561,13 +726,18 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.count(b"absent"), 0);
     /// ```
     pub fn count(&self, pattern: &[u8]) -> usize {
-        let per_shard = if self.use_pool() {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
             self.fan_out_pooled(move |view| view.count(&pattern))
         } else {
             self.fan_out_scoped(&|view: &ShardView<I>| view.count(pattern))
         };
-        per_shard.into_iter().sum()
+        let total: usize = per_shard.into_iter().sum();
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.record_query(QueryKind::Count, started, probe, self.shards.len(), total);
+        }
+        total
     }
 
     /// All occurrences of `pattern`, fanned out across shards and merged
@@ -591,7 +761,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted by (doc, offset)");
     /// ```
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
-        let per_shard = if self.use_pool() {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
             self.fan_out_pooled(move |view| view.find(&pattern))
         } else {
@@ -599,6 +770,15 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         };
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.record_query(
+                QueryKind::Find,
+                started,
+                probe,
+                self.shards.len(),
+                merged.len(),
+            );
+        }
         merged
     }
 
@@ -628,7 +808,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.find_limit(b"xy", 100).len(), 4); // limit >= count: everything
     /// ```
     pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
-        let per_shard = if self.use_pool() {
+        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
             self.fan_out_pooled(move |view| view.find_limit(&pattern, limit))
         } else {
@@ -637,6 +818,15 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
         merged.truncate(limit);
+        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+            t.record_query(
+                QueryKind::FindLimit,
+                started,
+                probe,
+                self.shards.len(),
+                merged.len(),
+            );
+        }
         merged
     }
 
@@ -796,6 +986,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// path), re-creating the worker pool per `maintenance` + `fan_out`
     /// and publishing each shard's initial view — a restored store's
     /// lock-free read path answers from the restored state immediately.
+    /// Passing [`Telemetry::Shared`] with the predecessor's registry
+    /// makes the restored store keep recording into the same series.
     ///
     /// # Panics
     /// Panics if `indexes` is empty.
@@ -804,16 +996,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         indexes: Vec<Transform2Index<I>>,
         maintenance: MaintenancePolicy,
         fan_out: FanOutPolicy,
+        telemetry: &Telemetry,
     ) -> Self {
-        assert!(!indexes.is_empty(), "store needs at least one shard");
-        let shards: Arc<Vec<ShardSlot<I>>> = Arc::new(
-            indexes
-                .into_iter()
-                .enumerate()
-                .map(|(shard, index)| ShardSlot::new(shard, index))
-                .collect(),
-        );
-        Self::with_shards(shards, maintenance, fan_out)
+        Self::with_shards(indexes, maintenance, fan_out, telemetry)
     }
 
     /// Runs one manual maintenance pass: installs every finished
@@ -901,10 +1086,115 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 }
             })
             .collect();
+        let query_p99 = self.telemetry.as_ref().and_then(|t| {
+            let snap = t.query_duration.snapshot();
+            (snap.count() > 0).then(|| Duration::from_nanos(snap.percentile(0.99)))
+        });
+        let (retired_garbage, _) = crate::epoch::epoch_stats();
         StoreStats {
             shards,
             snapshot_bytes: None,
             snapshot_in_progress: self.snapshot_in_progress(),
+            query_p99,
+            wal_fsync_p99: None,
+            retired_garbage,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// The registry this store records into, for custom metrics or
+    /// direct handle access (`None` under [`Telemetry::Disabled`]).
+    /// Restoring a snapshot with `Telemetry::Shared` of this registry
+    /// keeps the series accumulating across the restart.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions, Telemetry};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(1, b"measured document").unwrap();
+    /// store.count(b"measured");
+    /// let registry = store.metrics().expect("telemetry defaults to enabled");
+    /// let queries = registry.find_histogram("dyndex_store_query_duration").unwrap();
+    /// assert_eq!(queries.snapshot().count(), 1);
+    ///
+    /// let silent: ShardedStore<FmIndexCompressed> = ShardedStore::new(
+    ///     FmConfig { sample_rate: 8 },
+    ///     StoreOptions { telemetry: Telemetry::Disabled, ..StoreOptions::default() },
+    /// );
+    /// assert!(silent.metrics().is_none());
+    /// ```
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.telemetry.as_ref().map(|t| Arc::clone(&t.registry))
+    }
+
+    /// Prometheus-style text exposition of every metric (refreshing the
+    /// epoch-reclamation gauges first); `None` under
+    /// [`Telemetry::Disabled`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(1, b"exposed").unwrap();
+    /// let text = store.render_metrics().unwrap();
+    /// assert!(text.contains("dyndex_store_docs_inserted 1"));
+    /// assert!(text.contains("# TYPE dyndex_store_insert_duration summary"));
+    /// ```
+    pub fn render_metrics(&self) -> Option<String> {
+        self.telemetry.as_ref().map(|t| {
+            t.sync_epoch_gauges();
+            t.registry.render_text()
+        })
+    }
+
+    /// The most recent query spans (route → queue-wait → shard-execute →
+    /// merge, with the view epochs served from), oldest first. Empty
+    /// under [`Telemetry::Disabled`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(1, b"traced needle").unwrap();
+    /// store.count(b"needle");
+    /// let spans = store.recent_spans();
+    /// assert_eq!(spans.len(), 1);
+    /// assert_eq!(spans[0].shards, 4);
+    /// assert!(spans[0].min_epoch >= 1, "served from a published view");
+    /// ```
+    pub fn recent_spans(&self) -> Vec<QuerySpan> {
+        self.telemetry
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.tracer.recent())
+    }
+
+    /// Records one finished snapshot generation (persistence-layer hook):
+    /// wall-clock duration plus bytes newly written vs reused from the
+    /// previous generation. No-op under [`Telemetry::Disabled`].
+    #[doc(hidden)]
+    pub fn record_snapshot_metrics(&self, nanos: u64, bytes_written: u64, bytes_reused: u64) {
+        if let Some(t) = &self.telemetry {
+            t.snapshot_duration.record(nanos);
+            t.snapshot_bytes_written.add(bytes_written);
+            t.snapshot_bytes_reused.add(bytes_reused);
         }
     }
 }
@@ -935,6 +1225,7 @@ mod tests {
             mode,
             maintenance: MaintenancePolicy::Manual,
             fan_out: FanOutPolicy::Pooled,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -1247,12 +1538,86 @@ mod tests {
             indexes,
             MaintenancePolicy::Periodic(Duration::from_micros(200)),
             FanOutPolicy::Pooled,
+            &Telemetry::default(),
         );
         assert_eq!(rebuilt.num_shards(), 2);
         assert_eq!(rebuilt.worker_threads(), 2, "pool re-created");
         assert_eq!(rebuilt.fan_out_policy(), FanOutPolicy::Pooled);
         assert_eq!(rebuilt.find(b"needle"), want);
         assert_eq!(store.num_docs(), 0, "shards were moved out");
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let mut opts = small_opts(2, RebuildMode::Inline);
+        opts.telemetry = Telemetry::Disabled;
+        let store = Store::new(fm(), opts);
+        store.insert_batch(&docs(10)).unwrap();
+        assert_eq!(store.count(b"needle"), 10);
+        assert!(store.metrics().is_none());
+        assert!(store.render_metrics().is_none());
+        assert!(store.recent_spans().is_empty());
+        assert!(store.stats().query_p99.is_none());
+    }
+
+    #[test]
+    fn queries_record_metrics_and_spans() {
+        let store = Store::new(fm(), pooled_opts(4, RebuildMode::Inline));
+        store.insert_batch(&docs(40)).unwrap();
+        assert_eq!(store.count(b"needle"), 40);
+        assert_eq!(store.find(b"document 7 ").len(), 1);
+
+        let registry = store.metrics().expect("telemetry on by default");
+        let queries = registry.counter("dyndex_store_queries", "", dyndex_obs::Unit::Count);
+        assert_eq!(queries.get(), 2);
+        let inserted = registry.counter("dyndex_store_docs_inserted", "", dyndex_obs::Unit::Count);
+        assert_eq!(inserted.get(), 40);
+        let duration = registry
+            .find_histogram("dyndex_store_query_duration")
+            .expect("registered at construction");
+        assert_eq!(duration.snapshot().count(), 2);
+
+        let spans = store.recent_spans();
+        assert_eq!(spans.len(), 2, "one span per query");
+        assert!(spans.iter().all(|s| s.shards == 4));
+        assert!(spans.iter().all(|s| s.min_epoch >= 1), "views published");
+        assert_eq!(spans[0].kind, QueryKind::Count);
+        assert_eq!(spans[1].kind, QueryKind::Find);
+        assert_eq!(spans[1].results, 1);
+
+        let stats = store.stats();
+        assert!(stats.query_p99.is_some(), "p99 fed from the histogram");
+        let text = store.render_metrics().expect("telemetry on");
+        assert!(text.contains("dyndex_store_queries 2"), "{text}");
+    }
+
+    #[test]
+    fn shared_registry_accumulates_across_stores() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut opts = small_opts(2, RebuildMode::Inline);
+        opts.telemetry = Telemetry::Shared(Arc::clone(&registry));
+        let first = Store::new(fm(), opts.clone());
+        first.insert(1, b"one doc").unwrap();
+        drop(first);
+        let second = Store::new(fm(), opts);
+        second.insert(2, b"two doc").unwrap();
+        let inserted = registry.counter("dyndex_store_docs_inserted", "", dyndex_obs::Unit::Count);
+        assert_eq!(inserted.get(), 2, "both stores fed the same series");
+    }
+
+    #[test]
+    fn poisoned_writes_are_counted() {
+        let store = Store::new(fm(), small_opts(1, RebuildMode::Inline));
+        store.insert(1, b"first").unwrap();
+        // A panic inside the writer poisons the single shard.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = store.insert(1, b"duplicate");
+        }));
+        assert!(panicked.is_err());
+        assert!(store.insert(2, b"rejected").is_err(), "shard is poisoned");
+        let registry = store.metrics().expect("telemetry on by default");
+        let poisoned = registry.counter("dyndex_store_shard_poisoned", "", dyndex_obs::Unit::Count);
+        assert_eq!(poisoned.get(), 1);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Store-layer telemetry wiring: the public [`Telemetry`] policy and the
+//! internal [`StoreTelemetry`] handle bundle every instrumented path
+//! records through.
+//!
+//! The design rule is *one branch when disabled*: a store built with
+//! [`Telemetry::Disabled`] holds `None` and every instrumentation point is
+//! a single `Option` test — no clock reads, no atomics, no allocation.
+//! [`Telemetry::Shared`] points a store at an existing registry;
+//! registration is get-or-create by name, so a store restored from disk
+//! into its predecessor's registry keeps accumulating into the same
+//! series.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dyndex_core::CoreMetrics;
+use dyndex_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryKind, QuerySpan, Tracer, Unit};
+
+/// How many recent query spans the per-store [`Tracer`] retains.
+const TRACE_CAPACITY: usize = 128;
+
+/// Telemetry policy for a store (field of
+/// [`StoreOptions`](crate::StoreOptions) and of `dyndex-persist`'s
+/// `RestoreOptions`).
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_obs::MetricsRegistry;
+/// use dyndex_store::Telemetry;
+/// use std::sync::Arc;
+///
+/// let registry = Arc::new(MetricsRegistry::new());
+/// let policy = Telemetry::Shared(Arc::clone(&registry));
+/// assert!(!matches!(policy, Telemetry::Disabled));
+/// assert!(matches!(Telemetry::default(), Telemetry::Enabled));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub enum Telemetry {
+    /// Record into a fresh private [`MetricsRegistry`] (the default; the
+    /// `fig7_observability` bench puts the overhead under 2%).
+    #[default]
+    Enabled,
+    /// Record into an existing registry. Metric names are get-or-create,
+    /// so several stores — or a store and its restored successor — can
+    /// share one registry and accumulate into the same series.
+    Shared(Arc<MetricsRegistry>),
+    /// Record nothing. Instrumentation points collapse to one branch
+    /// (the `Recorder` no-op default, in `dyndex-obs` terms): no clock
+    /// reads, no atomic traffic.
+    Disabled,
+}
+
+/// Per-shard measurements shipped back with each fan-out reply.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ShardProbe {
+    /// Submit-to-pickup wait in the worker's queue (0 on scoped spawns).
+    pub queue_nanos: u64,
+    /// Execution time against the published view.
+    pub execute_nanos: u64,
+    /// The view epoch the shard served from.
+    pub epoch: u64,
+}
+
+/// Aggregated fan-out measurements for one query.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FanOutProbe {
+    /// Routing + submission time (before any shard picked work up).
+    pub route_nanos: u64,
+    /// Worst shard queue wait.
+    pub queue_nanos: u64,
+    /// Worst shard execution time.
+    pub execute_nanos: u64,
+    /// Smallest view epoch served from.
+    pub min_epoch: u64,
+    /// Largest view epoch served from.
+    pub max_epoch: u64,
+}
+
+impl FanOutProbe {
+    /// Folds one shard's probe into the aggregate.
+    pub(crate) fn absorb(&mut self, probe: ShardProbe) {
+        self.queue_nanos = self.queue_nanos.max(probe.queue_nanos);
+        self.execute_nanos = self.execute_nanos.max(probe.execute_nanos);
+        if self.min_epoch == 0 && self.max_epoch == 0 {
+            self.min_epoch = probe.epoch;
+            self.max_epoch = probe.epoch;
+        } else {
+            self.min_epoch = self.min_epoch.min(probe.epoch);
+            self.max_epoch = self.max_epoch.max(probe.epoch);
+        }
+    }
+}
+
+/// Every handle the store records through, bound once at construction.
+/// Shared (`Arc`) with the fan-out job closures so pool workers record
+/// per-shard latencies themselves, on their own histogram stripes.
+#[derive(Debug)]
+pub(crate) struct StoreTelemetry {
+    pub registry: Arc<MetricsRegistry>,
+    /// Per-shard submit-to-pickup queue wait (striped by shard).
+    pub query_queue_wait: Arc<Histogram>,
+    /// Per-shard execution time against the published view.
+    pub query_execute: Arc<Histogram>,
+    /// End-to-end query latency (route + fan-out + merge).
+    pub query_duration: Arc<Histogram>,
+    /// Queries served (all kinds).
+    pub queries: Arc<Counter>,
+    /// Insert latency: one observation per `insert` call and per
+    /// `insert_batch` call (whole batch).
+    pub insert_duration: Arc<Histogram>,
+    /// Delete latency, same shape as inserts.
+    pub delete_duration: Arc<Histogram>,
+    pub docs_inserted: Arc<Counter>,
+    pub docs_deleted: Arc<Counter>,
+    /// Writes refused because the target shard's writer panicked.
+    pub shard_poisoned: Arc<Counter>,
+    /// Wall-clock duration of each snapshot generation.
+    pub snapshot_duration: Arc<Histogram>,
+    pub snapshot_bytes_written: Arc<Counter>,
+    pub snapshot_bytes_reused: Arc<Counter>,
+    /// Retired views not yet reclaimed (process-global, point-in-time).
+    pub epoch_garbage: Arc<Gauge>,
+    /// Reclamation passes run (process-global, cumulative).
+    pub epoch_passes: Arc<Gauge>,
+    pub tracer: Tracer,
+    /// Handles the shard indexes record rebuild/install/freeze events to.
+    pub core: Arc<CoreMetrics>,
+}
+
+impl StoreTelemetry {
+    /// Resolves a [`Telemetry`] policy into handles (or `None` for
+    /// [`Telemetry::Disabled`]). `shards` sizes histogram striping.
+    pub(crate) fn from_policy(policy: &Telemetry, shards: usize) -> Option<Arc<Self>> {
+        let registry = match policy {
+            Telemetry::Enabled => Arc::new(MetricsRegistry::new()),
+            Telemetry::Shared(registry) => Arc::clone(registry),
+            Telemetry::Disabled => return None,
+        };
+        Some(Arc::new(Self::bind(registry, shards)))
+    }
+
+    fn bind(registry: Arc<MetricsRegistry>, shards: usize) -> Self {
+        let h = |name: &str, help: &str| registry.histogram(name, help, Unit::Nanos, shards);
+        let c = |name: &str, help: &str, unit: Unit| registry.counter(name, help, unit);
+        StoreTelemetry {
+            query_queue_wait: h(
+                "dyndex_store_query_queue_wait",
+                "per-shard wait between fan-out submit and worker pickup",
+            ),
+            query_execute: h(
+                "dyndex_store_query_execute",
+                "per-shard query execution time against the published view",
+            ),
+            query_duration: h(
+                "dyndex_store_query_duration",
+                "end-to-end multi-shard query latency",
+            ),
+            queries: c("dyndex_store_queries", "queries served", Unit::Count),
+            insert_duration: h(
+                "dyndex_store_insert_duration",
+                "insert call latency (one observation per call, batches included)",
+            ),
+            delete_duration: h(
+                "dyndex_store_delete_duration",
+                "delete call latency (one observation per call, batches included)",
+            ),
+            docs_inserted: c(
+                "dyndex_store_docs_inserted",
+                "documents inserted",
+                Unit::Count,
+            ),
+            docs_deleted: c(
+                "dyndex_store_docs_deleted",
+                "documents deleted",
+                Unit::Count,
+            ),
+            shard_poisoned: c(
+                "dyndex_store_shard_poisoned",
+                "writes refused because the shard's writer panicked",
+                Unit::Count,
+            ),
+            snapshot_duration: h(
+                "dyndex_store_snapshot_duration",
+                "wall-clock duration of snapshot generations",
+            ),
+            snapshot_bytes_written: c(
+                "dyndex_store_snapshot_bytes_written",
+                "snapshot bytes serialized to disk",
+                Unit::Bytes,
+            ),
+            snapshot_bytes_reused: c(
+                "dyndex_store_snapshot_bytes_reused",
+                "snapshot bytes reused from the previous generation",
+                Unit::Bytes,
+            ),
+            epoch_garbage: registry.gauge(
+                "dyndex_store_epoch_garbage",
+                "retired shard views awaiting epoch reclamation (process-global)",
+                Unit::Count,
+            ),
+            epoch_passes: registry.gauge(
+                "dyndex_store_epoch_passes",
+                "epoch reclamation passes run (process-global)",
+                Unit::Count,
+            ),
+            tracer: Tracer::new(TRACE_CAPACITY),
+            core: CoreMetrics::register(&registry, shards),
+            registry,
+        }
+    }
+
+    /// Refreshes the process-global epoch-reclamation gauges.
+    pub(crate) fn sync_epoch_gauges(&self) {
+        let (garbage, passes) = crate::epoch::epoch_stats();
+        self.epoch_garbage.set(garbage as u64);
+        self.epoch_passes.set(passes);
+    }
+
+    /// Records the end of one query: total-latency histogram, query
+    /// counter, and a tracer span assembled from the fan-out probe.
+    /// `started` is the instant captured at query entry; merge time is
+    /// whatever the total doesn't attribute to route/queue/execute.
+    pub(crate) fn record_query(
+        &self,
+        kind: QueryKind,
+        started: Instant,
+        probe: FanOutProbe,
+        shards: usize,
+        results: usize,
+    ) {
+        let total_nanos = started.elapsed().as_nanos() as u64;
+        self.query_duration.record(total_nanos);
+        self.queries.inc();
+        let merge_nanos = total_nanos
+            .saturating_sub(probe.route_nanos)
+            .saturating_sub(probe.queue_nanos)
+            .saturating_sub(probe.execute_nanos);
+        self.tracer.record(QuerySpan {
+            kind,
+            route_nanos: probe.route_nanos,
+            queue_nanos: probe.queue_nanos,
+            execute_nanos: probe.execute_nanos,
+            merge_nanos,
+            min_epoch: probe.min_epoch,
+            max_epoch: probe.max_epoch,
+            shards,
+            results,
+        });
+    }
+}

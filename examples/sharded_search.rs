@@ -96,6 +96,36 @@ fn main() {
         store.heap_bytes()
     );
 
+    println!("\n== telemetry: spans, percentiles, text exposition ==");
+    // Telemetry is on by default; every query above left a span in the
+    // tracer and a sample in the latency histograms.
+    for span in store.recent_spans().iter().rev().take(3) {
+        println!("span: {span}");
+    }
+    let registry = store.metrics().expect("telemetry on by default");
+    let latency = registry
+        .find_histogram("dyndex_store_query_duration")
+        .expect("registered at construction")
+        .snapshot();
+    println!(
+        "query latency over {} queries: p50 {} ns | p99 {} ns | max {} ns",
+        latency.count(),
+        latency.percentile(0.50),
+        latency.percentile(0.99),
+        latency.max()
+    );
+    let exposition = store.render_metrics().expect("telemetry on by default");
+    println!(
+        "render_metrics(): {} lines of Prometheus-style text, e.g.:",
+        exposition.lines().count()
+    );
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("dyndex_store_docs"))
+    {
+        println!("  {line}");
+    }
+
     println!("\n== snapshot to disk, restore in a fresh store ==");
     let dir = std::env::temp_dir().join(format!("dyndex-sharded-search-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

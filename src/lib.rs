@@ -30,6 +30,10 @@
 //! * [`persist`] — durability for the store: a binary codec for every
 //!   static structure, crash-atomic snapshot/restore, and per-shard
 //!   write-ahead logging (`DurableStore`).
+//! * [`obs`] — zero-dependency telemetry: lock-free counters/gauges,
+//!   mergeable log-bucketed latency histograms, a bounded query tracer,
+//!   and Prometheus-style text exposition. The store and persist layers
+//!   record into it by default (`Telemetry` policy).
 //! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
 //!   rebuild-from-scratch).
 //!
@@ -60,6 +64,7 @@
 
 pub use dyndex_baseline as baseline;
 pub use dyndex_core as core;
+pub use dyndex_obs as obs;
 pub use dyndex_persist as persist;
 pub use dyndex_relations as relations;
 pub use dyndex_store as store;
@@ -69,6 +74,7 @@ pub use dyndex_text as text;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use dyndex_core::prelude::*;
+    pub use dyndex_obs::{MetricsRegistry, QuerySpan};
     pub use dyndex_persist::{
         DurableStore, PersistError, RestoreOptions, SnapshotMode, StorePersist, SyncPolicy,
         WalOptions,
@@ -76,6 +82,7 @@ pub mod prelude {
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
     pub use dyndex_store::{
         FanOutPolicy, MaintenancePolicy, ShardPoisoned, ShardedStore, StoreOptions, StoreStats,
+        Telemetry,
     };
     pub use dyndex_succinct::SpaceUsage;
     pub use dyndex_text::Occurrence;

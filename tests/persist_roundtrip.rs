@@ -261,6 +261,7 @@ fn open_recreates_worker_pool() {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
             fan_out: FanOutPolicy::Pooled,
+            ..StoreOptions::default()
         },
     )
     .expect("create");
@@ -398,4 +399,72 @@ fn delta_snapshot_reuses_unchanged_levels() {
     assert_eq!(fifth.levels_reused, 0, "fork must disable reuse: {fifth}");
     let reread = Store::restore(&dir.0, deterministic_restore()).expect("restore after fork");
     assert_byte_identical(&store, &reread, &patterns, docs.len() as u64);
+}
+
+/// Telemetry survives restarts when the registry does: a store restored
+/// with `Telemetry::Shared` over its predecessor's registry accumulates
+/// into the same metric series — counters continue rather than reset —
+/// and the WAL histograms keep recording on the reopened logs.
+#[test]
+fn restored_store_records_into_the_same_registry() {
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let shared = || Telemetry::Shared(std::sync::Arc::clone(&registry));
+    let dir = TempDir::new("shared-registry");
+
+    let live = Durable::create(
+        &dir.0,
+        fm(),
+        StoreOptions {
+            telemetry: shared(),
+            ..deterministic_opts(2)
+        },
+    )
+    .expect("create");
+    live.insert(1, b"first life one").expect("insert");
+    live.insert(2, b"first life two").expect("insert");
+    assert_eq!(live.count(b"first life"), 2);
+    live.snapshot().expect("snapshot");
+    drop(live);
+
+    let inserted = |r: &MetricsRegistry| {
+        r.find_histogram("dyndex_store_insert_duration")
+            .expect("registered")
+            .snapshot()
+            .count()
+    };
+    let first_life_inserts = inserted(&registry);
+    assert_eq!(first_life_inserts, 2);
+
+    let reopened = Durable::open(
+        &dir.0,
+        RestoreOptions {
+            telemetry: shared(),
+            ..deterministic_restore()
+        },
+    )
+    .expect("open");
+    assert!(
+        std::sync::Arc::ptr_eq(&reopened.metrics().expect("telemetry on"), &registry),
+        "restored store must hand back the registry it was given"
+    );
+    reopened.insert(3, b"second life three").expect("insert");
+    assert_eq!(
+        inserted(&registry),
+        first_life_inserts + 1,
+        "the same series keeps counting across the restart"
+    );
+    assert_eq!(reopened.count(b"second life"), 1);
+
+    // WAL fsync latencies recorded on the reopened logs feed the
+    // dashboard p99.
+    reopened.sync_wal().expect("sync");
+    let stats = reopened.stats();
+    assert!(stats.wal_fsync_p99.is_some(), "fsyncs were recorded");
+    let line = stats.to_string();
+    assert!(line.contains("p99 fsync"), "{line}");
+
+    // The exposition carries both store-side and WAL-side series.
+    let text = reopened.render_metrics().expect("telemetry on");
+    assert!(text.contains("dyndex_store_docs_inserted 3"), "{text}");
+    assert!(text.contains("dyndex_wal_fsync_duration"), "{text}");
 }

@@ -184,6 +184,7 @@ fn pooled_opts(mode: RebuildMode) -> StoreOptions {
         mode,
         maintenance: MaintenancePolicy::Periodic(Duration::from_micros(200)),
         fan_out: FanOutPolicy::Pooled,
+        ..StoreOptions::default()
     }
 }
 
@@ -466,6 +467,7 @@ fn pinned_view_is_immutable_and_epochs_increase() {
             mode: RebuildMode::Inline,
             maintenance: MaintenancePolicy::Manual,
             fan_out: FanOutPolicy::ScopedSpawn,
+            ..StoreOptions::default()
         },
     );
     store.insert(1, b"pinned alpha").unwrap();
@@ -510,6 +512,7 @@ fn concurrent_view_loads_are_never_torn() {
             mode: RebuildMode::Background,
             maintenance: MaintenancePolicy::Manual,
             fan_out: FanOutPolicy::ScopedSpawn,
+            ..StoreOptions::default()
         },
     );
     let writer_done = AtomicBool::new(false);
