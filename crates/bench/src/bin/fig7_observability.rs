@@ -41,6 +41,7 @@ fn store_opts(telemetry: Telemetry) -> StoreOptions {
         maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
         fan_out: FanOutPolicy::Pooled,
         telemetry,
+        ..StoreOptions::default()
     }
 }
 

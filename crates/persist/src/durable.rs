@@ -146,7 +146,7 @@ where
         let num_shards = store.num_shards();
         let metrics = store
             .metrics()
-            .map(|registry| WalMetrics::register(&registry, num_shards));
+            .map(|registry| WalMetrics::register(&registry, num_shards, store.flight_recorder()));
         (0..num_shards)
             .map(|s| {
                 let mut writer = WalWriter::open_append(wal_path(dir, s), options)?;
@@ -414,6 +414,18 @@ where
     /// See [`ShardedStore::recent_spans`].
     pub fn recent_spans(&self) -> Vec<QuerySpan> {
         self.store.recent_spans()
+    }
+
+    /// See [`ShardedStore::flight_spans`]. WAL appends and fsyncs show
+    /// up here as `wal_append` / `wal_fsync` root spans.
+    pub fn flight_spans(&self) -> Vec<dyndex_obs::Span> {
+        self.store.flight_spans()
+    }
+
+    /// See [`ShardedStore::health`]. WAL I/O errors and slow fsyncs are
+    /// folded into the report via the shared registry.
+    pub fn health(&self) -> dyndex_obs::HealthReport {
+        self.store.health()
     }
 }
 

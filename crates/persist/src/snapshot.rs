@@ -60,12 +60,13 @@ use crate::error::PersistError;
 use crate::wal::{read_wal_records, wal_path, WalOptions, WalRecord};
 use dyndex_core::transform2::{FrozenLevel, FrozenSlot, FrozenSnapshot};
 use dyndex_core::{DeletionOnlyIndex, DynOptions, RebuildMode, StaticIndex, Transform2Index};
+use dyndex_obs::{Span, SpanKind};
 use dyndex_store::{FanOutPolicy, MaintenancePolicy, ShardedStore, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The manifest's file name inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -591,6 +592,28 @@ where
     I::Config: Persist,
 {
     std::fs::create_dir_all(dir)?;
+    // Flight-recorder spans: one `snapshot` root for the whole
+    // generation, with per-shard `freeze` / `serialize` children.
+    let flight = store.flight_recorder();
+    let snap_start = flight
+        .as_ref()
+        .map(|f| (f.next_span_id(), f.now_nanos(), Instant::now()));
+    let snap_root = snap_start.map_or(0, |(id, _, _)| id);
+    let child_span = |shard: usize, kind: SpanKind, start: Option<(u64, Instant)>, detail: u64| {
+        if let (Some(f), Some((start_nanos, started))) = (&flight, start) {
+            f.record_at(
+                shard,
+                Span {
+                    shard: Some(shard),
+                    start_nanos,
+                    duration_nanos: started.elapsed().as_nanos() as u64,
+                    detail,
+                    ..Span::child(snap_root, kind)
+                },
+            );
+        }
+    };
+    let stamp = || flight.as_ref().map(|f| (f.now_nanos(), Instant::now()));
     // Pick the next generation so new files never collide with the ones
     // the committed manifest points to. A *missing* manifest means a
     // fresh directory, and a corrupt one means the previous snapshot is
@@ -638,13 +661,25 @@ where
             config = guards[0].persist_config().clone();
             options = *guards[0].persist_options();
             for (shard, guard) in guards.iter().enumerate() {
+                let freeze_start = stamp();
                 let frozen = guard
                     .freeze()
                     .expect("finish_background_work leaves the shard quiesced");
+                child_span(shard, SpanKind::ShardFreeze, freeze_start, 0);
                 let (mut outcomes, todo) = plan_shard(shard, &frozen, &reuse);
+                let serialize_start = stamp();
+                let mut level_bytes = 0u64;
                 for (idx, index) in todo {
-                    outcomes[idx].set_framed(encode_level(&*index)?);
+                    let framed = encode_level(&*index)?;
+                    level_bytes += framed.len() as u64;
+                    outcomes[idx].set_framed(framed);
                 }
+                child_span(
+                    shard,
+                    SpanKind::ShardSerialize,
+                    serialize_start,
+                    level_bytes,
+                );
                 encoded.push(ShardEncoded {
                     meta: encode_meta(&frozen)?,
                     levels: outcomes,
@@ -663,7 +698,12 @@ where
             // keeps serving throughout. No two shard locks are ever held
             // simultaneously on this path.
             let frozen: Vec<FrozenSnapshot<I>> = (0..store.num_shards())
-                .map(|s| store.freeze_shard(s))
+                .map(|s| {
+                    let freeze_start = stamp();
+                    let fz = store.freeze_shard(s);
+                    child_span(s, SpanKind::ShardFreeze, freeze_start, 0);
+                    fz
+                })
                 .collect();
             let _flag = SnapshotFlag::set(store);
             // Serialize changed levels on the resident worker pool, one
@@ -678,12 +718,34 @@ where
                     pending += 1;
                     let job_tx = tx.clone();
                     let job_index = Arc::clone(&index);
+                    let job_flight = flight.clone();
                     let job = Box::new(move || {
+                        let start = job_flight.as_ref().map(|f| (f.now_nanos(), Instant::now()));
                         let result = encode_level(&*job_index);
+                        if let (Some(f), Some((start_nanos, started))) = (&job_flight, start) {
+                            f.record_at(
+                                shard,
+                                Span {
+                                    shard: Some(shard),
+                                    start_nanos,
+                                    duration_nanos: started.elapsed().as_nanos() as u64,
+                                    detail: result.as_ref().map_or(0, |b| b.len() as u64),
+                                    ..Span::child(snap_root, SpanKind::ShardSerialize)
+                                },
+                            );
+                        }
                         let _ = job_tx.send((shard, idx, result));
                     });
                     if !store.submit_background_job(shard, job) {
-                        let _ = tx.send((shard, idx, encode_level(&*index)));
+                        let start = stamp();
+                        let result = encode_level(&*index);
+                        child_span(
+                            shard,
+                            SpanKind::ShardSerialize,
+                            start,
+                            result.as_ref().map_or(0, |b| b.len() as u64),
+                        );
+                        let _ = tx.send((shard, idx, result));
                     }
                 }
                 plans.push(outcomes);
@@ -780,6 +842,14 @@ where
     // snapshot into the same directory may reuse unchanged files.
     store.set_snapshot_lineage(commit_uid);
     drop(stw_guards);
+    if let (Some(f), Some((id, start_nanos, started))) = (&flight, snap_start) {
+        f.finish_root(Span {
+            start_nanos,
+            duration_nanos: started.elapsed().as_nanos() as u64,
+            detail: bytes_written,
+            ..Span::root(id, SpanKind::Snapshot)
+        });
+    }
     Ok(SnapshotStats {
         generation,
         shards: manifest.num_shards,

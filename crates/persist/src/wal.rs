@@ -18,7 +18,7 @@ use crate::codec::{
     crc32, read_bytes, read_u64, read_u8, read_usize, write_bytes, write_u64, write_u8, write_usize,
 };
 use crate::error::PersistError;
-use dyndex_obs::{Histogram, MetricsRegistry, Unit};
+use dyndex_obs::{Counter, FlightRecorder, Histogram, MetricsRegistry, Span, SpanKind, Unit};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -173,11 +173,26 @@ pub(crate) struct WalMetrics {
     /// `sync_data` latency, wherever it is paid (per record, group
     /// commit, snapshot truncation, explicit `sync_wal`, close).
     pub fsync: Arc<Histogram>,
+    /// Failed appends (I/O errors; the store's health watchdog looks
+    /// this series up by name). An append that fails inside its
+    /// policy-charged fsync counts in both error series — the append
+    /// did fail, and so did an fsync.
+    pub append_errors: Arc<Counter>,
+    /// Failed `sync_data` calls, wherever the fsync was paid.
+    pub fsync_errors: Arc<Counter>,
+    /// The store's flight recorder, for WAL append/fsync spans
+    /// (`None` keeps spans off without a second policy knob).
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl WalMetrics {
-    /// Get-or-creates the WAL series in `registry`, striped per shard.
-    pub(crate) fn register(registry: &MetricsRegistry, shards: usize) -> Self {
+    /// Get-or-creates the WAL series in `registry`, striped per shard;
+    /// `flight`, when present, receives one span per append and fsync.
+    pub(crate) fn register(
+        registry: &MetricsRegistry,
+        shards: usize,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         WalMetrics {
             append: registry.histogram(
                 "dyndex_wal_append_duration",
@@ -191,6 +206,17 @@ impl WalMetrics {
                 Unit::Nanos,
                 shards,
             ),
+            append_errors: registry.counter(
+                "dyndex_wal_append_errors",
+                "write-ahead-log appends that failed with an I/O error",
+                Unit::Count,
+            ),
+            fsync_errors: registry.counter(
+                "dyndex_wal_fsync_errors",
+                "write-ahead-log fsyncs that failed with an I/O error",
+                Unit::Count,
+            ),
+            flight,
         }
     }
 }
@@ -234,12 +260,55 @@ impl WalWriter {
         self.shard = shard;
     }
 
+    /// Stamps the flight clock, when a recorder is attached.
+    fn flight_now(&self) -> Option<u64> {
+        self.metrics
+            .as_ref()
+            .and_then(|m| m.flight.as_ref())
+            .map(|f| f.now_nanos())
+    }
+
+    /// Records one finished WAL operation as a root flight span (slow
+    /// ones are retained by the recorder's slow-op log).
+    fn record_span(&self, kind: SpanKind, start: Option<u64>, duration_nanos: u64, detail: u64) {
+        let Some(flight) = self.metrics.as_ref().and_then(|m| m.flight.as_ref()) else {
+            return;
+        };
+        let Some(start_nanos) = start else { return };
+        flight.finish_root(Span {
+            shard: Some(self.shard),
+            start_nanos,
+            duration_nanos,
+            detail,
+            ..Span::root(flight.next_span_id(), kind)
+        });
+    }
+
     /// Appends one record. The bytes reach the OS before this returns
     /// (single `write_all`), so the log survives process crashes; the
     /// [`SyncPolicy`] decides whether this append also pays an fsync
     /// (per record, per group of N, or never — see [`WalWriter::sync`]).
     pub(crate) fn append(&mut self, seq: u64, record: &WalRecord) -> Result<(), PersistError> {
         let started = self.metrics.is_some().then(Instant::now);
+        let flight_start = self.flight_now();
+        let result = self.append_inner(seq, record);
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            match &result {
+                Ok(bytes) => {
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    m.append.record_at(self.shard, nanos);
+                    self.record_span(SpanKind::WalAppend, flight_start, nanos, *bytes);
+                }
+                Err(_) => m.append_errors.inc(),
+            }
+        }
+        result.map(|_| ())
+    }
+
+    /// The fallible body of [`WalWriter::append`], split out so the
+    /// wrapper can count errors and record latency/spans on exactly one
+    /// path each. Returns the framed bytes written (the span's payload).
+    fn append_inner(&mut self, seq: u64, record: &WalRecord) -> Result<u64, PersistError> {
         let payload = encode_payload(seq, record);
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -257,23 +326,28 @@ impl WalWriter {
         if due {
             self.sync()?;
         }
-        if let (Some(m), Some(started)) = (&self.metrics, started) {
-            m.append
-                .record_at(self.shard, started.elapsed().as_nanos() as u64);
-        }
-        Ok(())
+        Ok(framed.len() as u64)
     }
 
     /// fsyncs the log file and resets the group-commit accumulator.
     pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
         let started = self.metrics.is_some().then(Instant::now);
-        self.file.sync_data()?;
-        self.unsynced = 0;
-        if let (Some(m), Some(started)) = (&self.metrics, started) {
-            m.fsync
-                .record_at(self.shard, started.elapsed().as_nanos() as u64);
+        let flight_start = self.flight_now();
+        let result = self.file.sync_data();
+        if result.is_ok() {
+            self.unsynced = 0;
         }
-        Ok(())
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            match &result {
+                Ok(()) => {
+                    let nanos = started.elapsed().as_nanos() as u64;
+                    m.fsync.record_at(self.shard, nanos);
+                    self.record_span(SpanKind::WalFsync, flight_start, nanos, 0);
+                }
+                Err(_) => m.fsync_errors.inc(),
+            }
+        }
+        result.map_err(Into::into)
     }
 
     /// Empties the log (records are covered by a freshly committed

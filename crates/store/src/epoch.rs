@@ -31,8 +31,9 @@
 //! through a free list when the thread exits, so churning threads (soak
 //! tests, scoped fan-outs) do not grow the registry without bound.
 
+use dyndex_obs::{FlightRecorder, Span, SpanKind};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
 
 /// Slot value meaning "this thread holds no pinned pointer".
 const UNPINNED: u64 = u64::MAX;
@@ -115,10 +116,28 @@ thread_local! {
     static SLOT: SlotHandle = SlotHandle::register();
 }
 
+/// The flight recorder GC passes report spans to, registered (weakly, so
+/// a dropped store never keeps its recorder alive through this global)
+/// by the most recent store construction that enabled telemetry.
+fn gc_flight_cell() -> &'static Mutex<Weak<FlightRecorder>> {
+    static CELL: OnceLock<Mutex<Weak<FlightRecorder>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Weak::new()))
+}
+
+/// Registers `flight` as the recorder epoch-GC passes emit spans to.
+/// The domain is process-global, so the last registration wins.
+pub(crate) fn set_gc_flight(flight: &Arc<FlightRecorder>) {
+    *lock(gc_flight_cell()) = Arc::downgrade(flight);
+}
+
 /// Frees every retired value whose retire epoch is provably below all
 /// pinned readers. Actual drops happen after both locks are released.
 fn collect(d: &Domain) {
     d.passes.fetch_add(1, Ordering::Relaxed);
+    let flight = lock(gc_flight_cell()).upgrade();
+    let started = flight
+        .as_ref()
+        .map(|f| (f.now_nanos(), std::time::Instant::now()));
     let min_pinned = {
         let slots = lock(&d.slots);
         slots
@@ -139,7 +158,20 @@ fn collect(d: &Domain) {
             }
         }
     }
+    let freed_count = freed.len();
     drop(freed);
+    // Only passes that reclaimed something become spans — empty passes
+    // run on every publication and would drown the ring in noise.
+    if freed_count > 0 {
+        if let (Some(f), Some((start_nanos, t0))) = (flight, started) {
+            f.record(Span {
+                start_nanos,
+                duration_nanos: t0.elapsed().as_nanos() as u64,
+                detail: freed_count as u64,
+                ..Span::child(0, SpanKind::EpochGc)
+            });
+        }
+    }
 }
 
 /// Point-in-time reclamation telemetry: `(retired values not yet freed,

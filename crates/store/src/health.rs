@@ -1,0 +1,368 @@
+//! The health watchdog: point-in-time detectors over the store's live
+//! state, folded into a typed [`HealthReport`].
+//!
+//! The watchdog holds only shared handles — the shard slots (for poison
+//! flags, write-lock hold stamps, and published pending-job counts), the
+//! pool's worker gauges (heartbeats and busy-since stamps), and the
+//! metric registry (for WAL fsync latency and error series registered by
+//! `dyndex-persist`). A check reads atomics and one registry lookup; it
+//! never takes a shard lock, so `/health` stays answerable exactly when
+//! it matters most — while something is stuck.
+//!
+//! Detectors and their defaults (all configurable via [`HealthOptions`]):
+//!
+//! | detector          | trigger                                             | severity  |
+//! |-------------------|-----------------------------------------------------|-----------|
+//! | poisoned shard    | a writer panic poisoned the shard lock              | Degraded  |
+//! | stalled writer    | write lock held > `writer_stall_after` (1s)         | Degraded  |
+//! | stuck worker      | one pool job running > `stuck_worker_after` (5s)    | Unhealthy |
+//! | stalled rebuild   | pending jobs uninstalled > `stalled_rebuild_after`  | Degraded  |
+//! | slow fsync        | WAL fsync p99 > `max_fsync_p99` (250ms)             | Degraded  |
+//! | WAL errors        | any append/fsync I/O error counted                  | Degraded  |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::pool::WorkerGauges;
+use crate::shard::ShardSlot;
+use dyndex_core::StaticIndex;
+use dyndex_obs::{HealthReason, HealthReport, HealthStatus, MetricsRegistry};
+
+/// Monotonic nanoseconds since the first call in this process — the
+/// shared clock behind worker heartbeats, write-lock hold stamps, and
+/// watchdog age math (a plain `u64` fits in the atomics they live in).
+pub(crate) fn nanos_now() -> u64 {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    BASE.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Watchdog thresholds, set through
+/// [`StoreOptions`](crate::StoreOptions)`::health`.
+///
+/// ```
+/// use dyndex_store::HealthOptions;
+/// use std::time::Duration;
+///
+/// let tight = HealthOptions {
+///     writer_stall_after: Duration::from_millis(100),
+///     ..HealthOptions::default()
+/// };
+/// assert!(tight.writer_stall_after < HealthOptions::default().writer_stall_after);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthOptions {
+    /// A write lock held longer than this flags the shard's writer as
+    /// stalled (default 1s).
+    pub writer_stall_after: Duration,
+    /// One pool job running longer than this flags the worker as stuck —
+    /// the only Unhealthy-severity detector (default 5s).
+    pub stuck_worker_after: Duration,
+    /// Pending background rebuild jobs older than this (without being
+    /// installed) flag the shard's rebuilds as stalled. Only checked
+    /// when a worker pool runs maintenance; manual-maintenance stores
+    /// legitimately hold jobs pending (default 10s).
+    pub stalled_rebuild_after: Duration,
+    /// WAL fsync p99 above this flags durability as slow (default 250ms).
+    pub max_fsync_p99: Duration,
+    /// Operations slower than this retain their full span tree in the
+    /// flight recorder's slow-op log (default 100ms).
+    pub slow_op_threshold: Duration,
+}
+
+impl Default for HealthOptions {
+    fn default() -> Self {
+        HealthOptions {
+            writer_stall_after: Duration::from_secs(1),
+            stuck_worker_after: Duration::from_secs(5),
+            stalled_rebuild_after: Duration::from_secs(10),
+            max_fsync_p99: Duration::from_millis(250),
+            slow_op_threshold: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Metric names the WAL layer registers (in `dyndex-persist`); the
+/// watchdog finds them by name so durability health needs no extra
+/// wiring between the crates.
+const WAL_FSYNC_HISTOGRAM: &str = "dyndex_wal_fsync_duration";
+const WAL_APPEND_ERRORS: &str = "dyndex_wal_append_errors";
+const WAL_FSYNC_ERRORS: &str = "dyndex_wal_fsync_errors";
+
+/// The live watchdog state a store carries: shared handles plus the
+/// small amount of memory the stalled-rebuild detector needs (when
+/// pending work *first* appeared per shard).
+pub(crate) struct HealthState<I: StaticIndex + Sync> {
+    shards: Arc<Vec<ShardSlot<I>>>,
+    workers: Vec<Arc<WorkerGauges>>,
+    options: HealthOptions,
+    registry: Option<Arc<MetricsRegistry>>,
+    /// Per-shard stamp of when pending jobs were first observed
+    /// (0 = none pending at last check).
+    pending_since: Vec<AtomicU64>,
+    /// Serializes checks so `pending_since` read-modify-writes don't
+    /// interleave (checks are rare; scrapes and `health()` calls).
+    check_gate: Mutex<()>,
+}
+
+impl<I: StaticIndex + Sync> HealthState<I> {
+    pub(crate) fn new(
+        shards: Arc<Vec<ShardSlot<I>>>,
+        workers: Vec<Arc<WorkerGauges>>,
+        options: HealthOptions,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        let pending_since = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        HealthState {
+            shards,
+            workers,
+            options,
+            registry,
+            pending_since,
+            check_gate: Mutex::new(()),
+        }
+    }
+
+    /// Runs every detector and folds the findings into a report.
+    pub(crate) fn check(&self) -> HealthReport {
+        let _gate = self.check_gate.lock().unwrap();
+        let now = nanos_now();
+        let mut reasons = Vec::new();
+        let mut poisoned = 0usize;
+
+        for (shard, slot) in self.shards.iter().enumerate() {
+            if slot.is_poisoned() {
+                poisoned += 1;
+                reasons.push(HealthReason::ShardPoisoned { shard });
+                continue;
+            }
+            let held_since = slot.locked_since();
+            if held_since != 0 {
+                let held_for = now.saturating_sub(held_since);
+                if held_for >= self.options.writer_stall_after.as_nanos() as u64 {
+                    reasons.push(HealthReason::WriterStalled {
+                        shard,
+                        held_for: Duration::from_nanos(held_for),
+                    });
+                }
+            }
+        }
+
+        for (shard, gauges) in self.workers.iter().enumerate() {
+            let bound = self.options.stuck_worker_after.as_nanos() as u64;
+            let busy_since = gauges.busy_since();
+            if busy_since != 0 {
+                let busy_for = now.saturating_sub(busy_since);
+                if busy_for >= bound {
+                    reasons.push(HealthReason::StuckWorker {
+                        shard,
+                        busy_for: Duration::from_nanos(busy_for),
+                    });
+                }
+                continue;
+            }
+            // Not inside a job: a live worker wakes on the queue send, so
+            // a heartbeat that stays stale *while requests wait* means
+            // the worker thread is wedged outside a job (or gone). An
+            // idle worker parked in its tick-long queue wait never trips
+            // this — its queue is empty.
+            let heartbeat = gauges.heartbeat();
+            if heartbeat != 0 && gauges.queued_depth() > 0 {
+                let silent_for = now.saturating_sub(heartbeat);
+                if silent_for >= bound {
+                    reasons.push(HealthReason::StuckWorker {
+                        shard,
+                        busy_for: Duration::from_nanos(silent_for),
+                    });
+                }
+            }
+        }
+
+        // Stalled rebuilds are only meaningful when workers run periodic
+        // maintenance; with manual maintenance pending jobs are the
+        // caller's business.
+        if !self.workers.is_empty() {
+            for (shard, slot) in self.shards.iter().enumerate() {
+                let stamp = &self.pending_since[shard];
+                if slot.view().pending_jobs() == 0 {
+                    stamp.store(0, Ordering::Relaxed);
+                    continue;
+                }
+                let since = stamp.load(Ordering::Relaxed);
+                if since == 0 {
+                    stamp.store(now.max(1), Ordering::Relaxed);
+                    continue;
+                }
+                let pending_for = now.saturating_sub(since);
+                if pending_for >= self.options.stalled_rebuild_after.as_nanos() as u64 {
+                    reasons.push(HealthReason::StalledRebuild {
+                        shard,
+                        pending_for: Duration::from_nanos(pending_for),
+                    });
+                }
+            }
+        }
+
+        if let Some(registry) = &self.registry {
+            if let Some(fsync) = registry.find_histogram(WAL_FSYNC_HISTOGRAM) {
+                let snap = fsync.snapshot();
+                if snap.count() > 0 {
+                    let p99 = Duration::from_nanos(snap.percentile(0.99));
+                    if p99 > self.options.max_fsync_p99 {
+                        reasons.push(HealthReason::SlowFsync {
+                            p99,
+                            bound: self.options.max_fsync_p99,
+                        });
+                    }
+                }
+            }
+            let count = |name: &str| registry.find_counter(name).map_or(0, |c| c.get());
+            let append_errors = count(WAL_APPEND_ERRORS);
+            let fsync_errors = count(WAL_FSYNC_ERRORS);
+            if append_errors > 0 || fsync_errors > 0 {
+                reasons.push(HealthReason::WalErrors {
+                    append_errors,
+                    fsync_errors,
+                });
+            }
+        }
+
+        let mut report = HealthReport::from_reasons(reasons);
+        // Every shard poisoned means no write can land anywhere: escalate.
+        if poisoned == self.shards.len() && poisoned > 0 {
+            report.status = HealthStatus::Unhealthy;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::{DynOptions, FmConfig, RebuildMode, Transform2Index};
+    use dyndex_obs::Unit;
+    use dyndex_text::FmIndexCompressed;
+
+    fn slots(n: usize) -> Arc<Vec<ShardSlot<FmIndexCompressed>>> {
+        Arc::new(
+            (0..n)
+                .map(|shard| {
+                    let index = Transform2Index::new(
+                        FmConfig { sample_rate: 8 },
+                        DynOptions::default(),
+                        RebuildMode::Inline,
+                    );
+                    ShardSlot::new(shard, index, None)
+                })
+                .collect(),
+        )
+    }
+
+    fn state(
+        shards: Arc<Vec<ShardSlot<FmIndexCompressed>>>,
+        options: HealthOptions,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> HealthState<FmIndexCompressed> {
+        HealthState::new(shards, Vec::new(), options, registry)
+    }
+
+    #[test]
+    fn quiet_store_is_ok() {
+        let state = state(slots(2), HealthOptions::default(), None);
+        let report = state.check();
+        assert_eq!(report.status, HealthStatus::Ok);
+        assert!(report.reasons.is_empty());
+    }
+
+    #[test]
+    fn held_write_lock_degrades_after_threshold() {
+        let shards = slots(2);
+        let state = state(
+            Arc::clone(&shards),
+            HealthOptions {
+                writer_stall_after: Duration::from_millis(10),
+                ..HealthOptions::default()
+            },
+            None,
+        );
+        let guard = shards[1].write().unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        let report = state.check();
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert!(report
+            .reasons
+            .iter()
+            .any(|r| matches!(r, HealthReason::WriterStalled { shard: 1, .. })));
+        drop(guard);
+        assert_eq!(
+            state.check().status,
+            HealthStatus::Ok,
+            "recovers on release"
+        );
+    }
+
+    #[test]
+    fn one_poisoned_shard_degrades_all_poisoned_escalates() {
+        let shards = slots(2);
+        let poison = |shard: usize| {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shards[shard].write().unwrap();
+                panic!("poison shard {shard}");
+            }));
+        };
+        let state = state(Arc::clone(&shards), HealthOptions::default(), None);
+
+        poison(0);
+        let report = state.check();
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert!(report
+            .reasons
+            .iter()
+            .any(|r| matches!(r, HealthReason::ShardPoisoned { shard: 0 })));
+
+        poison(1);
+        let report = state.check();
+        assert_eq!(
+            report.status,
+            HealthStatus::Unhealthy,
+            "no shard can accept writes: escalate past Degraded"
+        );
+        assert_eq!(report.reasons.len(), 2);
+    }
+
+    #[test]
+    fn wal_trouble_is_found_by_metric_name() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let state = state(
+            slots(1),
+            HealthOptions::default(),
+            Some(Arc::clone(&registry)),
+        );
+        assert_eq!(state.check().status, HealthStatus::Ok);
+
+        // The watchdog discovers the WAL series the persist layer
+        // registers purely by name — no cross-crate wiring.
+        let fsync_errors = registry.counter(WAL_FSYNC_ERRORS, "", Unit::Count);
+        fsync_errors.inc();
+        let report = state.check();
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert!(report.reasons.iter().any(|r| matches!(
+            r,
+            HealthReason::WalErrors {
+                append_errors: 0,
+                fsync_errors: 1,
+            }
+        )));
+
+        let fsync = registry.histogram(WAL_FSYNC_HISTOGRAM, "", Unit::Nanos, 1);
+        fsync.record(Duration::from_secs(1).as_nanos() as u64);
+        let report = state.check();
+        assert!(
+            report
+                .reasons
+                .iter()
+                .any(|r| matches!(r, HealthReason::SlowFsync { .. })),
+            "{report}"
+        );
+    }
+}

@@ -67,6 +67,7 @@
 //!         fan_out: FanOutPolicy::Pooled, // the default: resident workers
 //!         index: DynOptions::default(),
 //!         telemetry: Telemetry::Enabled, // the default: private registry
+//!         ..StoreOptions::default()      // health watchdog thresholds, no admin listener
 //!     },
 //! );
 //! assert_eq!(store.worker_threads(), 4); // one resident worker per shard
@@ -82,12 +83,14 @@
 //! ```
 
 mod epoch;
+mod health;
 mod pool;
 mod shard;
 mod stats;
 mod store;
 mod telemetry;
 
+pub use health::HealthOptions;
 pub use shard::{ShardGuard, ShardPoisoned};
 pub use stats::{ShardStats, StoreStats};
 pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
@@ -95,8 +98,13 @@ pub use telemetry::Telemetry;
 
 // Telemetry vocabulary types, re-exported so store users need not name
 // `dyndex-obs` directly: the registry handle [`ShardedStore::metrics`]
-// returns and the span type [`ShardedStore::recent_spans`] yields.
-pub use dyndex_obs::{MetricsRegistry, QueryKind, QuerySpan};
+// returns, the span types [`ShardedStore::recent_spans`] and
+// [`ShardedStore::flight_spans`] yield, and the health report
+// [`ShardedStore::health`] folds its detector findings into.
+pub use dyndex_obs::{
+    AdminServer, FlightRecorder, HealthReason, HealthReport, HealthStatus, MetricsRegistry,
+    QueryKind, QuerySpan, Span, SpanKind,
+};
 
 #[doc(hidden)]
 pub use store::fresh_uid;

@@ -30,7 +30,8 @@ use std::time::{Duration, Instant};
 /// channel.
 pub(crate) type Job<I> = Box<dyn FnOnce(&ShardSlot<I>) + Send>;
 
-/// Live per-worker gauges, shared with [`crate::StoreStats`].
+/// Live per-worker gauges, shared with [`crate::StoreStats`] and the
+/// health watchdog.
 #[derive(Default)]
 pub(crate) struct WorkerGauges {
     /// Requests waiting in the queue (a dequeued request moves to `busy`
@@ -38,6 +39,29 @@ pub(crate) struct WorkerGauges {
     queued: AtomicUsize,
     /// Whether the worker is currently executing a request.
     busy: AtomicBool,
+    /// Monotonic nanos of the worker's last loop iteration (see
+    /// [`crate::health::nanos_now`]); 0 until the worker first runs.
+    heartbeat: AtomicU64,
+    /// Monotonic nanos when the currently-executing request started;
+    /// 0 while idle. The watchdog's stuck-worker detector reads this.
+    busy_since: AtomicU64,
+}
+
+impl WorkerGauges {
+    /// Last heartbeat stamp (0 = never ran).
+    pub(crate) fn heartbeat(&self) -> u64 {
+        self.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// When the current request started (0 = idle).
+    pub(crate) fn busy_since(&self) -> u64 {
+        self.busy_since.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently waiting in the worker's queue.
+    pub(crate) fn queued_depth(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
 }
 
 struct Worker {
@@ -148,6 +172,12 @@ impl<I: StaticIndex + Sync> WorkerPool<I> {
     pub(crate) fn installs(&self) -> u64 {
         self.installs.load(Ordering::Relaxed)
     }
+
+    /// Shared gauge handles, one per worker — the health watchdog holds
+    /// these to read heartbeats without referencing the pool itself.
+    pub(crate) fn gauges(&self) -> Vec<Arc<WorkerGauges>> {
+        self.workers.iter().map(|w| Arc::clone(&w.gauges)).collect()
+    }
 }
 
 impl<I: StaticIndex + Sync> Drop for WorkerPool<I> {
@@ -185,9 +215,15 @@ fn worker_loop<I: StaticIndex + Sync>(
     let slot = &shards[shard];
     let mut last_maintain = Instant::now();
     loop {
+        gauges
+            .heartbeat
+            .store(crate::health::nanos_now(), Ordering::Relaxed);
         match rx.recv_timeout(tick) {
             Ok(job) => {
                 gauges.busy.store(true, Ordering::Relaxed);
+                gauges
+                    .busy_since
+                    .store(crate::health::nanos_now(), Ordering::Relaxed);
                 gauges.queued.fetch_sub(1, Ordering::Relaxed);
                 // Jobs wrap their own work in `catch_unwind` and report
                 // panics through their reply channel; a panic escaping
@@ -198,6 +234,7 @@ fn worker_loop<I: StaticIndex + Sync>(
                 let survived =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(slot))).is_ok();
                 debug_assert!(survived, "query job leaked a panic past its reply channel");
+                gauges.busy_since.store(0, Ordering::Relaxed);
                 gauges.busy.store(false, Ordering::Relaxed);
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -219,6 +256,40 @@ fn worker_loop<I: StaticIndex + Sync>(
             if installed > 0 {
                 installs.fetch_add(installed, Ordering::Relaxed);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyndex_core::{DynOptions, FmConfig, RebuildMode, Transform2Index};
+    use dyndex_text::FmIndexCompressed;
+
+    /// Workers stamp a heartbeat every loop iteration — the watchdog's
+    /// evidence that a worker thread is alive and cycling.
+    #[test]
+    fn workers_heartbeat() {
+        let slots: Vec<ShardSlot<FmIndexCompressed>> = (0..2)
+            .map(|shard| {
+                let index = Transform2Index::new(
+                    FmConfig { sample_rate: 8 },
+                    DynOptions::default(),
+                    RebuildMode::Inline,
+                );
+                ShardSlot::new(shard, index, None)
+            })
+            .collect();
+        let pool = WorkerPool::spawn(Arc::new(slots), Duration::from_micros(100));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let gauges = pool.gauges();
+            if gauges.iter().all(|g| g.heartbeat() != 0) {
+                assert!(gauges.iter().all(|g| g.busy_since() == 0), "idle workers");
+                break;
+            }
+            assert!(Instant::now() < deadline, "workers never heartbeat");
+            std::thread::yield_now();
         }
     }
 }

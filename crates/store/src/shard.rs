@@ -20,7 +20,9 @@
 
 use crate::epoch::ViewCell;
 use dyndex_core::{ShardView, StaticIndex, Transform2Index};
+use dyndex_obs::Counter;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockWriteGuard};
 
 /// Error returned by writer entry points when a previous writer panicked
@@ -51,16 +53,34 @@ pub(crate) struct ShardSlot<I: StaticIndex + Sync> {
     shard: usize,
     index: RwLock<Transform2Index<I>>,
     view: ViewCell<ShardView<I>>,
+    /// Monotonic nanos ([`crate::health::nanos_now`]) when the current
+    /// write guard was taken; 0 while the lock is free. The watchdog's
+    /// writer-stall detector reads this.
+    locked_since: AtomicU64,
+    /// Per-poisoning-event counter (distinct from the per-refused-write
+    /// counter): incremented exactly once when a writer panic poisons
+    /// this shard, gated by `poison_latch`.
+    poison_events: Option<Arc<Counter>>,
+    poison_latch: AtomicBool,
 }
 
 impl<I: StaticIndex + Sync> ShardSlot<I> {
-    /// Wraps `index` and publishes its initial view.
-    pub(crate) fn new(shard: usize, mut index: Transform2Index<I>) -> Self {
+    /// Wraps `index` and publishes its initial view. `poison_events`,
+    /// when present, is incremented once if a writer panic ever poisons
+    /// this shard.
+    pub(crate) fn new(
+        shard: usize,
+        mut index: Transform2Index<I>,
+        poison_events: Option<Arc<Counter>>,
+    ) -> Self {
         let view = ViewCell::new(Arc::new(index.snapshot_view()));
         ShardSlot {
             shard,
             index: RwLock::new(index),
             view,
+            locked_since: AtomicU64::new(0),
+            poison_events,
+            poison_latch: AtomicBool::new(false),
         }
     }
 
@@ -73,7 +93,11 @@ impl<I: StaticIndex + Sync> ShardSlot<I> {
     /// Write access; republishes the view when the guard drops cleanly.
     pub(crate) fn write(&self) -> Result<ShardGuard<'_, I>, ShardPoisoned> {
         match self.index.write() {
-            Ok(guard) => Ok(ShardGuard { slot: self, guard }),
+            Ok(guard) => {
+                self.locked_since
+                    .store(crate::health::nanos_now(), Ordering::Relaxed);
+                Ok(ShardGuard { slot: self, guard })
+            }
             Err(_) => Err(ShardPoisoned { shard: self.shard }),
         }
     }
@@ -82,9 +106,23 @@ impl<I: StaticIndex + Sync> ShardSlot<I> {
     /// poisoned (maintenance paths skip either way).
     pub(crate) fn try_write(&self) -> Option<ShardGuard<'_, I>> {
         match self.index.try_write() {
-            Ok(guard) => Some(ShardGuard { slot: self, guard }),
+            Ok(guard) => {
+                self.locked_since
+                    .store(crate::health::nanos_now(), Ordering::Relaxed);
+                Some(ShardGuard { slot: self, guard })
+            }
             Err(_) => None,
         }
+    }
+
+    /// Whether a panicked writer has poisoned this shard's lock.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.index.is_poisoned()
+    }
+
+    /// When the current write guard was taken (0 = lock free).
+    pub(crate) fn locked_since(&self) -> u64 {
+        self.locked_since.load(Ordering::Relaxed)
     }
 }
 
@@ -115,11 +153,22 @@ impl<I: StaticIndex + Sync> Drop for ShardGuard<'_, I> {
         if std::thread::panicking() {
             // A panicked writer may have left the index mid-mutation:
             // readers must keep the last good view, so publish nothing.
+            // Count the poisoning itself exactly once — the latch keeps
+            // later refused writes from re-counting the event — and
+            // clear the hold stamp so the watchdog reports the shard as
+            // poisoned, not as a stalled writer too.
+            if !self.slot.poison_latch.swap(true, Ordering::Relaxed) {
+                if let Some(counter) = &self.slot.poison_events {
+                    counter.inc();
+                }
+            }
+            self.slot.locked_since.store(0, Ordering::Relaxed);
             return;
         }
         // Capture-then-swap happens while the write lock is still held
         // (the inner guard drops after this body), so publications are
         // serialized and view epochs stay strictly monotone.
         self.slot.view.store(Arc::new(self.guard.snapshot_view()));
+        self.slot.locked_since.store(0, Ordering::Relaxed);
     }
 }

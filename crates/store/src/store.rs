@@ -3,15 +3,20 @@
 //! merge, batched writes, and background maintenance folded into the
 //! same workers.
 
+use crate::health::{HealthOptions, HealthState};
 use crate::pool::WorkerPool;
 use crate::shard::{ShardGuard, ShardPoisoned, ShardSlot};
 use crate::stats::{ShardStats, StoreStats};
 use crate::telemetry::{FanOutProbe, ShardProbe, StoreTelemetry, Telemetry};
 use dyndex_core::transform2::FrozenSnapshot;
 use dyndex_core::{DynOptions, RebuildMode, ShardView, StaticIndex, Transform2Index};
-use dyndex_obs::{MetricsRegistry, QueryKind, QuerySpan};
+use dyndex_obs::{
+    AdminResponse, AdminServer, FlightRecorder, HealthReport, MetricsRegistry, QueryKind,
+    QuerySpan, Span, SpanKind,
+};
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -94,6 +99,22 @@ pub struct StoreOptions {
     /// Telemetry policy: record into a fresh registry (default), a
     /// shared one, or nothing at all — see [`Telemetry`].
     pub telemetry: Telemetry,
+    /// Health-watchdog thresholds (stall/stuck detectors behind
+    /// [`ShardedStore::health`] and the admin endpoint's `/health`) and
+    /// the flight recorder's slow-op retention bound.
+    pub health: HealthOptions,
+    /// Bind address for the zero-dependency admin endpoint (e.g.
+    /// `"127.0.0.1:9090"`, or port `0` to let the OS pick — read the
+    /// result back via [`ShardedStore::admin_addr`]). `None` (the
+    /// default) starts no listener and opens no socket.
+    ///
+    /// The endpoint serves `GET /metrics` (Prometheus-style text),
+    /// `/health` (watchdog report; HTTP 503 when unhealthy), `/spans`
+    /// (recent flight-recorder span trees), and `/slow` (retained
+    /// slow-operation trees). Construction panics if the address cannot
+    /// be bound — an explicitly requested admin endpoint that silently
+    /// fails to listen would be worse than a loud startup failure.
+    pub admin: Option<String>,
 }
 
 impl Default for StoreOptions {
@@ -105,6 +126,8 @@ impl Default for StoreOptions {
             maintenance: MaintenancePolicy::Periodic(Duration::from_millis(1)),
             fan_out: FanOutPolicy::Pooled,
             telemetry: Telemetry::default(),
+            health: HealthOptions::default(),
+            admin: None,
         }
     }
 }
@@ -167,6 +190,14 @@ pub struct ShardedStore<I: StaticIndex + Sync> {
     /// Telemetry handles; `None` under [`Telemetry::Disabled`] — every
     /// instrumentation point is then one branch, no clock reads.
     telemetry: Option<Arc<StoreTelemetry>>,
+    /// The health watchdog (always present; detectors read shared
+    /// atomics, so a check never blocks on store state).
+    health: Arc<HealthState<I>>,
+    /// The admin listener, when [`StoreOptions::admin`] asked for one.
+    /// Its handlers hold only `Arc`'d state (telemetry, watchdog), so
+    /// drop order against the pool is immaterial; dropping the store
+    /// joins the accept thread.
+    admin: Option<AdminServer>,
 }
 
 impl<I: StaticIndex + Sync> ShardedStore<I> {
@@ -198,32 +229,46 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             options.maintenance,
             options.fan_out,
             &options.telemetry,
+            options.health.clone(),
+            options.admin.as_deref(),
         )
     }
 
-    /// Wires shard indexes to their slots, telemetry, and (optional)
-    /// worker pool — the single construction path shared by
-    /// [`ShardedStore::new`] and [`ShardedStore::from_shard_indexes`].
-    /// Telemetry attaches *before* the initial views publish, so even
-    /// construction-time freezes and rebuilds are recorded.
+    /// Wires shard indexes to their slots, telemetry, watchdog, admin
+    /// endpoint, and (optional) worker pool — the single construction
+    /// path shared by [`ShardedStore::new`] and
+    /// [`ShardedStore::from_shard_indexes`]. Telemetry attaches *before*
+    /// the initial views publish, so even construction-time freezes and
+    /// rebuilds are recorded.
     fn with_shards(
         mut indexes: Vec<Transform2Index<I>>,
         maintenance: MaintenancePolicy,
         fan_out: FanOutPolicy,
         telemetry: &Telemetry,
+        health_options: HealthOptions,
+        admin_addr: Option<&str>,
     ) -> Self {
         assert!(!indexes.is_empty(), "store needs at least one shard");
         let telemetry = StoreTelemetry::from_policy(telemetry, indexes.len());
         if let Some(t) = &telemetry {
-            for index in indexes.iter_mut() {
+            t.flight
+                .set_slow_threshold(health_options.slow_op_threshold);
+            // Epoch-GC passes run process-globally; point them at this
+            // store's recorder (last registration wins).
+            crate::epoch::set_gc_flight(&t.flight);
+            for (shard, index) in indexes.iter_mut().enumerate() {
                 index.set_metrics(Some(Arc::clone(&t.core)));
+                index.set_metrics_shard(shard);
             }
         }
+        let poison_events = telemetry
+            .as_ref()
+            .map(|t| Arc::clone(&t.shards_poisoned_events));
         let shards: Arc<Vec<ShardSlot<I>>> = Arc::new(
             indexes
                 .into_iter()
                 .enumerate()
-                .map(|(shard, index)| ShardSlot::new(shard, index))
+                .map(|(shard, index)| ShardSlot::new(shard, index, poison_events.clone()))
                 .collect(),
         );
         let pool = match maintenance {
@@ -231,6 +276,16 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             MaintenancePolicy::Periodic(tick) => Some(WorkerPool::spawn(Arc::clone(&shards), tick)),
         };
         let pooled_queries = pool.is_some() && fan_out == FanOutPolicy::Pooled;
+        let health = Arc::new(HealthState::new(
+            Arc::clone(&shards),
+            pool.as_ref().map_or_else(Vec::new, WorkerPool::gauges),
+            health_options,
+            telemetry.as_ref().map(|t| Arc::clone(&t.registry)),
+        ));
+        let admin = admin_addr.map(|addr| {
+            Self::spawn_admin(addr, telemetry.clone(), Arc::clone(&health))
+                .unwrap_or_else(|e| panic!("admin endpoint failed to bind {addr}: {e}"))
+        });
         ShardedStore {
             shards,
             pool,
@@ -238,7 +293,62 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             snapshot_in_progress: AtomicBool::new(false),
             lineage: AtomicU64::new(fresh_uid()),
             telemetry,
+            health,
+            admin,
         }
+    }
+
+    /// Binds the admin listener and wires its four routes. Handlers hold
+    /// only `Arc`'d state, so a scrape never blocks on — and outlives —
+    /// nothing in the store itself.
+    fn spawn_admin(
+        addr: &str,
+        telemetry: Option<Arc<StoreTelemetry>>,
+        health: Arc<HealthState<I>>,
+    ) -> std::io::Result<AdminServer> {
+        let disabled = || AdminResponse::with_status(404, "telemetry disabled\n");
+        let metrics = telemetry.clone();
+        let spans = telemetry.clone();
+        let slow = telemetry;
+        let routes: Vec<(String, dyndex_obs::AdminHandler)> = vec![
+            (
+                "/metrics".to_string(),
+                Box::new(move || {
+                    metrics.as_ref().map_or_else(disabled, |t| {
+                        t.sync_exposition();
+                        AdminResponse::text(t.registry.render_text())
+                    })
+                }),
+            ),
+            (
+                "/health".to_string(),
+                Box::new(move || {
+                    let report = health.check();
+                    let status = if report.status == dyndex_obs::HealthStatus::Unhealthy {
+                        503
+                    } else {
+                        200
+                    };
+                    AdminResponse::with_status(status, format!("{report}\n"))
+                }),
+            ),
+            (
+                "/spans".to_string(),
+                Box::new(move || {
+                    spans
+                        .as_ref()
+                        .map_or_else(disabled, |t| AdminResponse::text(t.flight.render_spans()))
+                }),
+            ),
+            (
+                "/slow".to_string(),
+                Box::new(move || {
+                    slow.as_ref()
+                        .map_or_else(disabled, |t| AdminResponse::text(t.flight.render_slow()))
+                }),
+            ),
+        ];
+        AdminServer::bind(addr, routes)
     }
 
     /// Number of shards.
@@ -318,6 +428,16 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         self.pooled_queries && self.shards.len() > 1
     }
 
+    /// Starts one query's trace, when telemetry is on: the wall-clock
+    /// instant for the latency histogram plus the flight root span's id
+    /// and start stamp (handed to fan-out workers for their child spans).
+    fn begin_query(&self) -> Option<(Instant, u64, u64)> {
+        self.telemetry.as_ref().map(|t| {
+            let (root, start_nanos) = t.begin_query_span();
+            (Instant::now(), root, start_nanos)
+        })
+    }
+
     /// Local fan-out for when [`ShardedStore::use_pool`] is false: the
     /// single-shard direct query, or one scoped thread per shard — each
     /// against the shard's published view, never the lock. Takes `f` by
@@ -325,8 +445,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// only pay an owned pattern on the pooled path, where the job
     /// outlives the caller's stack frame. With telemetry on, each thread
     /// times its own execution (queue wait is definitionally zero here:
-    /// threads start executing at spawn).
-    fn fan_out_scoped<T, F>(&self, f: &F) -> (Vec<T>, FanOutProbe)
+    /// threads start executing at spawn) and records its shard-execute
+    /// flight span as a child of `root` (the query's flight span id).
+    fn fan_out_scoped<T, F>(&self, f: &F, root: u64) -> (Vec<T>, FanOutProbe)
     where
         T: Send,
         F: Fn(&ShardView<I>) -> T + Sync,
@@ -336,16 +457,29 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             let view = slot.view();
             match telemetry {
                 Some(t) => {
+                    let start_nanos = t.flight.now_nanos();
                     let start = Instant::now();
                     let out = f(&view);
                     let execute_nanos = start.elapsed().as_nanos() as u64;
                     t.query_execute.record_at(shard, execute_nanos);
+                    let epoch = view.epoch();
+                    t.flight.record_at(
+                        shard,
+                        Span {
+                            shard: Some(shard),
+                            start_nanos,
+                            duration_nanos: execute_nanos,
+                            epoch_lo: epoch,
+                            epoch_hi: epoch,
+                            ..Span::child(root, SpanKind::ShardExecute)
+                        },
+                    );
                     (
                         out,
                         Some(ShardProbe {
                             queue_nanos: 0,
                             execute_nanos,
-                            epoch: view.epoch(),
+                            epoch,
                         }),
                     )
                 }
@@ -389,7 +523,9 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// its queue — shipped back through the reply channel, and re-raised
     /// **on the caller**, so a failure surfaces exactly where it would
     /// with scoped threads while the store stays usable for every shard.
-    fn fan_out_pooled<T, F>(&self, f: F) -> (Vec<T>, FanOutProbe)
+    /// With telemetry on, each worker records queue-wait and
+    /// shard-execute flight spans as children of `root`.
+    fn fan_out_pooled<T, F>(&self, f: F, root: u64) -> (Vec<T>, FanOutProbe)
     where
         T: Send + 'static,
         F: Fn(&ShardView<I>) -> T + Send + Sync + 'static,
@@ -407,14 +543,16 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                 // worker picking the job up; both per-shard latencies are
                 // recorded *on the worker*, onto that shard's histogram
                 // stripe, keeping the caller's merge path clean.
-                let submitted = telemetry.as_ref().map(|_| Instant::now());
+                let submitted = telemetry
+                    .as_ref()
+                    .map(|t| (Instant::now(), t.flight.now_nanos()));
                 pool.submit(
                     shard,
                     Box::new(move |slot: &ShardSlot<I>| {
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 match (&telemetry, submitted) {
-                                    (Some(t), Some(submitted)) => {
+                                    (Some(t), Some((submitted, submit_nanos))) => {
                                         let queue_nanos = submitted.elapsed().as_nanos() as u64;
                                         let view = slot.view();
                                         let exec_start = Instant::now();
@@ -422,12 +560,33 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
                                         let execute_nanos = exec_start.elapsed().as_nanos() as u64;
                                         t.query_queue_wait.record_at(shard, queue_nanos);
                                         t.query_execute.record_at(shard, execute_nanos);
+                                        let epoch = view.epoch();
+                                        t.flight.record_at(
+                                            shard,
+                                            Span {
+                                                shard: Some(shard),
+                                                start_nanos: submit_nanos,
+                                                duration_nanos: queue_nanos,
+                                                ..Span::child(root, SpanKind::QueueWait)
+                                            },
+                                        );
+                                        t.flight.record_at(
+                                            shard,
+                                            Span {
+                                                shard: Some(shard),
+                                                start_nanos: submit_nanos + queue_nanos,
+                                                duration_nanos: execute_nanos,
+                                                epoch_lo: epoch,
+                                                epoch_hi: epoch,
+                                                ..Span::child(root, SpanKind::ShardExecute)
+                                            },
+                                        );
                                         (
                                             out,
                                             Some(ShardProbe {
                                                 queue_nanos,
                                                 execute_nanos,
-                                                epoch: view.epoch(),
+                                                epoch,
                                             }),
                                         )
                                     }
@@ -726,16 +885,25 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.count(b"absent"), 0);
     /// ```
     pub fn count(&self, pattern: &[u8]) -> usize {
-        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let trace = self.begin_query();
+        let root = trace.map_or(0, |(_, root, _)| root);
         let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |view| view.count(&pattern))
+            self.fan_out_pooled(move |view| view.count(&pattern), root)
         } else {
-            self.fan_out_scoped(&|view: &ShardView<I>| view.count(pattern))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.count(pattern), root)
         };
         let total: usize = per_shard.into_iter().sum();
-        if let (Some(t), Some(started)) = (&self.telemetry, started) {
-            t.record_query(QueryKind::Count, started, probe, self.shards.len(), total);
+        if let (Some(t), Some((started, root, start_nanos))) = (&self.telemetry, trace) {
+            t.record_query(
+                QueryKind::Count,
+                started,
+                probe,
+                self.shards.len(),
+                total,
+                root,
+                start_nanos,
+            );
         }
         total
     }
@@ -761,22 +929,25 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted by (doc, offset)");
     /// ```
     pub fn find(&self, pattern: &[u8]) -> Vec<Occurrence> {
-        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let trace = self.begin_query();
+        let root = trace.map_or(0, |(_, root, _)| root);
         let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |view| view.find(&pattern))
+            self.fan_out_pooled(move |view| view.find(&pattern), root)
         } else {
-            self.fan_out_scoped(&|view: &ShardView<I>| view.find(pattern))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.find(pattern), root)
         };
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
-        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+        if let (Some(t), Some((started, root, start_nanos))) = (&self.telemetry, trace) {
             t.record_query(
                 QueryKind::Find,
                 started,
                 probe,
                 self.shards.len(),
                 merged.len(),
+                root,
+                start_nanos,
             );
         }
         merged
@@ -808,23 +979,26 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// assert_eq!(store.find_limit(b"xy", 100).len(), 4); // limit >= count: everything
     /// ```
     pub fn find_limit(&self, pattern: &[u8], limit: usize) -> Vec<Occurrence> {
-        let started = self.telemetry.as_ref().map(|_| Instant::now());
+        let trace = self.begin_query();
+        let root = trace.map_or(0, |(_, root, _)| root);
         let (per_shard, probe) = if self.use_pool() {
             let pattern = pattern.to_vec();
-            self.fan_out_pooled(move |view| view.find_limit(&pattern, limit))
+            self.fan_out_pooled(move |view| view.find_limit(&pattern, limit), root)
         } else {
-            self.fan_out_scoped(&|view: &ShardView<I>| view.find_limit(pattern, limit))
+            self.fan_out_scoped(&|view: &ShardView<I>| view.find_limit(pattern, limit), root)
         };
         let mut merged: Vec<Occurrence> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable();
         merged.truncate(limit);
-        if let (Some(t), Some(started)) = (&self.telemetry, started) {
+        if let (Some(t), Some((started, root, start_nanos))) = (&self.telemetry, trace) {
             t.record_query(
                 QueryKind::FindLimit,
                 started,
                 probe,
                 self.shards.len(),
                 merged.len(),
+                root,
+                start_nanos,
             );
         }
         merged
@@ -998,7 +1172,14 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         fan_out: FanOutPolicy,
         telemetry: &Telemetry,
     ) -> Self {
-        Self::with_shards(indexes, maintenance, fan_out, telemetry)
+        Self::with_shards(
+            indexes,
+            maintenance,
+            fan_out,
+            telemetry,
+            HealthOptions::default(),
+            None,
+        )
     }
 
     /// Runs one manual maintenance pass: installs every finished
@@ -1155,9 +1336,72 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     /// ```
     pub fn render_metrics(&self) -> Option<String> {
         self.telemetry.as_ref().map(|t| {
-            t.sync_epoch_gauges();
+            t.sync_exposition();
             t.registry.render_text()
         })
+    }
+
+    /// Runs the health watchdog's detectors right now and folds the
+    /// findings into a typed report — the same check the admin
+    /// endpoint's `/health` route serves. Detectors read shared atomics
+    /// (and one metric-registry lookup); a check never takes a shard
+    /// lock, so it stays answerable while something is stuck.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{HealthStatus, ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// let report = store.health();
+    /// assert_eq!(report.status, HealthStatus::Ok);
+    /// assert_eq!(report.to_string(), "ok");
+    /// ```
+    pub fn health(&self) -> HealthReport {
+        self.health.check()
+    }
+
+    /// The address the admin endpoint actually listens on (`None` when
+    /// [`StoreOptions::admin`] was `None`). With port `0` in the
+    /// requested address, this is how the OS-picked port is read back.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::addr)
+    }
+
+    /// The store's flight recorder (`None` under
+    /// [`Telemetry::Disabled`]) — direct access to recent span trees,
+    /// the slow-op log, and the recorder's clock.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.telemetry.as_ref().map(|t| Arc::clone(&t.flight))
+    }
+
+    /// Recent flight-recorder spans (roots and children, sorted by start
+    /// time), empty under [`Telemetry::Disabled`]. The rendered form —
+    /// what the admin endpoint's `/spans` serves — is
+    /// [`FlightRecorder::render_spans`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, SpanKind, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// store.insert(1, b"flight recorded").unwrap();
+    /// store.count(b"recorded");
+    /// let spans = store.flight_spans();
+    /// assert!(spans.iter().any(|s| s.kind == SpanKind::Count && s.parent == 0));
+    /// assert!(spans.iter().any(|s| s.kind == SpanKind::ShardExecute));
+    /// ```
+    pub fn flight_spans(&self) -> Vec<Span> {
+        self.telemetry
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.flight.recent())
     }
 
     /// The most recent query spans (route → queue-wait → shard-execute →
@@ -1226,6 +1470,8 @@ mod tests {
             maintenance: MaintenancePolicy::Manual,
             fan_out: FanOutPolicy::Pooled,
             telemetry: Telemetry::default(),
+            health: HealthOptions::default(),
+            admin: None,
         }
     }
 

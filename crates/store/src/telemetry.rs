@@ -10,14 +10,21 @@
 //! into its predecessor's registry keeps accumulating into the same
 //! series.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dyndex_core::CoreMetrics;
-use dyndex_obs::{Counter, Gauge, Histogram, MetricsRegistry, QueryKind, QuerySpan, Tracer, Unit};
+use dyndex_obs::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, QueryKind, QuerySpan, Span,
+    SpanKind, Tracer, Unit,
+};
 
 /// How many recent query spans the per-store [`Tracer`] retains.
 const TRACE_CAPACITY: usize = 128;
+
+/// How many spans the per-store [`FlightRecorder`] ring retains across
+/// its stripes.
+const FLIGHT_CAPACITY: usize = 2048;
 
 /// Telemetry policy for a store (field of
 /// [`StoreOptions`](crate::StoreOptions) and of `dyndex-persist`'s
@@ -124,8 +131,22 @@ pub(crate) struct StoreTelemetry {
     /// Reclamation passes run (process-global, cumulative).
     pub epoch_passes: Arc<Gauge>,
     pub tracer: Tracer,
+    /// The always-on flight recorder: hierarchical spans for queries and
+    /// every kind of background work, shard-striped.
+    pub flight: Arc<FlightRecorder>,
+    /// Spans recorded by the tracer, mirrored for exposition.
+    pub trace_recorded: Arc<Counter>,
+    /// Spans the tracer dropped under contention, mirrored for exposition.
+    pub trace_dropped: Arc<Counter>,
+    /// Spans recorded by the flight recorder, mirrored for exposition.
+    pub flight_recorded: Arc<Counter>,
+    /// Poisoning *events* (one per writer panic that poisons a shard) —
+    /// distinct from `shard_poisoned`, which counts refused writes.
+    pub shards_poisoned_events: Arc<Counter>,
     /// Handles the shard indexes record rebuild/install/freeze events to.
     pub core: Arc<CoreMetrics>,
+    /// Serializes the delta-adds in [`StoreTelemetry::sync_exposition`].
+    sync_gate: Mutex<()>,
 }
 
 impl StoreTelemetry {
@@ -143,6 +164,7 @@ impl StoreTelemetry {
     fn bind(registry: Arc<MetricsRegistry>, shards: usize) -> Self {
         let h = |name: &str, help: &str| registry.histogram(name, help, Unit::Nanos, shards);
         let c = |name: &str, help: &str, unit: Unit| registry.counter(name, help, unit);
+        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY, shards));
         StoreTelemetry {
             query_queue_wait: h(
                 "dyndex_store_query_queue_wait",
@@ -205,7 +227,29 @@ impl StoreTelemetry {
                 Unit::Count,
             ),
             tracer: Tracer::new(TRACE_CAPACITY),
-            core: CoreMetrics::register(&registry, shards),
+            trace_recorded: c(
+                "dyndex_trace_spans_recorded",
+                "query spans recorded by the tracer",
+                Unit::Count,
+            ),
+            trace_dropped: c(
+                "dyndex_trace_spans_dropped",
+                "query spans the tracer dropped under contention",
+                Unit::Count,
+            ),
+            flight_recorded: c(
+                "dyndex_flight_spans_recorded",
+                "spans recorded by the flight recorder (all kinds)",
+                Unit::Count,
+            ),
+            shards_poisoned_events: c(
+                "dyndex_store_shards_poisoned_total",
+                "shard poisoning events (one per writer panic that poisons a shard)",
+                Unit::Count,
+            ),
+            core: CoreMetrics::register_with_flight(&registry, shards, Some(Arc::clone(&flight))),
+            flight,
+            sync_gate: Mutex::new(()),
             registry,
         }
     }
@@ -217,10 +261,36 @@ impl StoreTelemetry {
         self.epoch_passes.set(passes);
     }
 
+    /// Brings every render-time series up to date: epoch gauges, plus the
+    /// tracer/flight totals mirrored into registry counters (registry
+    /// counters only go up, so the mirror is a delta-add under a gate).
+    pub(crate) fn sync_exposition(&self) {
+        self.sync_epoch_gauges();
+        let _gate = self.sync_gate.lock().unwrap();
+        let lift = |counter: &Counter, live: u64| {
+            let seen = counter.get();
+            if live > seen {
+                counter.add(live - seen);
+            }
+        };
+        lift(&self.trace_recorded, self.tracer.recorded());
+        lift(&self.trace_dropped, self.tracer.dropped());
+        lift(&self.flight_recorded, self.flight.recorded());
+    }
+
+    /// Starts one query's flight root: allocates the span id (handed to
+    /// per-shard child spans through the fan-out) and stamps the start.
+    pub(crate) fn begin_query_span(&self) -> (u64, u64) {
+        (self.flight.next_span_id(), self.flight.now_nanos())
+    }
+
     /// Records the end of one query: total-latency histogram, query
-    /// counter, and a tracer span assembled from the fan-out probe.
-    /// `started` is the instant captured at query entry; merge time is
-    /// whatever the total doesn't attribute to route/queue/execute.
+    /// counter, a tracer span assembled from the fan-out probe, and the
+    /// flight-recorder root span (children were already recorded by the
+    /// workers under `root`). `started` is the instant captured at query
+    /// entry; merge time is whatever the total doesn't attribute to
+    /// route/queue/execute.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_query(
         &self,
         kind: QueryKind,
@@ -228,6 +298,8 @@ impl StoreTelemetry {
         probe: FanOutProbe,
         shards: usize,
         results: usize,
+        root: u64,
+        start_nanos: u64,
     ) {
         let total_nanos = started.elapsed().as_nanos() as u64;
         self.query_duration.record(total_nanos);
@@ -247,5 +319,22 @@ impl StoreTelemetry {
             shards,
             results,
         });
+        self.flight.finish_root(Span {
+            start_nanos,
+            duration_nanos: total_nanos,
+            epoch_lo: probe.min_epoch,
+            epoch_hi: probe.max_epoch,
+            detail: results as u64,
+            ..Span::root(root, query_span_kind(kind))
+        });
+    }
+}
+
+/// Maps the tracer's [`QueryKind`] onto the flight recorder's root kind.
+pub(crate) fn query_span_kind(kind: QueryKind) -> SpanKind {
+    match kind {
+        QueryKind::Count => SpanKind::Count,
+        QueryKind::Find => SpanKind::Find,
+        QueryKind::FindLimit => SpanKind::FindLimit,
     }
 }

@@ -18,6 +18,9 @@ fn main() {
         StoreOptions {
             num_shards: 4,
             maintenance: MaintenancePolicy::Periodic(Duration::from_micros(500)),
+            // Opt-in admin endpoint on an ephemeral port: curl
+            // /metrics, /health, /spans, /slow while the store runs.
+            admin: Some("127.0.0.1:0".to_string()),
             ..StoreOptions::default()
         },
     );
@@ -125,6 +128,26 @@ fn main() {
     {
         println!("  {line}");
     }
+
+    println!("\n== flight recorder, health report, admin endpoint ==");
+    // Every query above also left a span tree in the flight recorder:
+    // the query root plus per-shard queue-wait/execute children, each
+    // execute stamped with the view epoch the worker served from.
+    let spans = store.flight_spans();
+    if let Some(root) = spans.iter().rev().find(|s| s.parent == 0 && s.id != 0) {
+        println!("flight span tree for one query:");
+        println!("  {root}");
+        for child in spans.iter().filter(|s| s.parent == root.id).take(4) {
+            println!("    {child}");
+        }
+    }
+    let health = store.health();
+    println!("health: {health}");
+    let addr = store.admin_addr().expect("admin endpoint opted in above");
+    println!("admin endpoint live at http://{addr} — e.g.:");
+    println!("  curl http://{addr}/metrics   # Prometheus text");
+    println!("  curl http://{addr}/health    # ok | degraded: ...");
+    println!("  curl http://{addr}/spans     # span trees");
 
     println!("\n== snapshot to disk, restore in a fresh store ==");
     let dir = std::env::temp_dir().join(format!("dyndex-sharded-search-{}", std::process::id()));

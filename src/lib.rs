@@ -32,8 +32,11 @@
 //!   write-ahead logging (`DurableStore`).
 //! * [`obs`] — zero-dependency telemetry: lock-free counters/gauges,
 //!   mergeable log-bucketed latency histograms, a bounded query tracer,
-//!   and Prometheus-style text exposition. The store and persist layers
-//!   record into it by default (`Telemetry` policy).
+//!   an always-on flight recorder (hierarchical spans for queries,
+//!   rebuilds, snapshots, WAL I/O), a typed health report, a minimal
+//!   `std::net` admin HTTP listener, and Prometheus-style text
+//!   exposition. The store and persist layers record into it by default
+//!   (`Telemetry` policy).
 //! * [`baseline`] — prior-art comparators (dynamic-BWT FM-index,
 //!   rebuild-from-scratch).
 //!
@@ -74,15 +77,17 @@ pub use dyndex_text as text;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use dyndex_core::prelude::*;
-    pub use dyndex_obs::{MetricsRegistry, QuerySpan};
+    pub use dyndex_obs::{
+        HealthReason, HealthReport, HealthStatus, MetricsRegistry, QuerySpan, Span, SpanKind,
+    };
     pub use dyndex_persist::{
         DurableStore, PersistError, RestoreOptions, SnapshotMode, StorePersist, SyncPolicy,
         WalOptions,
     };
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
     pub use dyndex_store::{
-        FanOutPolicy, MaintenancePolicy, ShardPoisoned, ShardedStore, StoreOptions, StoreStats,
-        Telemetry,
+        FanOutPolicy, HealthOptions, MaintenancePolicy, ShardPoisoned, ShardedStore, StoreOptions,
+        StoreStats, Telemetry,
     };
     pub use dyndex_succinct::SpaceUsage;
     pub use dyndex_text::Occurrence;
