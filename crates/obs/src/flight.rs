@@ -68,6 +68,9 @@ pub enum SpanKind {
     ShardSerialize,
     /// One epoch-reclamation pass over retired shard views.
     EpochGc,
+    /// One remote request served by the wire-protocol server (root
+    /// span; the query it triggers contributes its own child spans).
+    ServeRequest,
 }
 
 impl SpanKind {
@@ -88,6 +91,7 @@ impl SpanKind {
             SpanKind::ShardFreeze => 12,
             SpanKind::ShardSerialize => 13,
             SpanKind::EpochGc => 14,
+            SpanKind::ServeRequest => 15,
         }
     }
 
@@ -107,6 +111,7 @@ impl SpanKind {
             12 => SpanKind::ShardFreeze,
             13 => SpanKind::ShardSerialize,
             14 => SpanKind::EpochGc,
+            15 => SpanKind::ServeRequest,
             _ => return None,
         })
     }
@@ -128,6 +133,7 @@ impl SpanKind {
             SpanKind::ShardFreeze => "freeze",
             SpanKind::ShardSerialize => "serialize",
             SpanKind::EpochGc => "epoch_gc",
+            SpanKind::ServeRequest => "serve",
         }
     }
 }
@@ -573,6 +579,7 @@ mod tests {
             SpanKind::ShardFreeze,
             SpanKind::ShardSerialize,
             SpanKind::EpochGc,
+            SpanKind::ServeRequest,
         ] {
             assert_eq!(SpanKind::from_code(kind.code()), Some(kind));
             assert!(!kind.as_str().is_empty());

@@ -46,6 +46,7 @@
 mod flight;
 mod health;
 mod metrics;
+mod net;
 mod recorder;
 mod registry;
 mod server;
@@ -54,6 +55,7 @@ mod trace;
 pub use flight::{FlightRecorder, Span, SpanKind};
 pub use health::{HealthReason, HealthReport, HealthStatus};
 pub use metrics::{bucket_bounds, bucket_of, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use net::DeadlineReader;
 pub use recorder::{NoopRecorder, Recorder};
 pub use registry::{MetricsRegistry, Unit};
 pub use server::{AdminHandler, AdminResponse, AdminServer};

@@ -13,12 +13,21 @@
 //! the accept thread. No polling loops, no dropped-on-the-floor
 //! listener threads.
 
-use std::io::{Read as _, Write as _};
+use crate::net::DeadlineReader;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Total budget for reading one request head. Absolute, not per-read:
+/// a client trickling bytes cannot extend it (see [`DeadlineReader`]).
+const HEAD_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Largest request head accepted; anything longer is rejected outright
+/// rather than parsed from a truncated prefix.
+const MAX_HEAD: usize = 8 * 1024;
 
 /// A response from an admin route handler.
 #[derive(Debug, Clone)]
@@ -163,21 +172,36 @@ impl Drop for AdminServer {
 
 /// Reads one request head, routes it, writes one response, closes.
 fn serve_connection(mut conn: TcpStream, routes: &[(String, AdminHandler)]) {
-    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
 
+    // The whole head must arrive within one absolute deadline. The old
+    // per-read timeout reset on every successful `read`, so a slow-loris
+    // client feeding one byte every ~1.9s could hold this thread for
+    // hours before hitting the size cap.
+    let Ok(mut reader) = DeadlineReader::new(&conn, HEAD_DEADLINE) else {
+        return;
+    };
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];
     loop {
-        match conn.read(&mut buf) {
+        match reader.read_some(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
                 head.extend_from_slice(&buf[..n]);
-                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8 * 1024 {
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
                     break;
                 }
+                if head.len() > MAX_HEAD {
+                    // Oversized head: reject instead of routing a
+                    // truncated prefix as if it were a whole request.
+                    let _ = write!(
+                        conn,
+                        "HTTP/1.0 431 Request Header Fields Too Large\r\nConnection: close\r\n\r\n"
+                    );
+                    return;
+                }
             }
-            Err(_) => return, // timeout or reset: drop silently
+            Err(_) => return, // deadline exceeded or reset: drop silently
         }
     }
 
@@ -214,6 +238,7 @@ fn serve_connection(mut conn: TcpStream, routes: &[(String, AdminHandler)]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read as _;
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut conn = TcpStream::connect(addr).unwrap();
@@ -291,6 +316,71 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// Regression: a client trickling header bytes must be cut off at
+    /// the absolute head deadline. The pre-fix reader reset its 2s
+    /// timeout on every successful read, so this client could have held
+    /// a connection thread for hours.
+    #[test]
+    fn slow_loris_header_is_cut_off_at_the_deadline() {
+        let server = AdminServer::bind("127.0.0.1:0", routes()).unwrap();
+        let addr = server.addr();
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let start = std::time::Instant::now();
+        let mut served = false;
+        // Drip a plausible GET one byte at a time, well within any
+        // per-read timeout, far slower than the whole-head deadline.
+        'drip: for chunk in b"GET /metrics HTTP/1.0\r\nHost: loris\r\n".iter() {
+            if conn.write_all(std::slice::from_ref(chunk)).is_err() {
+                break 'drip; // server already hung up on us — good
+            }
+            std::thread::sleep(Duration::from_millis(150));
+            if start.elapsed() > HEAD_DEADLINE + Duration::from_secs(3) {
+                panic!("server kept accepting trickled bytes past the deadline");
+            }
+            // The server stays responsive to well-behaved clients while
+            // the loris dribbles.
+            if !served {
+                let (status, _) = get(addr, "/metrics");
+                assert_eq!(status, 200);
+                served = true;
+            }
+        }
+        // The connection must be dead (reset or EOF) shortly after the
+        // deadline, not after the loris finishes at its own pace.
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut scratch = [0u8; 64];
+        let outcome = std::io::Read::read(&mut conn, &mut scratch);
+        assert!(
+            matches!(outcome, Ok(0) | Err(_)),
+            "server should have dropped the trickling connection: {outcome:?}"
+        );
+        assert!(
+            start.elapsed() < HEAD_DEADLINE + Duration::from_secs(10),
+            "cutoff took {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// An oversized request head is rejected with `431`, never routed
+    /// from a truncated prefix.
+    #[test]
+    fn oversized_head_is_rejected() {
+        let server = AdminServer::bind("127.0.0.1:0", routes()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        let huge = format!(
+            "GET /metrics HTTP/1.0\r\nX-Pad: {}\r\n",
+            "a".repeat(MAX_HEAD)
+        );
+        // The server may reset mid-write once it rejects; that is fine.
+        let _ = conn.write_all(huge.as_bytes());
+        let mut reply = String::new();
+        let _ = std::io::Read::read_to_string(&mut conn, &mut reply);
+        if !reply.is_empty() {
+            assert!(reply.starts_with("HTTP/1.0 431"), "{reply}");
+        }
     }
 
     #[test]

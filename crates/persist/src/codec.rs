@@ -106,22 +106,29 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 // ---------------------------------------------------------------------
-// Primitive helpers (little-endian).
+// Primitive helpers (little-endian). The fixed-width and length-prefixed
+// scalar/byte helpers are public: the wire protocol in `dyndex-serve`
+// speaks the same primitive vocabulary, so both codecs share one
+// implementation (and one set of bogus-length defenses).
 // ---------------------------------------------------------------------
 
-pub(crate) fn write_u8<W: Write>(w: &mut W, v: u8) -> std::io::Result<()> {
+/// Writes one byte.
+pub fn write_u8<W: Write>(w: &mut W, v: u8) -> std::io::Result<()> {
     w.write_all(&[v])
 }
 
-pub(crate) fn write_u16<W: Write>(w: &mut W, v: u16) -> std::io::Result<()> {
+/// Writes a `u16`, little-endian.
+pub fn write_u16<W: Write>(w: &mut W, v: u16) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-pub(crate) fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+/// Writes a `u32`, little-endian.
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+/// Writes a `u64`, little-endian.
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
@@ -137,12 +144,14 @@ pub(crate) fn write_f64<W: Write>(w: &mut W, v: f64) -> std::io::Result<()> {
     write_u64(w, v.to_bits())
 }
 
-pub(crate) fn write_bytes<W: Write>(w: &mut W, v: &[u8]) -> std::io::Result<()> {
+/// Writes a `u64` length prefix followed by the raw bytes.
+pub fn write_bytes<W: Write>(w: &mut W, v: &[u8]) -> std::io::Result<()> {
     write_usize(w, v.len())?;
     w.write_all(v)
 }
 
-pub(crate) fn write_str<W: Write>(w: &mut W, v: &str) -> std::io::Result<()> {
+/// Writes a string as length-prefixed UTF-8 bytes.
+pub fn write_str<W: Write>(w: &mut W, v: &str) -> std::io::Result<()> {
     write_bytes(w, v.as_bytes())
 }
 
@@ -162,25 +171,29 @@ pub(crate) fn write_usize_slice<W: Write>(w: &mut W, v: &[usize]) -> std::io::Re
     Ok(())
 }
 
-pub(crate) fn read_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
+/// Reads one byte, failing with a typed error on truncation.
+pub fn read_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
     let mut buf = [0u8; 1];
     r.read_exact(&mut buf)?;
     Ok(buf[0])
 }
 
-pub(crate) fn read_u16<R: Read>(r: &mut R) -> Result<u16, PersistError> {
+/// Reads a little-endian `u16`.
+pub fn read_u16<R: Read>(r: &mut R) -> Result<u16, PersistError> {
     let mut buf = [0u8; 2];
     r.read_exact(&mut buf)?;
     Ok(u16::from_le_bytes(buf))
 }
 
-pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+/// Reads a little-endian `u32`.
+pub fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+/// Reads a little-endian `u64`.
+pub fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
@@ -207,7 +220,9 @@ pub(crate) fn read_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
 /// of reserving terabytes up front.
 const PREALLOC_CAP: usize = 1 << 20;
 
-pub(crate) fn read_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
+/// Reads a length-prefixed byte string (see [`write_bytes`]). A bogus
+/// length allocates adaptively, never `len` bytes up front.
+pub fn read_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
     let len = read_usize(r)?;
     let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
     let copied = r.take(len as u64).read_to_end(&mut out)?;
@@ -217,7 +232,8 @@ pub(crate) fn read_bytes<R: Read>(r: &mut R) -> Result<Vec<u8>, PersistError> {
     Ok(out)
 }
 
-pub(crate) fn read_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
+/// Reads a length-prefixed UTF-8 string (see [`write_str`]).
+pub fn read_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
     String::from_utf8(read_bytes(r)?).map_err(|_| PersistError::corrupt("invalid utf-8 string"))
 }
 

@@ -1,0 +1,185 @@
+//! Property tests for the wire protocol (satellite: every message
+//! round-trips encode→frame→decode, and arbitrary byte mutations of a
+//! valid frame yield a typed [`ProtoError`] — never a panic, never a
+//! silently-accepted corrupt message).
+
+use dyndex_serve::proto::{read_frame, DEFAULT_MAX_FRAME};
+use dyndex_serve::{ProtoError, RemoteHealth, RemoteStats, Request, Response, WireError};
+use proptest::prelude::*;
+
+/// Builds one of every request shape from fuzz inputs.
+fn request_from(pick: u8, doc_id: u64, bytes: Vec<u8>, limit: u64) -> Request {
+    match pick % 7 {
+        0 => Request::Insert { doc_id, bytes },
+        1 => Request::Delete { doc_id },
+        2 => Request::Count { pattern: bytes },
+        3 => Request::Find { pattern: bytes },
+        4 => Request::FindLimit {
+            pattern: bytes,
+            limit,
+        },
+        5 => Request::Stats,
+        _ => Request::Health,
+    }
+}
+
+/// Builds one of every response shape from fuzz inputs.
+fn response_from(pick: u8, a: u64, b: u64, bytes: Vec<u8>) -> Response {
+    match pick % 10 {
+        0 => Response::Inserted,
+        1 => Response::Deleted {
+            previous: a.is_multiple_of(2).then_some(bytes),
+        },
+        2 => Response::Count(a),
+        3 => Response::Occurrences(
+            bytes
+                .iter()
+                .map(|&x| (a.wrapping_add(x as u64), b.wrapping_mul(x as u64)))
+                .collect(),
+        ),
+        4 => Response::Stats(RemoteStats {
+            docs: a,
+            symbols: b,
+            shards: (a % 1024) as u32,
+            pending_jobs: b.rotate_left(7),
+            queued_requests: a ^ b,
+            busy_workers: (b % 64) as u32,
+        }),
+        5 => Response::Health {
+            status: match a % 3 {
+                0 => RemoteHealth::Ok,
+                1 => RemoteHealth::Degraded,
+                _ => RemoteHealth::Unhealthy,
+            },
+            detail: String::from_utf8_lossy(&bytes).into_owned(),
+        },
+        6 => Response::Busy {
+            shard: a.is_multiple_of(2).then_some((a % 4096) as u32),
+            queued: b,
+        },
+        7 => Response::Error(WireError::ShardPoisoned {
+            shard: (a % 4096) as u32,
+        }),
+        8 => Response::Error(WireError::Malformed {
+            detail: String::from_utf8_lossy(&bytes).into_owned(),
+        }),
+        _ => Response::Error(WireError::Internal {
+            detail: format!("case {a}/{b}"),
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every request shape round-trips through encode→frame→decode.
+    #[test]
+    fn requests_roundtrip(
+        pick in any::<u8>(),
+        doc_id in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        limit in any::<u64>(),
+    ) {
+        let request = request_from(pick, doc_id, bytes, limit);
+        let mut wire = Vec::new();
+        request.write_frame(&mut wire, DEFAULT_MAX_FRAME).unwrap();
+        let (opcode, payload) = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .expect("one frame was written");
+        prop_assert_eq!(Request::decode(opcode, &payload).unwrap(), request);
+    }
+
+    /// Every response shape round-trips through encode→frame→decode.
+    #[test]
+    fn responses_roundtrip(
+        pick in any::<u8>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let response = response_from(pick, a, b, bytes);
+        let mut wire = Vec::new();
+        response.write_frame(&mut wire, DEFAULT_MAX_FRAME).unwrap();
+        let (opcode, payload) = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap()
+            .expect("one frame was written");
+        prop_assert_eq!(Response::decode(opcode, &payload).unwrap(), response);
+    }
+
+    /// Mutating any byte of a valid request frame either still decodes
+    /// (the mutation may cancel out in ignored space — there is none,
+    /// but the property allows it) or fails with a *typed* error. The
+    /// real assertion is implicit: no code path panics.
+    #[test]
+    fn mutated_frames_never_panic(
+        pick in any::<u8>(),
+        doc_id in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        limit in any::<u64>(),
+        flip_index in any::<proptest::sample::Index>(),
+        flip_mask in any::<u8>(),
+    ) {
+        let request = request_from(pick, doc_id, bytes, limit);
+        let mut wire = Vec::new();
+        request.write_frame(&mut wire, DEFAULT_MAX_FRAME).unwrap();
+
+        let mut mutated = wire.clone();
+        let at = flip_index.index(mutated.len());
+        mutated[at] ^= flip_mask;
+
+        match read_frame(&mut mutated.as_slice(), DEFAULT_MAX_FRAME) {
+            Ok(Some((opcode, payload))) => {
+                // An unflipped frame (mask 0) must still carry the
+                // original request; CRC-32 guarantees any single-byte
+                // change in the payload region is caught, and header
+                // mutations change opcode/len in ways decode handles.
+                if flip_mask == 0 {
+                    prop_assert_eq!(Request::decode(opcode, &payload).unwrap(), request);
+                } else {
+                    // Header-byte mutation that still framed: decode
+                    // must answer with a value or a typed error.
+                    let _ = Request::decode(opcode, &payload);
+                }
+            }
+            Ok(None) => prop_assert!(false, "a written frame cannot read as clean EOF"),
+            Err(
+                ProtoError::Io(_)
+                | ProtoError::Timeout
+                | ProtoError::BadMagic(_)
+                | ProtoError::UnsupportedVersion { .. }
+                | ProtoError::FrameTooLarge { .. }
+                | ProtoError::ChecksumMismatch
+                | ProtoError::Malformed(_),
+            ) => {} // typed, as required
+        }
+    }
+
+    /// Truncating a valid frame at any point yields a typed error (or,
+    /// cut exactly at a frame boundary of zero bytes, a clean EOF) —
+    /// never a panic and never a successfully decoded short frame.
+    #[test]
+    fn truncated_frames_never_panic(
+        pick in any::<u8>(),
+        doc_id in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..128),
+        limit in any::<u64>(),
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        let request = request_from(pick, doc_id, bytes, limit);
+        let mut wire = Vec::new();
+        request.write_frame(&mut wire, DEFAULT_MAX_FRAME).unwrap();
+        let cut = cut.index(wire.len()); // 0..len: always strictly short
+        match read_frame(&mut wire[..cut].as_ref(), DEFAULT_MAX_FRAME) {
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded whole"),
+            Ok(None) => prop_assert!(cut == 0, "clean EOF only before any byte"),
+            Err(_) => {} // typed error, as required
+        }
+    }
+
+    /// Random garbage (not produced by the encoder) never panics the
+    /// frame reader.
+    #[test]
+    fn garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame(&mut garbage.as_slice(), DEFAULT_MAX_FRAME);
+    }
+}

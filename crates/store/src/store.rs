@@ -394,6 +394,30 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
         (route_hash(doc_id) % self.shards.len() as u64) as usize
     }
 
+    /// Requests currently waiting in `shard`'s worker queue, counting the
+    /// in-flight request as one. Zero when no pool exists
+    /// ([`MaintenancePolicy::Manual`]) — with no queue there is nothing
+    /// to back up behind. This is the live gauge the serving layer's
+    /// shed decision reads; [`StoreStats`] reports the same numbers as a
+    /// point-in-time census.
+    pub fn shard_queue_depth(&self, shard: usize) -> usize {
+        self.pool.as_ref().map_or(0, |p| {
+            let (queued, busy) = p.shard_gauges(shard);
+            queued + busy as usize
+        })
+    }
+
+    /// The deepest worker queue across all shards (see
+    /// [`ShardedStore::shard_queue_depth`]). A fan-out query waits on
+    /// its slowest shard, so this is the depth that bounds its queue
+    /// wait.
+    pub fn max_queue_depth(&self) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.shard_queue_depth(s))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The shard's currently-published immutable [`ShardView`] — the
     /// whole read path: one atomic load, no lock. Public so callers can
     /// pin a consistent snapshot of one shard across several queries.

@@ -149,6 +149,40 @@ fn main() {
     println!("  curl http://{addr}/health    # ok | degraded: ...");
     println!("  curl http://{addr}/spans     # span trees");
 
+    println!("\n== serve the store over TCP ==");
+    // The serving layer wraps any ShardedStore behind a binary wire
+    // protocol; requests ride the same worker-pool fan-out as the local
+    // calls above, and overload sheds with typed Busy replies instead
+    // of queueing behind a wedged shard.
+    {
+        let server: Server<FmIndexCompressed> = Server::create(
+            FmConfig { sample_rate: 8 },
+            StoreOptions {
+                num_shards: 4,
+                ..StoreOptions::default()
+            },
+            ServeOptions::default(),
+        )
+        .expect("bind loopback");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for (id, line) in batch.iter().take(200) {
+            client.insert(*id, line).expect("remote insert");
+        }
+        // The server derefs to its store, so local and remote answers
+        // come from the same shards and must agree exactly.
+        println!(
+            "server at {}: remote count(\"service=auth\") = {} (local said {})",
+            server.addr(),
+            client.count(b"service=auth").expect("remote count"),
+            server.count(b"service=auth"),
+        );
+        let hits = client.find_limit(b"user u042", 3).expect("remote find");
+        println!("remote find_limit(\"user u042\", 3) -> {hits:?} as (doc, offset)");
+        let (status, detail) = client.health().expect("remote health");
+        println!("remote health: {status:?} ({detail})");
+        // Dropping the server closes the port and every open connection.
+    }
+
     println!("\n== snapshot to disk, restore in a fresh store ==");
     let dir = std::env::temp_dir().join(format!("dyndex-sharded-search-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

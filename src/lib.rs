@@ -30,6 +30,11 @@
 //! * [`persist`] — durability for the store: a binary codec for every
 //!   static structure, crash-atomic snapshot/restore, and per-shard
 //!   write-ahead logging (`DurableStore`).
+//! * [`serve`] — the network serving layer: a zero-dependency TCP
+//!   server speaking a length-prefixed, checksummed binary wire
+//!   protocol over the store's worker pool, with queue-depth
+//!   backpressure (`Busy` shedding), typed protocol errors, and a
+//!   blocking `Client` handle.
 //! * [`obs`] — zero-dependency telemetry: lock-free counters/gauges,
 //!   mergeable log-bucketed latency histograms, a bounded query tracer,
 //!   an always-on flight recorder (hierarchical spans for queries,
@@ -70,6 +75,7 @@ pub use dyndex_core as core;
 pub use dyndex_obs as obs;
 pub use dyndex_persist as persist;
 pub use dyndex_relations as relations;
+pub use dyndex_serve as serve;
 pub use dyndex_store as store;
 pub use dyndex_succinct as succinct;
 pub use dyndex_text as text;
@@ -85,6 +91,7 @@ pub mod prelude {
         WalOptions,
     };
     pub use dyndex_relations::{DynamicGraph, DynamicRelation};
+    pub use dyndex_serve::{Client, ClientError, ServeOptions, Server};
     pub use dyndex_store::{
         FanOutPolicy, HealthOptions, MaintenancePolicy, ShardPoisoned, ShardedStore, StoreOptions,
         StoreStats, Telemetry,
