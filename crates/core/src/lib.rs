@@ -30,6 +30,7 @@
 //! assert_eq!(index.count(b"the"), 1);
 //! ```
 
+pub mod bulk;
 pub mod config;
 pub mod deletion_only;
 pub mod metrics;
@@ -40,6 +41,7 @@ pub mod transform1;
 pub mod transform2;
 pub mod transform3;
 
+pub use bulk::LevelBuilder;
 pub use config::{CapacitySchedule, DynOptions, Growth};
 pub use deletion_only::DeletionOnlyIndex;
 pub use metrics::CoreMetrics;
@@ -52,6 +54,7 @@ pub use transform3::{new_transform3, transform3_options, Transform3Index};
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::bulk::LevelBuilder;
     pub use crate::config::{DynOptions, Growth};
     pub use crate::deletion_only::DeletionOnlyIndex;
     pub use crate::naive::NaiveIndex;

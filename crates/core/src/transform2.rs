@@ -691,6 +691,72 @@ impl<I: StaticIndex> Transform2Index<I> {
         }
     }
 
+    /// A [`LevelBuilder`](crate::bulk::LevelBuilder) producing levels
+    /// compatible with this index (same static-index config, same
+    /// counting mode) — the handle bulk loaders build chunks with
+    /// off-lock before handing them to [`Self::install_bulk_level`].
+    pub fn level_builder(&self) -> crate::bulk::LevelBuilder<I> {
+        crate::bulk::LevelBuilder::new(self.config.clone(), self.options.counting)
+    }
+
+    /// Installs a bulk-built static level (the stream-to-static fast
+    /// path). The level becomes a top collection stamped through the
+    /// normal epoch path, so snapshots, incremental deltas, and
+    /// published views treat it exactly like any other structure; it is
+    /// immediately queryable and deletable, and top maintenance purges
+    /// it on the ordinary Lemma 1 schedule as deletions accumulate.
+    ///
+    /// Foreground cost is O(docs in the level) bookkeeping — the SA-IS
+    /// construction already happened in the
+    /// [`LevelBuilder`](crate::bulk::LevelBuilder), typically off-lock
+    /// on a pool worker.
+    ///
+    /// # Panics
+    /// Panics if any document in the level is already present (same
+    /// contract as [`Self::insert`]).
+    pub fn install_bulk_level(&mut self, index: DeletionOnlyIndex<I>) {
+        if index.is_empty() {
+            return;
+        }
+        for id in index.doc_ids() {
+            assert!(
+                !self.locations.contains_key(&id),
+                "document {id} already present"
+            );
+        }
+        self.poll_jobs();
+        self.work.begin_op();
+        let symbols = index.alive_symbols();
+        self.n += symbols;
+        self.maybe_refresh_schedule();
+        let flight = self.flight();
+        let span_start = flight.as_ref().map(|f| (f.now_nanos(), Instant::now()));
+        let slot = self.alloc_top_slot();
+        let epoch = self.bump_epoch();
+        for id in index.doc_ids() {
+            self.locations.insert(id, Loc::Top(slot));
+        }
+        self.tops[slot] = Some(Stamped::new(index, epoch));
+        self.work.count_rebuild(symbols);
+        if let Some(m) = &self.metrics {
+            m.top_installs.inc();
+        }
+        if let (Some(f), Some((start_nanos, t0))) = (&flight, span_start) {
+            f.record_at(
+                shard_stripe(self.metrics_shard),
+                Span {
+                    shard: shard_hint(self.metrics_shard),
+                    start_nanos,
+                    duration_nanos: t0.elapsed().as_nanos() as u64,
+                    epoch_lo: epoch,
+                    epoch_hi: epoch,
+                    detail: symbols as u64,
+                    ..Span::child(0, SpanKind::BulkBuild)
+                },
+            );
+        }
+    }
+
     /// Locks `C_j` and starts the `N_{j+1}` job (optionally carrying a new
     /// document, which also gets a queryable Temp index).
     fn start_level_merge(&mut self, j: usize, new_doc: Option<(u64, &[u8])>) {

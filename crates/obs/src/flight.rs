@@ -71,6 +71,9 @@ pub enum SpanKind {
     /// One remote request served by the wire-protocol server (root
     /// span; the query it triggers contributes its own child spans).
     ServeRequest,
+    /// One bulk-ingested chunk built straight to a static level and
+    /// installed (the stream-to-static fast path).
+    BulkBuild,
 }
 
 impl SpanKind {
@@ -92,6 +95,7 @@ impl SpanKind {
             SpanKind::ShardSerialize => 13,
             SpanKind::EpochGc => 14,
             SpanKind::ServeRequest => 15,
+            SpanKind::BulkBuild => 16,
         }
     }
 
@@ -112,6 +116,7 @@ impl SpanKind {
             13 => SpanKind::ShardSerialize,
             14 => SpanKind::EpochGc,
             15 => SpanKind::ServeRequest,
+            16 => SpanKind::BulkBuild,
             _ => return None,
         })
     }
@@ -134,6 +139,7 @@ impl SpanKind {
             SpanKind::ShardSerialize => "serialize",
             SpanKind::EpochGc => "epoch_gc",
             SpanKind::ServeRequest => "serve",
+            SpanKind::BulkBuild => "bulk_build",
         }
     }
 }
@@ -580,6 +586,7 @@ mod tests {
             SpanKind::ShardSerialize,
             SpanKind::EpochGc,
             SpanKind::ServeRequest,
+            SpanKind::BulkBuild,
         ] {
             assert_eq!(SpanKind::from_code(kind.code()), Some(kind));
             assert!(!kind.as_str().is_empty());

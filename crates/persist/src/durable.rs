@@ -21,7 +21,7 @@ use crate::snapshot::{
 use crate::wal::{read_wal_records, wal_path, WalMetrics, WalOptions, WalRecord, WalWriter};
 use dyndex_core::StaticIndex;
 use dyndex_obs::{MetricsRegistry, QuerySpan};
-use dyndex_store::{ShardedStore, StoreOptions, StoreStats};
+use dyndex_store::{IngestStats, ShardedStore, StoreOptions, StoreStats};
 use dyndex_text::Occurrence;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -262,6 +262,137 @@ where
             }
             Ok(removed)
         })
+    }
+
+    /// Bulk-loads a document stream through the static-construction fast
+    /// path (see [`ShardedStore::ingest`]), durably: each chunk is
+    /// appended to its shard's write-ahead log as **one coalesced
+    /// `IngestBatch` record** — one frame header, one `write_all`, and
+    /// at most one policy-charged fsync per chunk, instead of per
+    /// document or per small batch — and then built straight into a
+    /// static bulk level on that shard. Replay after a crash routes the
+    /// logged chunks back through the same bulk-build path. Memory stays
+    /// bounded by one chunk of raw documents per shard.
+    ///
+    /// Pair with [`SyncPolicy::Batched`](crate::SyncPolicy) to also cap
+    /// WAL-staleness during long loads without paying one fsync per
+    /// chunk.
+    ///
+    /// # Errors
+    /// Returns the first WAL or shard error; chunks already logged and
+    /// applied stay applied (and recovery replays them).
+    ///
+    /// # Panics
+    /// Panics if a document id is already present or duplicated in the
+    /// stream — checked per chunk *before* that chunk's log record is
+    /// written, so an unreplayable record never reaches the WAL.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::{FmConfig, RebuildMode};
+    /// use dyndex_persist::{DurableStore, RestoreOptions};
+    /// use dyndex_store::{MaintenancePolicy, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let dir = std::env::temp_dir().join(format!("dyndex-ingest-doc-{}", std::process::id()));
+    /// let _ = std::fs::remove_dir_all(&dir);
+    /// let options = StoreOptions {
+    ///     num_shards: 2,
+    ///     mode: RebuildMode::Inline,
+    ///     maintenance: MaintenancePolicy::Manual,
+    ///     ..StoreOptions::default()
+    /// };
+    /// let store: DurableStore<FmIndexCompressed> =
+    ///     DurableStore::create(&dir, FmConfig { sample_rate: 8 }, options).unwrap();
+    /// let corpus = (0..50u64).map(|id| (id, format!("durable bulk doc {id}").into_bytes()));
+    /// let stats = store.ingest(corpus).unwrap();
+    /// assert_eq!(stats.docs, 50);
+    /// drop(store); // simulate a restart: the chunks live only in the WAL
+    ///
+    /// let restore_opts = RestoreOptions {
+    ///     mode: RebuildMode::Inline,
+    ///     maintenance: MaintenancePolicy::Manual,
+    ///     ..RestoreOptions::default()
+    /// };
+    /// let store: DurableStore<FmIndexCompressed> = DurableStore::open(&dir, restore_opts).unwrap();
+    /// assert_eq!(store.num_docs(), 50);
+    /// assert_eq!(store.count(b"bulk doc 49"), 1);
+    /// std::fs::remove_dir_all(&dir).unwrap();
+    /// ```
+    pub fn ingest<D>(&self, docs: D) -> Result<IngestStats, PersistError>
+    where
+        D: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        self.ingest_with_chunk_symbols(docs, dyndex_core::bulk::DEFAULT_CHUNK_SYMBOLS)
+    }
+
+    /// [`DurableStore::ingest`] with an explicit chunk bound (bytes of
+    /// routed documents per WAL record and bulk level, per shard; values
+    /// below 1 are clamped to 1).
+    pub fn ingest_with_chunk_symbols<D>(
+        &self,
+        docs: D,
+        chunk_symbols: usize,
+    ) -> Result<IngestStats, PersistError>
+    where
+        D: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        let started = Instant::now();
+        let chunk_symbols = chunk_symbols.max(1);
+        let num_shards = self.store.num_shards();
+        let mut buffers: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); num_shards];
+        let mut buffered_bytes = vec![0usize; num_shards];
+        let mut stats = IngestStats {
+            docs: 0,
+            bytes: 0,
+            levels: 0,
+            elapsed: Duration::ZERO,
+        };
+        for (id, bytes) in docs {
+            let shard = self.store.shard_of(id);
+            buffered_bytes[shard] += bytes.len();
+            buffers[shard].push((id, bytes));
+            if buffered_bytes[shard] >= chunk_symbols {
+                let chunk = std::mem::take(&mut buffers[shard]);
+                stats.bytes += std::mem::take(&mut buffered_bytes[shard]) as u64;
+                stats.docs += chunk.len() as u64;
+                stats.levels += 1;
+                self.ingest_chunk(shard, chunk)?;
+            }
+        }
+        for shard in 0..num_shards {
+            if !buffers[shard].is_empty() {
+                let chunk = std::mem::take(&mut buffers[shard]);
+                stats.bytes += buffered_bytes[shard] as u64;
+                stats.docs += chunk.len() as u64;
+                stats.levels += 1;
+                self.ingest_chunk(shard, chunk)?;
+            }
+        }
+        stats.elapsed = started.elapsed();
+        Ok(stats)
+    }
+
+    /// Logs one routed chunk as a single coalesced `IngestBatch` record,
+    /// then builds it into a bulk level on its shard. The shard's WAL
+    /// lock is held across both, so log order matches apply order and a
+    /// concurrent snapshot cuts between chunks, never through one.
+    fn ingest_chunk(&self, shard: usize, chunk: Vec<(u64, Vec<u8>)>) -> Result<(), PersistError> {
+        let mut wal = self.wal(shard);
+        let mut seen = std::collections::HashSet::with_capacity(chunk.len());
+        for (id, _) in &chunk {
+            assert!(seen.insert(*id), "document {id} duplicated in batch");
+            assert!(!self.store.contains(*id), "document {id} already present");
+        }
+        let seq = self.next_seq();
+        let record = WalRecord::IngestBatch(chunk);
+        wal.append(seq, &record)?;
+        let WalRecord::IngestBatch(chunk) = &record else {
+            unreachable!("just constructed");
+        };
+        self.store.bulk_load_shard(shard, chunk)?;
+        Ok(())
     }
 
     /// Runs `f` for every non-empty shard group on its own scoped

@@ -985,6 +985,19 @@ where
                         store.delete(id)?;
                     }
                 }
+                // A logged bulk chunk replays through the same fast path
+                // that built it: straight to a static level on its shard,
+                // never through the C0 buffer.
+                WalRecord::IngestBatch(docs) => {
+                    for (id, _) in &docs {
+                        if store.contains(*id) {
+                            return Err(PersistError::corrupt(format!(
+                                "wal replays document {id} already present in the snapshot"
+                            )));
+                        }
+                    }
+                    store.bulk_load_shard(shard, &docs)?;
+                }
             }
         }
     }

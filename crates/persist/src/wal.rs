@@ -22,10 +22,11 @@ use dyndex_obs::{Counter, FlightRecorder, Histogram, MetricsRegistry, Span, Span
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
+const KIND_INGEST: u8 = 3;
 
 /// When the write-ahead log fsyncs, trading mutation latency for
 /// power-failure durability. Plain appends always reach the OS before
@@ -46,6 +47,23 @@ pub enum SyncPolicy {
     /// `sync_wal()` calls.
     #[default]
     OnSnapshot,
+    /// Group commit with a staleness bound: fsync once every `every`
+    /// appended records **or** once `max_delay` has elapsed since the
+    /// first un-synced record, whichever comes first. The deadline is
+    /// checked on each append (no timer thread); an idle tail is covered
+    /// by `sync_wal()`, close, and drop, like [`SyncPolicy::EveryN`].
+    /// This is the bulk-ingest-friendly policy: a fast writer pays one
+    /// fsync per `every` records, a slow writer never leaves an
+    /// acknowledged record un-synced longer than `max_delay` plus one
+    /// append gap.
+    Batched {
+        /// fsync after this many un-synced records (0/1 degenerate to
+        /// per-record).
+        every: u32,
+        /// Upper bound on how long the first un-synced record may wait
+        /// before the next append forces the group to disk.
+        max_delay: Duration,
+    },
 }
 
 /// Write-ahead-log tunables (see [`SyncPolicy`]).
@@ -54,12 +72,19 @@ pub enum SyncPolicy {
 ///
 /// ```
 /// use dyndex_persist::{SyncPolicy, WalOptions};
+/// use std::time::Duration;
 ///
 /// // Default: appends are process-crash durable, fsync only at
 /// // snapshots / explicit sync_wal().
 /// assert_eq!(WalOptions::default().sync, SyncPolicy::OnSnapshot);
 /// let group_commit = WalOptions { sync: SyncPolicy::EveryN(64) };
 /// assert_eq!(group_commit.sync, SyncPolicy::EveryN(64));
+/// // Group commit with a staleness bound: one fsync per 64 records, but
+/// // never leave the first un-synced record waiting past 5ms.
+/// let batched = WalOptions {
+///     sync: SyncPolicy::Batched { every: 64, max_delay: Duration::from_millis(5) },
+/// };
+/// assert_ne!(batched.sync, group_commit.sync);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WalOptions {
@@ -67,13 +92,20 @@ pub struct WalOptions {
     pub sync: SyncPolicy,
 }
 
-/// One logged batch.
+/// One logged batch. Every record *is* a batch — the shared suffix is
+/// the point, not noise.
+#[allow(clippy::enum_variant_names)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum WalRecord {
     /// Documents inserted (id, bytes).
     InsertBatch(Vec<(u64, Vec<u8>)>),
     /// Document ids deleted.
     DeleteBatch(Vec<u64>),
+    /// One bulk-ingested chunk (id, bytes): the whole chunk is logged as
+    /// a single coalesced frame — one length/crc header and one append
+    /// `write_all` per chunk instead of per batch call — and replays
+    /// through the bulk-build fast path rather than the `C0` buffer.
+    IngestBatch(Vec<(u64, Vec<u8>)>),
 }
 
 fn encode_payload(seq: u64, record: &WalRecord) -> Vec<u8> {
@@ -93,6 +125,14 @@ fn encode_payload(seq: u64, record: &WalRecord) -> Vec<u8> {
             write_usize(&mut payload, ids.len()).expect("vec write");
             for id in ids {
                 write_u64(&mut payload, *id).expect("vec write");
+            }
+        }
+        WalRecord::IngestBatch(docs) => {
+            write_u8(&mut payload, KIND_INGEST).expect("vec write");
+            write_usize(&mut payload, docs.len()).expect("vec write");
+            for (id, bytes) in docs {
+                write_u64(&mut payload, *id).expect("vec write");
+                write_bytes(&mut payload, bytes).expect("vec write");
             }
         }
     }
@@ -120,6 +160,16 @@ fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord), PersistError> {
                 ids.push(read_u64(&mut r)?);
             }
             WalRecord::DeleteBatch(ids)
+        }
+        KIND_INGEST => {
+            let count = read_usize(&mut r)?;
+            let mut docs = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let id = read_u64(&mut r)?;
+                let bytes = read_bytes(&mut r)?;
+                docs.push((id, bytes));
+            }
+            WalRecord::IngestBatch(docs)
         }
         k => return Err(PersistError::corrupt(format!("wal: bad record kind {k}"))),
     };
@@ -228,6 +278,9 @@ pub(crate) struct WalWriter {
     options: WalOptions,
     /// Records appended since the last fsync (group commit).
     unsynced: u32,
+    /// When the oldest un-synced record was appended — the staleness
+    /// clock [`SyncPolicy::Batched`]'s `max_delay` is checked against.
+    first_unsynced: Option<Instant>,
     /// Latency recording, when the owning store has telemetry enabled.
     metrics: Option<WalMetrics>,
     /// Histogram stripe hint — the shard index, so each shard's log
@@ -249,6 +302,7 @@ impl WalWriter {
             file,
             options,
             unsynced: 0,
+            first_unsynced: None,
             metrics: None,
             shard: 0,
         })
@@ -316,12 +370,20 @@ impl WalWriter {
         framed.extend_from_slice(&payload);
         self.file.write_all(&framed)?;
         self.unsynced = self.unsynced.saturating_add(1);
+        self.first_unsynced.get_or_insert_with(Instant::now);
         let due = match self.options.sync {
             SyncPolicy::PerRecord => true,
             // Group commit: the Nth un-synced record pays one fsync for
             // the whole batch (0 and 1 degenerate to per-record).
             SyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
             SyncPolicy::OnSnapshot => false,
+            // Group commit with a staleness bound: count *or* deadline.
+            SyncPolicy::Batched { every, max_delay } => {
+                self.unsynced >= every.max(1)
+                    || self
+                        .first_unsynced
+                        .is_some_and(|first| first.elapsed() >= max_delay)
+            }
         };
         if due {
             self.sync()?;
@@ -336,6 +398,7 @@ impl WalWriter {
         let result = self.file.sync_data();
         if result.is_ok() {
             self.unsynced = 0;
+            self.first_unsynced = None;
         }
         if let (Some(m), Some(started)) = (&self.metrics, started) {
             match &result {
@@ -456,5 +519,85 @@ mod tests {
     fn missing_file_is_empty_log() {
         let dir = TempDir::new("missing");
         assert!(read_wal_records(&wal_path(&dir.0, 3)).unwrap().is_empty());
+    }
+
+    /// A writer wired to a fresh registry so tests can count fsyncs.
+    fn metered_writer(dir: &Path, sync: SyncPolicy) -> (WalWriter, Arc<Histogram>) {
+        let registry = MetricsRegistry::new();
+        let metrics = WalMetrics::register(&registry, 1, None);
+        let fsyncs = Arc::clone(&metrics.fsync);
+        let mut w = WalWriter::open_append(wal_path(dir, 0), WalOptions { sync }).unwrap();
+        w.set_metrics(Some(metrics), 0);
+        (w, fsyncs)
+    }
+
+    #[test]
+    fn batched_policy_syncs_on_count() {
+        let dir = TempDir::new("batched-count");
+        let (mut w, fsyncs) = metered_writer(
+            &dir.0,
+            SyncPolicy::Batched {
+                every: 3,
+                max_delay: Duration::from_secs(3600),
+            },
+        );
+        for seq in 1..=2 {
+            w.append(seq, &WalRecord::DeleteBatch(vec![seq])).unwrap();
+        }
+        assert_eq!(fsyncs.snapshot().count(), 0, "below the group size");
+        w.append(3, &WalRecord::DeleteBatch(vec![3])).unwrap();
+        assert_eq!(fsyncs.snapshot().count(), 1, "third record pays the fsync");
+        // Close with nothing un-synced adds no extra fsync.
+        w.close().unwrap();
+        assert_eq!(fsyncs.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn batched_policy_syncs_on_deadline() {
+        let dir = TempDir::new("batched-deadline");
+        let (mut w, fsyncs) = metered_writer(
+            &dir.0,
+            SyncPolicy::Batched {
+                every: 1000,
+                max_delay: Duration::from_millis(5),
+            },
+        );
+        w.append(1, &WalRecord::DeleteBatch(vec![1])).unwrap();
+        assert_eq!(fsyncs.snapshot().count(), 0, "deadline not reached yet");
+        std::thread::sleep(Duration::from_millis(10));
+        w.append(2, &WalRecord::DeleteBatch(vec![2])).unwrap();
+        assert_eq!(
+            fsyncs.snapshot().count(),
+            1,
+            "the append past the deadline forces the group to disk"
+        );
+        // The staleness clock restarted: an immediate append waits again.
+        w.append(3, &WalRecord::DeleteBatch(vec![3])).unwrap();
+        assert_eq!(fsyncs.snapshot().count(), 1);
+        // Close covers the tail.
+        w.close().unwrap();
+        assert_eq!(fsyncs.snapshot().count(), 2);
+    }
+
+    #[test]
+    fn ingest_batch_roundtrip_and_torn_tail() {
+        let dir = TempDir::new("ingest-frames");
+        let path = wal_path(&dir.0, 0);
+        let mut w = WalWriter::open_append(path.clone(), WalOptions::default()).unwrap();
+        let chunk1 = WalRecord::IngestBatch(vec![(1, b"bulk one".to_vec()), (2, b"two".to_vec())]);
+        let chunk2 = WalRecord::IngestBatch(vec![(3, b"bulk three".to_vec())]);
+        w.append(1, &chunk1).unwrap();
+        w.append(2, &chunk2).unwrap();
+        w.sync().unwrap();
+        assert_eq!(
+            read_wal_records(&path).unwrap(),
+            vec![(1, chunk1.clone()), (2, chunk2)]
+        );
+        drop(w);
+        // Tear the second coalesced frame mid-payload: the intact first
+        // chunk replays, the torn one truncates cleanly.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert_eq!(read_wal_records(&path).unwrap(), vec![(1, chunk1)]);
     }
 }

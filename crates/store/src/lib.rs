@@ -31,6 +31,13 @@
 //! * **Batching** — [`ShardedStore::insert_batch`] /
 //!   [`ShardedStore::delete_batch`] group documents by shard and apply
 //!   each shard's group on its own thread, one lock acquisition per shard.
+//! * **Bulk ingestion** — [`ShardedStore::ingest`] streams a corpus
+//!   through the static-construction fast path: documents route by
+//!   shard, cut into bounded chunks, SA-IS-build directly into static
+//!   bulk levels off the shard lock (on the resident workers when
+//!   pooled), and install through the normal epoch-publish path —
+//!   skipping the `C0` buffer and every cascade merge, while queries
+//!   keep answering from published views throughout.
 //! * **Maintenance** — Transformation 2 rebuilds sub-collections on
 //!   background jobs that must be *installed* by someone holding the
 //!   index. The same resident workers drain their shard's finished jobs
@@ -93,7 +100,7 @@ mod telemetry;
 pub use health::HealthOptions;
 pub use shard::{ShardGuard, ShardPoisoned};
 pub use stats::{ShardStats, StoreStats};
-pub use store::{FanOutPolicy, MaintenancePolicy, ShardedStore, StoreOptions};
+pub use store::{FanOutPolicy, IngestStats, MaintenancePolicy, ShardedStore, StoreOptions};
 pub use telemetry::Telemetry;
 
 // Telemetry vocabulary types, re-exported so store users need not name

@@ -49,6 +49,14 @@ pub struct StoreStats {
     /// Retired shard views awaiting epoch reclamation (process-global,
     /// point-in-time).
     pub retired_garbage: usize,
+    /// Documents loaded through the bulk-ingest fast path
+    /// ([`ShardedStore::ingest`](crate::ShardedStore::ingest)) over the
+    /// store's lifetime. Tracked store-side, so it is reported even with
+    /// telemetry disabled.
+    pub ingested_docs: u64,
+    /// Throughput of the most recent bulk ingest in docs/second, when
+    /// telemetry is enabled and at least one ingest has completed.
+    pub ingest_docs_per_sec: Option<u64>,
 }
 
 impl StoreStats {
@@ -138,6 +146,12 @@ impl std::fmt::Display for StoreStats {
             self.queued_requests(),
             self.imbalance(),
         )?;
+        if self.ingested_docs > 0 {
+            write!(f, " | {} ingested", self.ingested_docs)?;
+            if let Some(rate) = self.ingest_docs_per_sec {
+                write!(f, " ({rate} docs/s)")?;
+            }
+        }
         if let Some(p99) = self.query_p99 {
             write!(f, " | p99 query {}", fmt_duration(p99))?;
         }
@@ -186,6 +200,8 @@ mod tests {
             query_p99: None,
             wal_fsync_p99: None,
             retired_garbage: 0,
+            ingested_docs: 0,
+            ingest_docs_per_sec: None,
         };
         assert_eq!(stats.total_docs(), 8);
         assert_eq!(stats.total_symbols(), 400);
@@ -204,6 +220,8 @@ mod tests {
             query_p99: None,
             wal_fsync_p99: None,
             retired_garbage: 0,
+            ingested_docs: 0,
+            ingest_docs_per_sec: None,
         };
         assert_eq!(empty.imbalance(), 0.0);
         assert!(!empty.imbalance().is_nan());
@@ -217,6 +235,8 @@ mod tests {
             query_p99: None,
             wal_fsync_p99: None,
             retired_garbage: 0,
+            ingested_docs: 0,
+            ingest_docs_per_sec: None,
         };
         assert_eq!(zero_docs.imbalance(), 0.0);
         assert!(!zero_docs.imbalance().is_nan());
@@ -232,6 +252,8 @@ mod tests {
             query_p99: None,
             wal_fsync_p99: None,
             retired_garbage: 0,
+            ingested_docs: 0,
+            ingest_docs_per_sec: None,
         };
         let line = stats.to_string();
         assert!(!line.contains('\n'), "single line: {line}");
@@ -242,6 +264,10 @@ mod tests {
         assert!(line.contains("no snapshot"), "{line}");
         assert!(line.contains("0 retired views"), "{line}");
         assert!(!line.contains("p99"), "absent until recorded: {line}");
+        assert!(
+            !line.contains("ingested"),
+            "absent until an ingest ran: {line}"
+        );
         stats.snapshot_bytes = Some(2048);
         let line = stats.to_string();
         assert!(line.contains("last snapshot 2.0 KiB on disk"), "{line}");
@@ -261,12 +287,15 @@ mod tests {
             query_p99: Some(Duration::from_micros(48)),
             wal_fsync_p99: Some(Duration::from_micros(1300)),
             retired_garbage: 2,
+            ingested_docs: 5000,
+            ingest_docs_per_sec: Some(125_000),
         };
         let line = stats.to_string();
         assert!(!line.contains('\n'), "single line: {line}");
         assert!(line.contains("p99 query 48.0µs"), "{line}");
         assert!(line.contains("p99 fsync 1.3ms"), "{line}");
         assert!(line.contains("2 retired views"), "{line}");
+        assert!(line.contains("5000 ingested (125000 docs/s)"), "{line}");
     }
 
     #[test]

@@ -9,13 +9,14 @@ use crate::shard::{ShardGuard, ShardPoisoned, ShardSlot};
 use crate::stats::{ShardStats, StoreStats};
 use crate::telemetry::{FanOutProbe, ShardProbe, StoreTelemetry, Telemetry};
 use dyndex_core::transform2::FrozenSnapshot;
-use dyndex_core::{DynOptions, RebuildMode, ShardView, StaticIndex, Transform2Index};
+use dyndex_core::{DynOptions, LevelBuilder, RebuildMode, ShardView, StaticIndex, Transform2Index};
 use dyndex_obs::{
     AdminResponse, AdminServer, FlightRecorder, HealthReport, MetricsRegistry, QueryKind,
     QuerySpan, Span, SpanKind,
 };
 use dyndex_succinct::SpaceUsage;
 use dyndex_text::Occurrence;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -198,6 +199,138 @@ pub struct ShardedStore<I: StaticIndex + Sync> {
     /// drop order against the pool is immaterial; dropping the store
     /// joins the accept thread.
     admin: Option<AdminServer>,
+    /// Documents loaded through the bulk-ingest fast path over the
+    /// store's lifetime (store-side, so [`StoreStats`] reports it even
+    /// under [`Telemetry::Disabled`]).
+    ingested_docs: AtomicU64,
+}
+
+/// Outcome of one [`ShardedStore::ingest`] call: how much was loaded and
+/// how fast.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_store::IngestStats;
+/// use std::time::Duration;
+///
+/// let stats = IngestStats {
+///     docs: 1000,
+///     bytes: 4 << 20,
+///     levels: 8,
+///     elapsed: Duration::from_millis(500),
+/// };
+/// assert_eq!(stats.docs_per_sec(), 2000.0);
+/// assert_eq!(stats.bytes_per_sec(), (8 << 20) as f64);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct IngestStats {
+    /// Documents built into bulk levels and installed.
+    pub docs: u64,
+    /// Raw document bytes ingested.
+    pub bytes: u64,
+    /// Bulk levels installed (one per chunk per shard).
+    pub levels: u64,
+    /// Wall-clock duration of the whole ingest call.
+    pub elapsed: Duration,
+}
+
+impl IngestStats {
+    /// Ingest throughput in documents per second (0.0 when the call took
+    /// no measurable time).
+    pub fn docs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.docs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Ingest throughput in bytes per second (0.0 when the call took no
+    /// measurable time).
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.bytes as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Bulk chunks allowed in flight per shard before the router blocks on
+/// the oldest reply — bounds ingest memory at
+/// `(1 + MAX_INGEST_IN_FLIGHT) × chunk` raw bytes per shard (one being
+/// routed, the rest being built).
+const MAX_INGEST_IN_FLIGHT: usize = 2;
+
+/// One dispatched bulk chunk awaiting its worker's reply.
+struct InFlightChunk {
+    rx: mpsc::Receiver<std::thread::Result<Result<(), ShardPoisoned>>>,
+    docs: u64,
+    bytes: u64,
+}
+
+/// Running tally of an ingest call: successes, plus the first failure of
+/// each kind (every in-flight chunk is still drained before either
+/// propagates, so no worker reply is ever orphaned).
+#[derive(Default)]
+struct IngestProgress {
+    docs: u64,
+    bytes: u64,
+    levels: u64,
+    poisoned: Option<ShardPoisoned>,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    lost: bool,
+}
+
+impl IngestProgress {
+    /// Blocks on one chunk's reply and folds it in.
+    fn absorb(&mut self, chunk: InFlightChunk) {
+        match chunk.rx.recv() {
+            Ok(Ok(Ok(()))) => {
+                self.docs += chunk.docs;
+                self.bytes += chunk.bytes;
+                self.levels += 1;
+            }
+            Ok(Ok(Err(poisoned))) => {
+                self.poisoned.get_or_insert(poisoned);
+            }
+            Ok(Err(payload)) => {
+                self.panic.get_or_insert(payload);
+            }
+            Err(_) => self.lost = true,
+        }
+    }
+}
+
+/// The per-chunk work unit of bulk ingestion: SA-IS-build one routed
+/// batch into a static level *off the shard lock*, then take the lock
+/// only to install it (and republish the view on drop). Runs on the
+/// shard's resident worker under [`FanOutPolicy::Pooled`] stores, or
+/// inline on the ingesting thread under [`MaintenancePolicy::Manual`].
+fn build_install_chunk<I: StaticIndex + Sync>(
+    slot: &ShardSlot<I>,
+    shard: usize,
+    builder: &LevelBuilder<I>,
+    batch: &[(u64, Vec<u8>)],
+    telemetry: Option<&StoreTelemetry>,
+) -> Result<(), ShardPoisoned> {
+    let build_start = Instant::now();
+    let level = builder.build_batch(batch);
+    let build_nanos = build_start.elapsed().as_nanos() as u64;
+    let install_start = Instant::now();
+    let mut guard = slot.write()?;
+    guard.install_bulk_level(level);
+    drop(guard); // republish the view before stopping the clock
+    if let Some(t) = telemetry {
+        t.ingest_build.record_at(shard, build_nanos);
+        t.ingest_install
+            .record_at(shard, install_start.elapsed().as_nanos() as u64);
+        t.docs_ingested.add(batch.len() as u64);
+    }
+    Ok(())
 }
 
 impl<I: StaticIndex + Sync> ShardedStore<I> {
@@ -295,6 +428,7 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             telemetry,
             health,
             admin,
+            ingested_docs: AtomicU64::new(0),
         }
     }
 
@@ -870,6 +1004,292 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
     }
 
     // ------------------------------------------------------------------
+    // Bulk ingestion
+    // ------------------------------------------------------------------
+
+    /// Bulk-loads a document stream through the static-construction fast
+    /// path: documents are hash-routed to their shards, cut into
+    /// chunk-sized batches, SA-IS-built directly into static bulk levels
+    /// ([`LevelBuilder`]) and installed through each shard's normal
+    /// epoch-publish path. Compared to [`ShardedStore::insert_batch`]
+    /// this skips the `C0` buffer and every logarithmic-method merge a
+    /// document would otherwise pay on its way down the level cascade —
+    /// the `fig9_ingest` bench measures the speedup.
+    ///
+    /// On a pooled store ([`MaintenancePolicy::Periodic`]) chunk builds
+    /// run on the shards' resident workers, so different shards build in
+    /// parallel while the caller keeps routing; under
+    /// [`MaintenancePolicy::Manual`] builds run inline on the calling
+    /// thread. Either way queries keep answering from the published
+    /// views throughout — each installed chunk becomes visible
+    /// atomically when its shard's view republishes.
+    ///
+    /// Memory stays bounded: at most one chunk of raw documents is
+    /// buffered per shard while routing, plus up to two dispatched
+    /// chunks in flight per shard.
+    ///
+    /// # Errors
+    /// Returns the first [`ShardPoisoned`] encountered; chunks routed to
+    /// healthy shards are still installed (same contract as
+    /// [`ShardedStore::insert_batch`]).
+    ///
+    /// # Panics
+    /// Panics if a document id is already present in the store or
+    /// duplicated within the stream (same contract as
+    /// [`ShardedStore::insert`]; the panic surfaces after in-flight
+    /// chunk builds drain).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// let corpus = (0..100u64).map(|id| (id, format!("bulk doc {id}").into_bytes()));
+    /// let stats = store.ingest(corpus).unwrap();
+    /// assert_eq!(stats.docs, 100);
+    /// assert_eq!(store.num_docs(), 100);
+    /// assert_eq!(store.count(b"doc 99"), 1);
+    /// assert_eq!(store.stats().ingested_docs, 100);
+    /// ```
+    pub fn ingest<D>(&self, docs: D) -> Result<IngestStats, ShardPoisoned>
+    where
+        D: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        self.ingest_with_chunk_symbols(docs, dyndex_core::bulk::DEFAULT_CHUNK_SYMBOLS)
+    }
+
+    /// [`ShardedStore::ingest`] with an explicit chunk bound (bytes of
+    /// routed documents per built level, per shard). Smaller chunks
+    /// lower peak memory and parallelize more finely; larger chunks
+    /// amortize construction better. Values below 1 are clamped to 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dyndex_core::FmConfig;
+    /// use dyndex_store::{ShardedStore, StoreOptions};
+    /// use dyndex_text::FmIndexCompressed;
+    ///
+    /// let store: ShardedStore<FmIndexCompressed> =
+    ///     ShardedStore::new(FmConfig { sample_rate: 8 }, StoreOptions::default());
+    /// let corpus = (0..64u64).map(|id| (id, format!("chunked doc {id}").into_bytes()));
+    /// let stats = store.ingest_with_chunk_symbols(corpus, 256).unwrap();
+    /// assert!(stats.levels > 1, "a 256-byte chunk bound splits 64 docs");
+    /// assert_eq!(store.count(b"chunked"), 64);
+    /// ```
+    pub fn ingest_with_chunk_symbols<D>(
+        &self,
+        docs: D,
+        chunk_symbols: usize,
+    ) -> Result<IngestStats, ShardPoisoned>
+    where
+        D: IntoIterator<Item = (u64, Vec<u8>)>,
+    {
+        let started = Instant::now();
+        let template = self.builder_template()?.with_chunk_symbols(chunk_symbols);
+        let chunk_symbols = template.chunk_symbols(); // clamped
+        let num_shards = self.shards.len();
+        let mut buffers: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); num_shards];
+        let mut buffered_bytes: Vec<usize> = vec![0; num_shards];
+        let mut queues: Vec<VecDeque<InFlightChunk>> =
+            (0..num_shards).map(|_| VecDeque::new()).collect();
+        let mut progress = IngestProgress::default();
+        // Time spent *not* routing (blocking on worker replies, or
+        // building inline under Manual) — subtracted from the elapsed
+        // clock so `ingest_route` reports pure routing + chunk-cutting.
+        let mut off_route_nanos = 0u64;
+        for (id, bytes) in docs {
+            let shard = self.shard_of(id);
+            buffered_bytes[shard] += bytes.len();
+            buffers[shard].push((id, bytes));
+            if buffered_bytes[shard] >= chunk_symbols {
+                let batch = std::mem::take(&mut buffers[shard]);
+                let batch_bytes = std::mem::take(&mut buffered_bytes[shard]) as u64;
+                self.dispatch_chunk(
+                    shard,
+                    batch,
+                    batch_bytes,
+                    &template,
+                    &mut queues[shard],
+                    &mut progress,
+                    &mut off_route_nanos,
+                );
+            }
+        }
+        // Final partial chunk per shard.
+        for shard in 0..num_shards {
+            if !buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut buffers[shard]);
+                let batch_bytes = std::mem::take(&mut buffered_bytes[shard]) as u64;
+                self.dispatch_chunk(
+                    shard,
+                    batch,
+                    batch_bytes,
+                    &template,
+                    &mut queues[shard],
+                    &mut progress,
+                    &mut off_route_nanos,
+                );
+            }
+        }
+        // Drain every in-flight build before reporting or propagating
+        // anything, so no worker reply is orphaned.
+        for queue in queues.iter_mut() {
+            while let Some(chunk) = queue.pop_front() {
+                let wait = Instant::now();
+                progress.absorb(chunk);
+                off_route_nanos += wait.elapsed().as_nanos() as u64;
+            }
+        }
+        let elapsed = started.elapsed();
+        self.ingested_docs
+            .fetch_add(progress.docs, Ordering::Relaxed);
+        let stats = IngestStats {
+            docs: progress.docs,
+            bytes: progress.bytes,
+            levels: progress.levels,
+            elapsed,
+        };
+        if let Some(t) = &self.telemetry {
+            let route = (elapsed.as_nanos() as u64).saturating_sub(off_route_nanos);
+            t.ingest_route.record(route);
+            t.ingest_docs_per_sec.set(stats.docs_per_sec() as u64);
+            if progress.poisoned.is_some() {
+                t.shard_poisoned.inc();
+            }
+        }
+        if let Some(payload) = progress.panic {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !progress.lost,
+            "shard worker exited without answering a bulk build"
+        );
+        match progress.poisoned {
+            Some(poisoned) => Err(poisoned),
+            None => Ok(stats),
+        }
+    }
+
+    /// Sends one routed batch to its shard: onto the resident worker
+    /// (bounding in-flight chunks per shard, blocking on the oldest
+    /// reply when full), or built inline when no pool exists.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_chunk(
+        &self,
+        shard: usize,
+        batch: Vec<(u64, Vec<u8>)>,
+        batch_bytes: u64,
+        template: &LevelBuilder<I>,
+        queue: &mut VecDeque<InFlightChunk>,
+        progress: &mut IngestProgress,
+        off_route_nanos: &mut u64,
+    ) {
+        let docs = batch.len() as u64;
+        match &self.pool {
+            Some(pool) => {
+                if queue.len() >= MAX_INGEST_IN_FLIGHT {
+                    let oldest = queue.pop_front().expect("len checked above");
+                    let wait = Instant::now();
+                    progress.absorb(oldest);
+                    *off_route_nanos += wait.elapsed().as_nanos() as u64;
+                }
+                let builder = template.clone();
+                let telemetry = self.telemetry.clone();
+                let (reply, rx) = mpsc::channel();
+                pool.submit(
+                    shard,
+                    Box::new(move |slot: &ShardSlot<I>| {
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            build_install_chunk(slot, shard, &builder, &batch, telemetry.as_deref())
+                        }));
+                        let _ = reply.send(result);
+                    }),
+                );
+                queue.push_back(InFlightChunk {
+                    rx,
+                    docs,
+                    bytes: batch_bytes,
+                });
+            }
+            None => {
+                let inline = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    build_install_chunk(
+                        &self.shards[shard],
+                        shard,
+                        template,
+                        &batch,
+                        self.telemetry.as_deref(),
+                    )
+                }));
+                match result {
+                    Ok(Ok(())) => {
+                        progress.docs += docs;
+                        progress.bytes += batch_bytes;
+                        progress.levels += 1;
+                    }
+                    Ok(Err(poisoned)) => {
+                        progress.poisoned.get_or_insert(poisoned);
+                    }
+                    Err(payload) => {
+                        progress.panic.get_or_insert(payload);
+                    }
+                }
+                *off_route_nanos += inline.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// A [`LevelBuilder`] copying the first healthy shard's index
+    /// configuration (every shard is constructed identically, so any one
+    /// serves as the template).
+    fn builder_template(&self) -> Result<LevelBuilder<I>, ShardPoisoned> {
+        let mut first_err = None;
+        for slot in self.shards.iter() {
+            match slot.write() {
+                Ok(guard) => return Ok(guard.level_builder()),
+                Err(poisoned) => {
+                    first_err.get_or_insert(poisoned);
+                }
+            }
+        }
+        Err(first_err.expect("store has at least one shard"))
+    }
+
+    /// Builds `docs` into one bulk level on the given shard,
+    /// synchronously on the calling thread (the persistence layer's
+    /// hook: `DurableStore::ingest` calls this after logging the chunk's
+    /// WAL record, and WAL replay calls it to re-apply logged chunks).
+    /// The caller is responsible for routing — every id must hash to
+    /// `shard`.
+    #[doc(hidden)]
+    pub fn bulk_load_shard(
+        &self,
+        shard: usize,
+        docs: &[(u64, Vec<u8>)],
+    ) -> Result<(), ShardPoisoned> {
+        if docs.is_empty() {
+            return Ok(());
+        }
+        let builder = self.shards[shard].write()?.level_builder();
+        build_install_chunk(
+            &self.shards[shard],
+            shard,
+            &builder,
+            docs,
+            self.telemetry.as_deref(),
+        )?;
+        self.ingested_docs
+            .fetch_add(docs.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
@@ -1296,6 +1716,10 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             (snap.count() > 0).then(|| Duration::from_nanos(snap.percentile(0.99)))
         });
         let (retired_garbage, _) = crate::epoch::epoch_stats();
+        let ingest_docs_per_sec = self.telemetry.as_ref().and_then(|t| {
+            let rate = t.ingest_docs_per_sec.get();
+            (rate > 0).then_some(rate)
+        });
         StoreStats {
             shards,
             snapshot_bytes: None,
@@ -1303,6 +1727,8 @@ impl<I: StaticIndex + Sync> ShardedStore<I> {
             query_p99,
             wal_fsync_p99: None,
             retired_garbage,
+            ingested_docs: self.ingested_docs.load(Ordering::Relaxed),
+            ingest_docs_per_sec,
         }
     }
 
@@ -1888,6 +2314,135 @@ mod tests {
         let registry = store.metrics().expect("telemetry on by default");
         let poisoned = registry.counter("dyndex_store_shard_poisoned", "", dyndex_obs::Unit::Count);
         assert_eq!(poisoned.get(), 1);
+    }
+
+    #[test]
+    fn ingest_matches_insert_at_a_time() {
+        let bulk = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let serial = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let batch = docs(60);
+        serial.insert_batch(&batch).unwrap();
+        let stats = bulk.ingest_with_chunk_symbols(batch.clone(), 200).unwrap();
+        assert_eq!(stats.docs, 60);
+        assert_eq!(
+            stats.bytes,
+            batch.iter().map(|(_, d)| d.len() as u64).sum::<u64>()
+        );
+        assert!(stats.levels >= 4, "60 docs over 200-byte chunks: {stats:?}");
+        assert_eq!(bulk.num_docs(), serial.num_docs());
+        for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
+            assert_eq!(bulk.count(pattern), serial.count(pattern));
+            assert_eq!(bulk.find(pattern), serial.find(pattern));
+        }
+        // Deletes treat bulk levels like any other structure.
+        assert_eq!(bulk.delete(7).unwrap(), serial.delete(7).unwrap());
+        assert_eq!(bulk.find(b"needle"), serial.find(b"needle"));
+        assert_eq!(bulk.stats().ingested_docs, 60);
+        assert_eq!(serial.stats().ingested_docs, 0);
+    }
+
+    #[test]
+    fn pooled_ingest_matches_serial() {
+        let bulk = Store::new(fm(), pooled_opts(4, RebuildMode::Inline));
+        let serial = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let batch = docs(80);
+        serial.insert_batch(&batch).unwrap();
+        let stats = bulk.ingest_with_chunk_symbols(batch, 150).unwrap();
+        assert_eq!(stats.docs, 80);
+        bulk.flush();
+        for pattern in [b"needle".as_slice(), b"document 1", b"pad", b"absent"] {
+            assert_eq!(bulk.count(pattern), serial.count(pattern));
+            assert_eq!(bulk.find(pattern), serial.find(pattern));
+        }
+    }
+
+    #[test]
+    fn ingest_empty_stream_is_a_noop() {
+        let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        let stats = store.ingest(Vec::new()).unwrap();
+        assert_eq!(stats.docs, 0);
+        assert_eq!(stats.levels, 0);
+        assert_eq!(store.num_docs(), 0);
+        assert_eq!(store.stats().ingested_docs, 0);
+    }
+
+    #[test]
+    fn ingest_records_telemetry() {
+        let store = Store::new(fm(), pooled_opts(2, RebuildMode::Inline));
+        store.ingest_with_chunk_symbols(docs(40), 200).unwrap();
+        store.flush();
+        let registry = store.metrics().expect("telemetry on by default");
+        let ingested = registry.counter("dyndex_ingest_docs_total", "", dyndex_obs::Unit::Count);
+        assert_eq!(ingested.get(), 40);
+        let build = registry
+            .find_histogram("dyndex_ingest_build_duration")
+            .expect("registered at construction");
+        assert!(build.snapshot().count() > 0, "chunk builds recorded");
+        let install = registry
+            .find_histogram("dyndex_ingest_install_duration")
+            .expect("registered at construction");
+        assert_eq!(
+            install.snapshot().count(),
+            build.snapshot().count(),
+            "every built chunk was installed"
+        );
+        let route = registry
+            .find_histogram("dyndex_ingest_route_duration")
+            .expect("registered at construction");
+        assert_eq!(route.snapshot().count(), 1, "one observation per call");
+        let stats = store.stats();
+        assert_eq!(stats.ingested_docs, 40);
+        assert!(stats.ingest_docs_per_sec.is_some());
+        assert!(stats.to_string().contains("40 ingested"), "{stats}");
+        // Bulk installs leave flight-recorder spans.
+        let spans = store.flight_spans();
+        assert!(
+            spans.iter().any(|s| s.kind == SpanKind::BulkBuild),
+            "bulk_build spans recorded"
+        );
+    }
+
+    #[test]
+    fn queries_answer_from_views_during_ingest() {
+        // A pinned pre-ingest view never sees bulk levels; fresh queries
+        // see each chunk as its shard's view republishes.
+        let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        store.insert(100_000, b"resident needle").unwrap();
+        let views: Vec<_> = (0..store.num_shards())
+            .map(|s| store.shard_view(s))
+            .collect();
+        store.ingest_with_chunk_symbols(docs(30), 100).unwrap();
+        let pinned: usize = views.iter().map(|v| v.count(b"needle")).sum();
+        assert_eq!(pinned, 1, "pinned views predate the ingest");
+        assert_eq!(store.count(b"needle"), 31, "fresh queries see everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn ingest_duplicate_id_panics() {
+        let store = Store::new(fm(), small_opts(2, RebuildMode::Inline));
+        store.insert(5, b"already here").unwrap();
+        let _ = store.ingest(vec![(5, b"duplicate".to_vec())]);
+    }
+
+    #[test]
+    fn bulk_load_shard_routes_one_chunk() {
+        let store = Store::new(fm(), small_opts(4, RebuildMode::Inline));
+        let mut group: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut shard = 0;
+        for (id, bytes) in docs(40) {
+            if group.is_empty() {
+                shard = store.shard_of(id);
+            }
+            if store.shard_of(id) == shard {
+                group.push((id, bytes));
+            }
+        }
+        let expect = group.len();
+        store.bulk_load_shard(shard, &group).unwrap();
+        assert_eq!(store.num_docs(), expect);
+        assert_eq!(store.count(b"needle"), expect);
+        assert_eq!(store.stats().ingested_docs, expect as u64);
     }
 
     #[test]

@@ -120,6 +120,18 @@ pub(crate) struct StoreTelemetry {
     pub delete_duration: Arc<Histogram>,
     pub docs_inserted: Arc<Counter>,
     pub docs_deleted: Arc<Counter>,
+    /// Time spent routing + chunk-cutting a bulk-ingest stream (one
+    /// observation per `ingest` call; excludes build/install waits).
+    pub ingest_route: Arc<Histogram>,
+    /// Per-shard SA-IS build time of one bulk-ingested chunk.
+    pub ingest_build: Arc<Histogram>,
+    /// Per-shard install time of one bulk-built level (lock hold + view
+    /// republish).
+    pub ingest_install: Arc<Histogram>,
+    /// Documents loaded through the bulk-ingest fast path.
+    pub docs_ingested: Arc<Counter>,
+    /// Throughput of the most recent `ingest` call, in docs/second.
+    pub ingest_docs_per_sec: Arc<Gauge>,
     /// Writes refused because the target shard's writer panicked.
     pub shard_poisoned: Arc<Counter>,
     /// Wall-clock duration of each snapshot generation.
@@ -195,6 +207,28 @@ impl StoreTelemetry {
             docs_deleted: c(
                 "dyndex_store_docs_deleted",
                 "documents deleted",
+                Unit::Count,
+            ),
+            ingest_route: h(
+                "dyndex_ingest_route_duration",
+                "bulk-ingest routing + chunk-cutting time per ingest call",
+            ),
+            ingest_build: h(
+                "dyndex_ingest_build_duration",
+                "per-shard SA-IS build time of one bulk-ingested chunk",
+            ),
+            ingest_install: h(
+                "dyndex_ingest_install_duration",
+                "per-shard install time of one bulk-built level",
+            ),
+            docs_ingested: c(
+                "dyndex_ingest_docs_total",
+                "documents loaded through the bulk-ingest fast path",
+                Unit::Count,
+            ),
+            ingest_docs_per_sec: registry.gauge(
+                "dyndex_ingest_docs_per_sec",
+                "throughput of the most recent bulk ingest (docs/second)",
                 Unit::Count,
             ),
             shard_poisoned: c(

@@ -55,26 +55,99 @@ pub struct ConcatText {
     doc_starts: EliasFano,
 }
 
-impl ConcatText {
-    /// Builds from `(doc_id, bytes)` pairs.
-    pub fn new(docs: &[(u64, &[u8])]) -> Self {
-        let total: usize = docs.iter().map(|(_, d)| d.len() + 1).sum::<usize>() + 1;
-        let mut text = Vec::with_capacity(total);
-        let mut doc_ids = Vec::with_capacity(docs.len());
-        let mut starts = Vec::with_capacity(docs.len());
-        for (id, bytes) in docs {
-            doc_ids.push(*id);
-            starts.push(text.len() as u64);
-            text.extend(bytes.iter().map(|&b| b as u32 + SYM_OFFSET));
-            text.push(SEPARATOR);
+/// Streaming constructor for [`ConcatText`]: documents are encoded into
+/// the concatenation one at a time, so a caller holding a document
+/// *stream* (the bulk-ingestion path) never has to materialize a
+/// `&[(u64, &[u8])]` slice first. Feed the result to
+/// [`FmIndex::from_concat`](crate::FmIndex::from_concat) /
+/// [`SaIndex::from_concat`](crate::SaIndex::from_concat) for a one-pass
+/// stream → SA-IS → static-index build.
+///
+/// # Examples
+///
+/// ```
+/// use dyndex_text::{ConcatTextBuilder, SaIndex};
+///
+/// let mut builder = ConcatTextBuilder::new();
+/// for (id, doc) in [(1u64, "streamed"), (2, "documents")] {
+///     builder.push(id, doc.as_bytes());
+/// }
+/// assert_eq!(builder.symbols(), "streamed".len() + "documents".len());
+/// let index = SaIndex::from_concat(&builder.finish());
+/// assert!(index.find_range(b"stream").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ConcatTextBuilder {
+    text: Vec<u32>,
+    doc_ids: Vec<u64>,
+    starts: Vec<u64>,
+    symbols: usize,
+}
+
+impl ConcatTextBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty builder with room for `symbols` document bytes.
+    pub fn with_capacity(symbols: usize, docs: usize) -> Self {
+        ConcatTextBuilder {
+            text: Vec::with_capacity(symbols + docs + 1),
+            doc_ids: Vec::with_capacity(docs),
+            starts: Vec::with_capacity(docs),
+            symbols: 0,
         }
-        text.push(TERMINATOR);
-        let universe = text.len() as u64 + 1;
+    }
+
+    /// Appends one document (encoded immediately, separator included).
+    pub fn push(&mut self, doc_id: u64, bytes: &[u8]) {
+        self.doc_ids.push(doc_id);
+        self.starts.push(self.text.len() as u64);
+        self.text
+            .extend(bytes.iter().map(|&b| b as u32 + SYM_OFFSET));
+        self.text.push(SEPARATOR);
+        self.symbols += bytes.len();
+    }
+
+    /// Document bytes pushed so far (excluding separators) — the knob
+    /// bulk loaders cut batches on.
+    pub fn symbols(&self) -> usize {
+        self.symbols
+    }
+
+    /// Documents pushed so far.
+    pub fn num_docs(&self) -> usize {
+        self.doc_ids.len()
+    }
+
+    /// True iff nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.doc_ids.is_empty()
+    }
+
+    /// Seals the concatenation (appends the global terminator).
+    pub fn finish(mut self) -> ConcatText {
+        self.text.push(TERMINATOR);
+        let universe = self.text.len() as u64 + 1;
         ConcatText {
-            text,
-            doc_ids,
-            doc_starts: EliasFano::new(&starts, universe),
+            text: self.text,
+            doc_ids: self.doc_ids,
+            doc_starts: EliasFano::new(&self.starts, universe),
         }
+    }
+}
+
+impl ConcatText {
+    /// Builds from `(doc_id, bytes)` pairs (one [`ConcatTextBuilder`]
+    /// pass — the slice and streaming paths share one encoding).
+    pub fn new(docs: &[(u64, &[u8])]) -> Self {
+        let total: usize = docs.iter().map(|(_, d)| d.len()).sum();
+        let mut builder = ConcatTextBuilder::with_capacity(total, docs.len());
+        for (id, bytes) in docs {
+            builder.push(*id, bytes);
+        }
+        builder.finish()
     }
 
     /// The encoded text (including separators and terminator).

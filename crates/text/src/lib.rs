@@ -22,7 +22,7 @@ pub mod gst;
 pub mod sa_index;
 pub mod sais;
 
-pub use collection::{ConcatText, Occurrence};
+pub use collection::{ConcatText, ConcatTextBuilder, Occurrence};
 pub use fm_index::{FmIndex, FmIndexCompressed, FmIndexPlain};
 pub use gst::SuffixTree;
 pub use sa_index::SaIndex;
